@@ -1,0 +1,121 @@
+// Ablation: placement backends — SM's optimized local search vs. the alternatives the paper
+// positions itself against.
+//
+//   * hand-crafted heuristics (§5.2): what SM's allocator used for years before the solver;
+//   * simulated annealing (§9): what Azure Service Fabric settled on, "compared with simulated
+//     annealing, SM's local search employs advanced optimizations to speed up search";
+//   * SM's local search with the §5.3 optimizations.
+//
+// All three run on the same group-enriched ZippyDB-style problem (spread + region preferences +
+// three balanced metrics) from the same random initial assignment, with the same wall-clock
+// budget, and are scored by the same violation counter.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/allocator/heuristic_allocator.h"
+#include "src/solver/annealing.h"
+
+using namespace shardman;
+using namespace shardman::bench;
+
+namespace {
+
+PartitionSnapshot SnapshotFromProblem(const SolverProblem& problem, const ZippyProblemSpec& spec) {
+  PartitionSnapshot snapshot;
+  snapshot.config.metrics = MetricSet({"cpu", "storage", "shard_count"});
+  for (int b = 0; b < problem.num_bins(); ++b) {
+    ServerState server;
+    server.id = ServerId(b);
+    server.machine = MachineId(b);
+    server.region = RegionId(problem.bin_region[static_cast<size_t>(b)]);
+    server.data_center = DataCenterId(problem.bin_dc[static_cast<size_t>(b)]);
+    server.rack = RackId(problem.bin_rack[static_cast<size_t>(b)]);
+    server.capacity = ResourceVector{problem.capacity(b, 0), problem.capacity(b, 1),
+                                     problem.capacity(b, 2)};
+    snapshot.servers.push_back(server);
+  }
+  // Entities are grouped three-per-shard by MakeZippyProblem when with_groups is set.
+  int num_shards = problem.num_entities() / 3;
+  snapshot.shards.resize(static_cast<size_t>(num_shards));
+  for (int e = 0; e < num_shards * 3; ++e) {
+    int shard = e / 3;
+    ShardDescriptor& desc = snapshot.shards[static_cast<size_t>(shard)];
+    desc.id = ShardId(shard);
+    if (shard % 4 == 0) {
+      desc.preferred_region = RegionId(shard % spec.regions);
+    }
+    ReplicaState replica;
+    replica.id = ReplicaId(desc.id, e % 3);
+    replica.role = (e % 3) == 0 ? ReplicaRole::kPrimary : ReplicaRole::kSecondary;
+    replica.load = ResourceVector{problem.load(e, 0), problem.load(e, 1), problem.load(e, 2)};
+    int32_t bin = problem.assignment[static_cast<size_t>(e)];
+    replica.server = bin >= 0 ? ServerId(bin) : ServerId();
+    desc.replicas.push_back(replica);
+  }
+  return snapshot;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation: local search vs. simulated annealing vs. hand-crafted heuristics",
+              "§5.2/§5.3/§9 — the backend choices the paper discusses, scored identically");
+
+  double scale = BenchScale();
+  ZippyProblemSpec spec;
+  spec.servers = std::max(20, static_cast<int>(400 * scale));
+  spec.shards_per_server = 30;
+  spec.fill = 0.78;
+  spec.with_groups = true;
+  spec.seed = 99;
+
+  const TimeMicros budget = Seconds(20);
+  TablePrinter summary({"backend", "initial", "final_violations", "seconds", "moves"});
+
+  // SM local search (all §5.3 optimizations).
+  {
+    SolverProblem problem = MakeZippyProblem(spec);
+    Rebalancer rb = MakeZippySpecs(spec);
+    SolveOptions options;
+    options.time_budget = budget;
+    options.seed = 1;
+    options.trace_interval = 0;
+    SolveResult result = rb.Solve(problem, options);
+    summary.AddRowValues(std::string("SM local search"), result.initial_violations.total(),
+                         result.final_violations.total(),
+                         FormatDouble(ToSeconds(result.wall_time), 2), result.moves.size());
+  }
+  // Simulated annealing (ASF-style).
+  {
+    SolverProblem problem = MakeZippyProblem(spec);
+    Rebalancer rb = MakeZippySpecs(spec);
+    AnnealOptions options;
+    options.time_budget = budget;
+    options.seed = 1;
+    options.trace_interval = 0;
+    SolveResult result = SolveWithAnnealing(rb, problem, options);
+    summary.AddRowValues(std::string("simulated annealing"), result.initial_violations.total(),
+                         result.final_violations.total(),
+                         FormatDouble(ToSeconds(result.wall_time), 2), result.moves.size());
+  }
+  // Hand-crafted heuristic passes (§5.2 baseline).
+  {
+    SolverProblem problem = MakeZippyProblem(spec);
+    PartitionSnapshot snapshot = SnapshotFromProblem(problem, spec);
+    HeuristicAllocator heuristic;
+    AllocationResult result = heuristic.Allocate(snapshot);
+    summary.AddRowValues(std::string("hand-crafted heuristics"), result.before.total(),
+                         result.after.total(), FormatDouble(ToSeconds(result.solve_wall), 2),
+                         result.changes.size());
+  }
+
+  summary.Print(std::cout);
+  std::cout << "\nExpected shape: SM local search clears everything in a fraction of a second "
+               "with ~1 move per fixed violation. Annealing can match the final quality but "
+               "burns its whole budget and accepts millions of moves — unusable as real shard "
+               "migrations, which is why SM pairs solver moves with migration costs. The "
+               "heuristic passes leave violations because the passes undo one another (§5.2's "
+               "brittleness).\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Shared helpers for the figure-reproduction benchmarks: the ZippyDB-like solver workload of
+// §8.4 (heterogeneous capacities, 20x shard-load spread, three LB metrics) and output helpers.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/table.h"
+#include "src/solver/rebalancer.h"
+
+namespace shardman {
+namespace bench {
+
+struct ZippyProblemSpec {
+  int servers = 1000;
+  int shards_per_server = 75;   // paper: 75K shards on 1K servers
+  int regions = 10;
+  double fill = 0.72;           // fleet utilization on the CPU metric
+  double capacity_variation = 0.2;  // ±20% (paper: storage capacity varies by up to 20%)
+  double load_spread = 20.0;    // largest shard 20x the smallest
+  bool with_groups = false;     // give shards 3-replica groups + spread/affinity goals
+  uint64_t seed = 1;
+};
+
+// Builds the random-initial-assignment stress problem of Fig. 21: every shard starts on a
+// uniformly random server.
+inline SolverProblem MakeZippyProblem(const ZippyProblemSpec& spec) {
+  Rng rng(spec.seed);
+  SolverProblem p;
+  p.num_metrics = 3;  // cpu, storage, shard_count (§8.1: ZippyDB balances on these three)
+  for (int b = 0; b < spec.servers; ++b) {
+    std::vector<double> cap = {
+        100.0 * rng.Uniform(1.0 - spec.capacity_variation, 1.0 + spec.capacity_variation),
+        100.0 * rng.Uniform(1.0 - spec.capacity_variation, 1.0 + spec.capacity_variation),
+        2.0 * spec.shards_per_server,
+    };
+    p.AddBin(cap, b % spec.regions, b % (spec.regions * 3), b);
+  }
+  const int shards = spec.servers * spec.shards_per_server;
+  double sum0 = 0.0;
+  for (int e = 0; e < shards; ++e) {
+    double intensity = std::exp(rng.Uniform() * std::log(spec.load_spread));
+    std::vector<double> load = {intensity, intensity * rng.Uniform(0.5, 1.5), 1.0};
+    int group = spec.with_groups ? e / 3 : -1;
+    p.AddEntity(load, group, static_cast<int32_t>(rng.UniformInt(0, spec.servers - 1)));
+    sum0 += load[0];
+  }
+  // Normalize cpu/storage loads so the fleet runs at `fill` of mean capacity.
+  double target_mean = spec.fill * 100.0 * spec.servers / shards;
+  double scale = target_mean * shards / sum0;
+  for (int e = 0; e < shards; ++e) {
+    p.entity_load[static_cast<size_t>(e) * 3] *= scale;
+    p.entity_load[static_cast<size_t>(e) * 3 + 1] *= scale;
+  }
+  return p;
+}
+
+// The LB goals of §8.4: hard capacity, 90% utilization threshold, utilization within 10% of
+// the average — per metric. With groups: region spread + region preferences for 25% of shards.
+inline Rebalancer MakeZippySpecs(const ZippyProblemSpec& spec) {
+  Rebalancer rb;
+  for (int m = 0; m < 3; ++m) {
+    rb.AddConstraint(CapacitySpec{m, 1.0});
+    rb.AddGoal(ThresholdSpec{m, 0.9}, 2000.0);
+    rb.AddGoal(BalanceSpec{DomainScope::kGlobal, m, 0.10}, 1000.0);
+  }
+  if (spec.with_groups) {
+    rb.AddGoal(ExclusionSpec{DomainScope::kRegion}, 30000.0);
+    AffinitySpec affinity;
+    int groups = spec.servers * spec.shards_per_server / 3;
+    for (int g = 0; g < groups; g += 4) {
+      affinity.entries.push_back(AffinityEntry{g, g % spec.regions, 1, 1.0});
+    }
+    rb.AddGoal(affinity, 100000.0);
+  }
+  return rb;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_reference) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "Paper reference: " << paper_reference << "\n\n";
+}
+
+// Environment-driven scale factor so CI can shrink the heavy benches (SM_BENCH_SCALE=0.1).
+inline double BenchScale() {
+  const char* env = std::getenv("SM_BENCH_SCALE");
+  if (env == nullptr) {
+    return 1.0;
+  }
+  double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+}  // namespace bench
+}  // namespace shardman
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,68 @@
+// Bonus: the fleet-demographics breakdowns of §2.2 (Figures 4-9), regenerated from the paper's
+// reported percentages as a self-describing reference table. These figures are survey results,
+// not experiments; reproducing them means recording the population mix that the rest of the
+// repository's defaults are calibrated against.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace shardman;
+using namespace shardman::bench;
+
+int main() {
+  PrintHeader("Figs 4-9: demographics of sharded applications at Facebook",
+              "§2.2 — survey data the reproduction's population model is calibrated against");
+
+  {
+    std::cout << "Fig 4: sharding schemes (by #application / by #server):\n";
+    TablePrinter t({"scheme", "by_apps_%", "by_servers_%"});
+    t.AddRowValues(std::string("using SM"), 54, 34);
+    t.AddRowValues(std::string("static sharding"), 35, 30);
+    t.AddRowValues(std::string("consistent hashing"), 10, 9);
+    t.AddRowValues(std::string("custom sharding"), 1, 27);
+    t.Print(std::cout);
+  }
+  {
+    std::cout << "\nFig 5: SM applications' deployment mode:\n";
+    TablePrinter t({"mode", "by_apps_%", "by_servers_%"});
+    t.AddRowValues(std::string("regional"), 67, 42);
+    t.AddRowValues(std::string("geo-distributed"), 33, 58);
+    t.Print(std::cout);
+  }
+  {
+    std::cout << "\nFig 6: replication strategies:\n";
+    TablePrinter t({"strategy", "by_apps_%", "by_servers_%"});
+    t.AddRowValues(std::string("primary-only"), 68, 25);
+    t.AddRowValues(std::string("primary-secondary"), 24, 41);
+    t.AddRowValues(std::string("secondary-only"), 8, 34);
+    t.Print(std::cout);
+  }
+  {
+    std::cout << "\nFig 7: load-balancing policies:\n";
+    TablePrinter t({"policy", "by_apps_%", "by_servers_%"});
+    t.AddRowValues(std::string("shard count"), 55, 10);
+    t.AddRowValues(std::string("single resource"), 10, 2);
+    t.AddRowValues(std::string("single synthetic"), 10, 25);
+    t.AddRowValues(std::string("multiple metrics"), 14, 65);
+    t.Print(std::cout);
+  }
+  {
+    std::cout << "\nFig 8: drain policies for container restarts:\n";
+    TablePrinter t({"replicas", "drain_by_apps_%", "no_drain_by_apps_%"});
+    t.AddRowValues(std::string("primary"), 94, 6);
+    t.AddRowValues(std::string("secondary"), 22, 78);
+    t.Print(std::cout);
+  }
+  {
+    std::cout << "\nFig 9: storage vs non-storage machines:\n";
+    TablePrinter t({"class", "by_apps_%", "by_servers_%"});
+    t.AddRowValues(std::string("non-storage"), 82, 62);
+    t.AddRowValues(std::string("storage"), 18, 38);
+    t.Print(std::cout);
+  }
+  std::cout << "\nKey derived claims (§2.3): ~70% of SM apps drain before restarts; 100% of "
+               "sharded apps are multi-region; planned events are ~1000x more frequent than "
+               "unplanned failures (Fig 1).\n";
+  return 0;
+}

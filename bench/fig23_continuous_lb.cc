@@ -1,0 +1,99 @@
+// Figure 23 reproduction: load balancing as a continuous optimization in an ever-changing
+// environment.
+//
+// Paper (§8.4): a 12K-machine ZippyDB deployment over three days — CPU utilization follows the
+// product's diurnal cycle; a small number of LB violations constantly emerge on different
+// servers; each allocator round fixes (nearly) all of them with a modest number of shard moves;
+// p99 CPU utilization stays under 80%.
+//
+// This reproduction runs the allocator loop directly over a fleet snapshot whose shard loads
+// are diurnally modulated with per-shard noise: every 10 (simulated) minutes loads change, the
+// allocator counts violations, solves, and applies its moves. Output: per-sample average/p99
+// utilization, violations before fixing, and moves — the three Fig. 23 curves.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/workload/load_gen.h"
+
+using namespace shardman;
+using namespace shardman::bench;
+
+int main() {
+  PrintHeader("Fig 23: continuous load balancing over three days",
+              "§8.4, Figure 23 — diurnal CPU, violations constantly emerging and fixed, p99 "
+              "CPU < 80%");
+
+  double scale = BenchScale();
+  ZippyProblemSpec spec;
+  spec.servers = std::max(100, static_cast<int>(1200 * scale));  // 1:10 of the 12K machines
+  spec.shards_per_server = 10;
+  spec.fill = 0.52;  // peak-hour average CPU ~60%, matching the paper's diurnal band
+  spec.seed = 23;
+  SolverProblem problem = MakeZippyProblem(spec);
+  Rebalancer rb = MakeZippySpecs(spec);
+
+  // Fix the initial random assignment first (not part of the plotted window).
+  SolveOptions options;
+  options.time_budget = Seconds(30);
+  options.trace_interval = 0;
+  options.seed = 11;
+  rb.Solve(problem, options);
+
+  const int shards = problem.num_entities();
+  std::vector<double> base_cpu(static_cast<size_t>(shards));
+  for (int e = 0; e < shards; ++e) {
+    base_cpu[static_cast<size_t>(e)] = problem.load(e, 0);
+  }
+
+  Rng noise(99);
+  std::cout << "Three days, one row per 30 simulated minutes:\n";
+  TablePrinter table({"hour", "avg_cpu_%", "p99_cpu_%", "violations_before", "moves"});
+  OnlineStats all_p99;
+  int64_t total_moves = 0;
+  const TimeMicros step = Minutes(30);
+  for (TimeMicros t = 0; t < 3 * kMicrosPerDay; t += step) {
+    // Load change: diurnal factor plus per-shard noise (product users' realtime activity).
+    double diurnal = DiurnalFactor(t, /*trough=*/0.45);
+    for (int e = 0; e < shards; ++e) {
+      double jitter = noise.Uniform(0.9, 1.1);
+      problem.entity_load[static_cast<size_t>(e) * 3] =
+          base_cpu[static_cast<size_t>(e)] * diurnal * jitter * 1.15;
+    }
+
+    ViolationCounts before = rb.Count(problem);
+    SolveOptions round;
+    round.time_budget = Seconds(10);
+    round.trace_interval = 0;
+    round.seed = static_cast<uint64_t>(t) + 1;
+    SolveResult result = rb.Solve(problem, round);
+    total_moves += static_cast<int64_t>(result.moves.size());
+
+    // Utilization statistics after the round.
+    std::vector<double> utils;
+    std::vector<double> bin_load(static_cast<size_t>(problem.num_bins()), 0.0);
+    for (int e = 0; e < shards; ++e) {
+      int32_t bin = problem.assignment[static_cast<size_t>(e)];
+      if (bin >= 0) {
+        bin_load[static_cast<size_t>(bin)] += problem.load(e, 0);
+      }
+    }
+    for (int b = 0; b < problem.num_bins(); ++b) {
+      utils.push_back(100.0 * bin_load[static_cast<size_t>(b)] / problem.capacity(b, 0));
+    }
+    double avg = 0.0;
+    for (double util : utils) {
+      avg += util;
+    }
+    avg /= static_cast<double>(utils.size());
+    double p99 = Percentile(utils, 99);
+    all_p99.Add(p99);
+    table.AddRowValues(FormatDouble(ToSeconds(t) / 3600.0, 1), FormatDouble(avg, 1),
+                       FormatDouble(p99, 1), before.total(), result.moves.size());
+  }
+  table.Print(std::cout);
+  std::cout << "\nmax p99 CPU over the window: " << FormatDouble(all_p99.max(), 1)
+            << "% (paper: consistently under 80%); total moves: " << total_moves << "\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Solver micro-benchmarks (google-benchmark): the inner-loop operations whose throughput
+// determines how far the local search scales — incremental move evaluation, move application,
+// violation counting, and the end-to-end emergency placement path.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/solver/local_search.h"
+#include "src/solver/violation_tracker.h"
+
+namespace shardman {
+namespace {
+
+using bench::MakeZippyProblem;
+using bench::MakeZippySpecs;
+using bench::ZippyProblemSpec;
+
+struct Fixture {
+  explicit Fixture(int servers, bool groups = false) {
+    spec.servers = servers;
+    spec.shards_per_server = 50;
+    spec.with_groups = groups;
+    problem = MakeZippyProblem(spec);
+    rebalancer = MakeZippySpecs(spec);
+  }
+  ZippyProblemSpec spec;
+  SolverProblem problem;
+  Rebalancer rebalancer;
+};
+
+void BM_MoveDelta(benchmark::State& state) {
+  Fixture fixture(static_cast<int>(state.range(0)));
+  ViolationTracker tracker(&fixture.problem, &fixture.rebalancer);
+  tracker.Init();
+  Rng rng(1);
+  const int entities = fixture.problem.num_entities();
+  const int bins = fixture.problem.num_bins();
+  for (auto _ : state) {
+    int entity = static_cast<int>(rng.UniformInt(0, entities - 1));
+    int bin = static_cast<int>(rng.UniformInt(0, bins - 1));
+    benchmark::DoNotOptimize(tracker.MoveDelta(entity, bin));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MoveDelta)->Arg(100)->Arg(1000);
+
+void BM_MoveDeltaGrouped(benchmark::State& state) {
+  Fixture fixture(static_cast<int>(state.range(0)), /*groups=*/true);
+  ViolationTracker tracker(&fixture.problem, &fixture.rebalancer);
+  tracker.Init();
+  Rng rng(1);
+  const int entities = fixture.problem.num_entities();
+  const int bins = fixture.problem.num_bins();
+  for (auto _ : state) {
+    int entity = static_cast<int>(rng.UniformInt(0, entities - 1));
+    int bin = static_cast<int>(rng.UniformInt(0, bins - 1));
+    benchmark::DoNotOptimize(tracker.MoveDelta(entity, bin));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MoveDeltaGrouped)->Arg(100)->Arg(1000);
+
+void BM_ApplyMove(benchmark::State& state) {
+  Fixture fixture(static_cast<int>(state.range(0)));
+  ViolationTracker tracker(&fixture.problem, &fixture.rebalancer);
+  tracker.Init();
+  Rng rng(1);
+  const int entities = fixture.problem.num_entities();
+  const int bins = fixture.problem.num_bins();
+  for (auto _ : state) {
+    int entity = static_cast<int>(rng.UniformInt(0, entities - 1));
+    int bin = static_cast<int>(rng.UniformInt(0, bins - 1));
+    if (fixture.problem.assignment[static_cast<size_t>(entity)] == bin) {
+      continue;
+    }
+    tracker.ApplyMove(entity, bin);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ApplyMove)->Arg(100)->Arg(1000);
+
+void BM_CountViolations(benchmark::State& state) {
+  Fixture fixture(static_cast<int>(state.range(0)));
+  ViolationTracker tracker(&fixture.problem, &fixture.rebalancer);
+  tracker.Init();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracker.Count().total());
+  }
+  state.SetItemsProcessed(state.iterations() * fixture.problem.num_entities());
+}
+BENCHMARK(BM_CountViolations)->Arg(100)->Arg(1000);
+
+void BM_EmergencyPlacement(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Fixture fixture(static_cast<int>(state.range(0)));
+    for (auto& bin : fixture.problem.assignment) {
+      bin = -1;  // everything unassigned
+    }
+    SolveOptions options;
+    options.emergency = true;
+    options.trace_interval = 0;
+    options.seed = 3;
+    state.ResumeTiming();
+    SolveResult result = fixture.rebalancer.Solve(fixture.problem, options);
+    benchmark::DoNotOptimize(result.final_violations.unassigned);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(state.range(0)) * 50);
+}
+BENCHMARK(BM_EmergencyPlacement)->Arg(100)->Arg(500)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace shardman
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// A Laser-style bulk-loaded store (§3.1): why app-key + app-sharding matters.
+//
+// The paper: Laser "runs a daily MapReduce job to partition data into shards and build
+// per-shard indices. The data and indices are daily reloaded into Laser for serving. If SM
+// dynamically split or merged shards, they would be misaligned with the indices produced by
+// MapReduce." And 9% of Laser's ~1B queries/second are prefix scans, which require key
+// locality.
+//
+// This example plays the offline partitioner: it produces UNEVEN shard ranges aligned with the
+// data distribution (hot low key space gets fine shards, the long tail gets coarse ones),
+// bulk-loads each shard's records through the external data bus, and deploys on SM. SM places
+// and balances those exact shards — never splitting them — so prefix scans stay shard-local and
+// each daily reload lines up with the offline indices.
+//
+//   ./build/examples/laser_bulk_load
+
+#include <cstdio>
+
+#include "src/apps/materialized_kv_app.h"
+#include "src/workload/testbed.h"
+
+using namespace shardman;
+
+int main() {
+  // The "MapReduce output": uneven ranges — 8 fine shards over the hot range [0, 2^16), then 4
+  // coarse shards over the rest of the key space.
+  AppSpec app;
+  app.id = AppId(1);
+  app.name = "laser";
+  app.strategy = ReplicationStrategy::kPrimaryOnly;
+  app.replication_factor = 1;
+  app.placement.metrics = MetricSet({"cpu"});
+  const uint64_t hot_end = 1ULL << 16;
+  for (int s = 0; s < 8; ++s) {
+    app.shard_ranges.push_back({hot_end / 8 * s, hot_end / 8 * (s + 1)});
+  }
+  uint64_t cold_step = (~0ULL - hot_end) / 4;
+  for (int s = 0; s < 4; ++s) {
+    uint64_t begin = hot_end + cold_step * static_cast<uint64_t>(s);
+    uint64_t end = s == 3 ? ~0ULL : begin + cold_step;
+    app.shard_ranges.push_back({begin, end});
+  }
+  std::printf("partitioner produced %d uneven shards (8 hot + 4 cold)\n", app.num_shards());
+
+  TestbedConfig config;
+  config.regions = {"r0"};
+  config.servers_per_region = 4;
+  config.app = app;
+  config.app_kind = TestAppKind::kMaterializedKv;
+  Testbed bed(config);
+
+  // Daily bulk load: write the partitioned dataset into each shard's bus topic *before* the
+  // servers acquire the shards — acquisition replays the topic, i.e. "reloading the daily
+  // build into Laser for serving".
+  int records = 0;
+  for (uint64_t key = 0; key < hot_end; key += 97) {
+    bed.data_bus().Append(app.ShardForKey(key), key, key * 2);
+    ++records;
+  }
+  std::printf("bulk-loaded %d records into the data bus\n", records);
+
+  bed.Start();
+  if (!bed.RunUntilAllReady(Minutes(2))) {
+    std::printf("placement did not finish\n");
+    return 1;
+  }
+
+  // Every server's views were built from the bus during add_shard.
+  int64_t rebuilt = 0;
+  for (ServerId id : bed.servers()) {
+    rebuilt += dynamic_cast<MaterializedKvApp*>(bed.app_server(id))->rebuilt_records();
+  }
+  std::printf("records materialized during shard acquisition: %lld\n",
+              static_cast<long long>(rebuilt));
+
+  // Prefix scans over the hot range: shard-local because adjacent keys share a shard.
+  auto router = bed.CreateRouter(RegionId(0));
+  bed.sim().RunFor(Seconds(2));
+  int scans_ok = 0;
+  uint64_t scanned_total = 0;
+  for (int i = 0; i < 8; ++i) {
+    uint64_t prefix = hot_end / 8 * static_cast<uint64_t>(i);
+    router->Route(prefix, RequestType::kScan, [&](const RequestOutcome& outcome) {
+      scans_ok += outcome.success ? 1 : 0;
+    });
+    bed.sim().RunFor(Millis(100));
+  }
+  bed.sim().RunFor(Seconds(2));
+  std::printf("prefix scans served: %d/8 (key locality preserved — SM never splits "
+              "app-defined shards)\n",
+              scans_ok);
+  (void)scanned_total;
+
+  // Point reads return the bulk-loaded values.
+  int reads_ok = 0;
+  for (uint64_t key = 0; key < 970; key += 97) {
+    router->Route(key, RequestType::kRead, [&](const RequestOutcome& outcome) {
+      reads_ok += outcome.success ? 1 : 0;
+    });
+    bed.sim().RunFor(Millis(50));
+  }
+  bed.sim().RunFor(Seconds(2));
+  std::printf("point reads over bulk-loaded keys: %d/10\n", reads_ok);
+
+  bool ok = rebuilt >= records && scans_ok == 8 && reads_ok == 10;
+  std::printf("%s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

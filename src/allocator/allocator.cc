@@ -1,0 +1,214 @@
+#include "src/allocator/allocator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <unordered_map>
+
+#include "src/common/check.h"
+
+namespace shardman {
+
+std::string_view ReplicaRoleName(ReplicaRole role) {
+  switch (role) {
+    case ReplicaRole::kPrimary:
+      return "primary";
+    case ReplicaRole::kSecondary:
+      return "secondary";
+  }
+  return "unknown";
+}
+
+SmAllocator::SmAllocator(AllocatorOptions options) : options_(options) {}
+
+SmAllocator::BuiltProblem SmAllocator::BuildProblem(const PartitionSnapshot& snapshot) const {
+  BuiltProblem built;
+  SolverProblem& p = built.problem;
+  const int metrics = snapshot.config.metrics.size();
+  SM_CHECK_GT(metrics, 0);
+  p.num_metrics = metrics;
+
+  std::unordered_map<int32_t, int32_t> server_to_bin;
+  for (const ServerState& server : snapshot.servers) {
+    std::vector<double> cap(static_cast<size_t>(metrics));
+    SM_CHECK_EQ(server.capacity.dims(), metrics);
+    for (int m = 0; m < metrics; ++m) {
+      cap[static_cast<size_t>(m)] = server.capacity[m];
+    }
+    int bin = p.AddBin(std::move(cap), server.region.value, server.data_center.value,
+                       server.rack.value);
+    p.bin_alive[static_cast<size_t>(bin)] = server.alive ? 1 : 0;
+    p.bin_draining[static_cast<size_t>(bin)] = server.draining ? 1 : 0;
+    server_to_bin[server.id.value] = bin;
+    built.bin_to_server.push_back(static_cast<int32_t>(built.bin_to_server.size()));
+  }
+
+  for (size_t s = 0; s < snapshot.shards.size(); ++s) {
+    const ShardDescriptor& shard = snapshot.shards[s];
+    for (size_t r = 0; r < shard.replicas.size(); ++r) {
+      const ReplicaState& replica = shard.replicas[r];
+      SM_CHECK_EQ(replica.load.dims(), metrics);
+      std::vector<double> load(static_cast<size_t>(metrics));
+      for (int m = 0; m < metrics; ++m) {
+        load[static_cast<size_t>(m)] = replica.load[m];
+      }
+      int32_t bin = -1;
+      if (replica.server.valid()) {
+        auto it = server_to_bin.find(replica.server.value);
+        if (it != server_to_bin.end()) {
+          bin = it->second;
+        }
+      }
+      p.AddEntity(std::move(load), static_cast<int32_t>(s), bin);
+      built.entity_to_replica.emplace_back(static_cast<int32_t>(s), static_cast<int32_t>(r));
+    }
+  }
+  return built;
+}
+
+Rebalancer SmAllocator::BuildSpecs(const PartitionSnapshot& snapshot) const {
+  const PlacementConfig& config = snapshot.config;
+  const int metrics = config.metrics.size();
+  Rebalancer rebalancer;
+
+  for (int m = 0; m < metrics; ++m) {
+    rebalancer.AddConstraint(CapacitySpec{m, config.capacity_limit});
+    if (config.utilization_threshold > 0.0) {
+      rebalancer.AddGoal(ThresholdSpec{m, config.utilization_threshold},
+                         options_.weight_threshold);
+    }
+    if (config.global_balance) {
+      rebalancer.AddGoal(BalanceSpec{DomainScope::kGlobal, m, config.balance_tolerance},
+                         options_.weight_global_balance);
+    }
+    if (config.regional_balance) {
+      rebalancer.AddGoal(BalanceSpec{DomainScope::kRegion, m, config.balance_tolerance},
+                         options_.weight_regional_balance);
+    }
+  }
+
+  if (config.spread_regions) {
+    rebalancer.AddGoal(ExclusionSpec{DomainScope::kRegion}, options_.weight_spread_region);
+  }
+  if (config.spread_data_centers) {
+    rebalancer.AddGoal(ExclusionSpec{DomainScope::kDataCenter}, options_.weight_spread_dc);
+  }
+  if (config.spread_racks) {
+    rebalancer.AddGoal(ExclusionSpec{DomainScope::kRack}, options_.weight_spread_rack);
+  }
+
+  AffinitySpec affinity;
+  for (size_t s = 0; s < snapshot.shards.size(); ++s) {
+    const ShardDescriptor& shard = snapshot.shards[s];
+    if (shard.preferred_region.valid()) {
+      AffinityEntry entry;
+      entry.group = static_cast<int32_t>(s);
+      entry.region = shard.preferred_region.value;
+      entry.min_count = shard.min_replicas_in_preferred;
+      entry.weight = shard.preference_weight;
+      affinity.entries.push_back(entry);
+    }
+  }
+  if (!affinity.entries.empty()) {
+    rebalancer.AddGoal(affinity, options_.weight_region_preference);
+  }
+
+  rebalancer.AddGoal(DrainSpec{}, options_.weight_drain);
+  return rebalancer;
+}
+
+SolveOptions SmAllocator::BuildSolveOptions(AllocationMode mode) const {
+  SolveOptions solve;
+  solve.time_budget = mode == AllocationMode::kEmergency ? options_.emergency_time_budget
+                                                         : options_.periodic_time_budget;
+  solve.seed = options_.seed;
+  solve.candidates_per_entity = options_.candidates_per_entity;
+  solve.entities_per_bin_visit = options_.entities_per_bin_visit;
+  solve.stratified_sampling = options_.stratified_sampling;
+  solve.large_shards_first = options_.large_shards_first;
+  solve.goal_batching = options_.goal_batching;
+  solve.equivalence_classes = options_.equivalence_classes;
+  solve.enable_swaps = options_.enable_swaps;
+  solve.trace_interval = options_.trace_interval;
+  solve.emergency = mode == AllocationMode::kEmergency;
+  return solve;
+}
+
+AllocationResult SmAllocator::Allocate(PartitionSnapshot& snapshot, AllocationMode mode) const {
+  BuiltProblem built = BuildProblem(snapshot);
+  Rebalancer rebalancer = BuildSpecs(snapshot);
+  SolveOptions solve_options = BuildSolveOptions(mode);
+
+  SolveResult solved = rebalancer.Solve(built.problem, solve_options);
+
+  AllocationResult result;
+  result.before = solved.initial_violations;
+  result.after = solved.final_violations;
+  result.solve_wall = solved.wall_time;
+  result.evaluations = solved.evaluations;
+  result.converged = solved.converged;
+  result.trace = std::move(solved.trace);
+
+  // Collapse the move sequence into net changes per entity and write back into the snapshot.
+  std::unordered_map<int32_t, std::pair<int32_t, int32_t>> net;  // entity -> (first_from, last_to)
+  for (const SolverMove& move : solved.moves) {
+    auto [it, inserted] = net.emplace(move.entity, std::make_pair(move.from, move.to));
+    if (!inserted) {
+      it->second.second = move.to;
+    }
+  }
+  for (const auto& [entity, from_to] : net) {
+    if (from_to.first == from_to.second) {
+      continue;  // net no-op (e.g. swap reverted)
+    }
+    auto [shard_idx, replica_idx] = built.entity_to_replica[static_cast<size_t>(entity)];
+    ReplicaState& replica =
+        snapshot.shards[static_cast<size_t>(shard_idx)].replicas[static_cast<size_t>(replica_idx)];
+    AssignmentChange change;
+    change.replica = replica.id;
+    change.from = replica.server;
+    change.to = snapshot.servers[static_cast<size_t>(from_to.second)].id;
+    replica.server = change.to;
+    result.changes.push_back(change);
+  }
+  // Deterministic order for downstream consumers.
+  std::sort(result.changes.begin(), result.changes.end(),
+            [](const AssignmentChange& a, const AssignmentChange& b) {
+              return a.replica < b.replica;
+            });
+  return result;
+}
+
+std::vector<AllocationResult> SmAllocator::AllocateParallel(
+    std::vector<PartitionSnapshot*> snapshots, AllocationMode mode, int threads) const {
+  SM_CHECK_GT(threads, 0);
+  std::vector<AllocationResult> results(snapshots.size());
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      size_t i = next.fetch_add(1);
+      if (i >= snapshots.size()) {
+        return;
+      }
+      results[i] = Allocate(*snapshots[i], mode);
+    }
+  };
+  int n = std::min<int>(threads, static_cast<int>(snapshots.size()));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    pool.emplace_back(worker);
+  }
+  for (auto& t : pool) {
+    t.join();
+  }
+  return results;
+}
+
+ViolationCounts SmAllocator::Count(const PartitionSnapshot& snapshot) const {
+  BuiltProblem built = BuildProblem(snapshot);
+  Rebalancer rebalancer = BuildSpecs(snapshot);
+  return rebalancer.Count(built.problem);
+}
+
+}  // namespace shardman

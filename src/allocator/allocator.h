@@ -1,0 +1,103 @@
+// SmAllocator: Shard Manager's placement & load-balancing engine (§5).
+//
+// Translates a PartitionSnapshot into a Rebalancer problem, solves it with local search, and
+// returns the replica moves. Two modes (§5.1):
+//   * kEmergency — triggered on shard unavailability; places unassigned replicas as fast as
+//     possible subject to hard constraints, possibly deteriorating soft goals;
+//   * kPeriodic — the regular optimization pass over all shards, which must not leave soft goals
+//     worse than it found them.
+// Large applications are split into partitions solved independently, in parallel across threads
+// (§5.3 technique 1 / §6.1).
+
+#ifndef SRC_ALLOCATOR_ALLOCATOR_H_
+#define SRC_ALLOCATOR_ALLOCATOR_H_
+
+#include <vector>
+
+#include "src/allocator/types.h"
+#include "src/solver/rebalancer.h"
+
+namespace shardman {
+
+enum class AllocationMode {
+  kEmergency,
+  kPeriodic,
+};
+
+struct AllocatorOptions {
+  // Wall-clock budget per partition solve.
+  TimeMicros periodic_time_budget = Seconds(60);
+  TimeMicros emergency_time_budget = Seconds(5);
+  uint64_t seed = 1;
+
+  // Passed through to the solver; see SolveOptions. Exposed so the Fig. 22 ablation and the
+  // scalability benches can control the search configuration.
+  int candidates_per_entity = 12;
+  int entities_per_bin_visit = 8;
+  bool stratified_sampling = true;
+  bool large_shards_first = true;
+  bool goal_batching = true;
+  bool equivalence_classes = true;
+  bool enable_swaps = true;
+  TimeMicros trace_interval = Millis(200);
+
+  // Soft-goal weight tiers realizing the §5.1 priority order (1 = highest priority).
+  double weight_region_preference = 1.0e5;  // priority 1
+  double weight_spread_region = 3.0e4;      // priority 2 (region level)
+  double weight_spread_dc = 1.5e4;          //   "        (data-center level)
+  double weight_spread_rack = 8.0e3;        //   "        (rack level)
+  double weight_drain = 4.0e3;              // priority 3
+  double weight_threshold = 2.0e3;          // priority 4
+  double weight_global_balance = 1.0e3;     // priority 5
+  double weight_regional_balance = 5.0e2;   // priority 6
+};
+
+struct AllocationResult {
+  std::vector<AssignmentChange> changes;
+  ViolationCounts before;
+  ViolationCounts after;
+  TimeMicros solve_wall = 0;
+  int64_t evaluations = 0;
+  bool converged = false;
+  std::vector<TracePoint> trace;
+};
+
+class SmAllocator {
+ public:
+  explicit SmAllocator(AllocatorOptions options = {});
+
+  // Builds the Rebalancer spec set for a config (exposed for tests and benches).
+  Rebalancer BuildSpecs(const PartitionSnapshot& snapshot) const;
+
+  // Solves one partition. Updates the snapshot's replica->server assignments in place and
+  // returns the changes plus before/after violation counts.
+  AllocationResult Allocate(PartitionSnapshot& snapshot, AllocationMode mode) const;
+
+  // Solves several partitions concurrently on up to `threads` OS threads (§5.3 technique 1).
+  std::vector<AllocationResult> AllocateParallel(std::vector<PartitionSnapshot*> snapshots,
+                                                 AllocationMode mode, int threads) const;
+
+  // Counts current violations without solving (monitoring path, Fig. 23).
+  ViolationCounts Count(const PartitionSnapshot& snapshot) const;
+
+  const AllocatorOptions& options() const { return options_; }
+  void set_options(const AllocatorOptions& options) { options_ = options; }
+
+ private:
+  struct BuiltProblem {
+    SolverProblem problem;
+    // entity index -> (shard vector index, replica vector index)
+    std::vector<std::pair<int32_t, int32_t>> entity_to_replica;
+    // bin index -> server vector index
+    std::vector<int32_t> bin_to_server;
+  };
+
+  BuiltProblem BuildProblem(const PartitionSnapshot& snapshot) const;
+  SolveOptions BuildSolveOptions(AllocationMode mode) const;
+
+  AllocatorOptions options_;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_ALLOCATOR_ALLOCATOR_H_

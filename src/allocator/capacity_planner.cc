@@ -1,0 +1,146 @@
+#include "src/allocator/capacity_planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace shardman {
+
+CapacityPlan PlanCapacity(const CapacityPlannerInput& input) {
+  const int regions = static_cast<int>(input.region_demand.size());
+  SM_CHECK_GT(regions, 0);
+  SM_CHECK_EQ(input.latency.num_regions(), regions);
+  SM_CHECK_GT(input.server_capacity, 0.0);
+  SM_CHECK_GT(input.target_utilization, 0.0);
+  SM_CHECK_GE(input.min_replicas_per_shard, 1);
+
+  CapacityPlan plan;
+  plan.replica_regions.assign(static_cast<size_t>(regions), false);
+  plan.serving_region.assign(static_cast<size_t>(regions), -1);
+  plan.servers_per_region.assign(static_cast<size_t>(regions), 0);
+
+  // 1. Coverage sets: region r covers demand region d if latency(r, d) <= SLO.
+  auto covers = [&](int replica_region, int demand_region) {
+    return input.latency.Latency(RegionId(replica_region), RegionId(demand_region)) <=
+           input.latency_slo;
+  };
+
+  // 2. Demand-weighted greedy set cover.
+  std::vector<bool> covered(static_cast<size_t>(regions), false);
+  for (int d = 0; d < regions; ++d) {
+    if (input.region_demand[static_cast<size_t>(d)] <= 0.0) {
+      covered[static_cast<size_t>(d)] = true;  // nothing to serve
+    }
+  }
+  while (true) {
+    int best = -1;
+    double best_gain = 0.0;
+    for (int r = 0; r < regions; ++r) {
+      if (plan.replica_regions[static_cast<size_t>(r)]) {
+        continue;
+      }
+      double gain = 0.0;
+      for (int d = 0; d < regions; ++d) {
+        if (!covered[static_cast<size_t>(d)] && covers(r, d)) {
+          gain += input.region_demand[static_cast<size_t>(d)];
+        }
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = r;
+      }
+    }
+    if (best < 0) {
+      break;  // nothing else helps (all covered, or an uncoverable region remains)
+    }
+    plan.replica_regions[static_cast<size_t>(best)] = true;
+    for (int d = 0; d < regions; ++d) {
+      if (covers(best, d)) {
+        covered[static_cast<size_t>(d)] = true;
+      }
+    }
+    bool all = true;
+    for (int d = 0; d < regions; ++d) {
+      all = all && covered[static_cast<size_t>(d)];
+    }
+    if (all) {
+      break;
+    }
+  }
+
+  // 3. Fault-tolerance floor: pad with the regions that minimize the added worst-case latency.
+  auto replica_count = [&]() {
+    int count = 0;
+    for (bool on : plan.replica_regions) {
+      count += on ? 1 : 0;
+    }
+    return count;
+  };
+  while (replica_count() < std::min(input.min_replicas_per_shard, regions)) {
+    int best = -1;
+    TimeMicros best_score = 0;
+    for (int r = 0; r < regions; ++r) {
+      if (plan.replica_regions[static_cast<size_t>(r)]) {
+        continue;
+      }
+      // Prefer the candidate closest to the heaviest demand.
+      TimeMicros score = 0;
+      for (int d = 0; d < regions; ++d) {
+        score += static_cast<TimeMicros>(
+            static_cast<double>(input.latency.Latency(RegionId(r), RegionId(d))) *
+            input.region_demand[static_cast<size_t>(d)]);
+      }
+      if (best < 0 || score < best_score) {
+        best = r;
+        best_score = score;
+      }
+    }
+    if (best < 0) {
+      break;
+    }
+    plan.replica_regions[static_cast<size_t>(best)] = true;
+  }
+  plan.replicas_per_shard = replica_count();
+
+  // 4. Route demand to the nearest replica region and size fleets.
+  std::vector<double> routed_load(static_cast<size_t>(regions), 0.0);
+  plan.slo_met = true;
+  for (int d = 0; d < regions; ++d) {
+    if (input.region_demand[static_cast<size_t>(d)] <= 0.0) {
+      continue;
+    }
+    int nearest = -1;
+    TimeMicros nearest_latency = 0;
+    for (int r = 0; r < regions; ++r) {
+      if (!plan.replica_regions[static_cast<size_t>(r)]) {
+        continue;
+      }
+      TimeMicros l = input.latency.Latency(RegionId(d), RegionId(r));
+      if (nearest < 0 || l < nearest_latency) {
+        nearest = r;
+        nearest_latency = l;
+      }
+    }
+    SM_CHECK_GE(nearest, 0);
+    plan.serving_region[static_cast<size_t>(d)] = nearest;
+    plan.worst_latency = std::max(plan.worst_latency, nearest_latency);
+    if (nearest_latency > input.latency_slo) {
+      plan.slo_met = false;
+    }
+    routed_load[static_cast<size_t>(nearest)] +=
+        input.region_demand[static_cast<size_t>(d)] * input.per_request_cost;
+  }
+  for (int r = 0; r < regions; ++r) {
+    if (!plan.replica_regions[static_cast<size_t>(r)]) {
+      continue;
+    }
+    double usable = input.server_capacity * input.target_utilization;
+    int servers = static_cast<int>(std::ceil(routed_load[static_cast<size_t>(r)] / usable));
+    plan.servers_per_region[static_cast<size_t>(r)] = std::max(1, servers);
+    plan.total_servers += plan.servers_per_region[static_cast<size_t>(r)];
+  }
+  return plan;
+}
+
+}  // namespace shardman

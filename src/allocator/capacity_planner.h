@@ -1,0 +1,69 @@
+// CapacityPlanner: the paper's stated future work (§10, item 3) — "managing an application's
+// global-placement policy and capacity need, i.e., forecasting the number of servers needed for
+// each region and placing shards intelligently to meet the application's global clients'
+// latency requirements while minimizing the number of shard replicas."
+//
+// Given per-region client demand, the inter-region latency matrix, a client-latency SLO and a
+// fault-tolerance floor, the planner:
+//   1. computes each candidate region's SLO coverage set (which demand regions it can serve);
+//   2. greedily picks a minimal set of replica regions covering all demand within the SLO
+//      (demand-weighted set cover);
+//   3. pads every shard's replica set to the fault-tolerance floor with the nearest extras;
+//   4. routes each region's demand to its nearest replica region and sizes the per-region
+//      server fleet for the routed load at the target utilization.
+//
+// The output plugs into the rest of the framework: the replica regions become per-shard
+// RegionPreference entries and the per-region server counts feed deployment sizing.
+
+#ifndef SRC_ALLOCATOR_CAPACITY_PLANNER_H_
+#define SRC_ALLOCATOR_CAPACITY_PLANNER_H_
+
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/sim/network.h"
+
+namespace shardman {
+
+struct CapacityPlannerInput {
+  // Aggregate client demand per region, in requests/second. Size defines the region count.
+  std::vector<double> region_demand;
+  // One-way inter-region latencies.
+  LatencyModel latency{1, Millis(1), Millis(50)};
+  // Client -> serving replica latency bound (one-way).
+  TimeMicros latency_slo = Millis(50);
+  // Capacity units consumed per request/second.
+  double per_request_cost = 1.0;
+  // Capacity units per server.
+  double server_capacity = 100.0;
+  // Size fleets so projected utilization stays at or below this.
+  double target_utilization = 0.8;
+  // Fault-tolerance floor: every shard keeps at least this many replicas even if fewer regions
+  // suffice for latency.
+  int min_replicas_per_shard = 2;
+};
+
+struct CapacityPlan {
+  // True for regions that host shard replicas.
+  std::vector<bool> replica_regions;
+  // Demand region -> the replica region its traffic is routed to.
+  std::vector<int> serving_region;
+  // Forecast server count per region (0 for non-replica regions).
+  std::vector<int> servers_per_region;
+  // Replicas per shard (identical for all shards under a uniform demand model).
+  int replicas_per_shard = 0;
+  // Worst client -> serving replica latency under the plan.
+  TimeMicros worst_latency = 0;
+  // True if every demand region is within the SLO of its serving region.
+  bool slo_met = false;
+  int total_servers = 0;
+};
+
+// Computes a plan; aborts (SM_CHECK) on malformed input. If no region subset can satisfy the
+// SLO (e.g. an isolated demand region with no replica region in range — impossible here because
+// a region always covers itself), slo_met is false and the plan degrades gracefully.
+CapacityPlan PlanCapacity(const CapacityPlannerInput& input);
+
+}  // namespace shardman
+
+#endif  // SRC_ALLOCATOR_CAPACITY_PLANNER_H_

@@ -1,0 +1,394 @@
+#include "src/allocator/heuristic_allocator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace shardman {
+
+namespace {
+
+// Working state shared by the heuristic passes.
+struct State {
+  const PartitionSnapshot* snapshot = nullptr;
+  int metrics = 0;
+  // replica flat index -> (shard idx, replica idx)
+  std::vector<std::pair<int32_t, int32_t>> replicas;
+  std::vector<int32_t> assignment;       // replica -> server index, -1 unassigned
+  std::vector<double> server_load;       // server * metrics + m
+  std::vector<double> replica_size;      // normalized size for ordering
+
+  const ReplicaState& replica(int r) const {
+    auto [s, i] = replicas[static_cast<size_t>(r)];
+    return snapshot->shards[static_cast<size_t>(s)].replicas[static_cast<size_t>(i)];
+  }
+  int32_t shard_of(int r) const { return replicas[static_cast<size_t>(r)].first; }
+
+  double load(int server, int m) const {
+    return server_load[static_cast<size_t>(server) * static_cast<size_t>(metrics) +
+                       static_cast<size_t>(m)];
+  }
+  double capacity(int server, int m) const {
+    return snapshot->servers[static_cast<size_t>(server)].capacity[m];
+  }
+  double MaxUtil(int server) const {
+    double util = 0.0;
+    for (int m = 0; m < metrics; ++m) {
+      double cap = capacity(server, m);
+      util = std::max(util, cap > 0 ? load(server, m) / cap : 0.0);
+    }
+    return util;
+  }
+  bool Fits(int r, int server) const {
+    const ResourceVector& load_vec = replica(r).load;
+    for (int m = 0; m < metrics; ++m) {
+      if (load(server, m) + load_vec[m] > capacity(server, m)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  void Apply(int r, int to) {
+    const ResourceVector& load_vec = replica(r).load;
+    int from = assignment[static_cast<size_t>(r)];
+    for (int m = 0; m < metrics; ++m) {
+      if (from >= 0) {
+        server_load[static_cast<size_t>(from) * static_cast<size_t>(metrics) +
+                    static_cast<size_t>(m)] -= load_vec[m];
+      }
+      server_load[static_cast<size_t>(to) * static_cast<size_t>(metrics) +
+                  static_cast<size_t>(m)] += load_vec[m];
+    }
+    assignment[static_cast<size_t>(r)] = to;
+  }
+  bool ShardOnServer(int32_t shard, int server, int excluding_replica) const {
+    for (size_t r = 0; r < replicas.size(); ++r) {
+      if (static_cast<int>(r) != excluding_replica && shard_of(static_cast<int>(r)) == shard &&
+          assignment[r] == server) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+State BuildState(const PartitionSnapshot& snapshot) {
+  State state;
+  state.snapshot = &snapshot;
+  state.metrics = snapshot.config.metrics.size();
+  std::unordered_map<int32_t, int32_t> server_index;
+  for (size_t s = 0; s < snapshot.servers.size(); ++s) {
+    server_index[snapshot.servers[s].id.value] = static_cast<int32_t>(s);
+  }
+  state.server_load.assign(snapshot.servers.size() * static_cast<size_t>(state.metrics), 0.0);
+
+  double mean_cap = 0.0;
+  for (const ServerState& server : snapshot.servers) {
+    mean_cap += server.capacity.Total();
+  }
+  mean_cap = std::max(1e-9, mean_cap / std::max<size_t>(1, snapshot.servers.size()));
+
+  for (size_t s = 0; s < snapshot.shards.size(); ++s) {
+    const ShardDescriptor& shard = snapshot.shards[s];
+    for (size_t i = 0; i < shard.replicas.size(); ++i) {
+      const ReplicaState& replica = shard.replicas[i];
+      state.replicas.emplace_back(static_cast<int32_t>(s), static_cast<int32_t>(i));
+      int32_t bound = -1;
+      if (replica.server.valid()) {
+        auto it = server_index.find(replica.server.value);
+        if (it != server_index.end() &&
+            state.snapshot->servers[static_cast<size_t>(it->second)].alive) {
+          bound = it->second;
+        }
+      }
+      state.assignment.push_back(bound);
+      state.replica_size.push_back(replica.load.Total() / mean_cap);
+      if (bound >= 0) {
+        int r = static_cast<int>(state.replicas.size()) - 1;
+        state.assignment[static_cast<size_t>(r)] = -1;  // Apply() adds the load sums
+        state.Apply(r, bound);
+      }
+    }
+  }
+  return state;
+}
+
+// Pass 1: first-fit-decreasing placement of unassigned replicas onto least-loaded servers.
+void PlacePass(State& state) {
+  std::vector<int> pending;
+  for (size_t r = 0; r < state.replicas.size(); ++r) {
+    if (state.assignment[r] < 0) {
+      pending.push_back(static_cast<int>(r));
+    }
+  }
+  std::sort(pending.begin(), pending.end(), [&](int a, int b) {
+    return state.replica_size[static_cast<size_t>(a)] > state.replica_size[static_cast<size_t>(b)];
+  });
+  for (int r : pending) {
+    int best = -1;
+    double best_util = 0.0;
+    for (size_t server = 0; server < state.snapshot->servers.size(); ++server) {
+      if (!state.snapshot->servers[server].alive || state.snapshot->servers[server].draining) {
+        continue;
+      }
+      int sv = static_cast<int>(server);
+      if (!state.Fits(r, sv) || state.ShardOnServer(state.shard_of(r), sv, r)) {
+        continue;
+      }
+      double util = state.MaxUtil(sv);
+      if (best < 0 || util < best_util) {
+        best = sv;
+        best_util = util;
+      }
+    }
+    if (best >= 0) {
+      state.Apply(r, best);
+    }
+  }
+}
+
+// Pass 2: spread repair — move co-located (same region) replicas of a shard to the emptiest
+// server of an uncovered region.
+void SpreadPass(State& state) {
+  if (!state.snapshot->config.spread_regions) {
+    return;
+  }
+  const auto& servers = state.snapshot->servers;
+  for (size_t shard_idx = 0; shard_idx < state.snapshot->shards.size(); ++shard_idx) {
+    // Collect the shard's replicas and their regions.
+    std::vector<int> members;
+    for (size_t r = 0; r < state.replicas.size(); ++r) {
+      if (state.shard_of(static_cast<int>(r)) == static_cast<int32_t>(shard_idx)) {
+        members.push_back(static_cast<int>(r));
+      }
+    }
+    std::unordered_set<int32_t> covered;
+    for (int r : members) {
+      int32_t assigned = state.assignment[static_cast<size_t>(r)];
+      if (assigned >= 0) {
+        covered.insert(servers[static_cast<size_t>(assigned)].region.value);
+      }
+    }
+    for (int r : members) {
+      int32_t assigned = state.assignment[static_cast<size_t>(r)];
+      if (assigned < 0) {
+        continue;
+      }
+      int32_t region = servers[static_cast<size_t>(assigned)].region.value;
+      // Another member shares this region?
+      bool duplicated = false;
+      for (int other : members) {
+        int32_t other_assigned = state.assignment[static_cast<size_t>(other)];
+        if (other != r && other_assigned >= 0 &&
+            servers[static_cast<size_t>(other_assigned)].region.value == region) {
+          duplicated = true;
+          break;
+        }
+      }
+      if (!duplicated) {
+        continue;
+      }
+      // Move to the least-loaded feasible server in any uncovered region.
+      int best = -1;
+      double best_util = 0.0;
+      for (size_t server = 0; server < servers.size(); ++server) {
+        if (!servers[server].alive || servers[server].draining ||
+            covered.count(servers[server].region.value) > 0) {
+          continue;
+        }
+        int sv = static_cast<int>(server);
+        if (!state.Fits(r, sv)) {
+          continue;
+        }
+        double util = state.MaxUtil(sv);
+        if (best < 0 || util < best_util) {
+          best = sv;
+          best_util = util;
+        }
+      }
+      if (best >= 0) {
+        state.Apply(r, best);
+        covered.insert(servers[static_cast<size_t>(best)].region.value);
+      }
+    }
+  }
+}
+
+// Pass 3: affinity repair — pull one replica of each preference-violating shard into its
+// preferred region.
+void AffinityPass(State& state) {
+  const auto& servers = state.snapshot->servers;
+  for (size_t shard_idx = 0; shard_idx < state.snapshot->shards.size(); ++shard_idx) {
+    const ShardDescriptor& shard = state.snapshot->shards[shard_idx];
+    if (!shard.preferred_region.valid()) {
+      continue;
+    }
+    std::vector<int> members;
+    int in_region = 0;
+    for (size_t r = 0; r < state.replicas.size(); ++r) {
+      if (state.shard_of(static_cast<int>(r)) != static_cast<int32_t>(shard_idx)) {
+        continue;
+      }
+      members.push_back(static_cast<int>(r));
+      int32_t assigned = state.assignment[r];
+      if (assigned >= 0 &&
+          servers[static_cast<size_t>(assigned)].region == shard.preferred_region) {
+        ++in_region;
+      }
+    }
+    while (in_region < shard.min_replicas_in_preferred && !members.empty()) {
+      // Move the member farthest from the preferred region (any non-preferred one).
+      int mover = -1;
+      for (int r : members) {
+        int32_t assigned = state.assignment[static_cast<size_t>(r)];
+        if (assigned >= 0 &&
+            servers[static_cast<size_t>(assigned)].region != shard.preferred_region) {
+          mover = r;
+          break;
+        }
+      }
+      if (mover < 0) {
+        break;
+      }
+      int best = -1;
+      double best_util = 0.0;
+      for (size_t server = 0; server < servers.size(); ++server) {
+        if (!servers[server].alive || servers[server].draining ||
+            servers[server].region != shard.preferred_region) {
+          continue;
+        }
+        int sv = static_cast<int>(server);
+        if (!state.Fits(mover, sv) || state.ShardOnServer(state.shard_of(mover), sv, mover)) {
+          continue;
+        }
+        double util = state.MaxUtil(sv);
+        if (best < 0 || util < best_util) {
+          best = sv;
+          best_util = util;
+        }
+      }
+      if (best < 0) {
+        break;
+      }
+      state.Apply(mover, best);
+      ++in_region;
+    }
+  }
+}
+
+// Pass 4: hottest-to-coldest balancing until under the threshold or out of moves.
+void BalancePass(State& state, int max_moves) {
+  const double threshold = state.snapshot->config.utilization_threshold;
+  int moves = 0;
+  while (moves < max_moves) {
+    // Hottest server above threshold.
+    int hot = -1;
+    double hot_util = threshold;
+    for (size_t server = 0; server < state.snapshot->servers.size(); ++server) {
+      if (!state.snapshot->servers[server].alive) {
+        continue;
+      }
+      double util = state.MaxUtil(static_cast<int>(server));
+      if (util > hot_util) {
+        hot = static_cast<int>(server);
+        hot_util = util;
+      }
+    }
+    if (hot < 0) {
+      return;  // everyone under threshold
+    }
+    // Its largest replica that some colder server accepts.
+    std::vector<int> on_hot;
+    for (size_t r = 0; r < state.replicas.size(); ++r) {
+      if (state.assignment[r] == hot) {
+        on_hot.push_back(static_cast<int>(r));
+      }
+    }
+    std::sort(on_hot.begin(), on_hot.end(), [&](int a, int b) {
+      return state.replica_size[static_cast<size_t>(a)] >
+             state.replica_size[static_cast<size_t>(b)];
+    });
+    bool moved = false;
+    for (int r : on_hot) {
+      int best = -1;
+      double best_util = hot_util;
+      for (size_t server = 0; server < state.snapshot->servers.size(); ++server) {
+        if (static_cast<int>(server) == hot || !state.snapshot->servers[server].alive ||
+            state.snapshot->servers[server].draining) {
+          continue;
+        }
+        int sv = static_cast<int>(server);
+        if (!state.Fits(r, sv) || state.ShardOnServer(state.shard_of(r), sv, r)) {
+          continue;
+        }
+        double util = state.MaxUtil(sv);
+        if (util < best_util) {
+          best = sv;
+          best_util = util;
+        }
+      }
+      if (best >= 0) {
+        state.Apply(r, best);
+        ++moves;
+        moved = true;
+        break;
+      }
+    }
+    if (!moved) {
+      return;  // stuck: the hottest server's shards fit nowhere colder
+    }
+  }
+}
+
+}  // namespace
+
+HeuristicAllocator::HeuristicAllocator(HeuristicOptions options) : options_(options) {}
+
+AllocationResult HeuristicAllocator::Allocate(PartitionSnapshot& snapshot) const {
+  auto start = std::chrono::steady_clock::now();
+  // Violations are counted with the same solver spec set so results are directly comparable
+  // with SmAllocator's.
+  SmAllocator counter;
+  AllocationResult result;
+  result.before = counter.Count(snapshot);
+
+  State state = BuildState(snapshot);
+  std::vector<int32_t> original = state.assignment;
+
+  PlacePass(state);
+  SpreadPass(state);
+  AffinityPass(state);
+  BalancePass(state, options_.max_balance_moves);
+
+  // Write back and diff.
+  for (size_t r = 0; r < state.replicas.size(); ++r) {
+    auto [shard_idx, replica_idx] = state.replicas[r];
+    ReplicaState& replica =
+        snapshot.shards[static_cast<size_t>(shard_idx)].replicas[static_cast<size_t>(replica_idx)];
+    ServerId new_server = state.assignment[r] >= 0
+                              ? snapshot.servers[static_cast<size_t>(state.assignment[r])].id
+                              : ServerId();
+    if (state.assignment[r] != original[r]) {
+      AssignmentChange change;
+      change.replica = replica.id;
+      change.from = replica.server;
+      change.to = new_server;
+      result.changes.push_back(change);
+    }
+    replica.server = new_server;
+  }
+
+  result.after = counter.Count(snapshot);
+  result.solve_wall = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  result.converged = true;
+  return result;
+}
+
+}  // namespace shardman

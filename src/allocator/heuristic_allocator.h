@@ -1,0 +1,47 @@
+// HeuristicAllocator: the hand-crafted placement heuristics that SM's allocator replaced (§5.2).
+//
+// The paper describes SM's original allocator as years of accumulated heuristics that "became
+// complex, brittle, and hard to extend", and reports that the constraint-solver rewrite reduced
+// the allocator to ~20% of the heuristic code while adding features. This class reimplements a
+// representative heuristic allocator — the classic greedy recipe most sharding frameworks use —
+// as the comparison baseline for the ablation benches:
+//
+//   1. place unassigned replicas first-fit-decreasing onto the least-loaded feasible server;
+//   2. repair spread: move co-located replicas to the emptiest server in an uncovered domain;
+//   3. repair affinity: move one replica of each preference-violating shard into its region;
+//   4. balance: repeatedly move the largest shard of the hottest server to the coldest server
+//      that accepts it, until no server exceeds the threshold or no move helps.
+//
+// Each pass is simple, but the passes interact (step 4 undoes step 2's placement, etc.) — the
+// brittleness the paper complains about is visible in the benchmark results: on multi-goal
+// problems the heuristic leaves violations the solver clears, and extending it to a new goal
+// means another pass plus another round of inter-pass tuning.
+
+#ifndef SRC_ALLOCATOR_HEURISTIC_ALLOCATOR_H_
+#define SRC_ALLOCATOR_HEURISTIC_ALLOCATOR_H_
+
+#include "src/allocator/allocator.h"
+
+namespace shardman {
+
+struct HeuristicOptions {
+  int max_balance_moves = 100000;
+  uint64_t seed = 1;
+};
+
+class HeuristicAllocator {
+ public:
+  explicit HeuristicAllocator(HeuristicOptions options = {});
+
+  // Same contract as SmAllocator::Allocate: mutates the snapshot's assignments and reports
+  // changes plus before/after violation counts (counted with the same Rebalancer spec set, so
+  // results are directly comparable).
+  AllocationResult Allocate(PartitionSnapshot& snapshot) const;
+
+ private:
+  HeuristicOptions options_;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_ALLOCATOR_HEURISTIC_ALLOCATOR_H_

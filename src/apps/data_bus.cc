@@ -1,0 +1,42 @@
+#include "src/apps/data_bus.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace shardman {
+
+int64_t DataBus::Append(ShardId topic, uint64_t key, uint64_t value) {
+  SM_CHECK(topic.valid());
+  std::vector<BusRecord>& log = topics_[topic.value];
+  BusRecord record;
+  record.offset = static_cast<int64_t>(log.size());
+  record.key = key;
+  record.value = value;
+  log.push_back(record);
+  ++total_appends_;
+  return record.offset;
+}
+
+int64_t DataBus::EndOffset(ShardId topic) const {
+  auto it = topics_.find(topic.value);
+  return it != topics_.end() ? static_cast<int64_t>(it->second.size()) : 0;
+}
+
+std::vector<BusRecord> DataBus::Read(ShardId topic, int64_t from, int max_records) const {
+  std::vector<BusRecord> out;
+  auto it = topics_.find(topic.value);
+  if (it == topics_.end() || from < 0) {
+    return out;
+  }
+  const std::vector<BusRecord>& log = it->second;
+  int64_t end = std::min<int64_t>(static_cast<int64_t>(log.size()),
+                                  from + static_cast<int64_t>(max_records));
+  for (int64_t offset = from; offset < end; ++offset) {
+    out.push_back(log[static_cast<size_t>(offset)]);
+    ++total_reads_;
+  }
+  return out;
+}
+
+}  // namespace shardman

@@ -1,0 +1,53 @@
+// DataBus: a Kafka-like per-shard append-only log — the external data-update channel of §2.4.
+//
+// The paper's recommended persistency option 3 ("standard materialized state"): an application
+// stores materialized-view-style state derived from external persistent stores and "obtains
+// data updates via standard external tools such as a Kafka-like data bus. In case of a total
+// data loss, application states ... can be rebuilt from the external persistent stores."
+//
+// The bus is deliberately outside SM's management (like the real Scribe/Kafka deployments):
+// durable, totally ordered per topic, and readable from any offset. One topic per shard keeps
+// rebuild scoped to the shard being (re)acquired.
+
+#ifndef SRC_APPS_DATA_BUS_H_
+#define SRC_APPS_DATA_BUS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace shardman {
+
+struct BusRecord {
+  int64_t offset = 0;
+  uint64_t key = 0;
+  uint64_t value = 0;
+};
+
+class DataBus {
+ public:
+  DataBus() = default;
+
+  // Appends a record to the shard's topic; returns its offset.
+  int64_t Append(ShardId topic, uint64_t key, uint64_t value);
+
+  // One past the last offset (0 for an empty/unknown topic).
+  int64_t EndOffset(ShardId topic) const;
+
+  // Records [from, min(from + max_records, end)).
+  std::vector<BusRecord> Read(ShardId topic, int64_t from, int max_records) const;
+
+  int64_t total_appends() const { return total_appends_; }
+  int64_t total_reads() const { return total_reads_; }
+
+ private:
+  std::unordered_map<int32_t, std::vector<BusRecord>> topics_;
+  int64_t total_appends_ = 0;
+  mutable int64_t total_reads_ = 0;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_APPS_DATA_BUS_H_

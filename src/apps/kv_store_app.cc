@@ -1,0 +1,49 @@
+#include "src/apps/kv_store_app.h"
+
+namespace shardman {
+
+namespace {
+// Prefix scans cover this many consecutive keys starting at the request key.
+constexpr uint64_t kScanSpan = 1024;
+}  // namespace
+
+Reply KvStoreApp::ApplyRequest(LocalShard& shard, const Request& request) {
+  Reply reply;
+  auto& store = data_[request.shard.value];
+  switch (request.type) {
+    case RequestType::kWrite: {
+      store[request.key] = request.payload;
+      reply.value = request.payload;
+      break;
+    }
+    case RequestType::kRead: {
+      auto it = store.find(request.key);
+      reply.value = it != store.end() ? it->second : 0;
+      break;
+    }
+    case RequestType::kScan: {
+      // Count (and "return") all keys in [key, key + kScanSpan): the key-locality-dependent
+      // operation Slicer's UUID-key approach cannot support (§3.1).
+      uint64_t count = 0;
+      uint64_t end = request.key + kScanSpan;
+      for (auto it = store.lower_bound(request.key); it != store.end() && it->first < end;
+           ++it) {
+        ++count;
+      }
+      reply.value = count;
+      break;
+    }
+  }
+  return reply;
+}
+
+void KvStoreApp::OnShardDropped(ShardId shard) { data_.erase(shard.value); }
+
+void KvStoreApp::OnCrashExtra() { data_.clear(); }
+
+size_t KvStoreApp::ShardSize(ShardId shard) const {
+  auto it = data_.find(shard.value);
+  return it != data_.end() ? it->second.size() : 0;
+}
+
+}  // namespace shardman

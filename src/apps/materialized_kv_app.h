@@ -1,0 +1,55 @@
+// MaterializedKvApp: a key-value server using the "standard materialized state" persistency
+// pattern (§2.4 option 3) — the pattern the AdEvents applications of §2.5 use.
+//
+// Writes go through the external data bus first (the bus is the source of truth), then apply to
+// the local materialized view. When a replica acquires a shard — initial placement, migration,
+// or restart after a crash that wiped the soft state — it rebuilds the view by replaying the
+// shard's bus topic. Consequently, unlike the plain KvStoreApp (soft state only), reads return
+// pre-migration writes after any churn.
+//
+// The rebuild happens during shard acquisition (production systems warm replicas during the
+// prepare_add window); its cost is visible through rebuilt_records().
+
+#ifndef SRC_APPS_MATERIALIZED_KV_APP_H_
+#define SRC_APPS_MATERIALIZED_KV_APP_H_
+
+#include <map>
+#include <unordered_map>
+
+#include "src/apps/data_bus.h"
+#include "src/apps/shard_host_base.h"
+
+namespace shardman {
+
+class MaterializedKvApp : public ShardHostBase {
+ public:
+  MaterializedKvApp(Simulator* sim, Network* network, ServerRegistry* registry, ServerId self,
+                    RegionId region, int metric_dims, DataBus* bus);
+
+  size_t ShardSize(ShardId shard) const;
+  int64_t rebuilt_records() const { return rebuilt_records_; }
+  // Applied bus offset for a shard (test introspection).
+  int64_t AppliedOffset(ShardId shard) const;
+
+ protected:
+  Reply ApplyRequest(LocalShard& shard, const Request& request) override;
+  void OnShardAdded(ShardId shard, LocalShard& state) override;
+  void OnShardDropped(ShardId shard) override;
+  void OnCrashExtra() override;
+
+ private:
+  struct View {
+    std::map<uint64_t, uint64_t> store;
+    int64_t applied_offset = 0;  // next bus offset to apply
+  };
+
+  void Rebuild(ShardId shard, View& view);
+
+  DataBus* bus_;
+  std::unordered_map<int32_t, View> views_;
+  int64_t rebuilt_records_ = 0;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_APPS_MATERIALIZED_KV_APP_H_

@@ -1,0 +1,41 @@
+#include "src/apps/queue_app.h"
+
+namespace shardman {
+
+Reply QueueApp::ApplyRequest(LocalShard& shard, const Request& request) {
+  Reply reply;
+  ShardQueue& queue = queues_[request.shard.value];
+  switch (request.type) {
+    case RequestType::kWrite: {
+      uint64_t packed = PackSeq(shard.epoch, queue.next_seq++);
+      queue.messages.emplace_back(packed, request.payload);
+      reply.value = packed;
+      break;
+    }
+    case RequestType::kRead: {
+      if (queue.messages.empty()) {
+        reply.value = 0;  // empty queue
+      } else {
+        reply.value = queue.messages.front().first;
+        queue.messages.pop_front();
+      }
+      break;
+    }
+    case RequestType::kScan: {
+      reply.value = queue.messages.size();
+      break;
+    }
+  }
+  return reply;
+}
+
+void QueueApp::OnShardDropped(ShardId shard) { queues_.erase(shard.value); }
+
+void QueueApp::OnCrashExtra() { queues_.clear(); }
+
+size_t QueueApp::QueueDepth(ShardId shard) const {
+  auto it = queues_.find(shard.value);
+  return it != queues_.end() ? it->second.messages.size() : 0;
+}
+
+}  // namespace shardman

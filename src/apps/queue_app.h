@@ -1,0 +1,46 @@
+// QueueApp: an in-order message queue in the style of the Messenger queue service (§8.2) —
+// a primary-only application where each shard guarantees per-shard FIFO delivery.
+//
+// Enqueue (kWrite) assigns a monotonically increasing sequence within the current ownership
+// epoch; dequeue (kRead) pops the head. Replies carry (epoch << 32) | seq, so clients can verify
+// the in-order invariant across graceful migrations: the pair is lexicographically
+// non-decreasing per shard as long as no message is delivered out of order.
+
+#ifndef SRC_APPS_QUEUE_APP_H_
+#define SRC_APPS_QUEUE_APP_H_
+
+#include <deque>
+#include <unordered_map>
+
+#include "src/apps/shard_host_base.h"
+
+namespace shardman {
+
+class QueueApp : public ShardHostBase {
+ public:
+  using ShardHostBase::ShardHostBase;
+
+  // Packs an (epoch, seq) pair the way replies carry it.
+  static uint64_t PackSeq(int64_t epoch, int64_t seq) {
+    return (static_cast<uint64_t>(epoch) << 32) | static_cast<uint64_t>(seq & 0xFFFFFFFF);
+  }
+
+  size_t QueueDepth(ShardId shard) const;
+
+ protected:
+  Reply ApplyRequest(LocalShard& shard, const Request& request) override;
+  void OnShardDropped(ShardId shard) override;
+  void OnCrashExtra() override;
+
+ private:
+  struct ShardQueue {
+    std::deque<std::pair<uint64_t, uint64_t>> messages;  // (packed seq, payload)
+    int64_t next_seq = 1;
+  };
+
+  std::unordered_map<int32_t, ShardQueue> queues_;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_APPS_QUEUE_APP_H_

@@ -1,0 +1,118 @@
+#include "src/apps/replicated_store_app.h"
+
+#include "src/common/check.h"
+
+namespace shardman {
+
+ReplicatedStoreApp::ReplicatedStoreApp(Simulator* sim, Network* network,
+                                       ServerRegistry* registry, ServerId self, RegionId region,
+                                       int metric_dims, AppId app, ServiceDiscovery* discovery,
+                                       ReplicaPeerDirectory* peers)
+    : ShardHostBase(sim, network, registry, self, region, metric_dims),
+      app_(app),
+      discovery_(discovery),
+      peers_(peers) {
+  SM_CHECK(discovery != nullptr);
+  SM_CHECK(peers != nullptr);
+  peers_->Register(self, this);
+}
+
+Reply ReplicatedStoreApp::ApplyRequest(LocalShard& shard, const Request& request) {
+  Reply reply;
+  ShardData& data = data_[request.shard.value];
+  switch (request.type) {
+    case RequestType::kWrite: {
+      // Primary-side write: sequence, apply locally, replicate to secondaries.
+      LogEntry entry;
+      entry.epoch = shard.epoch;
+      entry.seq = data.next_seq++;
+      entry.key = request.key;
+      entry.value = request.payload;
+      data.store[entry.key] = entry.value;
+      data.applied_epoch = entry.epoch;
+      data.applied_seq = entry.seq;
+      Replicate(request.shard, entry);
+      reply.value = static_cast<uint64_t>(entry.seq);
+      break;
+    }
+    case RequestType::kRead: {
+      auto it = data.store.find(request.key);
+      reply.value = it != data.store.end() ? it->second : 0;
+      break;
+    }
+    case RequestType::kScan: {
+      uint64_t count = 0;
+      uint64_t end = request.key + 1024;
+      for (auto it = data.store.lower_bound(request.key);
+           it != data.store.end() && it->first < end; ++it) {
+        ++count;
+      }
+      reply.value = count;
+      break;
+    }
+  }
+  return reply;
+}
+
+void ReplicatedStoreApp::Replicate(ShardId shard, const LogEntry& entry) {
+  // Secondaries are found through the shard map — the same discovery path clients use.
+  const ShardMap* map = discovery_->Current(app_);
+  if (map == nullptr) {
+    return;
+  }
+  const ShardMapEntry* map_entry = map->Find(shard);
+  if (map_entry == nullptr) {
+    return;
+  }
+  for (const ShardMapReplica& replica : map_entry->replicas) {
+    if (replica.server == self_) {
+      continue;
+    }
+    ServerId target = replica.server;
+    RegionId target_region = replica.region;
+    ServerId self = self_;
+    ReplicaPeerDirectory* peers = peers_;
+    network_->Send(region_, target_region, [peers, target, shard, entry, self]() {
+      ReplicatedStoreApp* peer = peers->Find(target);
+      if (peer != nullptr) {
+        peer->OnReplicate(shard, entry, self);
+      }
+    });
+  }
+}
+
+void ReplicatedStoreApp::OnReplicate(ShardId shard, const LogEntry& entry, ServerId from) {
+  (void)from;
+  LocalShard* state = FindShard(shard);
+  if (state == nullptr) {
+    return;  // Not hosting (anymore); the entry is lost and would be recovered by catch-up.
+  }
+  ShardData& data = data_[shard.value];
+  // Epoch fencing: reject entries from demoted/stale primaries.
+  if (entry.epoch < data.applied_epoch) {
+    ++rejected_stale_entries_;
+    return;
+  }
+  if (entry.epoch == data.applied_epoch && entry.seq <= data.applied_seq) {
+    return;  // Duplicate.
+  }
+  data.store[entry.key] = entry.value;
+  data.applied_epoch = entry.epoch;
+  data.applied_seq = entry.seq;
+  // Keep the local sequencer ahead in case this replica is later promoted.
+  if (entry.seq >= data.next_seq) {
+    data.next_seq = entry.seq + 1;
+  }
+  ++applied_entries_;
+}
+
+int64_t ReplicatedStoreApp::AppliedSeq(ShardId shard) const {
+  auto it = data_.find(shard.value);
+  return it != data_.end() ? it->second.applied_seq : 0;
+}
+
+void ReplicatedStoreApp::OnShardDropped(ShardId shard) { data_.erase(shard.value); }
+
+void ReplicatedStoreApp::OnCrashExtra() { data_.clear(); }
+
+}  // namespace shardman

@@ -1,0 +1,89 @@
+// ReplicatedStoreApp: a ZippyDB-style primary-secondary replicated store (§2.5).
+//
+// The primary of each shard serializes writes into a per-shard log (epoch, sequence) and
+// replicates entries to the shard's secondaries; secondaries apply entries in order and serve
+// eventually-consistent reads. Epoch numbers — bumped each time a server (re)acquires the
+// primary role — fence replication from stale primaries, giving the at-most-one-writer property
+// the paper's ZippyDB gets from Paxos leadership. Replication is asynchronous (primary-ack), the common
+// production configuration; §2.4's option-5 full consensus is deliberately out of scope — the
+// paper itself observes that almost no application adopts it.
+//
+// Peers are discovered the same way clients discover servers: from the shard map.
+
+#ifndef SRC_APPS_REPLICATED_STORE_APP_H_
+#define SRC_APPS_REPLICATED_STORE_APP_H_
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/apps/shard_host_base.h"
+#include "src/discovery/service_discovery.h"
+
+namespace shardman {
+
+class ReplicatedStoreApp;
+
+// Maps server ids to live ReplicatedStoreApp instances so replication traffic can be delivered.
+// Shared by all replicas of one deployment (the testbed owns it).
+class ReplicaPeerDirectory {
+ public:
+  void Register(ServerId id, ReplicatedStoreApp* app) { peers_[id.value] = app; }
+  void Unregister(ServerId id) { peers_.erase(id.value); }
+  ReplicatedStoreApp* Find(ServerId id) const {
+    auto it = peers_.find(id.value);
+    return it != peers_.end() ? it->second : nullptr;
+  }
+
+ private:
+  std::unordered_map<int32_t, ReplicatedStoreApp*> peers_;
+};
+
+struct LogEntry {
+  int64_t epoch = 0;
+  int64_t seq = 0;
+  uint64_t key = 0;
+  uint64_t value = 0;
+};
+
+class ReplicatedStoreApp : public ShardHostBase {
+ public:
+  ReplicatedStoreApp(Simulator* sim, Network* network, ServerRegistry* registry, ServerId self,
+                     RegionId region, int metric_dims, AppId app, ServiceDiscovery* discovery,
+                     ReplicaPeerDirectory* peers);
+
+  // Receives one replicated log entry from the shard's primary.
+  void OnReplicate(ShardId shard, const LogEntry& entry, ServerId from);
+
+  // Highest applied sequence for a shard (0 if none) — replication-lag introspection.
+  int64_t AppliedSeq(ShardId shard) const;
+  int64_t applied_entries() const { return applied_entries_; }
+  int64_t rejected_stale_entries() const { return rejected_stale_entries_; }
+
+ protected:
+  Reply ApplyRequest(LocalShard& shard, const Request& request) override;
+  void OnShardDropped(ShardId shard) override;
+  void OnCrashExtra() override;
+
+ private:
+  struct ShardData {
+    std::map<uint64_t, uint64_t> store;
+    int64_t applied_epoch = 0;
+    int64_t applied_seq = 0;
+    int64_t next_seq = 1;  // primary-side sequencer
+  };
+
+  void Replicate(ShardId shard, const LogEntry& entry);
+
+  AppId app_;
+  ServiceDiscovery* discovery_;
+  ReplicaPeerDirectory* peers_;
+  std::unordered_map<int32_t, ShardData> data_;
+  int64_t applied_entries_ = 0;
+  int64_t rejected_stale_entries_ = 0;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_APPS_REPLICATED_STORE_APP_H_

@@ -1,0 +1,131 @@
+// ShardHostBase: common application-server scaffolding implementing the SM programming model
+// (Fig. 11) and the server side of the graceful primary-migration protocol (§4.3).
+//
+// Concrete applications (KV store, replicated store, queue) subclass this and supply
+// ApplyRequest(); the base owns the per-shard ownership state machine:
+//
+//   kServing       — owns the shard; serves requests.
+//   kPreparingAdd  — received prepare_add_shard: will take over; serves only requests forwarded
+//                    by the current owner until add_shard arrives.
+//   kForwarding    — received prepare_drop_shard: still nominally the owner, but forwards every
+//                    request to the new owner so nothing is dropped while clients catch up.
+//
+// The base also implements load reporting (base per-shard load + measured request rate) and
+// crash semantics (OnCrash clears all soft state — §2.4 options 2/3 rebuild it externally).
+
+#ifndef SRC_APPS_SHARD_HOST_BASE_H_
+#define SRC_APPS_SHARD_HOST_BASE_H_
+
+#include <map>
+#include <unordered_map>
+
+#include "src/common/rng.h"
+#include "src/core/server_api.h"
+#include "src/core/server_registry.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace shardman {
+
+enum class LocalShardState {
+  kServing,
+  kPreparingAdd,
+  kForwarding,
+};
+
+class ShardHostBase : public ShardServerApi {
+ public:
+  ShardHostBase(Simulator* sim, Network* network, ServerRegistry* registry, ServerId self,
+                RegionId region, int metric_dims);
+
+  // -- SM programming model (Fig. 11) -----------------------------------------------------------
+  Status AddShard(ShardId shard, ReplicaRole role) override;
+  Status DropShard(ShardId shard) override;
+  Status ChangeRole(ShardId shard, ReplicaRole current, ReplicaRole next) override;
+  Status PrepareAddShard(ShardId shard, ServerId current_owner, ReplicaRole role) override;
+  Status PrepareDropShard(ShardId shard, ServerId new_owner, ReplicaRole role) override;
+  ShardLoadReport ReportLoads() override;
+  void HandleRequest(const Request& request, ReplyCallback done) override;
+
+  // -- Simulation hooks --------------------------------------------------------------------------
+  // Container crash / state-losing restart: all shards and data vanish.
+  void OnCrash();
+
+  // Static component of a shard's reported load (the workload assigns intrinsic shard loads).
+  void SetShardBaseLoad(ShardId shard, ResourceVector load);
+  // Fallback used when a shard with no explicit base load is added (shared by all servers of a
+  // deployment; avoids materializing per-server copies of large load tables).
+  void set_base_load_fn(std::function<ResourceVector(ShardId)> fn) {
+    base_load_fn_ = std::move(fn);
+  }
+  // Incremental cost added to metric 0 per request/second observed since the last report.
+  void set_request_rate_cost(double cost) { request_rate_cost_ = cost; }
+  void set_processing_delay(TimeMicros delay) { processing_delay_ = delay; }
+  // Secondary replicas accept writes (secondary-only applications).
+  void set_allow_writes_on_secondary(bool allow) { allow_writes_on_secondary_ = allow; }
+
+  // -- Introspection (tests and invariant checks) ------------------------------------------------
+  bool Hosts(ShardId shard) const;
+  bool Serving(ShardId shard) const;
+  // True if this server accepts *non-forwarded* primary-type requests for the shard right now.
+  // The single-owner invariant (§2.2.3) is: at most one server per shard returns true.
+  bool AcceptsDirectWrites(ShardId shard) const;
+  int HostedShardCount() const { return static_cast<int>(shards_.size()); }
+  ServerId id() const { return self_; }
+  RegionId region() const { return region_; }
+
+  int64_t served_requests() const { return served_; }
+  int64_t forwarded_requests() const { return forwarded_; }
+  int64_t rejected_requests() const { return rejected_; }
+
+ protected:
+  struct LocalShard {
+    LocalShardState state = LocalShardState::kServing;
+    ReplicaRole role = ReplicaRole::kSecondary;
+    ServerId forward_to;     // kForwarding
+    ServerId expected_from;  // kPreparingAdd
+    ResourceVector base_load;
+    int64_t requests_since_report = 0;
+    // Ownership epoch: bumped on every AddShard; lets applications fence stale owners.
+    int64_t epoch = 0;
+  };
+
+  // Applies a request that this server has decided to serve. Runs after processing_delay.
+  virtual Reply ApplyRequest(LocalShard& shard, const Request& request) = 0;
+  // Lifecycle hooks for subclasses.
+  virtual void OnShardAdded(ShardId shard, LocalShard& state) {}
+  virtual void OnShardDropped(ShardId shard) {}
+  virtual void OnCrashExtra() {}
+
+  LocalShard* FindShard(ShardId shard);
+  const LocalShard* FindShard(ShardId shard) const;
+  // Monotone ownership epoch (time-derived; see .cc).
+  int64_t NextEpoch(int64_t previous) const;
+
+  Simulator* sim_;
+  Network* network_;
+  ServerRegistry* registry_;
+  ServerId self_;
+  RegionId region_;
+  int metric_dims_;
+
+ private:
+  void Serve(ShardId shard_id, const Request& request, ReplyCallback done);
+  void Forward(const LocalShard& shard, const Request& request, ReplyCallback done);
+
+  std::unordered_map<int32_t, LocalShard> shards_;
+  std::unordered_map<int32_t, ResourceVector> pending_base_loads_;  // set before shard added
+  std::function<ResourceVector(ShardId)> base_load_fn_;
+  TimeMicros processing_delay_ = Millis(1);
+  double request_rate_cost_ = 0.0;
+  bool allow_writes_on_secondary_ = false;
+  TimeMicros last_report_ = 0;
+
+  int64_t served_ = 0;
+  int64_t forwarded_ = 0;
+  int64_t rejected_ = 0;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_APPS_SHARD_HOST_BASE_H_

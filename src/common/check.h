@@ -1,0 +1,67 @@
+// SM_CHECK family: invariant assertions that abort with a diagnostic on failure.
+//
+// Checks are always on (including release builds); they guard control-plane invariants whose
+// silent violation would corrupt shard assignments.
+
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace shardman {
+namespace check_internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line, const char* expr,
+                                   const std::string& detail) {
+  std::fprintf(stderr, "FATAL %s:%d: SM_CHECK(%s) failed%s%s\n", file, line, expr,
+               detail.empty() ? "" : " ", detail.c_str());
+  std::abort();
+}
+
+template <typename A, typename B>
+std::string FormatPair(const A& a, const B& b) {
+  std::ostringstream os;
+  os << "(" << a << " vs " << b << ")";
+  return os.str();
+}
+
+}  // namespace check_internal
+}  // namespace shardman
+
+#define SM_CHECK(cond)                                                             \
+  do {                                                                             \
+    if (!(cond)) {                                                                 \
+      ::shardman::check_internal::CheckFail(__FILE__, __LINE__, #cond, "");        \
+    }                                                                              \
+  } while (false)
+
+#define SM_CHECK_OP_(a, b, op)                                                     \
+  do {                                                                             \
+    if (!((a)op(b))) {                                                             \
+      ::shardman::check_internal::CheckFail(                                       \
+          __FILE__, __LINE__, #a " " #op " " #b,                                   \
+          ::shardman::check_internal::FormatPair((a), (b)));                       \
+    }                                                                              \
+  } while (false)
+
+#define SM_CHECK_EQ(a, b) SM_CHECK_OP_(a, b, ==)
+#define SM_CHECK_NE(a, b) SM_CHECK_OP_(a, b, !=)
+#define SM_CHECK_LT(a, b) SM_CHECK_OP_(a, b, <)
+#define SM_CHECK_LE(a, b) SM_CHECK_OP_(a, b, <=)
+#define SM_CHECK_GT(a, b) SM_CHECK_OP_(a, b, >)
+#define SM_CHECK_GE(a, b) SM_CHECK_OP_(a, b, >=)
+
+// Checks that a Status-returning expression succeeds.
+#define SM_CHECK_OK(expr)                                                          \
+  do {                                                                             \
+    auto sm_check_status_ = (expr);                                                \
+    if (!sm_check_status_.ok()) {                                                  \
+      ::shardman::check_internal::CheckFail(__FILE__, __LINE__, #expr,             \
+                                            sm_check_status_.ToString());          \
+    }                                                                              \
+  } while (false)
+
+#endif  // SRC_COMMON_CHECK_H_

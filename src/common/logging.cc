@@ -1,0 +1,53 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace shardman {
+
+namespace {
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+}  // namespace
+
+void SetMinLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
+
+LogLevel MinLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+
+namespace log_internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >= g_min_level.load()),
+      level_(level),
+      file_(file),
+      line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::fprintf(stderr, "%s %s:%d] %s\n", LevelTag(level_), Basename(file_), line_,
+                 stream_.str().c_str());
+  }
+}
+
+}  // namespace log_internal
+
+}  // namespace shardman

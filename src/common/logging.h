@@ -1,0 +1,57 @@
+// Minimal streaming logger: SM_LOG(INFO) << "message " << value;
+//
+// Severity is filtered by a process-global minimum level (default WARNING so tests and
+// benchmarks stay quiet; experiments raise it explicitly when narrating).
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string_view>
+
+namespace shardman {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Sets / reads the global minimum level; messages below it are discarded.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+}  // namespace shardman
+
+#define SM_LOG(severity) \
+  ::shardman::log_internal::LogMessage(::shardman::LogLevel::k##severity, __FILE__, __LINE__)
+
+#endif  // SRC_COMMON_LOGGING_H_

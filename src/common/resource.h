@@ -1,0 +1,108 @@
+// ResourceVector: a small dense vector of per-metric quantities (CPU, storage, shard count, ...)
+// used for server capacities and shard loads, plus MetricSet which names the dimensions.
+//
+// The metric dimensionality of a deployment is fixed at setup time; all ResourceVectors in one
+// problem share the dimension of their MetricSet.
+
+#ifndef SRC_COMMON_RESOURCE_H_
+#define SRC_COMMON_RESOURCE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace shardman {
+
+// Names the load-balancing metrics of a deployment, e.g. {"cpu", "storage", "shard_count"}.
+class MetricSet {
+ public:
+  MetricSet() = default;
+  explicit MetricSet(std::vector<std::string> names) : names_(std::move(names)) {}
+
+  int size() const { return static_cast<int>(names_.size()); }
+  const std::string& name(int i) const { return names_[static_cast<size_t>(i)]; }
+
+  // Index of the named metric, or -1 if absent.
+  int IndexOf(const std::string& name) const {
+    for (size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+class ResourceVector {
+ public:
+  ResourceVector() = default;
+  explicit ResourceVector(int dims) : values_(static_cast<size_t>(dims), 0.0) {}
+  ResourceVector(std::initializer_list<double> values) : values_(values) {}
+
+  int dims() const { return static_cast<int>(values_.size()); }
+  double operator[](int i) const { return values_[static_cast<size_t>(i)]; }
+  double& operator[](int i) { return values_[static_cast<size_t>(i)]; }
+
+  ResourceVector& operator+=(const ResourceVector& o) {
+    SM_CHECK_EQ(dims(), o.dims());
+    for (int i = 0; i < dims(); ++i) {
+      values_[static_cast<size_t>(i)] += o[i];
+    }
+    return *this;
+  }
+
+  ResourceVector& operator-=(const ResourceVector& o) {
+    SM_CHECK_EQ(dims(), o.dims());
+    for (int i = 0; i < dims(); ++i) {
+      values_[static_cast<size_t>(i)] -= o[i];
+    }
+    return *this;
+  }
+
+  ResourceVector& operator*=(double s) {
+    for (auto& v : values_) {
+      v *= s;
+    }
+    return *this;
+  }
+
+  friend ResourceVector operator+(ResourceVector a, const ResourceVector& b) { return a += b; }
+  friend ResourceVector operator-(ResourceVector a, const ResourceVector& b) { return a -= b; }
+  friend ResourceVector operator*(ResourceVector a, double s) { return a *= s; }
+
+  // True if every component of this vector is <= the corresponding component of `o`.
+  bool AllLessEq(const ResourceVector& o) const {
+    SM_CHECK_EQ(dims(), o.dims());
+    for (int i = 0; i < dims(); ++i) {
+      if (values_[static_cast<size_t>(i)] > o[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Sum of all components (a crude size proxy for move ordering).
+  double Total() const {
+    double t = 0.0;
+    for (double v : values_) {
+      t += v;
+    }
+    return t;
+  }
+
+  friend bool operator==(const ResourceVector& a, const ResourceVector& b) {
+    return a.values_ == b.values_;
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_COMMON_RESOURCE_H_

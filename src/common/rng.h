@@ -1,0 +1,120 @@
+// Deterministic pseudo-random number generation (xoshiro256++) for reproducible simulations.
+//
+// Every stochastic component takes a seed or an Rng&; given the same seed, an entire experiment
+// replays identically.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace shardman {
+
+class Rng {
+ public:
+  // Seeds the generator; distinct seeds yield independent-looking streams (via splitmix64).
+  explicit Rng(uint64_t seed) {
+    uint64_t x = seed + 0x9E3779B97F4A7C15ULL;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double Uniform() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    SM_CHECK_LE(lo, hi);
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  // Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  // Exponentially distributed value with the given mean.
+  double Exponential(double mean) { return -mean * std::log1p(-Uniform()); }
+
+  // Normally distributed value (Box-Muller).
+  double Normal(double mean, double stddev) {
+    double u1 = 1.0 - Uniform();  // avoid log(0)
+    double u2 = Uniform();
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    return mean + stddev * z;
+  }
+
+  // Log-normally distributed value parameterized by the mean/stddev of the underlying normal.
+  double LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+  // Samples an index in [0, n) from a Zipf distribution with exponent s (s > 0), by inverse
+  // transform over precomputable harmonic weights. O(log n) per sample after O(n) setup is
+  // avoided; this direct rejection-free approximation is adequate for workload generation.
+  size_t ZipfIndex(size_t n, double s) {
+    SM_CHECK_GT(n, 0u);
+    // Approximate inverse-CDF sampling for the Zipf(s) distribution.
+    if (s == 1.0) {
+      s = 1.0000001;
+    }
+    double u = Uniform();
+    double t = std::pow(static_cast<double>(n), 1.0 - s);
+    double x = std::pow(u * (t - 1.0) + 1.0, 1.0 / (1.0 - s));
+    size_t idx = static_cast<size_t>(x) - 1;
+    if (idx >= n) {
+      idx = n - 1;
+    }
+    return idx;
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    SM_CHECK(!v.empty());
+    return v[static_cast<size_t>(UniformInt(0, static_cast<int64_t>(v.size()) - 1))];
+  }
+
+  // Derives an independent child generator; useful for giving each component its own stream.
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace shardman
+
+#endif  // SRC_COMMON_RNG_H_

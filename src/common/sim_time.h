@@ -1,0 +1,28 @@
+// Simulated time: a signed 64-bit count of microseconds since simulation start.
+
+#ifndef SRC_COMMON_SIM_TIME_H_
+#define SRC_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace shardman {
+
+using TimeMicros = int64_t;
+
+inline constexpr TimeMicros kMicrosPerMilli = 1000;
+inline constexpr TimeMicros kMicrosPerSecond = 1000 * 1000;
+inline constexpr TimeMicros kMicrosPerMinute = 60 * kMicrosPerSecond;
+inline constexpr TimeMicros kMicrosPerHour = 60 * kMicrosPerMinute;
+inline constexpr TimeMicros kMicrosPerDay = 24 * kMicrosPerHour;
+
+constexpr TimeMicros Millis(int64_t ms) { return ms * kMicrosPerMilli; }
+constexpr TimeMicros Seconds(double s) { return static_cast<TimeMicros>(s * kMicrosPerSecond); }
+constexpr TimeMicros Minutes(double m) { return static_cast<TimeMicros>(m * kMicrosPerMinute); }
+constexpr TimeMicros Hours(double h) { return static_cast<TimeMicros>(h * kMicrosPerHour); }
+
+constexpr double ToSeconds(TimeMicros t) { return static_cast<double>(t) / kMicrosPerSecond; }
+constexpr double ToMillis(TimeMicros t) { return static_cast<double>(t) / kMicrosPerMilli; }
+
+}  // namespace shardman
+
+#endif  // SRC_COMMON_SIM_TIME_H_

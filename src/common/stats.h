@@ -1,0 +1,83 @@
+// Small statistics utilities used by experiments and load-balancing code:
+//  - OnlineStats: streaming mean / min / max / variance.
+//  - Percentile(): exact percentile of a sample vector.
+//  - Histogram: fixed-bucket latency histogram with percentile estimation.
+
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace shardman {
+
+// Welford's online mean/variance plus min/max.
+class OnlineStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+
+  void Reset() { *this = OnlineStats(); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Exact p-th percentile (p in [0, 100]) of a sample, by partial sort. Mutates its copy.
+double Percentile(std::vector<double> samples, double p);
+
+// Fixed geometric-bucket histogram for non-negative values (e.g. latencies in ms).
+// Buckets grow geometrically from `min_bucket` by `growth`, with an overflow bucket.
+class Histogram {
+ public:
+  Histogram(double min_bucket, double growth, int num_buckets);
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  // Estimates the p-th percentile (p in [0, 100]) by linear interpolation inside the bucket.
+  double PercentileEstimate(double p) const;
+
+  void Reset();
+
+ private:
+  int BucketFor(double value) const;
+  double BucketLowerBound(int bucket) const;
+  double BucketUpperBound(int bucket) const;
+
+  double min_bucket_;
+  double growth_;
+  std::vector<int64_t> buckets_;  // last bucket = overflow
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_COMMON_STATS_H_

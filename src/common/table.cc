@@ -1,0 +1,70 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace shardman {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << cell;
+      if (c + 1 < headers_.size()) {
+        os << std::string(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) {
+        os << ',';
+      }
+      if (c < row.size()) {
+        os << row[c];
+      }
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+}
+
+std::string FormatDouble(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace shardman

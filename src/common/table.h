@@ -1,0 +1,66 @@
+// TablePrinter: aligned-column text tables and CSV emission for benchmark output.
+//
+// Benchmarks print both a human-readable table (mirroring the paper's figure) and, when asked,
+// machine-readable CSV for replotting.
+
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace shardman {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Appends one row; cells beyond the header count are dropped, missing cells are blank.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats arbitrary streamable values into a row.
+  template <typename... Args>
+  void AddRowValues(const Args&... args) {
+    std::vector<std::string> cells;
+    (cells.push_back(Format(args)), ...);
+    AddRow(std::move(cells));
+  }
+
+  // Writes an aligned table with a header rule.
+  void Print(std::ostream& os) const;
+
+  // Writes comma-separated values (header row first).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  template <typename T>
+  static std::string Format(const T& value);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given number of decimal places.
+std::string FormatDouble(double value, int decimals);
+
+template <typename T>
+std::string TablePrinter::Format(const T& value) {
+  if constexpr (std::is_same_v<T, std::string>) {
+    return value;
+  } else if constexpr (std::is_convertible_v<T, const char*>) {
+    return std::string(value);
+  } else if constexpr (std::is_floating_point_v<T>) {
+    return FormatDouble(static_cast<double>(value), 3);
+  } else {
+    return std::to_string(value);
+  }
+}
+
+}  // namespace shardman
+
+#endif  // SRC_COMMON_TABLE_H_

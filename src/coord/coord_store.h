@@ -1,0 +1,106 @@
+// CoordStore: an in-process ZooKeeper-like coordination service.
+//
+// Shard Manager uses ZooKeeper for three things (§3.2), all reproduced here:
+//   1. persisting the orchestrator's state (shard assignments survive orchestrator restarts);
+//   2. letting application servers read their boot-time shard assignment without depending on
+//      the live control plane;
+//   3. liveness detection via ephemeral nodes: each application server holds a session and an
+//      ephemeral node; session expiry deletes the node and fires watches in the orchestrator.
+//
+// Nodes form a flat path namespace ("/sm/app1/servers/7"). Watches are prefix-based and fire
+// asynchronously through the simulator (or synchronously when constructed without one).
+
+#ifndef SRC_COORD_COORD_STORE_H_
+#define SRC_COORD_COORD_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/sim_time.h"
+#include "src/common/status.h"
+#include "src/sim/simulator.h"
+
+namespace shardman {
+
+enum class WatchEventType {
+  kCreated,
+  kChanged,
+  kDeleted,
+};
+
+struct WatchEvent {
+  WatchEventType type;
+  std::string path;
+  std::string data;  // empty for kDeleted
+};
+
+class CoordStore {
+ public:
+  using WatchCallback = std::function<void(const WatchEvent&)>;
+
+  // With a simulator, watch notifications are delivered after `notify_delay`; without one
+  // (nullptr) they fire synchronously, which unit tests use.
+  explicit CoordStore(Simulator* sim = nullptr, TimeMicros notify_delay = Millis(10));
+
+  // -- Sessions -----------------------------------------------------------------------------
+  SessionId CreateSession();
+  // Expires a session: all its ephemeral nodes are deleted (firing watches).
+  void ExpireSession(SessionId session);
+  bool SessionAlive(SessionId session) const;
+
+  // -- Node operations ----------------------------------------------------------------------
+  // Creates a node. Ephemeral nodes require a live owner session.
+  Status Create(const std::string& path, std::string data, bool ephemeral = false,
+                SessionId owner = SessionId());
+  // Sets the data of an existing node (creating it persistently if absent when `upsert`).
+  Status Set(const std::string& path, std::string data, bool upsert = true);
+  Result<std::string> Get(const std::string& path) const;
+  Status Delete(const std::string& path);
+  bool Exists(const std::string& path) const;
+
+  // Version (monotone per node, bumped by Set) of an existing node.
+  Result<int64_t> GetVersion(const std::string& path) const;
+
+  // All node paths with the given prefix, sorted.
+  std::vector<std::string> List(const std::string& prefix) const;
+
+  // -- Watches ------------------------------------------------------------------------------
+  // Registers a callback invoked for every event on any path with the given prefix.
+  // Returns a watch id usable with Unwatch.
+  int64_t Watch(const std::string& prefix, WatchCallback cb);
+  void Unwatch(int64_t watch_id);
+
+  size_t NodeCount() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::string data;
+    int64_t version = 1;
+    bool ephemeral = false;
+    SessionId owner;
+  };
+  struct Watcher {
+    std::string prefix;
+    WatchCallback cb;
+  };
+
+  void FireEvent(WatchEventType type, const std::string& path, const std::string& data);
+
+  Simulator* sim_;
+  TimeMicros notify_delay_;
+  std::map<std::string, Node> nodes_;  // ordered for prefix List()
+  std::unordered_map<int64_t, Watcher> watchers_;
+  std::unordered_map<int32_t, std::vector<std::string>> session_nodes_;
+  std::unordered_map<int32_t, bool> sessions_;
+  int32_t next_session_ = 1;
+  int64_t next_watch_ = 1;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_COORD_COORD_STORE_H_

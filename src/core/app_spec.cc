@@ -1,0 +1,87 @@
+#include "src/core/app_spec.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace shardman {
+
+ShardId AppSpec::ShardForKey(uint64_t key) const {
+  // Binary search for the first range with end > key.
+  auto it = std::upper_bound(shard_ranges.begin(), shard_ranges.end(), key,
+                             [](uint64_t k, const KeyRange& range) { return k < range.end; });
+  if (it == shard_ranges.end() || key < it->begin) {
+    return ShardId();
+  }
+  return ShardId(static_cast<int32_t>(it - shard_ranges.begin()));
+}
+
+Status AppSpec::Validate() const {
+  if (shard_ranges.empty()) {
+    return InvalidArgumentError("app has no shards");
+  }
+  for (size_t i = 0; i < shard_ranges.size(); ++i) {
+    const KeyRange& range = shard_ranges[i];
+    if (range.begin >= range.end) {
+      return InvalidArgumentError("shard " + std::to_string(i) + " has an empty key range");
+    }
+    if (i > 0 && range.begin < shard_ranges[i - 1].end) {
+      return InvalidArgumentError("shard ranges unsorted or overlapping at index " +
+                                  std::to_string(i));
+    }
+  }
+  if (replication_factor < 1) {
+    return InvalidArgumentError("replication_factor must be >= 1");
+  }
+  if (strategy == ReplicationStrategy::kPrimaryOnly && replication_factor != 1) {
+    return InvalidArgumentError("primary-only apps have exactly one replica per shard");
+  }
+  if (strategy == ReplicationStrategy::kPrimarySecondary && replication_factor < 2) {
+    return InvalidArgumentError("primary-secondary apps need at least two replicas");
+  }
+  if (caps.max_concurrent_ops_fraction <= 0.0 || caps.max_concurrent_ops_fraction > 1.0) {
+    return InvalidArgumentError("max_concurrent_ops_fraction must be in (0, 1]");
+  }
+  if (caps.max_unavailable_per_shard < 1) {
+    return InvalidArgumentError("max_unavailable_per_shard must be >= 1");
+  }
+  if (placement.metrics.size() <= 0) {
+    return InvalidArgumentError("placement requires at least one metric");
+  }
+  for (const RegionPreference& pref : region_preferences) {
+    if (!pref.shard.valid() || pref.shard.value >= num_shards()) {
+      return InvalidArgumentError("region preference references unknown shard");
+    }
+    if (pref.min_replicas < 1 || pref.min_replicas > replication_factor) {
+      return InvalidArgumentError("region preference min_replicas out of range");
+    }
+  }
+  return Status::Ok();
+}
+
+AppSpec MakeUniformAppSpec(AppId id, std::string name, int num_shards,
+                           ReplicationStrategy strategy, int replication_factor) {
+  SM_CHECK_GT(num_shards, 0);
+  SM_CHECK_GT(replication_factor, 0);
+  if (strategy == ReplicationStrategy::kPrimaryOnly) {
+    SM_CHECK_EQ(replication_factor, 1);
+  }
+  AppSpec spec;
+  spec.id = id;
+  spec.name = std::move(name);
+  spec.strategy = strategy;
+  spec.replication_factor = replication_factor;
+  spec.shard_ranges.reserve(static_cast<size_t>(num_shards));
+  const uint64_t step = ~0ULL / static_cast<uint64_t>(num_shards);
+  uint64_t begin = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    KeyRange range;
+    range.begin = begin;
+    range.end = (s + 1 == num_shards) ? ~0ULL : begin + step;
+    begin = range.end;
+    spec.shard_ranges.push_back(range);
+  }
+  return spec;
+}
+
+}  // namespace shardman

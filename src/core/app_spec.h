@@ -1,0 +1,87 @@
+// AppSpec: everything an application declares when onboarding onto Shard Manager.
+//
+// SM uses the app-key + app-sharding abstraction (§3.1): the application divides its own key
+// space into shards of non-overlapping key ranges, and SM never splits or merges them. The spec
+// also carries the replication strategy (§2.2.3), drain policy (§2.2.5), availability caps
+// (§4.1) and placement configuration (§5.1).
+
+#ifndef SRC_CORE_APP_SPEC_H_
+#define SRC_CORE_APP_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/allocator/types.h"
+#include "src/common/ids.h"
+#include "src/common/sim_time.h"
+#include "src/common/status.h"
+
+namespace shardman {
+
+// Half-open key range [begin, end).
+struct KeyRange {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+};
+
+// Whether to proactively move shards off a container before a planned restart (§2.2.5, Fig. 8).
+struct DrainPolicy {
+  bool drain_primaries = true;
+  bool drain_secondaries = false;
+};
+
+// The caps the TaskController enforces when approving container operations (§4.1).
+struct AvailabilityCaps {
+  // Global cap: at most this fraction of the app's containers may undergo concurrent planned
+  // operations (counts containers already down from unplanned failures against the budget).
+  double max_concurrent_ops_fraction = 0.1;
+  // Per-shard cap: at most this many replicas of one shard may be unavailable at once.
+  int max_unavailable_per_shard = 1;
+};
+
+struct RegionPreference {
+  ShardId shard;
+  RegionId region;
+  double weight = 1.0;
+  int min_replicas = 1;
+};
+
+struct AppSpec {
+  AppId id;
+  std::string name;
+
+  // Shard i owns key range shard_ranges[i]; ranges are sorted and non-overlapping.
+  std::vector<KeyRange> shard_ranges;
+
+  ReplicationStrategy strategy = ReplicationStrategy::kPrimaryOnly;
+  // Replicas per shard (1 for primary-only).
+  int replication_factor = 1;
+
+  DrainPolicy drain;
+  AvailabilityCaps caps;
+  PlacementConfig placement;
+  std::vector<RegionPreference> region_preferences;
+
+  // Ablation flag (Fig. 17): when false, primary moves are executed break-before-make instead
+  // of via the 5-step graceful protocol of §4.3.
+  bool graceful_migration = true;
+
+  int num_shards() const { return static_cast<int>(shard_ranges.size()); }
+
+  // Maps a key to its shard by range lookup; returns an invalid id for unowned keys.
+  ShardId ShardForKey(uint64_t key) const;
+
+  // Structural validation: at least one shard; ranges non-empty, sorted and non-overlapping;
+  // replication consistent with the strategy; caps and placement config sane. Returns the
+  // first problem found.
+  Status Validate() const;
+};
+
+// Builds an app spec whose shards evenly divide [0, 2^64) — the common case for examples,
+// tests and benchmarks. Uneven custom ranges can be set directly on the returned spec.
+AppSpec MakeUniformAppSpec(AppId id, std::string name, int num_shards,
+                           ReplicationStrategy strategy, int replication_factor);
+
+}  // namespace shardman
+
+#endif  // SRC_CORE_APP_SPEC_H_

@@ -1,0 +1,148 @@
+#include "src/core/control_plane.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace shardman {
+
+PartitionRegistry::PartitionRegistry(int64_t max_servers_per_mini_sm,
+                                     int64_t max_replicas_per_mini_sm,
+                                     int64_t comfort_servers)
+    : max_servers_(max_servers_per_mini_sm),
+      max_replicas_(max_replicas_per_mini_sm),
+      comfort_servers_(comfort_servers) {
+  SM_CHECK_GT(max_servers_per_mini_sm, 0);
+  SM_CHECK_GT(max_replicas_per_mini_sm, 0);
+}
+
+MiniSmId PartitionRegistry::NewMiniSm(bool geo) {
+  MiniSmInfo info;
+  info.id = MiniSmId(static_cast<int32_t>(mini_sms_.size()));
+  info.geo_distributed = geo;
+  mini_sms_.push_back(std::move(info));
+  return mini_sms_.back().id;
+}
+
+MiniSmId PartitionRegistry::AssignPartition(PartitionInfo& partition) {
+  // Least-loaded mini-SM of the right kind with headroom; otherwise a new one.
+  int best = -1;
+  for (size_t i = 0; i < mini_sms_.size(); ++i) {
+    const MiniSmInfo& info = mini_sms_[i];
+    if (info.geo_distributed != partition.geo_distributed) {
+      continue;
+    }
+    if (info.servers + partition.servers > max_servers_ ||
+        info.shard_replicas + partition.shard_replicas > max_replicas_) {
+      continue;
+    }
+    if (comfort_servers_ > 0 && info.servers >= comfort_servers_) {
+      continue;  // past the comfort point: prefer spinning up a new mini-SM
+    }
+    if (best < 0 || info.servers < mini_sms_[static_cast<size_t>(best)].servers) {
+      best = static_cast<int>(i);
+    }
+  }
+  MiniSmId target =
+      best >= 0 ? mini_sms_[static_cast<size_t>(best)].id : NewMiniSm(partition.geo_distributed);
+  MiniSmInfo& info = mini_sms_[static_cast<size_t>(target.value)];
+  info.servers += partition.servers;
+  info.shard_replicas += partition.shard_replicas;
+  info.partitions.push_back(partition.id);
+  partition.mini_sm = target;
+  total_servers_ += partition.servers;
+  total_replicas_ += partition.shard_replicas;
+  return target;
+}
+
+ApplicationRegistry::ApplicationRegistry(PartitionRegistry* partitions,
+                                         int64_t max_servers_per_partition,
+                                         int64_t max_replicas_per_partition)
+    : partition_registry_(partitions),
+      max_servers_per_partition_(max_servers_per_partition),
+      max_replicas_per_partition_(max_replicas_per_partition) {
+  SM_CHECK(partitions != nullptr);
+}
+
+std::vector<PartitionInfo> ApplicationRegistry::RegisterApp(AppId app, int64_t servers,
+                                                            int64_t shard_replicas,
+                                                            bool geo_distributed) {
+  SM_CHECK_GT(servers, 0);
+  SM_CHECK_GE(shard_replicas, 0);
+  // The application manager divides the deployment into the fewest partitions that respect both
+  // per-partition bounds (§6.1).
+  int64_t by_servers = (servers + max_servers_per_partition_ - 1) / max_servers_per_partition_;
+  int64_t by_replicas = max_replicas_per_partition_ > 0
+                            ? (shard_replicas + max_replicas_per_partition_ - 1) /
+                                  max_replicas_per_partition_
+                            : 1;
+  int64_t num_partitions = std::max<int64_t>(1, std::max(by_servers, by_replicas));
+
+  std::vector<PartitionInfo> result;
+  for (int64_t p = 0; p < num_partitions; ++p) {
+    PartitionInfo info;
+    info.id = PartitionId(next_partition_++);
+    info.app = app;
+    info.servers = servers / num_partitions + (p < servers % num_partitions ? 1 : 0);
+    info.shard_replicas =
+        shard_replicas / num_partitions + (p < shard_replicas % num_partitions ? 1 : 0);
+    info.geo_distributed = geo_distributed;
+    partition_registry_->AssignPartition(info);
+    all_partitions_.push_back(info);
+    result.push_back(info);
+  }
+  return result;
+}
+
+std::vector<MiniSmInfo> ReadService::MiniSmsWithAtLeast(int64_t min_servers) const {
+  std::vector<MiniSmInfo> out;
+  for (const MiniSmInfo& info : partitions_->mini_sms()) {
+    if (info.servers >= min_servers) {
+      out.push_back(info);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<int64_t, int64_t>> ReadService::MiniSmScales(bool geo_distributed) const {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  for (const MiniSmInfo& info : partitions_->mini_sms()) {
+    if (info.geo_distributed == geo_distributed) {
+      out.emplace_back(info.servers, info.shard_replicas);
+    }
+  }
+  return out;
+}
+
+ShardScaler::ShardScaler(Simulator* sim, Orchestrator* orchestrator, ShardScalerConfig config)
+    : sim_(sim), orchestrator_(orchestrator), config_(config) {
+  SM_CHECK(sim != nullptr);
+  SM_CHECK(orchestrator != nullptr);
+}
+
+void ShardScaler::Start() {
+  sim_->SchedulePeriodic(config_.interval, config_.interval, [this]() { RunOnce(); });
+}
+
+int ShardScaler::RunOnce() {
+  int actions = 0;
+  for (int s = 0; s < orchestrator_->num_shards(); ++s) {
+    ShardId shard(s);
+    double mean_load = orchestrator_->ShardMeanReplicaLoad(shard);
+    int replicas = orchestrator_->ReplicaCount(shard);
+    if (mean_load > config_.high_watermark && replicas < config_.max_replicas) {
+      if (orchestrator_->AddReplica(shard).ok()) {
+        ++scale_ups_;
+        ++actions;
+      }
+    } else if (mean_load < config_.low_watermark && replicas > config_.min_replicas) {
+      if (orchestrator_->RemoveReplica(shard).ok()) {
+        ++scale_downs_;
+        ++actions;
+      }
+    }
+  }
+  return actions;
+}
+
+}  // namespace shardman

@@ -1,0 +1,152 @@
+// The scale-out global control plane of §6.1 (Fig. 14): frontend, application registry,
+// application managers, partition registry, shard scaler and read service.
+//
+// The application registry assigns applications to application managers; an application manager
+// splits a large application into partitions (thousands of servers / hundreds of thousands of
+// replicas each); the partition registry assigns partitions to mini-SMs, adding mini-SMs as the
+// fleet grows. The shard scaler adjusts per-shard replica counts in response to load.
+
+#ifndef SRC_CORE_CONTROL_PLANE_H_
+#define SRC_CORE_CONTROL_PLANE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/sim_time.h"
+#include "src/common/status.h"
+#include "src/core/orchestrator.h"
+
+namespace shardman {
+
+struct PartitionInfo {
+  PartitionId id;
+  AppId app;
+  int64_t servers = 0;
+  int64_t shard_replicas = 0;
+  bool geo_distributed = false;
+  MiniSmId mini_sm;
+};
+
+struct MiniSmInfo {
+  MiniSmId id;
+  bool geo_distributed = false;
+  int64_t servers = 0;
+  int64_t shard_replicas = 0;
+  std::vector<PartitionId> partitions;
+};
+
+// Assigns partitions to mini-SMs, creating new mini-SMs when every existing one of the right
+// kind (regional vs geo) is at capacity. Placement is least-loaded-first, mirroring how the
+// production fleet keeps per-mini-SM load bounded (§6.1, Fig. 16).
+class PartitionRegistry {
+ public:
+  // `comfort_servers` (0 = disabled) keeps typical mini-SMs small: a new mini-SM is preferred
+  // over growing an existing one past this point, even though `max_servers_per_mini_sm`
+  // remains the hard cap. Production runs many modest mini-SMs plus a few huge ones (Fig. 16).
+  PartitionRegistry(int64_t max_servers_per_mini_sm, int64_t max_replicas_per_mini_sm,
+                    int64_t comfort_servers = 0);
+
+  MiniSmId AssignPartition(PartitionInfo& partition);
+
+  const std::vector<MiniSmInfo>& mini_sms() const { return mini_sms_; }
+  int64_t total_servers() const { return total_servers_; }
+  int64_t total_replicas() const { return total_replicas_; }
+
+ private:
+  MiniSmId NewMiniSm(bool geo);
+
+  int64_t max_servers_;
+  int64_t max_replicas_;
+  int64_t comfort_servers_;
+  std::vector<MiniSmInfo> mini_sms_;
+  int64_t total_servers_ = 0;
+  int64_t total_replicas_ = 0;
+};
+
+// Divides application deployments into partitions and registers them. An application manager
+// maps an app to one partition unless it exceeds the per-partition bounds (§6.1: a partition
+// "typically comprises thousands of servers and hundreds of thousands of shard replicas").
+class ApplicationRegistry {
+ public:
+  ApplicationRegistry(PartitionRegistry* partitions, int64_t max_servers_per_partition = 4000,
+                      int64_t max_replicas_per_partition = 400000);
+
+  // Registers a deployment and returns its partitions (already assigned to mini-SMs).
+  std::vector<PartitionInfo> RegisterApp(AppId app, int64_t servers, int64_t shard_replicas,
+                                         bool geo_distributed);
+
+  const std::vector<PartitionInfo>& partitions() const { return all_partitions_; }
+
+ private:
+  PartitionRegistry* partition_registry_;
+  int64_t max_servers_per_partition_;
+  int64_t max_replicas_per_partition_;
+  std::vector<PartitionInfo> all_partitions_;
+  int32_t next_partition_ = 0;
+};
+
+// The global entry point (thin facade over the registries).
+class Frontend {
+ public:
+  explicit Frontend(ApplicationRegistry* apps) : apps_(apps) {}
+
+  std::vector<PartitionInfo> RegisterApp(AppId app, int64_t servers, int64_t shard_replicas,
+                                         bool geo_distributed) {
+    return apps_->RegisterApp(app, servers, shard_replicas, geo_distributed);
+  }
+
+ private:
+  ApplicationRegistry* apps_;
+};
+
+// Read service: serves queries over control-plane metadata (Fig. 14). Backed by indices built
+// from the partition registry.
+class ReadService {
+ public:
+  explicit ReadService(const PartitionRegistry* partitions) : partitions_(partitions) {}
+
+  // Mini-SMs managing at least `min_servers` servers.
+  std::vector<MiniSmInfo> MiniSmsWithAtLeast(int64_t min_servers) const;
+  // Distribution row: (servers, shard_replicas) per mini-SM, for Fig. 16.
+  std::vector<std::pair<int64_t, int64_t>> MiniSmScales(bool geo_distributed) const;
+
+ private:
+  const PartitionRegistry* partitions_;
+};
+
+// Adjusts each shard's replica count in response to load (§3.4 "shard scaling", Fig. 14).
+struct ShardScalerConfig {
+  TimeMicros interval = Minutes(1);
+  // Normalized per-replica load watermarks (load.Total() averaged over replicas).
+  double high_watermark = 0.8;
+  double low_watermark = 0.2;
+  int min_replicas = 1;
+  int max_replicas = 5;
+};
+
+class ShardScaler {
+ public:
+  ShardScaler(Simulator* sim, Orchestrator* orchestrator, ShardScalerConfig config);
+
+  // Begins periodic scaling sweeps.
+  void Start();
+
+  // One sweep: returns the number of scaling actions issued (exposed for tests).
+  int RunOnce();
+
+  int64_t scale_ups() const { return scale_ups_; }
+  int64_t scale_downs() const { return scale_downs_; }
+
+ private:
+  Simulator* sim_;
+  Orchestrator* orchestrator_;
+  ShardScalerConfig config_;
+  int64_t scale_ups_ = 0;
+  int64_t scale_downs_ = 0;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_CORE_CONTROL_PLANE_H_

@@ -1,0 +1,141 @@
+#include "src/core/generic_task_controller.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace shardman {
+
+GenericShardTaskController::GenericShardTaskController(AppId app,
+                                                       GenericTaskControllerConfig config,
+                                                       ShardMapProvider shard_map,
+                                                       UnavailableProvider unavailable,
+                                                       DrainHook drain)
+    : app_(app),
+      config_(config),
+      shard_map_(std::move(shard_map)),
+      unavailable_(std::move(unavailable)),
+      drain_(std::move(drain)) {
+  SM_CHECK(shard_map_ != nullptr);
+  SM_CHECK(unavailable_ != nullptr);
+}
+
+void GenericShardTaskController::Attach(ClusterManager* cm) {
+  SM_CHECK(cm != nullptr);
+  cluster_managers_.push_back(cm);
+  cm->RegisterTaskController(app_, this);
+}
+
+int GenericShardTaskController::TotalContainers() const {
+  int total = 0;
+  for (ClusterManager* cm : cluster_managers_) {
+    total += static_cast<int>(cm->ContainersOf(app_).size());
+  }
+  return total;
+}
+
+int GenericShardTaskController::UnplannedDownContainers() const {
+  int down = 0;
+  for (ClusterManager* cm : cluster_managers_) {
+    for (ContainerId id : cm->ContainersOf(app_)) {
+      if (cm->container(id).state == ContainerState::kDown && in_flight_.count(id.value) == 0) {
+        ++down;
+      }
+    }
+  }
+  return down;
+}
+
+std::vector<int64_t> GenericShardTaskController::OnPendingOps(
+    ClusterManager* cm, AppId app, const std::vector<ContainerOp>& pending) {
+  (void)cm;
+  SM_CHECK(app == app_);
+  std::vector<int64_t> approved;
+
+  const int total = std::max(1, TotalContainers());
+  int global_cap = std::max(
+      1, static_cast<int>(config_.max_concurrent_ops_fraction * static_cast<double>(total)));
+  int budget = global_cap - static_cast<int>(in_flight_.size()) - UnplannedDownContainers();
+  std::unordered_map<int32_t, int> round_unavailable;
+
+  for (const ContainerOp& op : pending) {
+    if (budget <= 0) {
+      break;
+    }
+    std::vector<ShardId> hosted = shard_map_(op.container);
+
+    if (drain_ != nullptr && !hosted.empty()) {
+      auto phase_it = drain_phase_.find(op.container.value);
+      DrainPhase phase =
+          phase_it == drain_phase_.end() ? DrainPhase::kNotStarted : phase_it->second;
+      if (phase == DrainPhase::kNotStarted) {
+        drain_phase_[op.container.value] = DrainPhase::kInProgress;
+        ContainerId container = op.container;
+        drain_(container, [this, container]() {
+          drain_phase_[container.value] = DrainPhase::kDone;
+        });
+        ++deferrals_;
+        continue;
+      }
+      if (phase == DrainPhase::kInProgress) {
+        ++deferrals_;
+        continue;
+      }
+      hosted = shard_map_(op.container);  // refresh after the drain completed
+    }
+
+    bool safe = true;
+    std::vector<int32_t> impacted;
+    for (ShardId shard : hosted) {
+      int unavailable = unavailable_(shard);
+      auto planned_it = planned_unavailable_.find(shard.value);
+      if (planned_it != planned_unavailable_.end()) {
+        unavailable += planned_it->second;
+      }
+      auto round_it = round_unavailable.find(shard.value);
+      if (round_it != round_unavailable.end()) {
+        unavailable += round_it->second;
+      }
+      if (unavailable + 1 > config_.max_unavailable_per_shard) {
+        safe = false;
+        break;
+      }
+      impacted.push_back(shard.value);
+    }
+    if (!safe) {
+      ++deferrals_;
+      continue;
+    }
+
+    approved.push_back(op.op_id);
+    --budget;
+    ++approvals_;
+    in_flight_.insert(op.container.value);
+    impact_[op.container.value] = impacted;
+    for (int32_t shard : impacted) {
+      ++planned_unavailable_[shard];
+      ++round_unavailable[shard];
+    }
+  }
+  return approved;
+}
+
+void GenericShardTaskController::OnOpFinished(ClusterManager* cm, AppId app,
+                                              const ContainerOp& op) {
+  (void)cm;
+  SM_CHECK(app == app_);
+  in_flight_.erase(op.container.value);
+  drain_phase_.erase(op.container.value);
+  auto impact_it = impact_.find(op.container.value);
+  if (impact_it != impact_.end()) {
+    for (int32_t shard : impact_it->second) {
+      auto planned_it = planned_unavailable_.find(shard);
+      if (planned_it != planned_unavailable_.end() && --planned_it->second <= 0) {
+        planned_unavailable_.erase(planned_it);
+      }
+    }
+    impact_.erase(impact_it);
+  }
+}
+
+}  // namespace shardman

@@ -1,0 +1,86 @@
+// GenericShardTaskController: the standalone shard TaskController of the composable SM
+// ecosystem (§7).
+//
+// "About 100 of these applications already adopted our generic shard TaskController without
+// using SM's APIs, allocator, or orchestrator. The generic shard TaskController uses an
+// application-supplied shard map to decide whether certain container operations would endanger
+// shard availability and instructs the cluster managers to operate accordingly."
+//
+// Unlike SmTaskController, this class has no orchestrator: the application keeps its own
+// control plane and supplies callbacks that report which shard replicas live in a container and
+// how many replicas of a shard are currently unavailable. The controller enforces the same
+// global and per-shard caps across every registered cluster manager, and can invoke an optional
+// application-supplied drain hook before approving an operation.
+
+#ifndef SRC_CORE_GENERIC_TASK_CONTROLLER_H_
+#define SRC_CORE_GENERIC_TASK_CONTROLLER_H_
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/cluster/cluster_manager.h"
+#include "src/common/ids.h"
+
+namespace shardman {
+
+struct GenericTaskControllerConfig {
+  // Global cap: fraction of the app's containers allowed under concurrent planned operations
+  // (unplanned-down containers consume this budget too).
+  double max_concurrent_ops_fraction = 0.1;
+  // Per-shard cap on concurrently unavailable replicas.
+  int max_unavailable_per_shard = 1;
+};
+
+class GenericShardTaskController : public TaskControlHandler {
+ public:
+  // Replicas currently hosted by a container (application-supplied shard map).
+  using ShardMapProvider = std::function<std::vector<ShardId>(ContainerId)>;
+  // Replicas of a shard currently unavailable for any reason.
+  using UnavailableProvider = std::function<int(ShardId)>;
+  // Optional: drain a container's shards; call the continuation when it is safe to restart.
+  // When null, operations are approved without draining (availability protected by caps only).
+  using DrainHook = std::function<void(ContainerId, std::function<void()> done)>;
+
+  GenericShardTaskController(AppId app, GenericTaskControllerConfig config,
+                             ShardMapProvider shard_map, UnavailableProvider unavailable,
+                             DrainHook drain = nullptr);
+
+  // Registers with a cluster manager (call once per region for geo-distributed apps).
+  void Attach(ClusterManager* cm);
+
+  // TaskControlHandler:
+  std::vector<int64_t> OnPendingOps(ClusterManager* cm, AppId app,
+                                    const std::vector<ContainerOp>& pending) override;
+  void OnOpFinished(ClusterManager* cm, AppId app, const ContainerOp& op) override;
+
+  int ops_in_flight() const { return static_cast<int>(in_flight_.size()); }
+  int64_t approvals() const { return approvals_; }
+  int64_t deferrals() const { return deferrals_; }
+
+ private:
+  enum class DrainPhase { kNotStarted, kInProgress, kDone };
+
+  int TotalContainers() const;
+  int UnplannedDownContainers() const;
+
+  AppId app_;
+  GenericTaskControllerConfig config_;
+  ShardMapProvider shard_map_;
+  UnavailableProvider unavailable_;
+  DrainHook drain_;
+  std::vector<ClusterManager*> cluster_managers_;
+
+  std::unordered_set<int32_t> in_flight_;
+  std::unordered_map<int32_t, DrainPhase> drain_phase_;
+  std::unordered_map<int32_t, int> planned_unavailable_;
+  std::unordered_map<int32_t, std::vector<int32_t>> impact_;
+
+  int64_t approvals_ = 0;
+  int64_t deferrals_ = 0;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_CORE_GENERIC_TASK_CONTROLLER_H_

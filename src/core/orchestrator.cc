@@ -1,0 +1,1271 @@
+#include "src/core/orchestrator.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+#include "src/core/sm_library.h"
+
+namespace shardman {
+
+Orchestrator::Orchestrator(Simulator* sim, Network* network, CoordStore* coord,
+                           ServiceDiscovery* discovery, ServerRegistry* registry,
+                           SmAllocator* allocator, AppSpec spec, RegionId home_region,
+                           OrchestratorConfig config)
+    : sim_(sim),
+      network_(network),
+      coord_(coord),
+      discovery_(discovery),
+      registry_(registry),
+      allocator_(allocator),
+      spec_(std::move(spec)),
+      home_region_(home_region),
+      config_(config) {
+  SM_CHECK(sim != nullptr);
+  SM_CHECK(network != nullptr);
+  SM_CHECK(coord != nullptr);
+  SM_CHECK(discovery != nullptr);
+  SM_CHECK(registry != nullptr);
+  SM_CHECK(allocator != nullptr);
+}
+
+Orchestrator::ReplicaRuntime& Orchestrator::Replica(ShardId shard, int replica) {
+  SM_CHECK(shard.valid() && shard.value < static_cast<int32_t>(shards_.size()));
+  ShardRuntime& rt = shards_[static_cast<size_t>(shard.value)];
+  SM_CHECK_GE(replica, 0);
+  SM_CHECK_LT(replica, static_cast<int>(rt.replicas.size()));
+  return rt.replicas[static_cast<size_t>(replica)];
+}
+
+const Orchestrator::ReplicaRuntime& Orchestrator::Replica(ShardId shard, int replica) const {
+  return const_cast<Orchestrator*>(this)->Replica(shard, replica);
+}
+
+void Orchestrator::Start() {
+  SM_CHECK(!started_);
+  SM_CHECK_OK(spec_.Validate());
+  started_ = true;
+  InitShards();
+  TriggerEmergencyAllocation();
+  StartTimersAndWatches();
+}
+
+void Orchestrator::StartRecovered() {
+  SM_CHECK(!started_);
+  started_ = true;
+  InitShards();
+  LoadAssignmentsFromCoord();
+  // Resume the map version sequence monotonically from the persisted value.
+  Result<std::string> version = coord_->Get("/sm/" + spec_.name + "/map_version");
+  if (version.ok()) {
+    map_version_ = std::stoll(version.value());
+  }
+  MarkMapDirty(/*urgent=*/true);
+  TriggerEmergencyAllocation();  // re-place anything whose server is gone
+  StartTimersAndWatches();
+}
+
+void Orchestrator::LoadAssignmentsFromCoord() {
+  const std::string prefix = "/sm/" + spec_.name + "/assign/";
+  for (const std::string& path : coord_->List(prefix)) {
+    ServerId server(static_cast<int32_t>(std::stol(path.substr(prefix.size()))));
+    Result<std::string> data = coord_->Get(path);
+    if (!data.ok()) {
+      continue;
+    }
+    const ServerHandle* handle = registry_->Get(server);
+    for (const PersistedReplica& persisted : ParseAssignment(data.value())) {
+      if (!persisted.shard.valid() ||
+          persisted.shard.value >= static_cast<int32_t>(shards_.size())) {
+        continue;
+      }
+      ShardRuntime& rt = shards_[static_cast<size_t>(persisted.shard.value)];
+      if (persisted.replica < 0 ||
+          persisted.replica >= static_cast<int>(rt.replicas.size())) {
+        continue;
+      }
+      ReplicaRuntime& r = rt.replicas[static_cast<size_t>(persisted.replica)];
+      r.role = persisted.role;
+      Bind(persisted.shard, persisted.replica, server);
+      if (handle != nullptr && handle->alive) {
+        r.phase = ReplicaPhase::kReady;
+      } else {
+        // Server gone while the control plane was down: unbind and let the emergency pass
+        // re-place the replica.
+        Unbind(persisted.shard, persisted.replica);
+        r.phase = ReplicaPhase::kPending;
+      }
+    }
+  }
+}
+
+void Orchestrator::Shutdown() {
+  SM_CHECK_EQ(in_flight_ops_, 0);
+  SM_CHECK(op_queue_.empty());
+  shut_down_ = true;
+  sim_->Cancel(load_poll_timer_);
+  sim_->Cancel(periodic_alloc_timer_);
+  sim_->Cancel(publish_timer_);
+  sim_->Cancel(emergency_timer_);
+  for (auto& [server, timer] : server_timers_) {
+    sim_->Cancel(timer);
+  }
+  server_timers_.clear();
+  if (liveness_watch_ != 0) {
+    coord_->Unwatch(liveness_watch_);
+    liveness_watch_ = 0;
+  }
+}
+
+void Orchestrator::OnLivenessLost(ServerId server) {
+  // Backup detection: only act if the cluster-manager channel has not already reported the
+  // event (no give-up timer armed and the registry still believes the server is alive).
+  if (server_timers_.count(server.value) > 0 || !registry_->IsAlive(server)) {
+    return;
+  }
+  OnServerDown(server, /*planned=*/false);
+}
+
+void Orchestrator::OnLivenessRestored(ServerId server) {
+  if (!registry_->IsAlive(server)) {
+    OnServerUp(server);
+  }
+}
+
+void Orchestrator::StartTimersAndWatches() {
+  load_poll_timer_ = sim_->SchedulePeriodic(config_.load_poll_interval,
+                                            config_.load_poll_interval,
+                                            [this]() { PollLoads(); });
+  periodic_alloc_timer_ =
+      sim_->SchedulePeriodic(config_.periodic_alloc_interval, config_.periodic_alloc_interval,
+                             [this]() { TriggerPeriodicAllocation(); });
+  const std::string live_prefix = "/sm/" + spec_.name + "/live/";
+  liveness_watch_ = coord_->Watch(live_prefix, [this, live_prefix](const WatchEvent& event) {
+    ServerId server(static_cast<int32_t>(std::stol(event.path.substr(live_prefix.size()))));
+    if (event.type == WatchEventType::kDeleted) {
+      OnLivenessLost(server);
+    } else if (event.type == WatchEventType::kCreated) {
+      OnLivenessRestored(server);
+    }
+  });
+}
+
+void Orchestrator::InitShards() {
+  const int metrics = spec_.placement.metrics.size();
+  shards_.resize(static_cast<size_t>(spec_.num_shards()));
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ShardRuntime& rt = shards_[s];
+    rt.replicas.resize(static_cast<size_t>(spec_.replication_factor));
+    for (size_t r = 0; r < rt.replicas.size(); ++r) {
+      ReplicaRuntime& replica = rt.replicas[r];
+      replica.load = ResourceVector(metrics);
+      switch (spec_.strategy) {
+        case ReplicationStrategy::kPrimaryOnly:
+          replica.role = ReplicaRole::kPrimary;
+          break;
+        case ReplicationStrategy::kSecondaryOnly:
+          replica.role = ReplicaRole::kSecondary;
+          break;
+        case ReplicationStrategy::kPrimarySecondary:
+          replica.role = r == 0 ? ReplicaRole::kPrimary : ReplicaRole::kSecondary;
+          break;
+      }
+    }
+  }
+  for (const RegionPreference& pref : spec_.region_preferences) {
+    if (pref.shard.valid() && pref.shard.value < static_cast<int32_t>(shards_.size())) {
+      ShardRuntime& rt = shards_[static_cast<size_t>(pref.shard.value)];
+      rt.preferred_region = pref.region;
+      rt.preference_weight = pref.weight;
+      rt.min_replicas_in_preferred = pref.min_replicas;
+    }
+  }
+
+}
+
+// ---------------------------------------------------------------------------------------------
+// Assignment bookkeeping
+// ---------------------------------------------------------------------------------------------
+
+void Orchestrator::Bind(ShardId shard, int replica, ServerId server) {
+  ReplicaRuntime& r = Replica(shard, replica);
+  int64_t key = ReplicaKey(shard, replica);
+  if (r.server.valid()) {
+    server_replicas_[r.server.value].erase(key);
+  }
+  r.server = server;
+  if (server.valid()) {
+    server_replicas_[server.value].insert(key);
+  }
+}
+
+void Orchestrator::Unbind(ShardId shard, int replica) { Bind(shard, replica, ServerId()); }
+
+void Orchestrator::PersistServerAssignment(ServerId server) {
+  if (!server.valid()) {
+    return;
+  }
+  std::ostringstream os;
+  auto it = server_replicas_.find(server.value);
+  if (it != server_replicas_.end()) {
+    for (int64_t key : it->second) {
+      ShardId shard(static_cast<int32_t>(key >> 16));
+      int replica = static_cast<int>(key & 0xFFFF);
+      const ReplicaRuntime& r = Replica(shard, replica);
+      os << shard.value << ":" << replica << ":"
+         << (r.role == ReplicaRole::kPrimary ? "p" : "s") << ";";
+    }
+  }
+  SM_CHECK_OK(coord_->Set("/sm/" + spec_.name + "/assign/" + std::to_string(server.value),
+                          os.str()));
+}
+
+ShardMap Orchestrator::BuildMap() const {
+  ShardMap map;
+  map.app = spec_.id;
+  map.version = map_version_ + 1;
+  map.entries.resize(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ShardMapEntry& entry = map.entries[s];
+    entry.shard = ShardId(static_cast<int32_t>(s));
+    for (const ReplicaRuntime& r : shards_[s].replicas) {
+      // Pending/adding/dropping replicas are not routable. Unavailable replicas stay in the map
+      // (clients discover the failure by timing out), matching production behaviour where the
+      // map is only updated on reassignment.
+      if (r.phase == ReplicaPhase::kReady || r.phase == ReplicaPhase::kMigrating ||
+          r.phase == ReplicaPhase::kUnavailable) {
+        if (!r.server.valid()) {
+          continue;
+        }
+        const ServerHandle* handle = registry_->Get(r.server);
+        if (handle == nullptr) {
+          continue;
+        }
+        ShardMapReplica replica;
+        replica.server = r.server;
+        replica.role = r.role;
+        replica.region = handle->region;
+        entry.replicas.push_back(replica);
+      }
+    }
+  }
+  return map;
+}
+
+void Orchestrator::MarkMapDirty(bool urgent) {
+  map_dirty_ = true;
+  // Urgent updates (migration step 4, promotions) publish within a short window; routine
+  // updates coalesce longer. Coalescing bounds publish rate under heavy churn — safe because
+  // graceful migration keeps the old owner forwarding until long after the publish, so clients
+  // never observe a correctness gap, only marginally longer forwarding.
+  TimeMicros delay = urgent ? config_.publish_urgent : config_.publish_coalesce;
+  TimeMicros due = sim_->Now() + delay;
+  if (publish_scheduled_ && due >= publish_due_) {
+    return;  // An earlier-or-equal publish is already scheduled.
+  }
+  publish_scheduled_ = true;
+  publish_due_ = due;
+  publish_timer_ = sim_->Schedule(delay, [this, due]() {
+    if (!map_dirty_ || publish_due_ != due) {
+      return;  // Superseded by an earlier publish or already published.
+    }
+    publish_scheduled_ = false;
+    PublishMap();
+  });
+}
+
+void Orchestrator::PublishMap() {
+  map_dirty_ = false;
+  ShardMap map = BuildMap();
+  ++map_version_;
+  discovery_->Publish(map);
+  // Persisted so a replacement orchestrator continues the version sequence (§6.2).
+  SM_CHECK_OK(coord_->Set("/sm/" + spec_.name + "/map_version", std::to_string(map_version_)));
+}
+
+// ---------------------------------------------------------------------------------------------
+// Op engine
+// ---------------------------------------------------------------------------------------------
+
+void Orchestrator::EnqueueOp(Op op) {
+  ReplicaRuntime& r = Replica(op.shard, op.replica);
+  if (r.op_queued) {
+    return;
+  }
+  r.op_queued = true;
+  if (op.kind == Op::Kind::kPromote) {
+    op_queue_.push_front(std::move(op));  // failover jumps the queue
+  } else {
+    op_queue_.push_back(std::move(op));
+  }
+  Pump();
+}
+
+void Orchestrator::Pump() {
+  const int cap = std::max(1, spec_.placement.max_concurrent_moves_per_app);
+  while (in_flight_ops_ < cap) {
+    // First queued op whose shard has no in-flight op AND whose target does not still host a
+    // sibling replica of the same shard. Starting such an op would transiently co-locate two
+    // replicas of one shard on one server — and since the server API is shard-keyed, the
+    // sibling's eventual DropShard would destroy the newly arrived replica. When the plan
+    // moves the sibling away in a later queued op, this op simply waits its turn; when no
+    // such op exists (stale target), the target is re-picked at start time.
+    auto it = op_queue_.end();
+    for (auto candidate = op_queue_.begin(); candidate != op_queue_.end(); ++candidate) {
+      if (busy_shards_.count(candidate->shard.value) > 0) {
+        continue;
+      }
+      if (candidate->to.valid() && candidate->kind != Op::Kind::kDrop &&
+          candidate->kind != Op::Kind::kPromote &&
+          ShardBoundTo(candidate->shard, candidate->to)) {
+        bool sibling_op_queued = false;
+        for (const Op& other : op_queue_) {
+          if (&other != &*candidate && other.shard == candidate->shard) {
+            sibling_op_queued = true;
+            break;
+          }
+        }
+        if (sibling_op_queued) {
+          continue;  // The sibling's own move will free the target; run that first.
+        }
+        candidate->to = ServerId();  // stale target: re-pick when the op starts
+      }
+      it = candidate;
+      break;
+    }
+    if (it == op_queue_.end()) {
+      return;
+    }
+    Op op = std::move(*it);
+    op_queue_.erase(it);
+    busy_shards_.insert(op.shard.value);
+    ++in_flight_ops_;
+    StartOp(std::move(op));
+  }
+}
+
+void Orchestrator::StartOp(Op op) {
+  switch (op.kind) {
+    case Op::Kind::kPlace:
+      ExecutePlace(std::move(op));
+      break;
+    case Op::Kind::kMoveSecondary:
+      ExecuteMoveSecondary(std::move(op));
+      break;
+    case Op::Kind::kMovePrimary:
+      if (spec_.graceful_migration) {
+        ExecuteMovePrimaryGraceful(std::move(op));
+      } else {
+        ExecuteMovePrimaryAbrupt(std::move(op));
+      }
+      break;
+    case Op::Kind::kDrop:
+      ExecuteDrop(std::move(op));
+      break;
+    case Op::Kind::kPromote:
+      ExecutePromote(std::move(op));
+      break;
+  }
+}
+
+void Orchestrator::FinishOp(const Op& op, bool success) {
+  busy_shards_.erase(op.shard.value);
+  --in_flight_ops_;
+  ShardRuntime& rt = shards_[static_cast<size_t>(op.shard.value)];
+  if (op.replica < static_cast<int>(rt.replicas.size())) {
+    rt.replicas[static_cast<size_t>(op.replica)].op_queued = false;
+  }
+  if (success) {
+    if (op.kind != Op::Kind::kPromote && op.kind != Op::Kind::kDrop) {
+      ++completed_moves_;
+    }
+  } else {
+    ++failed_ops_;
+    Op retry = op;
+    ++retry.attempts;
+    if (retry.attempts < config_.max_op_attempts) {
+      // Re-pick the target on retry; the original may have died.
+      retry.to = ServerId();
+      sim_->Schedule(Seconds(1), [this, retry]() {
+        ReplicaRuntime& r = Replica(retry.shard, retry.replica);
+        if (!r.op_queued) {
+          Op again = retry;
+          // Placement retries go through the emergency allocator instead when unassigned.
+          if (again.kind == Op::Kind::kPlace) {
+            TriggerEmergencyAllocation();
+            return;
+          }
+          EnqueueOp(std::move(again));
+        }
+      });
+    } else if (op.kind == Op::Kind::kPlace) {
+      TriggerEmergencyAllocation();
+    }
+  }
+  if (op.from.valid()) {
+    CheckDrainDone(op.from);
+  }
+  Pump();
+}
+
+void Orchestrator::ExecutePlace(Op op) {
+  ReplicaRuntime& r = Replica(op.shard, op.replica);
+  ServerId target = op.to;
+  if (!target.valid()) {
+    target = PickDrainTarget(op.shard, op.replica, ServerId());
+  }
+  if (!target.valid()) {
+    r.phase = ReplicaPhase::kPending;
+    FinishOp(op, /*success=*/false);
+    return;
+  }
+  op.to = target;
+  r.phase = ReplicaPhase::kAdding;
+  ShardId shard = op.shard;
+  ReplicaRole role = r.role;
+  CallControl(*network_, home_region_, *registry_, target,
+              [shard, role](ShardServerApi& api) { return api.AddShard(shard, role); },
+              [this, op](const Status& status) {
+                ReplicaRuntime& r = Replica(op.shard, op.replica);
+                if (status.ok()) {
+                  Bind(op.shard, op.replica, op.to);
+                  r.phase = ReplicaPhase::kReady;
+                  PersistServerAssignment(op.to);
+                  MarkMapDirty(/*urgent=*/false);
+                  FinishOp(op, /*success=*/true);
+                } else {
+                  r.phase = ReplicaPhase::kPending;
+                  FinishOp(op, /*success=*/false);
+                }
+              });
+}
+
+void Orchestrator::ExecuteMoveSecondary(Op op) {
+  ReplicaRuntime& r = Replica(op.shard, op.replica);
+  if (r.phase != ReplicaPhase::kReady || r.server != op.from) {
+    FinishOp(op, /*success=*/false);
+    return;
+  }
+  if (!op.to.valid()) {
+    op.to = PickDrainTarget(op.shard, op.replica, op.from);
+  }
+  if (!op.to.valid()) {
+    FinishOp(op, /*success=*/false);
+    return;
+  }
+  r.phase = ReplicaPhase::kMigrating;
+  r.move_target = op.to;
+  ShardId shard = op.shard;
+  CallControl(*network_, home_region_, *registry_, op.to,
+              [shard](ShardServerApi& api) {
+                return api.AddShard(shard, ReplicaRole::kSecondary);
+              },
+              [this, op](const Status& status) {
+                ReplicaRuntime& r = Replica(op.shard, op.replica);
+                r.move_target = ServerId();
+                if (!status.ok()) {
+                  r.phase = ReplicaPhase::kReady;  // still serving on the old server
+                  FinishOp(op, /*success=*/false);
+                  return;
+                }
+                Bind(op.shard, op.replica, op.to);
+                r.phase = ReplicaPhase::kReady;
+                PersistServerAssignment(op.from);
+                PersistServerAssignment(op.to);
+                MarkMapDirty(/*urgent=*/false);
+                // Release the old copy (make-before-break). The op — and with it the per-shard
+                // concurrency slot — completes only after the drop is acknowledged, so a later
+                // move of this shard cannot land on op.from before the old copy is gone.
+                ShardId shard = op.shard;
+                CallControl(*network_, home_region_, *registry_, op.from,
+                            [shard](ShardServerApi& api) { return api.DropShard(shard); },
+                            [this, op](const Status&) { FinishOp(op, /*success=*/true); });
+              });
+}
+
+void Orchestrator::ExecuteMovePrimaryGraceful(Op op) {
+  // The 5-step protocol of §4.3. Throughout, the old primary keeps serving (and later
+  // forwarding), so no client request is dropped.
+  ReplicaRuntime& r = Replica(op.shard, op.replica);
+  if (r.phase != ReplicaPhase::kReady || r.server != op.from) {
+    FinishOp(op, /*success=*/false);
+    return;
+  }
+  if (!op.to.valid()) {
+    op.to = PickDrainTarget(op.shard, op.replica, op.from);
+  }
+  if (!op.to.valid()) {
+    FinishOp(op, /*success=*/false);
+    return;
+  }
+  r.phase = ReplicaPhase::kMigrating;
+  r.move_target = op.to;
+  ShardId shard = op.shard;
+  ServerId old_server = op.from;
+  ServerId new_server = op.to;
+
+  auto abort = [this, op](const char* step) {
+    ReplicaRuntime& r = Replica(op.shard, op.replica);
+    r.move_target = ServerId();
+    r.phase = ReplicaPhase::kReady;
+    SM_LOG(Debug) << "graceful migration aborted at " << step << " shard=" << op.shard.value;
+    FinishOp(op, /*success=*/false);
+  };
+
+  // Step 1: prepare the new primary (accepts only forwarded primary requests until step 3).
+  CallControl(
+      *network_, home_region_, *registry_, new_server,
+      [shard, old_server](ShardServerApi& api) {
+        return api.PrepareAddShard(shard, old_server, ReplicaRole::kPrimary);
+      },
+      [this, op, shard, old_server, new_server, abort](const Status& s1) {
+        if (!s1.ok()) {
+          abort("prepare_add");
+          return;
+        }
+        // Step 2: tell the old primary to forward all primary-type requests to the new one.
+        CallControl(
+            *network_, home_region_, *registry_, old_server,
+            [shard, new_server](ShardServerApi& api) {
+              return api.PrepareDropShard(shard, new_server, ReplicaRole::kPrimary);
+            },
+            [this, op, shard, old_server, new_server, abort](const Status& s2) {
+              if (!s2.ok()) {
+                // Clean up the prepared (but never activated) new replica.
+                CallControl(*network_, home_region_, *registry_, new_server,
+                            [shard](ShardServerApi& api) { return api.DropShard(shard); },
+                            [](const Status&) {});
+                abort("prepare_drop");
+                return;
+              }
+              // Step 3: the new server officially holds the primary role.
+              CallControl(
+                  *network_, home_region_, *registry_, new_server,
+                  [shard](ShardServerApi& api) {
+                    return api.AddShard(shard, ReplicaRole::kPrimary);
+                  },
+                  [this, op, shard, old_server, new_server, abort](const Status& s3) {
+                    if (!s3.ok()) {
+                      // The new primary died — or executed the add but its response was lost
+                      // (timeout). Reassert the old owner so it stops forwarding into a black
+                      // hole, and drop the possibly-activated new replica so it cannot linger
+                      // as a second owner.
+                      CallControl(*network_, home_region_, *registry_, old_server,
+                                  [shard](ShardServerApi& api) {
+                                    return api.AddShard(shard, ReplicaRole::kPrimary);
+                                  },
+                                  [](const Status&) {});
+                      CallControl(*network_, home_region_, *registry_, new_server,
+                                  [shard](ShardServerApi& api) { return api.DropShard(shard); },
+                                  [](const Status&) {});
+                      abort("add_shard");
+                      return;
+                    }
+                    ReplicaRuntime& r = Replica(op.shard, op.replica);
+                    Bind(op.shard, op.replica, new_server);
+                    r.move_target = ServerId();
+                    r.phase = ReplicaPhase::kReady;
+                    PersistServerAssignment(old_server);
+                    PersistServerAssignment(new_server);
+                    ++graceful_migrations_;
+                    // Step 4: disseminate the new map immediately.
+                    MarkMapDirty(/*urgent=*/true);
+                    // Step 5: after a grace window (requests still trickling to the old
+                    // primary are forwarded), drop the old replica.
+                    ++lingering_forwarders_[old_server.value];
+                    sim_->Schedule(config_.drop_grace, [this, shard, old_server]() {
+                      auto release = [this, old_server]() {
+                        auto it = lingering_forwarders_.find(old_server.value);
+                        if (it != lingering_forwarders_.end() && --it->second <= 0) {
+                          lingering_forwarders_.erase(it);
+                        }
+                        CheckDrainDone(old_server);
+                      };
+                      // If load balancing has re-bound a replica of this shard to the old
+                      // server during the grace window, the "old copy" is now a live replica:
+                      // dropping it would destroy current state. Skip the drop.
+                      if (ShardBoundTo(shard, old_server)) {
+                        release();
+                        return;
+                      }
+                      CallControl(*network_, home_region_, *registry_, old_server,
+                                  [shard](ShardServerApi& api) {
+                                    return api.DropShard(shard);
+                                  },
+                                  [release](const Status&) { release(); });
+                    });
+                    FinishOp(op, /*success=*/true);
+                  });
+            });
+      });
+}
+
+void Orchestrator::ExecuteMovePrimaryAbrupt(Op op) {
+  // Break-before-make (the "no graceful migration" ablation of Fig. 17): the shard is
+  // unavailable from the drop until clients learn the new map.
+  ReplicaRuntime& r = Replica(op.shard, op.replica);
+  if (r.phase != ReplicaPhase::kReady || r.server != op.from) {
+    FinishOp(op, /*success=*/false);
+    return;
+  }
+  if (!op.to.valid()) {
+    op.to = PickDrainTarget(op.shard, op.replica, op.from);
+  }
+  if (!op.to.valid()) {
+    FinishOp(op, /*success=*/false);
+    return;
+  }
+  r.phase = ReplicaPhase::kMigrating;
+  r.abrupt_move = true;
+  r.move_target = op.to;
+  ShardId shard = op.shard;
+  ServerId new_server = op.to;
+  CallControl(
+      *network_, home_region_, *registry_, op.from,
+      [shard](ShardServerApi& api) { return api.DropShard(shard); },
+      [this, op, shard, new_server](const Status&) {
+        CallControl(
+            *network_, home_region_, *registry_, new_server,
+            [shard](ShardServerApi& api) {
+              return api.AddShard(shard, ReplicaRole::kPrimary);
+            },
+            [this, op](const Status& status) {
+              ReplicaRuntime& r = Replica(op.shard, op.replica);
+              r.abrupt_move = false;
+              r.move_target = ServerId();
+              if (status.ok()) {
+                Bind(op.shard, op.replica, op.to);
+                r.phase = ReplicaPhase::kReady;
+                PersistServerAssignment(op.from);
+                PersistServerAssignment(op.to);
+                ++abrupt_migrations_;
+                MarkMapDirty(/*urgent=*/true);
+                FinishOp(op, /*success=*/true);
+              } else {
+                Unbind(op.shard, op.replica);
+                r.phase = ReplicaPhase::kPending;
+                PersistServerAssignment(op.from);
+                FinishOp(op, /*success=*/false);
+              }
+            });
+      });
+}
+
+void Orchestrator::ExecuteDrop(Op op) {
+  ReplicaRuntime& r = Replica(op.shard, op.replica);
+  r.phase = ReplicaPhase::kDropping;
+  ShardId shard = op.shard;
+  CallControl(*network_, home_region_, *registry_, op.from,
+              [shard](ShardServerApi& api) { return api.DropShard(shard); },
+              [this, op](const Status&) {
+                Unbind(op.shard, op.replica);
+                PersistServerAssignment(op.from);
+                ShardRuntime& rt = shards_[static_cast<size_t>(op.shard.value)];
+                // Scale-down always retires the highest replica index; see RemoveReplica.
+                SM_CHECK_EQ(op.replica, static_cast<int>(rt.replicas.size()) - 1);
+                rt.replicas.pop_back();
+                MarkMapDirty(/*urgent=*/false);
+                FinishOp(op, /*success=*/true);
+              });
+}
+
+void Orchestrator::ExecutePromote(Op op) {
+  ReplicaRuntime& r = Replica(op.shard, op.replica);
+  if (r.phase != ReplicaPhase::kReady || r.server != op.from) {
+    FinishOp(op, /*success=*/false);
+    return;
+  }
+  ShardId shard = op.shard;
+  CallControl(*network_, home_region_, *registry_, op.from,
+              [shard](ShardServerApi& api) {
+                return api.ChangeRole(shard, ReplicaRole::kSecondary, ReplicaRole::kPrimary);
+              },
+              [this, op](const Status& status) {
+                if (status.ok()) {
+                  ReplicaRuntime& r = Replica(op.shard, op.replica);
+                  r.role = ReplicaRole::kPrimary;
+                  PersistServerAssignment(op.from);
+                  MarkMapDirty(/*urgent=*/true);
+                  FinishOp(op, /*success=*/true);
+                } else {
+                  FinishOp(op, /*success=*/false);
+                }
+              });
+}
+
+// ---------------------------------------------------------------------------------------------
+// Lifecycle events
+// ---------------------------------------------------------------------------------------------
+
+void Orchestrator::OnServerDown(ServerId server, bool planned) {
+  registry_->SetAlive(server, false);
+  auto it = server_replicas_.find(server.value);
+  if (it != server_replicas_.end()) {
+    // Copy: promotions may rebind.
+    std::vector<int64_t> keys(it->second.begin(), it->second.end());
+    for (int64_t key : keys) {
+      ShardId shard(static_cast<int32_t>(key >> 16));
+      int replica = static_cast<int>(key & 0xFFFF);
+      ReplicaRuntime& r = Replica(shard, replica);
+      if (r.phase == ReplicaPhase::kReady || r.phase == ReplicaPhase::kMigrating) {
+        r.phase = ReplicaPhase::kUnavailable;
+      }
+      if (r.role == ReplicaRole::kPrimary &&
+          spec_.strategy == ReplicationStrategy::kPrimarySecondary) {
+        PromoteSurvivor(shard, replica);
+      }
+    }
+  }
+  // Arm the give-up timer: planned restarts get more patience than unplanned failures.
+  auto timer_it = server_timers_.find(server.value);
+  if (timer_it != server_timers_.end()) {
+    sim_->Cancel(timer_it->second);
+  }
+  TimeMicros wait = planned ? config_.planned_restart_patience : config_.failover_grace;
+  server_timers_[server.value] =
+      sim_->Schedule(wait, [this, server]() { HandleServerGone(server); });
+}
+
+void Orchestrator::OnServerUp(ServerId server) {
+  registry_->SetAlive(server, true);
+  auto timer_it = server_timers_.find(server.value);
+  if (timer_it != server_timers_.end()) {
+    sim_->Cancel(timer_it->second);
+    server_timers_.erase(timer_it);
+  }
+  auto it = server_replicas_.find(server.value);
+  if (it != server_replicas_.end()) {
+    for (int64_t key : it->second) {
+      ShardId shard(static_cast<int32_t>(key >> 16));
+      int replica = static_cast<int>(key & 0xFFFF);
+      ReplicaRuntime& r = Replica(shard, replica);
+      if (r.phase == ReplicaPhase::kUnavailable) {
+        // The SM library on the server reloaded the assignment from the coordination store
+        // during boot (§3.2), so the replica is serving again.
+        r.phase = ReplicaPhase::kReady;
+      }
+    }
+  }
+}
+
+void Orchestrator::OnServerStopped(ServerId server) {
+  registry_->SetAlive(server, false);
+  HandleServerGone(server);
+}
+
+void Orchestrator::HandleServerGone(ServerId server) {
+  server_timers_.erase(server.value);
+  if (registry_->IsAlive(server)) {
+    return;  // Recovered in the meantime.
+  }
+  auto it = server_replicas_.find(server.value);
+  if (it == server_replicas_.end() || it->second.empty()) {
+    return;
+  }
+  std::vector<int64_t> keys(it->second.begin(), it->second.end());
+  bool any = false;
+  for (int64_t key : keys) {
+    ShardId shard(static_cast<int32_t>(key >> 16));
+    int replica = static_cast<int>(key & 0xFFFF);
+    ReplicaRuntime& r = Replica(shard, replica);
+    if (r.phase == ReplicaPhase::kUnavailable) {
+      Unbind(shard, replica);
+      r.phase = ReplicaPhase::kPending;
+      any = true;
+    }
+  }
+  PersistServerAssignment(server);
+  if (any) {
+    MarkMapDirty(/*urgent=*/false);
+    TriggerEmergencyAllocation();
+  }
+}
+
+void Orchestrator::PromoteSurvivor(ShardId shard, int dead_replica) {
+  ShardRuntime& rt = shards_[static_cast<size_t>(shard.value)];
+  int survivor = -1;
+  for (size_t i = 0; i < rt.replicas.size(); ++i) {
+    const ReplicaRuntime& r = rt.replicas[i];
+    if (static_cast<int>(i) != dead_replica && r.phase == ReplicaPhase::kReady &&
+        r.role == ReplicaRole::kSecondary && !r.op_queued) {
+      survivor = static_cast<int>(i);
+      break;
+    }
+  }
+  if (survivor < 0) {
+    return;  // No promotable secondary; the shard loses write availability until recovery.
+  }
+  rt.replicas[static_cast<size_t>(dead_replica)].role = ReplicaRole::kSecondary;
+  // Persist the demotion: when the dead server returns it restores its assignment from the
+  // coordination store, and must come back as a secondary — not as a second primary.
+  PersistServerAssignment(rt.replicas[static_cast<size_t>(dead_replica)].server);
+  Op op;
+  op.kind = Op::Kind::kPromote;
+  op.shard = shard;
+  op.replica = survivor;
+  op.from = rt.replicas[static_cast<size_t>(survivor)].server;
+  EnqueueOp(std::move(op));
+}
+
+// ---------------------------------------------------------------------------------------------
+// Drain / demote (TaskController integration)
+// ---------------------------------------------------------------------------------------------
+
+void Orchestrator::DrainServer(ServerId server, bool drain_primaries, bool drain_secondaries,
+                               std::function<void()> done) {
+  server_draining_[server.value] = true;
+  DrainState state;
+  state.primaries = drain_primaries;
+  state.secondaries = drain_secondaries;
+  state.done = std::move(done);
+  drains_[server.value] = std::move(state);
+
+  auto it = server_replicas_.find(server.value);
+  if (it != server_replicas_.end()) {
+    std::vector<int64_t> keys(it->second.begin(), it->second.end());
+    for (int64_t key : keys) {
+      ShardId shard(static_cast<int32_t>(key >> 16));
+      int replica = static_cast<int>(key & 0xFFFF);
+      ReplicaRuntime& r = Replica(shard, replica);
+      bool match = (r.role == ReplicaRole::kPrimary && drain_primaries) ||
+                   (r.role == ReplicaRole::kSecondary && drain_secondaries);
+      if (!match || r.phase != ReplicaPhase::kReady || r.op_queued) {
+        continue;
+      }
+      Op op;
+      op.kind = r.role == ReplicaRole::kPrimary ? Op::Kind::kMovePrimary
+                                                : Op::Kind::kMoveSecondary;
+      op.shard = shard;
+      op.replica = replica;
+      op.from = server;
+      EnqueueOp(std::move(op));
+    }
+  }
+  CheckDrainDone(server);
+}
+
+void Orchestrator::CancelDrain(ServerId server) {
+  server_draining_.erase(server.value);
+  drains_.erase(server.value);
+}
+
+void Orchestrator::CheckDrainDone(ServerId server) {
+  auto drain_it = drains_.find(server.value);
+  if (drain_it == drains_.end()) {
+    return;
+  }
+  auto linger_it = lingering_forwarders_.find(server.value);
+  if (linger_it != lingering_forwarders_.end() && linger_it->second > 0) {
+    return;  // Old primaries on this server are still forwarding.
+  }
+  const DrainState& state = drain_it->second;
+  auto it = server_replicas_.find(server.value);
+  if (it != server_replicas_.end()) {
+    for (int64_t key : it->second) {
+      ShardId shard(static_cast<int32_t>(key >> 16));
+      int replica = static_cast<int>(key & 0xFFFF);
+      const ReplicaRuntime& r = Replica(shard, replica);
+      bool match = (r.role == ReplicaRole::kPrimary && state.primaries) ||
+                   (r.role == ReplicaRole::kSecondary && state.secondaries);
+      if (match) {
+        return;  // Still hosting a matching replica.
+      }
+    }
+  }
+  std::function<void()> done = std::move(drain_it->second.done);
+  drains_.erase(drain_it);
+  if (done) {
+    done();
+  }
+}
+
+void Orchestrator::DemotePrimariesOn(ServerId server) {
+  if (spec_.strategy != ReplicationStrategy::kPrimarySecondary) {
+    return;
+  }
+  auto it = server_replicas_.find(server.value);
+  if (it == server_replicas_.end()) {
+    return;
+  }
+  std::vector<int64_t> keys(it->second.begin(), it->second.end());
+  for (int64_t key : keys) {
+    ShardId shard(static_cast<int32_t>(key >> 16));
+    int replica = static_cast<int>(key & 0xFFFF);
+    ReplicaRuntime& r = Replica(shard, replica);
+    if (r.role != ReplicaRole::kPrimary || r.phase != ReplicaPhase::kReady) {
+      continue;
+    }
+    // Demote locally (fire-and-forget to the server) and promote a survivor elsewhere.
+    r.role = ReplicaRole::kSecondary;
+    ShardId shard_copy = shard;
+    CallControl(*network_, home_region_, *registry_, server,
+                [shard_copy](ShardServerApi& api) {
+                  return api.ChangeRole(shard_copy, ReplicaRole::kPrimary,
+                                        ReplicaRole::kSecondary);
+                },
+                [](const Status&) {});
+    PromoteSurvivor(shard, replica);
+  }
+  PersistServerAssignment(server);  // demotions must survive the server's restart
+  MarkMapDirty(/*urgent=*/true);
+}
+
+// ---------------------------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------------------------
+
+bool Orchestrator::ShardBoundTo(ShardId shard, ServerId server) const {
+  const ShardRuntime& rt = shards_[static_cast<size_t>(shard.value)];
+  for (const ReplicaRuntime& r : rt.replicas) {
+    if (r.server == server || r.move_target == server) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::pair<ShardId, ReplicaRole>> Orchestrator::ReplicasOn(ServerId server) const {
+  std::vector<std::pair<ShardId, ReplicaRole>> out;
+  auto it = server_replicas_.find(server.value);
+  if (it == server_replicas_.end()) {
+    return out;
+  }
+  for (int64_t key : it->second) {
+    ShardId shard(static_cast<int32_t>(key >> 16));
+    int replica = static_cast<int>(key & 0xFFFF);
+    out.emplace_back(shard, Replica(shard, replica).role);
+  }
+  return out;
+}
+
+int Orchestrator::UnavailableReplicas(ShardId shard) const {
+  const ShardRuntime& rt = shards_[static_cast<size_t>(shard.value)];
+  int count = 0;
+  for (const ReplicaRuntime& r : rt.replicas) {
+    switch (r.phase) {
+      case ReplicaPhase::kPending:
+      case ReplicaPhase::kAdding:
+      case ReplicaPhase::kUnavailable:
+        ++count;
+        break;
+      case ReplicaPhase::kMigrating:
+        if (r.abrupt_move) {
+          ++count;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return count;
+}
+
+double Orchestrator::ShardMeanReplicaLoad(ShardId shard) const {
+  const ShardRuntime& rt = shards_[static_cast<size_t>(shard.value)];
+  double total = 0.0;
+  int count = 0;
+  for (const ReplicaRuntime& r : rt.replicas) {
+    if (r.phase == ReplicaPhase::kReady) {
+      total += r.load.Total();
+      ++count;
+    }
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+int Orchestrator::ReplicaCount(ShardId shard) const {
+  return static_cast<int>(shards_[static_cast<size_t>(shard.value)].replicas.size());
+}
+
+ReplicaPhase Orchestrator::replica_phase(ShardId shard, int replica) const {
+  return Replica(shard, replica).phase;
+}
+
+ServerId Orchestrator::replica_server(ShardId shard, int replica) const {
+  return Replica(shard, replica).server;
+}
+
+ReplicaRole Orchestrator::replica_role(ShardId shard, int replica) const {
+  return Replica(shard, replica).role;
+}
+
+bool Orchestrator::AllReady() const {
+  for (const ShardRuntime& rt : shards_) {
+    for (const ReplicaRuntime& r : rt.replicas) {
+      if (r.phase != ReplicaPhase::kReady) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------------------------
+// Shard scaling
+// ---------------------------------------------------------------------------------------------
+
+Status Orchestrator::AddReplica(ShardId shard) {
+  if (!shard.valid() || shard.value >= static_cast<int32_t>(shards_.size())) {
+    return InvalidArgumentError("unknown shard");
+  }
+  if (spec_.strategy == ReplicationStrategy::kPrimaryOnly) {
+    return FailedPreconditionError("primary-only apps have exactly one replica per shard");
+  }
+  ShardRuntime& rt = shards_[static_cast<size_t>(shard.value)];
+  ReplicaRuntime replica;
+  replica.role = ReplicaRole::kSecondary;
+  replica.load = ResourceVector(spec_.placement.metrics.size());
+  rt.replicas.push_back(std::move(replica));
+  Op op;
+  op.kind = Op::Kind::kPlace;
+  op.shard = shard;
+  op.replica = static_cast<int>(rt.replicas.size()) - 1;
+  EnqueueOp(std::move(op));
+  return Status::Ok();
+}
+
+Status Orchestrator::RemoveReplica(ShardId shard) {
+  if (!shard.valid() || shard.value >= static_cast<int32_t>(shards_.size())) {
+    return InvalidArgumentError("unknown shard");
+  }
+  ShardRuntime& rt = shards_[static_cast<size_t>(shard.value)];
+  // Retire the highest-index secondary that is cleanly serving.
+  for (int i = static_cast<int>(rt.replicas.size()) - 1; i >= 0; --i) {
+    ReplicaRuntime& r = rt.replicas[static_cast<size_t>(i)];
+    if (r.role == ReplicaRole::kSecondary && r.phase == ReplicaPhase::kReady && !r.op_queued &&
+        i == static_cast<int>(rt.replicas.size()) - 1) {
+      Op op;
+      op.kind = Op::Kind::kDrop;
+      op.shard = shard;
+      op.replica = i;
+      op.from = r.server;
+      EnqueueOp(std::move(op));
+      return Status::Ok();
+    }
+  }
+  return FailedPreconditionError("no removable secondary replica");
+}
+
+void Orchestrator::SetRegionPreference(ShardId shard, RegionId region, double weight,
+                                       int min_replicas) {
+  SM_CHECK(shard.valid() && shard.value < static_cast<int32_t>(shards_.size()));
+  ShardRuntime& rt = shards_[static_cast<size_t>(shard.value)];
+  rt.preferred_region = region;
+  rt.preference_weight = weight;
+  rt.min_replicas_in_preferred = min_replicas;
+}
+
+// ---------------------------------------------------------------------------------------------
+// Allocation
+// ---------------------------------------------------------------------------------------------
+
+PartitionSnapshot Orchestrator::BuildSnapshot() const {
+  PartitionSnapshot snapshot;
+  snapshot.id = PartitionId(0);
+  snapshot.config = spec_.placement;
+
+  for (ServerId id : registry_->ServersOf(spec_.id)) {
+    const ServerHandle* handle = registry_->Get(id);
+    ServerState state;
+    state.id = handle->id;
+    state.machine = handle->machine;
+    state.region = handle->region;
+    state.data_center = handle->data_center;
+    state.rack = handle->rack;
+    state.capacity = handle->capacity;
+    state.alive = handle->alive;
+    auto drain_it = server_draining_.find(id.value);
+    state.draining = drain_it != server_draining_.end() && drain_it->second;
+    snapshot.servers.push_back(std::move(state));
+  }
+  std::sort(snapshot.servers.begin(), snapshot.servers.end(),
+            [](const ServerState& a, const ServerState& b) { return a.id < b.id; });
+
+  snapshot.shards.resize(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const ShardRuntime& rt = shards_[s];
+    ShardDescriptor& desc = snapshot.shards[s];
+    desc.id = ShardId(static_cast<int32_t>(s));
+    desc.preferred_region = rt.preferred_region;
+    desc.preference_weight = rt.preference_weight;
+    desc.min_replicas_in_preferred = rt.min_replicas_in_preferred;
+    for (size_t i = 0; i < rt.replicas.size(); ++i) {
+      const ReplicaRuntime& r = rt.replicas[i];
+      ReplicaState state;
+      state.id = ReplicaId(desc.id, static_cast<int32_t>(i));
+      state.role = r.role;
+      state.load = r.load;
+      // Pending replicas are unassigned; replicas on dead servers keep their binding (the
+      // allocator treats dead bins as unassigned anyway).
+      state.server = r.phase == ReplicaPhase::kPending ? ServerId() : r.server;
+      desc.replicas.push_back(std::move(state));
+    }
+  }
+  return snapshot;
+}
+
+void Orchestrator::ApplyAllocation(const PartitionSnapshot& snapshot,
+                                   const AllocationResult& result) {
+  for (const AssignmentChange& change : result.changes) {
+    ShardId shard = change.replica.shard;
+    int replica_idx = change.replica.index;
+    if (!shard.valid() || shard.value >= static_cast<int32_t>(shards_.size())) {
+      continue;
+    }
+    ShardRuntime& rt = shards_[static_cast<size_t>(shard.value)];
+    if (replica_idx < 0 || replica_idx >= static_cast<int>(rt.replicas.size())) {
+      continue;
+    }
+    ReplicaRuntime& r = rt.replicas[static_cast<size_t>(replica_idx)];
+    if (r.op_queued) {
+      continue;
+    }
+    Op op;
+    op.shard = shard;
+    op.replica = replica_idx;
+    op.to = change.to;
+    if (r.phase == ReplicaPhase::kPending) {
+      op.kind = Op::Kind::kPlace;
+    } else if (r.phase == ReplicaPhase::kReady) {
+      op.from = r.server;
+      op.kind = r.role == ReplicaRole::kPrimary ? Op::Kind::kMovePrimary
+                                                : Op::Kind::kMoveSecondary;
+    } else {
+      continue;  // Unavailable/transitioning replicas are handled by their own paths.
+    }
+    EnqueueOp(std::move(op));
+  }
+}
+
+void Orchestrator::TriggerEmergencyAllocation() {
+  if (emergency_pending_) {
+    return;
+  }
+  emergency_pending_ = true;
+  // Small scheduling delay coalesces bursts of failures into one solver run.
+  emergency_timer_ = sim_->Schedule(Millis(100), [this]() {
+    emergency_pending_ = false;
+    PartitionSnapshot snapshot = BuildSnapshot();
+    AllocatorOptions opts = allocator_->options();
+    opts.emergency_time_budget = config_.emergency_solver_budget;
+    SmAllocator emergency(opts);
+    AllocationResult result = emergency.Allocate(snapshot, AllocationMode::kEmergency);
+    ApplyAllocation(snapshot, result);
+  });
+}
+
+void Orchestrator::TriggerPeriodicAllocation() {
+  if (!op_queue_.empty() || in_flight_ops_ > 0) {
+    return;  // Let the current wave settle first.
+  }
+  PartitionSnapshot snapshot = BuildSnapshot();
+  AllocatorOptions opts = allocator_->options();
+  opts.periodic_time_budget = config_.periodic_solver_budget;
+  SmAllocator periodic(opts);
+  AllocationResult result = periodic.Allocate(snapshot, AllocationMode::kPeriodic);
+  ApplyAllocation(snapshot, result);
+}
+
+// ---------------------------------------------------------------------------------------------
+// Load collection and drain-target selection
+// ---------------------------------------------------------------------------------------------
+
+void Orchestrator::PollLoads() {
+  // The report is read synchronously; load collection does not sit on any latency-critical
+  // path, so the RPC hop is elided in the simulation.
+  for (ServerId id : registry_->ServersOf(spec_.id)) {
+    const ServerHandle* handle = registry_->Get(id);
+    if (handle == nullptr || !handle->alive || handle->api == nullptr) {
+      continue;
+    }
+    ShardLoadReport report = handle->api->ReportLoads();
+    for (const ShardLoadEntry& entry : report.entries) {
+      if (!entry.shard.valid() ||
+          entry.shard.value >= static_cast<int32_t>(shards_.size())) {
+        continue;
+      }
+      ShardRuntime& rt = shards_[static_cast<size_t>(entry.shard.value)];
+      for (ReplicaRuntime& r : rt.replicas) {
+        if (r.server == id && entry.load.dims() == r.load.dims()) {
+          r.load = entry.load;
+          break;
+        }
+      }
+    }
+  }
+}
+
+double Orchestrator::ServerLoadScore(ServerId server) const {
+  const ServerHandle* handle = registry_->Get(server);
+  if (handle == nullptr) {
+    return 1e9;
+  }
+  double total_load = 0.0;
+  auto it = server_replicas_.find(server.value);
+  if (it != server_replicas_.end()) {
+    for (int64_t key : it->second) {
+      ShardId shard(static_cast<int32_t>(key >> 16));
+      int replica = static_cast<int>(key & 0xFFFF);
+      total_load += Replica(shard, replica).load.Total();
+    }
+  }
+  double capacity = std::max(1e-9, handle->capacity.Total());
+  return total_load / capacity;
+}
+
+ServerId Orchestrator::PickDrainTarget(ShardId shard, int replica, ServerId from) const {
+  const ShardRuntime& rt = shards_[static_cast<size_t>(shard.value)];
+  // Servers already hosting a replica of this shard are excluded (server-level spread).
+  std::unordered_set<int32_t> occupied;
+  for (const ReplicaRuntime& r : rt.replicas) {
+    if (r.server.valid()) {
+      occupied.insert(r.server.value);
+    }
+  }
+
+  RegionId preferred = rt.preferred_region;
+  RegionId from_region;
+  if (from.valid()) {
+    const ServerHandle* from_handle = registry_->Get(from);
+    if (from_handle != nullptr) {
+      from_region = from_handle->region;
+    }
+  }
+
+  ServerId best;
+  double best_score = 0.0;
+  int best_tier = 3;
+  for (ServerId id : registry_->ServersOf(spec_.id)) {
+    if (id == from || occupied.count(id.value) > 0) {
+      continue;
+    }
+    const ServerHandle* handle = registry_->Get(id);
+    if (handle == nullptr || !handle->alive) {
+      continue;
+    }
+    auto drain_it = server_draining_.find(id.value);
+    if (drain_it != server_draining_.end() && drain_it->second) {
+      continue;
+    }
+    // Tier 0: the shard's preferred region; tier 1: the replica's current region (locality);
+    // tier 2: anywhere. Within a tier, least loaded wins.
+    int tier = 2;
+    if (preferred.valid() && handle->region == preferred) {
+      tier = 0;
+    } else if (from_region.valid() && handle->region == from_region) {
+      tier = 1;
+    }
+    double score = ServerLoadScore(id);
+    if (tier < best_tier || (tier == best_tier && (!best.valid() || score < best_score))) {
+      best = id;
+      best_tier = tier;
+      best_score = score;
+    }
+  }
+  (void)replica;
+  return best;
+}
+
+}  // namespace shardman

@@ -1,0 +1,259 @@
+// Orchestrator: the per-partition brain of a mini-SM (§3.2).
+//
+// It owns the authoritative shard-to-server assignment of one application partition:
+//   * runs the allocator (emergency mode on failures, periodic mode on a timer) and executes the
+//     resulting replica moves with bounded concurrency (§5.1 hard constraint 1);
+//   * drives the 5-step graceful primary-replica migration of §4.3 (or the abrupt
+//     break-before-make variant when the app disables graceful migration — the Fig. 17 ablation);
+//   * reacts to container lifecycle events: planned restarts without drain are tolerated until a
+//     patience timer, unplanned failures trigger failover after a grace period, and
+//     primary-secondary apps promote a surviving secondary immediately;
+//   * drains servers on request from the TaskController before planned operations (§4.1);
+//   * collects per-shard load reports (§5) and publishes versioned shard maps to service
+//     discovery;
+//   * persists per-server assignments in the coordination store so restarting servers can
+//     reload their shards without a control-plane dependency (§3.2).
+
+#ifndef SRC_CORE_ORCHESTRATOR_H_
+#define SRC_CORE_ORCHESTRATOR_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/allocator/allocator.h"
+#include "src/coord/coord_store.h"
+#include "src/core/app_spec.h"
+#include "src/core/server_registry.h"
+#include "src/discovery/service_discovery.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace shardman {
+
+struct OrchestratorConfig {
+  TimeMicros load_poll_interval = Seconds(10);
+  TimeMicros periodic_alloc_interval = Seconds(30);
+  // Unplanned failure: wait this long for the container to return before reassigning its shards.
+  TimeMicros failover_grace = Seconds(10);
+  // Planned restart without drain: wait this long for the container to return.
+  TimeMicros planned_restart_patience = Minutes(3);
+  // Old primary keeps forwarding for this long after the new primary takes over (§4.3 step 5).
+  TimeMicros drop_grace = Seconds(2);
+  // Shard-map publications are coalesced within these windows: routine updates wait
+  // `publish_coalesce`; urgent ones (migration step 4, promotions) wait only `publish_urgent`.
+  TimeMicros publish_coalesce = Millis(50);
+  TimeMicros publish_urgent = Millis(10);
+  // Wall-clock solver budget for periodic / emergency allocator runs inside the control loop.
+  TimeMicros periodic_solver_budget = Millis(500);
+  TimeMicros emergency_solver_budget = Millis(200);
+  int max_op_attempts = 3;
+};
+
+enum class ReplicaPhase {
+  kPending,      // needs placement
+  kAdding,       // AddShard in flight
+  kReady,        // serving
+  kUnavailable,  // bound to a down server
+  kMigrating,    // move in progress
+  kDropping,     // DropShard in flight (scale-down)
+};
+
+class Orchestrator {
+ public:
+  Orchestrator(Simulator* sim, Network* network, CoordStore* coord, ServiceDiscovery* discovery,
+               ServerRegistry* registry, SmAllocator* allocator, AppSpec spec,
+               RegionId home_region, OrchestratorConfig config);
+
+  // Places all shards onto the currently registered servers and starts the periodic timers.
+  void Start();
+
+  // Control-plane fault tolerance (§6.2): builds this orchestrator's state from the shard
+  // assignments a previous incarnation persisted in the coordination store, reconciles with
+  // server liveness, and resumes. Shards whose servers are gone are re-placed; the shard-map
+  // version continues monotonically from the persisted value.
+  void StartRecovered();
+
+  // Cancels every timer and deregisters watches so a replacement orchestrator can take over
+  // (the failover path of §6.2). Precondition: quiescent — no queued or in-flight operations,
+  // and at least drop_grace since the last completed migration.
+  void Shutdown();
+
+  const AppSpec& spec() const { return spec_; }
+
+  // -- Lifecycle events (wired from the cluster managers by MiniSm) ---------------------------
+  void OnServerUp(ServerId server);
+  void OnServerDown(ServerId server, bool planned);
+  void OnServerStopped(ServerId server);
+
+  // -- TaskController integration (§4.1) -------------------------------------------------------
+  // Moves replicas with the selected roles off `server`; `done` fires once none remain. The
+  // server is flagged as draining so the allocator avoids it until CancelDrain.
+  void DrainServer(ServerId server, bool drain_primaries, bool drain_secondaries,
+                   std::function<void()> done);
+  void CancelDrain(ServerId server);
+  // Demotes primaries on `server`, promoting ready secondaries elsewhere (§4.2 maintenance).
+  void DemotePrimariesOn(ServerId server);
+
+  // (shard, role) pairs currently bound to a server.
+  std::vector<std::pair<ShardId, ReplicaRole>> ReplicasOn(ServerId server) const;
+  // Number of currently unavailable replicas of a shard (down, pending, or mid-abrupt-move).
+  int UnavailableReplicas(ShardId shard) const;
+  int ReplicaCount(ShardId shard) const;
+
+  // -- Shard scaling (§3.4) ---------------------------------------------------------------------
+  Status AddReplica(ShardId shard);
+  Status RemoveReplica(ShardId shard);
+
+  // -- Placement policy updates (Fig. 20) -------------------------------------------------------
+  void SetRegionPreference(ShardId shard, RegionId region, double weight, int min_replicas);
+
+  // -- Allocation ------------------------------------------------------------------------------
+  void TriggerEmergencyAllocation();
+  void TriggerPeriodicAllocation();
+
+  // -- Introspection ----------------------------------------------------------------------------
+  int64_t completed_moves() const { return completed_moves_; }
+  int64_t graceful_migrations() const { return graceful_migrations_; }
+  int64_t abrupt_migrations() const { return abrupt_migrations_; }
+  int64_t published_versions() const { return map_version_; }
+  int64_t failed_ops() const { return failed_ops_; }
+  int pending_ops() const { return static_cast<int>(op_queue_.size()) + in_flight_ops_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  // Mean load.Total() across a shard's ready replicas (shard-scaler input).
+  double ShardMeanReplicaLoad(ShardId shard) const;
+  ReplicaPhase replica_phase(ShardId shard, int replica) const;
+  ServerId replica_server(ShardId shard, int replica) const;
+  ReplicaRole replica_role(ShardId shard, int replica) const;
+  // True once every replica of every shard is kReady.
+  bool AllReady() const;
+
+ private:
+  struct ReplicaRuntime {
+    ReplicaRole role = ReplicaRole::kSecondary;
+    ServerId server;       // current owner (invalid when pending)
+    ServerId move_target;  // during kMigrating
+    ReplicaPhase phase = ReplicaPhase::kPending;
+    ResourceVector load;
+    bool abrupt_move = false;  // current migration is break-before-make
+    bool op_queued = false;    // an op for this replica is queued or in flight
+  };
+  struct ShardRuntime {
+    std::vector<ReplicaRuntime> replicas;
+    RegionId preferred_region;
+    double preference_weight = 1.0;
+    int min_replicas_in_preferred = 1;
+  };
+  struct Op {
+    enum class Kind { kPlace, kMoveSecondary, kMovePrimary, kDrop, kPromote };
+    Kind kind = Kind::kPlace;
+    ShardId shard;
+    int replica = 0;
+    ServerId from;
+    ServerId to;
+    int attempts = 0;
+  };
+  struct DrainState {
+    bool primaries = false;
+    bool secondaries = false;
+    std::function<void()> done;
+  };
+
+  ReplicaRuntime& Replica(ShardId shard, int replica);
+  const ReplicaRuntime& Replica(ShardId shard, int replica) const;
+
+  // -- Op engine -------------------------------------------------------------------------------
+  void EnqueueOp(Op op);
+  void Pump();
+  void StartOp(Op op);
+  void FinishOp(const Op& op, bool success);
+  void ExecutePlace(Op op);
+  void ExecuteMoveSecondary(Op op);
+  void ExecuteMovePrimaryGraceful(Op op);
+  void ExecuteMovePrimaryAbrupt(Op op);
+  void ExecuteDrop(Op op);
+  void ExecutePromote(Op op);
+
+  // -- Assignment bookkeeping --------------------------------------------------------------------
+  void Bind(ShardId shard, int replica, ServerId server);
+  void Unbind(ShardId shard, int replica);
+  void PersistServerAssignment(ServerId server);
+  void MarkMapDirty(bool urgent);
+  void PublishMap();
+  ShardMap BuildMap() const;
+
+  // -- Failure / recovery ------------------------------------------------------------------------
+  void InitShards();
+  void StartTimersAndWatches();
+  void LoadAssignmentsFromCoord();
+  // Liveness changes observed through the coordination store's ephemeral nodes (§3.2) — the
+  // backup detection channel when cluster-manager notifications are missed.
+  void OnLivenessLost(ServerId server);
+  void OnLivenessRestored(ServerId server);
+  void HandleServerGone(ServerId server);
+  void PromoteSurvivor(ShardId shard, int dead_replica);
+  // True if any replica of `shard` is currently bound to (or migrating toward) `server`.
+  bool ShardBoundTo(ShardId shard, ServerId server) const;
+
+  // -- Allocation --------------------------------------------------------------------------------
+  PartitionSnapshot BuildSnapshot() const;
+  void ApplyAllocation(const PartitionSnapshot& snapshot, const AllocationResult& result);
+  ServerId PickDrainTarget(ShardId shard, int replica, ServerId from) const;
+  void CheckDrainDone(ServerId server);
+  double ServerLoadScore(ServerId server) const;
+
+  void PollLoads();
+
+  Simulator* sim_;
+  Network* network_;
+  CoordStore* coord_;
+  ServiceDiscovery* discovery_;
+  ServerRegistry* registry_;
+  SmAllocator* allocator_;
+  AppSpec spec_;
+  RegionId home_region_;
+  OrchestratorConfig config_;
+
+  std::vector<ShardRuntime> shards_;
+  // server -> replicas bound to it (includes unavailable ones).
+  std::unordered_map<int32_t, std::unordered_set<int64_t>> server_replicas_;
+  std::unordered_map<int32_t, DrainState> drains_;
+  std::unordered_map<int32_t, EventId> server_timers_;
+  std::unordered_map<int32_t, bool> server_draining_;
+  // Old primaries still forwarding after a graceful hand-off (per server); drains wait on them.
+  std::unordered_map<int32_t, int> lingering_forwarders_;
+  bool emergency_pending_ = false;
+
+  std::deque<Op> op_queue_;
+  std::unordered_set<int32_t> busy_shards_;
+  int in_flight_ops_ = 0;
+
+  EventId load_poll_timer_;
+  EventId periodic_alloc_timer_;
+  EventId publish_timer_;
+  EventId emergency_timer_;
+  int64_t liveness_watch_ = 0;
+  bool shut_down_ = false;
+
+  int64_t map_version_ = 0;
+  bool map_dirty_ = false;
+  bool publish_scheduled_ = false;
+  TimeMicros publish_due_ = 0;
+  bool started_ = false;
+
+  int64_t completed_moves_ = 0;
+  int64_t graceful_migrations_ = 0;
+  int64_t abrupt_migrations_ = 0;
+  int64_t failed_ops_ = 0;
+
+  static int64_t ReplicaKey(ShardId shard, int replica) {
+    return (static_cast<int64_t>(shard.value) << 16) | static_cast<int64_t>(replica);
+  }
+};
+
+}  // namespace shardman
+
+#endif  // SRC_CORE_ORCHESTRATOR_H_

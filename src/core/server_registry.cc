@@ -1,0 +1,129 @@
+#include "src/core/server_registry.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace shardman {
+
+void ServerRegistry::Register(ServerHandle handle) {
+  SM_CHECK(handle.id.valid());
+  SM_CHECK_EQ(servers_.count(handle.id.value), 0u);
+  by_container_[handle.container.value] = handle.id;
+  servers_.emplace(handle.id.value, std::move(handle));
+}
+
+ServerHandle* ServerRegistry::Get(ServerId id) {
+  auto it = servers_.find(id.value);
+  return it != servers_.end() ? &it->second : nullptr;
+}
+
+const ServerHandle* ServerRegistry::Get(ServerId id) const {
+  auto it = servers_.find(id.value);
+  return it != servers_.end() ? &it->second : nullptr;
+}
+
+ServerHandle* ServerRegistry::GetByContainer(ContainerId container) {
+  auto it = by_container_.find(container.value);
+  if (it == by_container_.end()) {
+    return nullptr;
+  }
+  return Get(it->second);
+}
+
+void ServerRegistry::SetAlive(ServerId id, bool alive) {
+  ServerHandle* handle = Get(id);
+  if (handle != nullptr) {
+    handle->alive = alive;
+  }
+}
+
+bool ServerRegistry::IsAlive(ServerId id) const {
+  const ServerHandle* handle = Get(id);
+  return handle != nullptr && handle->alive;
+}
+
+std::vector<ServerId> ServerRegistry::ServersOf(AppId app) const {
+  std::vector<ServerId> out;
+  for (const auto& [id, handle] : servers_) {
+    if (handle.app == app) {
+      out.push_back(handle.id);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Arms a client-side timeout around a response callback: whichever of {response, timeout}
+// arrives first wins, the loser is a no-op. Essential on a real network — a dropped message
+// (e.g. across a partition) otherwise leaves the caller waiting forever.
+template <typename Response>
+std::function<void(const Response&)> WithTimeout(Simulator* sim, TimeMicros timeout,
+                                                 std::function<void(const Response&)> done,
+                                                 Response timeout_response) {
+  auto fired = std::make_shared<bool>(false);
+  auto guarded = [fired, done](const Response& response) {
+    if (*fired) {
+      return;
+    }
+    *fired = true;
+    done(response);
+  };
+  sim->Schedule(timeout, [guarded, timeout_response]() { guarded(timeout_response); });
+  return guarded;
+}
+
+}  // namespace
+
+void CallControl(Network& network, RegionId caller_region, ServerRegistry& registry,
+                 ServerId target, std::function<Status(ShardServerApi&)> fn,
+                 std::function<void(const Status&)> done, TimeMicros timeout) {
+  auto guarded = WithTimeout<Status>(network.sim(), timeout, std::move(done),
+                                     UnavailableError("rpc timeout"));
+  ServerHandle* handle = registry.Get(target);
+  if (handle == nullptr) {
+    return;  // resolved by the timeout
+  }
+  RegionId server_region = handle->region;
+  network.Send(caller_region, server_region,
+               [&network, &registry, target, caller_region, server_region, fn = std::move(fn),
+                guarded]() {
+                 ServerHandle* h = registry.Get(target);
+                 if (h == nullptr || !h->alive || h->api == nullptr) {
+                   return;  // no response; the caller's timeout fires
+                 }
+                 Status status = fn(*h->api);
+                 network.Send(server_region, caller_region,
+                              [guarded, status]() { guarded(status); });
+               });
+}
+
+void CallData(Network& network, RegionId caller_region, ServerRegistry& registry, ServerId target,
+              Request request, ReplyCallback done, TimeMicros timeout) {
+  Reply timeout_reply;
+  timeout_reply.status = UnavailableError("rpc timeout");
+  timeout_reply.served_by = target;
+  auto guarded =
+      WithTimeout<Reply>(network.sim(), timeout, std::move(done), std::move(timeout_reply));
+  ServerHandle* handle = registry.Get(target);
+  if (handle == nullptr) {
+    return;  // resolved by the timeout
+  }
+  RegionId server_region = handle->region;
+  network.Send(
+      caller_region, server_region,
+      [&network, &registry, target, caller_region, server_region, request, guarded]() {
+        ServerHandle* h = registry.Get(target);
+        if (h == nullptr || !h->alive || h->api == nullptr) {
+          return;  // no response; the caller's timeout fires
+        }
+        h->api->HandleRequest(request, [&network, server_region, caller_region, guarded](
+                                           const Reply& reply) {
+          network.Send(server_region, caller_region, [guarded, reply]() { guarded(reply); });
+        });
+      });
+}
+
+}  // namespace shardman

@@ -1,0 +1,69 @@
+// ServerRegistry: the shared directory of application servers (one per container) with their
+// topology placement and liveness, plus the simulated control/data RPC helper used to reach a
+// server's ShardServerApi across the network.
+
+#ifndef SRC_CORE_SERVER_REGISTRY_H_
+#define SRC_CORE_SERVER_REGISTRY_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/resource.h"
+#include "src/common/status.h"
+#include "src/core/server_api.h"
+#include "src/sim/network.h"
+
+namespace shardman {
+
+struct ServerHandle {
+  ServerId id;
+  ContainerId container;
+  AppId app;
+  MachineId machine;
+  RegionId region;
+  DataCenterId data_center;
+  RackId rack;
+  ResourceVector capacity;
+  ShardServerApi* api = nullptr;
+  bool alive = true;
+};
+
+class ServerRegistry {
+ public:
+  ServerRegistry() = default;
+
+  // Registers a server; the id must be unused. The registry does not own `handle.api`.
+  void Register(ServerHandle handle);
+
+  ServerHandle* Get(ServerId id);
+  const ServerHandle* Get(ServerId id) const;
+  ServerHandle* GetByContainer(ContainerId container);
+
+  void SetAlive(ServerId id, bool alive);
+  bool IsAlive(ServerId id) const;
+
+  std::vector<ServerId> ServersOf(AppId app) const;
+  size_t size() const { return servers_.size(); }
+
+ private:
+  std::unordered_map<int32_t, ServerHandle> servers_;
+  std::unordered_map<int32_t, ServerId> by_container_;
+};
+
+// Invokes `fn` against the target server's API after one network hop, delivering the Status back
+// to the caller's region after a second hop. If the server is dead at delivery time (or dies in
+// between), `done` receives UnavailableError after `timeout` instead — modeling an RPC timeout.
+void CallControl(Network& network, RegionId caller_region, ServerRegistry& registry,
+                 ServerId target, std::function<Status(ShardServerApi&)> fn,
+                 std::function<void(const Status&)> done, TimeMicros timeout = Seconds(1));
+
+// Data-plane variant: delivers a Request to the server's HandleRequest, routing the Reply back
+// to the caller's region. Dead target => UnavailableError reply after `timeout`.
+void CallData(Network& network, RegionId caller_region, ServerRegistry& registry, ServerId target,
+              Request request, ReplyCallback done, TimeMicros timeout = Seconds(1));
+
+}  // namespace shardman
+
+#endif  // SRC_CORE_SERVER_REGISTRY_H_

@@ -1,0 +1,94 @@
+#include "src/core/sm_library.h"
+
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace shardman {
+
+std::string SerializeAssignment(const std::vector<PersistedReplica>& replicas) {
+  std::ostringstream os;
+  for (const PersistedReplica& r : replicas) {
+    os << r.shard.value << ":" << r.replica << ":"
+       << (r.role == ReplicaRole::kPrimary ? "p" : "s") << ";";
+  }
+  return os.str();
+}
+
+std::vector<PersistedReplica> ParseAssignment(const std::string& data) {
+  std::vector<PersistedReplica> out;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    size_t end = data.find(';', pos);
+    if (end == std::string::npos) {
+      break;
+    }
+    std::string entry = data.substr(pos, end - pos);
+    pos = end + 1;
+    size_t c1 = entry.find(':');
+    size_t c2 = entry.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      continue;
+    }
+    PersistedReplica replica;
+    replica.shard = ShardId(static_cast<int32_t>(std::stol(entry.substr(0, c1))));
+    replica.replica = static_cast<int>(std::stol(entry.substr(c1 + 1, c2 - c1 - 1)));
+    replica.role = entry.substr(c2 + 1) == "p" ? ReplicaRole::kPrimary : ReplicaRole::kSecondary;
+    out.push_back(replica);
+  }
+  return out;
+}
+
+SmLibrary::SmLibrary(CoordStore* coord, std::string app_name, ServerId server,
+                     ShardServerApi* self)
+    : coord_(coord), app_name_(std::move(app_name)), server_(server), self_(self) {
+  SM_CHECK(coord != nullptr);
+  SM_CHECK(self != nullptr);
+}
+
+std::string SmLibrary::LivenessPath() const {
+  return "/sm/" + app_name_ + "/live/" + std::to_string(server_.value);
+}
+
+std::string SmLibrary::AssignmentPath() const {
+  return "/sm/" + app_name_ + "/assign/" + std::to_string(server_.value);
+}
+
+void SmLibrary::Connect() {
+  if (connected()) {
+    return;
+  }
+  session_ = coord_->CreateSession();
+  Status status = coord_->Create(LivenessPath(), "up", /*ephemeral=*/true, session_);
+  if (!status.ok()) {
+    SM_LOG(Warning) << "liveness node creation failed: " << status.ToString();
+  }
+}
+
+void SmLibrary::Disconnect() {
+  if (!connected()) {
+    return;
+  }
+  coord_->ExpireSession(session_);
+  session_ = SessionId();
+}
+
+bool SmLibrary::connected() const { return session_.valid() && coord_->SessionAlive(session_); }
+
+int SmLibrary::RestoreAssignmentFromCoord() {
+  Result<std::string> data = coord_->Get(AssignmentPath());
+  if (!data.ok()) {
+    return 0;
+  }
+  int restored = 0;
+  for (const PersistedReplica& replica : ParseAssignment(data.value())) {
+    Status status = self_->AddShard(replica.shard, replica.role);
+    if (status.ok()) {
+      ++restored;
+    }
+  }
+  return restored;
+}
+
+}  // namespace shardman

@@ -1,0 +1,60 @@
+// SmLibrary: the server-side SM glue linked into every application server (§3.2).
+//
+// Responsibilities reproduced from the paper:
+//   * maintains a coordination-store session with an ephemeral liveness node;
+//   * on (re)boot, reads the server's shard assignment from the coordination store and re-adds
+//     the shards locally — with no dependency on the live SM control plane.
+
+#ifndef SRC_CORE_SM_LIBRARY_H_
+#define SRC_CORE_SM_LIBRARY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/coord/coord_store.h"
+#include "src/core/server_api.h"
+
+namespace shardman {
+
+// One parsed entry of a persisted server assignment.
+struct PersistedReplica {
+  ShardId shard;
+  int replica = 0;
+  ReplicaRole role = ReplicaRole::kSecondary;
+};
+
+// Serialization helpers for the per-server assignment node ("<shard>:<replica>:<p|s>;...").
+std::string SerializeAssignment(const std::vector<PersistedReplica>& replicas);
+std::vector<PersistedReplica> ParseAssignment(const std::string& data);
+
+class SmLibrary {
+ public:
+  SmLibrary(CoordStore* coord, std::string app_name, ServerId server, ShardServerApi* self);
+
+  // Establishes the liveness session and ephemeral node. Called on container start.
+  void Connect();
+
+  // Expires the session (deleting the ephemeral node). Called on container stop/crash.
+  void Disconnect();
+
+  bool connected() const;
+
+  // Reads the persisted assignment and calls AddShard for each entry — boot-time recovery
+  // without the control plane (§3.2). Returns the number of shards restored.
+  int RestoreAssignmentFromCoord();
+
+  // The liveness node path for this server.
+  std::string LivenessPath() const;
+  std::string AssignmentPath() const;
+
+ private:
+  CoordStore* coord_;
+  std::string app_name_;
+  ServerId server_;
+  ShardServerApi* self_;
+  SessionId session_;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_CORE_SM_LIBRARY_H_

@@ -1,0 +1,186 @@
+#include "src/core/task_controller.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace shardman {
+
+SmTaskController::SmTaskController(Simulator* sim, Orchestrator* orchestrator,
+                                   ServerRegistry* registry, const AppSpec& spec)
+    : sim_(sim), orchestrator_(orchestrator), registry_(registry), spec_(spec) {
+  SM_CHECK(sim != nullptr);
+  SM_CHECK(orchestrator != nullptr);
+  SM_CHECK(registry != nullptr);
+}
+
+int SmTaskController::TotalContainers() const {
+  int total = 0;
+  for (ClusterManager* cm : cluster_managers_) {
+    total += static_cast<int>(cm->ContainersOf(spec_.id).size());
+  }
+  return total;
+}
+
+int SmTaskController::UnplannedDownContainers() const {
+  int down = 0;
+  for (ClusterManager* cm : cluster_managers_) {
+    for (ContainerId id : cm->ContainersOf(spec_.id)) {
+      if (cm->container(id).state == ContainerState::kDown &&
+          in_flight_.count(id.value) == 0) {
+        ++down;
+      }
+    }
+  }
+  return down;
+}
+
+bool SmTaskController::NeedsDrain(const ServerHandle& server) const {
+  for (const auto& [shard, role] : orchestrator_->ReplicasOn(server.id)) {
+    if (role == ReplicaRole::kPrimary && spec_.drain.drain_primaries) {
+      return true;
+    }
+    if (role == ReplicaRole::kSecondary && spec_.drain.drain_secondaries) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<int64_t> SmTaskController::OnPendingOps(ClusterManager* cm, AppId app,
+                                                    const std::vector<ContainerOp>& pending) {
+  SM_CHECK(app == spec_.id);
+  std::vector<int64_t> approved;
+
+  const int total = std::max(1, TotalContainers());
+  int global_cap = std::max(
+      1, static_cast<int>(spec_.caps.max_concurrent_ops_fraction * static_cast<double>(total)));
+  // Containers already down from unplanned outage consume budget (§4.1: the caps "account for
+  // the containers and shard replicas that are already unavailable").
+  int budget = global_cap - static_cast<int>(in_flight_.size()) - UnplannedDownContainers();
+
+  // Per-round tentative approvals also count toward the per-shard cap.
+  std::unordered_map<int32_t, int> round_unavailable;
+
+  for (const ContainerOp& op : pending) {
+    if (budget <= 0) {
+      break;
+    }
+    ServerHandle* server = registry_->GetByContainer(op.container);
+    if (server == nullptr) {
+      // No application server in this container (e.g. already deregistered): nothing to protect.
+      approved.push_back(op.op_id);
+      --budget;
+      in_flight_.insert(op.container.value);
+      ++approvals_;
+      continue;
+    }
+
+    // Drain-before-restart (§2.2.5).
+    if (NeedsDrain(*server)) {
+      auto phase_it = drain_phase_.find(op.container.value);
+      DrainPhase phase =
+          phase_it == drain_phase_.end() ? DrainPhase::kNotStarted : phase_it->second;
+      if (phase == DrainPhase::kNotStarted) {
+        drain_phase_[op.container.value] = DrainPhase::kInProgress;
+        ContainerId container = op.container;
+        orchestrator_->DrainServer(server->id, spec_.drain.drain_primaries,
+                                   spec_.drain.drain_secondaries, [this, container]() {
+                                     drain_phase_[container.value] = DrainPhase::kDone;
+                                   });
+        ++deferrals_;
+        continue;  // Approve in a later round, once drained.
+      }
+      if (phase == DrainPhase::kInProgress) {
+        ++deferrals_;
+        continue;
+      }
+      // kDone falls through to the cap checks below.
+    }
+
+    // Per-shard cap over whatever replicas remain on the container.
+    bool safe = true;
+    std::vector<int32_t> impacted;
+    for (const auto& [shard, role] : orchestrator_->ReplicasOn(server->id)) {
+      int unavailable = orchestrator_->UnavailableReplicas(shard);
+      auto planned_it = planned_unavailable_.find(shard.value);
+      if (planned_it != planned_unavailable_.end()) {
+        unavailable += planned_it->second;
+      }
+      auto round_it = round_unavailable.find(shard.value);
+      if (round_it != round_unavailable.end()) {
+        unavailable += round_it->second;
+      }
+      if (unavailable + 1 > spec_.caps.max_unavailable_per_shard) {
+        safe = false;
+        break;
+      }
+      impacted.push_back(shard.value);
+    }
+    if (!safe) {
+      ++deferrals_;
+      continue;
+    }
+
+    approved.push_back(op.op_id);
+    --budget;
+    ++approvals_;
+    in_flight_.insert(op.container.value);
+    impact_[op.container.value] = impacted;
+    for (int32_t shard : impacted) {
+      ++planned_unavailable_[shard];
+      ++round_unavailable[shard];
+    }
+  }
+  (void)cm;
+  return approved;
+}
+
+void SmTaskController::OnOpFinished(ClusterManager* cm, AppId app, const ContainerOp& op) {
+  (void)cm;
+  SM_CHECK(app == spec_.id);
+  in_flight_.erase(op.container.value);
+  drain_phase_.erase(op.container.value);
+  auto impact_it = impact_.find(op.container.value);
+  if (impact_it != impact_.end()) {
+    for (int32_t shard : impact_it->second) {
+      auto planned_it = planned_unavailable_.find(shard);
+      if (planned_it != planned_unavailable_.end() && --planned_it->second <= 0) {
+        planned_unavailable_.erase(planned_it);
+      }
+    }
+    impact_.erase(impact_it);
+  }
+  // Allow the load balancer to move shards back onto the upgraded container.
+  ServerHandle* server = registry_->GetByContainer(op.container);
+  if (server != nullptr) {
+    orchestrator_->CancelDrain(server->id);
+  }
+}
+
+void SmTaskController::OnMaintenanceScheduled(ClusterManager* cm, const MaintenanceEvent& event) {
+  // Non-negotiable events (§4.2): prepare proactively. Short network-loss events demote
+  // primaries in place; state-loss events drain according to the app's policy, with primaries
+  // always drained (they cannot be demoted away on a primary-only app, so they are moved).
+  for (MachineId machine : event.machines) {
+    for (ContainerId container : cm->ContainersOf(spec_.id)) {
+      if (cm->MachineOf(container) != machine) {
+        continue;
+      }
+      ServerHandle* server = registry_->GetByContainer(container);
+      if (server == nullptr) {
+        continue;
+      }
+      if (event.impact == MaintenanceImpact::kNetworkLoss &&
+          spec_.strategy == ReplicationStrategy::kPrimarySecondary) {
+        orchestrator_->DemotePrimariesOn(server->id);
+      } else {
+        orchestrator_->DrainServer(server->id, /*drain_primaries=*/true,
+                                   spec_.drain.drain_secondaries, []() {});
+      }
+    }
+  }
+}
+
+}  // namespace shardman

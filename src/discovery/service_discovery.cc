@@ -1,0 +1,70 @@
+#include "src/discovery/service_discovery.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace shardman {
+
+ServiceDiscovery::ServiceDiscovery(Simulator* sim, TimeMicros min_delay, TimeMicros max_delay,
+                                   uint64_t seed)
+    : sim_(sim), min_delay_(min_delay), max_delay_(max_delay), rng_(seed) {
+  SM_CHECK(sim != nullptr);
+  SM_CHECK_LE(min_delay, max_delay);
+}
+
+TimeMicros ServiceDiscovery::SampleDelay() {
+  if (max_delay_ == min_delay_) {
+    return min_delay_;
+  }
+  return rng_.UniformInt(min_delay_, max_delay_);
+}
+
+void ServiceDiscovery::Publish(const ShardMap& map) {
+  auto& slot = current_[map.app.value];
+  if (slot != nullptr) {
+    SM_CHECK_GT(map.version, slot->version);
+  }
+  slot = std::make_shared<const ShardMap>(map);
+  ++publishes_;
+  for (const auto& [id, sub] : subscribers_) {
+    if (sub.app == map.app) {
+      int64_t subscription = id;
+      auto shared = slot;
+      sim_->Schedule(SampleDelay(),
+                     [this, subscription, shared]() { Deliver(subscription, shared); });
+    }
+  }
+}
+
+void ServiceDiscovery::Deliver(int64_t subscription, std::shared_ptr<const ShardMap> map) {
+  auto it = subscribers_.find(subscription);
+  if (it == subscribers_.end()) {
+    return;
+  }
+  if (map->version <= it->second.delivered_version) {
+    return;  // Out-of-order delivery of an older version; suppress.
+  }
+  it->second.delivered_version = map->version;
+  it->second.cb(*map);
+}
+
+int64_t ServiceDiscovery::Subscribe(AppId app, MapCallback cb) {
+  int64_t id = next_subscription_++;
+  subscribers_[id] = Subscriber{app, std::move(cb), -1};
+  auto it = current_.find(app.value);
+  if (it != current_.end() && it->second != nullptr) {
+    auto shared = it->second;
+    sim_->Schedule(SampleDelay(), [this, id, shared]() { Deliver(id, shared); });
+  }
+  return id;
+}
+
+void ServiceDiscovery::Unsubscribe(int64_t subscription) { subscribers_.erase(subscription); }
+
+const ShardMap* ServiceDiscovery::Current(AppId app) const {
+  auto it = current_.find(app.value);
+  return it != current_.end() ? it->second.get() : nullptr;
+}
+
+}  // namespace shardman

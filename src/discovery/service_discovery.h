@@ -1,0 +1,65 @@
+// ServiceDiscovery: publishes versioned shard maps to subscribed clients.
+//
+// The production system fans maps out through a multi-level distribution tree (§3.2); what the
+// availability experiments observe is the *client-visible staleness window*, so the simulator
+// models dissemination as a per-subscriber propagation delay sampled from a configurable range.
+// Stale deliveries (older version than the subscriber already has) are suppressed.
+
+#ifndef SRC_DISCOVERY_SERVICE_DISCOVERY_H_
+#define SRC_DISCOVERY_SERVICE_DISCOVERY_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/discovery/shard_map.h"
+#include "src/sim/simulator.h"
+
+namespace shardman {
+
+class ServiceDiscovery {
+ public:
+  using MapCallback = std::function<void(const ShardMap&)>;
+
+  // Propagation delay per subscriber is sampled uniformly in [min_delay, max_delay].
+  ServiceDiscovery(Simulator* sim, TimeMicros min_delay, TimeMicros max_delay, uint64_t seed);
+
+  // Publishes a new map version for map.app. Versions must be monotonically increasing.
+  void Publish(const ShardMap& map);
+
+  // Subscribes to an app's map. If a map already exists it is delivered after a propagation
+  // delay. Returns a subscription id for Unsubscribe.
+  int64_t Subscribe(AppId app, MapCallback cb);
+  void Unsubscribe(int64_t subscription);
+
+  // The authoritative (most recently published) map, or nullptr. Control-plane components use
+  // this; clients must go through Subscribe to experience propagation delay.
+  const ShardMap* Current(AppId app) const;
+
+  int64_t publishes() const { return publishes_; }
+
+ private:
+  struct Subscriber {
+    AppId app;
+    MapCallback cb;
+    int64_t delivered_version = -1;
+  };
+
+  TimeMicros SampleDelay();
+  void Deliver(int64_t subscription, std::shared_ptr<const ShardMap> map);
+
+  Simulator* sim_;
+  TimeMicros min_delay_;
+  TimeMicros max_delay_;
+  Rng rng_;
+  std::unordered_map<int32_t, std::shared_ptr<const ShardMap>> current_;
+  std::unordered_map<int64_t, Subscriber> subscribers_;
+  int64_t next_subscription_ = 1;
+  int64_t publishes_ = 0;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_DISCOVERY_SERVICE_DISCOVERY_H_

@@ -1,0 +1,55 @@
+// ShardMap: the versioned shard -> (server, role) mapping disseminated to application clients.
+
+#ifndef SRC_DISCOVERY_SHARD_MAP_H_
+#define SRC_DISCOVERY_SHARD_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/allocator/types.h"
+#include "src/common/ids.h"
+
+namespace shardman {
+
+struct ShardMapReplica {
+  ServerId server;
+  ReplicaRole role = ReplicaRole::kSecondary;
+  RegionId region;  // denormalized for locality-aware routing
+};
+
+struct ShardMapEntry {
+  ShardId shard;
+  std::vector<ShardMapReplica> replicas;
+};
+
+struct ShardMap {
+  AppId app;
+  int64_t version = 0;
+  // Indexed by shard id value (dense shard ids per app).
+  std::vector<ShardMapEntry> entries;
+
+  const ShardMapEntry* Find(ShardId shard) const {
+    if (!shard.valid() || static_cast<size_t>(shard.value) >= entries.size()) {
+      return nullptr;
+    }
+    return &entries[static_cast<size_t>(shard.value)];
+  }
+
+  // The primary replica's server for a shard, or an invalid id.
+  ServerId PrimaryOf(ShardId shard) const {
+    const ShardMapEntry* entry = Find(shard);
+    if (entry == nullptr) {
+      return ServerId();
+    }
+    for (const ShardMapReplica& replica : entry->replicas) {
+      if (replica.role == ReplicaRole::kPrimary) {
+        return replica.server;
+      }
+    }
+    return ServerId();
+  }
+};
+
+}  // namespace shardman
+
+#endif  // SRC_DISCOVERY_SHARD_MAP_H_

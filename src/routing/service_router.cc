@@ -1,0 +1,128 @@
+#include "src/routing/service_router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace shardman {
+
+ServiceRouter::ServiceRouter(Simulator* sim, Network* network, ServiceDiscovery* discovery,
+                             ServerRegistry* registry, const AppSpec* spec,
+                             RegionId client_region, RouterConfig config, uint64_t seed)
+    : sim_(sim),
+      network_(network),
+      discovery_(discovery),
+      registry_(registry),
+      spec_(spec),
+      client_region_(client_region),
+      config_(config),
+      rng_(seed) {
+  SM_CHECK(sim != nullptr);
+  SM_CHECK(network != nullptr);
+  SM_CHECK(discovery != nullptr);
+  SM_CHECK(registry != nullptr);
+  SM_CHECK(spec != nullptr);
+  subscription_ = discovery_->Subscribe(spec_->id, [this](const ShardMap& map) {
+    map_ = map;
+    has_map_ = true;
+  });
+}
+
+void ServiceRouter::Route(uint64_t key, RequestType type,
+                          std::function<void(const RequestOutcome&)> done) {
+  Route(key, type, 0, std::move(done));
+}
+
+void ServiceRouter::Route(uint64_t key, RequestType type, uint64_t payload,
+                          std::function<void(const RequestOutcome&)> done) {
+  Attempt attempt;
+  attempt.request.app = spec_->id;
+  attempt.request.key = key;
+  attempt.request.shard = spec_->ShardForKey(key);
+  attempt.request.type = type;
+  attempt.request.payload = payload;
+  attempt.request.client_region = client_region_;
+  attempt.request.sent_at = sim_->Now();
+  attempt.started_at = sim_->Now();
+  attempt.done = std::move(done);
+  Send(std::move(attempt));
+}
+
+ServerId ServiceRouter::PickTarget(const Request& request, int attempt, ServerId exclude) {
+  if (!has_map_) {
+    return ServerId();
+  }
+  const ShardMapEntry* entry = map_.Find(request.shard);
+  if (entry == nullptr || entry->replicas.empty()) {
+    return ServerId();
+  }
+  const bool writes_anywhere = spec_->strategy == ReplicationStrategy::kSecondaryOnly;
+  if (request.type == RequestType::kWrite && !writes_anywhere) {
+    // Writes must reach the primary; there is no alternative to fail over to.
+    for (const ShardMapReplica& replica : entry->replicas) {
+      if (replica.role == ReplicaRole::kPrimary) {
+        return replica.server;
+      }
+    }
+    return ServerId();
+  }
+  // Reads/scans (and secondary-only writes): order replicas by expected latency from the
+  // client region, skipping the server that failed the previous attempt when an alternative
+  // exists; later attempts walk down the preference list.
+  std::vector<std::pair<TimeMicros, ServerId>> ranked;
+  ranked.reserve(entry->replicas.size());
+  for (const ShardMapReplica& replica : entry->replicas) {
+    if (replica.server == exclude && entry->replicas.size() > 1) {
+      continue;
+    }
+    TimeMicros latency = network_->ExpectedLatency(client_region_, replica.region);
+    // Small random tiebreak spreads load across equidistant replicas.
+    latency += static_cast<TimeMicros>(rng_.UniformInt(0, 99));
+    ranked.emplace_back(latency, replica.server);
+  }
+  if (ranked.empty()) {
+    return exclude;  // everything filtered: retry the excluded server rather than nothing
+  }
+  std::sort(ranked.begin(), ranked.end());
+  size_t index = std::min(static_cast<size_t>(attempt - 1), ranked.size() - 1);
+  return ranked[index].second;
+}
+
+void ServiceRouter::Send(Attempt attempt) {
+  ServerId target = PickTarget(attempt.request, attempt.attempt, attempt.exclude);
+  if (!target.valid()) {
+    Reply reply;
+    reply.status = UnavailableError("no routable replica");
+    Finish(attempt, reply);
+    return;
+  }
+  ++requests_sent_;
+  Request request = attempt.request;
+  auto self = this;
+  CallData(*network_, client_region_, *registry_, target, request,
+           [self, attempt = std::move(attempt)](const Reply& reply) mutable {
+             self->Finish(attempt, reply);
+           },
+           config_.request_timeout);
+}
+
+void ServiceRouter::Finish(const Attempt& attempt, const Reply& reply) {
+  if (!reply.status.ok() && attempt.attempt < config_.max_attempts) {
+    Attempt retry = attempt;
+    ++retry.attempt;
+    retry.exclude = reply.served_by;  // avoid the server that just failed
+    sim_->Schedule(config_.retry_backoff,
+                   [this, retry = std::move(retry)]() mutable { Send(std::move(retry)); });
+    return;
+  }
+  RequestOutcome outcome;
+  outcome.success = reply.status.ok();
+  outcome.status = reply.status;
+  outcome.latency = sim_->Now() - attempt.started_at;
+  outcome.attempts = attempt.attempt;
+  outcome.served_by = reply.served_by;
+  attempt.done(outcome);
+}
+
+}  // namespace shardman

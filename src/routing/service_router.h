@@ -1,0 +1,90 @@
+// ServiceRouter: the client-side library (§3.2/§3.3).
+//
+// Mirrors the paper's client API: a client asks for the server responsible for a key
+// (get_client(app, key)) and sends requests there. The router:
+//   * maintains a (possibly stale) local copy of the shard map, updated via service discovery;
+//   * resolves key -> shard through the app's key ranges (app-key abstraction, §3.1);
+//   * routes writes to the primary and reads/scans to the lowest-latency replica from the
+//     client's region;
+//   * retries with backoff on failures and wrong-owner responses, re-resolving the (by then
+//     hopefully refreshed) map on each attempt.
+
+#ifndef SRC_ROUTING_SERVICE_ROUTER_H_
+#define SRC_ROUTING_SERVICE_ROUTER_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/app_spec.h"
+#include "src/core/server_registry.h"
+#include "src/discovery/service_discovery.h"
+#include "src/sim/network.h"
+
+namespace shardman {
+
+struct RouterConfig {
+  int max_attempts = 4;
+  TimeMicros retry_backoff = Millis(50);
+  TimeMicros request_timeout = Millis(500);
+};
+
+struct RequestOutcome {
+  bool success = false;
+  Status status;
+  TimeMicros latency = 0;  // send to final reply, including retries
+  int attempts = 0;
+  ServerId served_by;
+};
+
+class ServiceRouter {
+ public:
+  ServiceRouter(Simulator* sim, Network* network, ServiceDiscovery* discovery,
+                ServerRegistry* registry, const AppSpec* spec, RegionId client_region,
+                RouterConfig config, uint64_t seed);
+
+  // Routes one request; `done` fires with the outcome (after retries).
+  void Route(uint64_t key, RequestType type, std::function<void(const RequestOutcome&)> done);
+  void Route(uint64_t key, RequestType type, uint64_t payload,
+             std::function<void(const RequestOutcome&)> done);
+
+  // The client's current view of the map (possibly stale). Null before first delivery.
+  const ShardMap* map() const { return has_map_ ? &map_ : nullptr; }
+  RegionId region() const { return client_region_; }
+
+  int64_t requests_sent() const { return requests_sent_; }
+
+ private:
+  struct Attempt {
+    Request request;
+    int attempt = 1;
+    TimeMicros started_at = 0;
+    // The server that failed the previous attempt; excluded from re-selection when an
+    // alternative replica exists.
+    ServerId exclude;
+    std::function<void(const RequestOutcome&)> done;
+  };
+
+  // Picks the target server for this attempt, or an invalid id if the map has no candidate.
+  ServerId PickTarget(const Request& request, int attempt, ServerId exclude);
+  void Send(Attempt attempt);
+  void Finish(const Attempt& attempt, const Reply& reply);
+
+  Simulator* sim_;
+  Network* network_;
+  ServiceDiscovery* discovery_;
+  ServerRegistry* registry_;
+  const AppSpec* spec_;
+  RegionId client_region_;
+  RouterConfig config_;
+  Rng rng_;
+
+  ShardMap map_;
+  bool has_map_ = false;
+  int64_t subscription_ = 0;
+  int64_t requests_sent_ = 0;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_ROUTING_SERVICE_ROUTER_H_

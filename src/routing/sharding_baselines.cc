@@ -1,0 +1,103 @@
+#include "src/routing/sharding_baselines.h"
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace shardman {
+
+StaticSharder::StaticSharder(int total_tasks) : total_tasks_(total_tasks) {
+  SM_CHECK_GT(total_tasks, 0);
+}
+
+int StaticSharder::TaskFor(uint64_t key) const {
+  return static_cast<int>(key % static_cast<uint64_t>(total_tasks_));
+}
+
+double StaticSharder::RemappedFraction(int old_tasks, int new_tasks, int samples) {
+  SM_CHECK_GT(old_tasks, 0);
+  SM_CHECK_GT(new_tasks, 0);
+  StaticSharder before(old_tasks);
+  StaticSharder after(new_tasks);
+  Rng rng(12345);
+  int moved = 0;
+  for (int i = 0; i < samples; ++i) {
+    uint64_t key = rng.Next();
+    if (before.TaskFor(key) != after.TaskFor(key)) {
+      ++moved;
+    }
+  }
+  return static_cast<double>(moved) / samples;
+}
+
+ConsistentHashRing::ConsistentHashRing(int vnodes_per_server) : vnodes_(vnodes_per_server) {
+  SM_CHECK_GT(vnodes_per_server, 0);
+}
+
+uint64_t ConsistentHashRing::Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+void ConsistentHashRing::AddServer(ServerId server) {
+  SM_CHECK(server.valid());
+  if (Contains(server)) {
+    return;
+  }
+  for (int v = 0; v < vnodes_; ++v) {
+    uint64_t point = Mix((static_cast<uint64_t>(server.value) << 20) | static_cast<uint64_t>(v));
+    ring_[point] = server.value;
+  }
+  ++servers_;
+}
+
+void ConsistentHashRing::RemoveServer(ServerId server) {
+  if (!Contains(server)) {
+    return;
+  }
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == server.value) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  --servers_;
+}
+
+bool ConsistentHashRing::Contains(ServerId server) const {
+  for (const auto& [point, owner] : ring_) {
+    if (owner == server.value) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ServerId ConsistentHashRing::ServerFor(uint64_t key) const {
+  if (ring_.empty()) {
+    return ServerId();
+  }
+  auto it = ring_.lower_bound(Mix(key));
+  if (it == ring_.end()) {
+    it = ring_.begin();  // wrap around
+  }
+  return ServerId(it->second);
+}
+
+double ConsistentHashRing::RemappedFraction(const ConsistentHashRing& other, int samples) const {
+  Rng rng(54321);
+  int moved = 0;
+  for (int i = 0; i < samples; ++i) {
+    uint64_t key = rng.Next();
+    if (ServerFor(key) != other.ServerFor(key)) {
+      ++moved;
+    }
+  }
+  return static_cast<double>(moved) / samples;
+}
+
+}  // namespace shardman

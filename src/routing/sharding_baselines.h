@@ -1,0 +1,65 @@
+// The two legacy sharding schemes SM competes with (§2.2.1, Fig. 4):
+//
+//   * Static sharding — taskID = key mod total_tasks. 35% of Facebook's sharded applications.
+//     Trivial, but any change to the task count remaps almost every key, and a task's shards
+//     are pinned to it (no load balancing, no drain).
+//   * Consistent hashing — a hash ring with virtual nodes. 10% of applications. Adding or
+//     removing a server only remaps ~1/N of the key space, but placement cannot express
+//     capacity, fault-domain or locality constraints.
+//
+// These implementations back the ablation bench that quantifies resharding cost across schemes
+// (bench/ablation_sharding), and are usable as real routing baselines in the testbed.
+
+#ifndef SRC_ROUTING_SHARDING_BASELINES_H_
+#define SRC_ROUTING_SHARDING_BASELINES_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace shardman {
+
+// taskID = key mod total_tasks (§2.2.1). Task ids index a dense container list.
+class StaticSharder {
+ public:
+  explicit StaticSharder(int total_tasks);
+
+  int total_tasks() const { return total_tasks_; }
+  int TaskFor(uint64_t key) const;
+
+  // Fraction of a key sample that maps to a different task under a new task count.
+  static double RemappedFraction(int old_tasks, int new_tasks, int samples = 100000);
+
+ private:
+  int total_tasks_;
+};
+
+// Consistent-hash ring with virtual nodes. Servers own the arcs preceding their vnode points.
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(int vnodes_per_server = 64);
+
+  void AddServer(ServerId server);
+  void RemoveServer(ServerId server);
+  bool Contains(ServerId server) const;
+  size_t NumServers() const { return servers_; }
+
+  // The server owning `key`; invalid id if the ring is empty.
+  ServerId ServerFor(uint64_t key) const;
+
+  // Fraction of a key sample whose owner differs between this ring and `other`.
+  double RemappedFraction(const ConsistentHashRing& other, int samples = 100000) const;
+
+ private:
+  static uint64_t Mix(uint64_t x);
+
+  int vnodes_;
+  size_t servers_ = 0;
+  std::map<uint64_t, int32_t> ring_;  // ring position -> server id value
+};
+
+}  // namespace shardman
+
+#endif  // SRC_ROUTING_SHARDING_BASELINES_H_

@@ -1,0 +1,73 @@
+#include "src/sim/network.h"
+
+#include <utility>
+
+namespace shardman {
+
+LatencyModel::LatencyModel(int num_regions, TimeMicros local, TimeMicros wide)
+    : num_regions_(num_regions),
+      matrix_(static_cast<size_t>(num_regions) * static_cast<size_t>(num_regions), wide) {
+  SM_CHECK_GT(num_regions, 0);
+  for (int r = 0; r < num_regions; ++r) {
+    matrix_[static_cast<size_t>(r) * static_cast<size_t>(num_regions_) + static_cast<size_t>(r)] =
+        local;
+  }
+}
+
+void LatencyModel::SetLatency(RegionId a, RegionId b, TimeMicros latency) {
+  SM_CHECK(a.valid() && a.value < num_regions_);
+  SM_CHECK(b.valid() && b.value < num_regions_);
+  matrix_[static_cast<size_t>(a.value) * static_cast<size_t>(num_regions_) +
+          static_cast<size_t>(b.value)] = latency;
+  matrix_[static_cast<size_t>(b.value) * static_cast<size_t>(num_regions_) +
+          static_cast<size_t>(a.value)] = latency;
+}
+
+TimeMicros LatencyModel::Latency(RegionId a, RegionId b) const {
+  SM_CHECK(a.valid() && a.value < num_regions_);
+  SM_CHECK(b.valid() && b.value < num_regions_);
+  return matrix_[static_cast<size_t>(a.value) * static_cast<size_t>(num_regions_) +
+                 static_cast<size_t>(b.value)];
+}
+
+Network::Network(Simulator* sim, LatencyModel model, uint64_t seed)
+    : sim_(sim),
+      model_(std::move(model)),
+      rng_(seed),
+      partitioned_(static_cast<size_t>(model_.num_regions()), false) {
+  SM_CHECK(sim != nullptr);
+}
+
+void Network::Send(RegionId from, RegionId to, std::function<void()> deliver) {
+  if (IsPartitioned(from) || IsPartitioned(to)) {
+    ++messages_dropped_;
+    return;
+  }
+  ++messages_sent_;
+  TimeMicros base = model_.Latency(from, to);
+  double factor = rng_.Uniform(1.0 - jitter_fraction_, 1.0 + jitter_fraction_);
+  TimeMicros delay = static_cast<TimeMicros>(static_cast<double>(base) * factor);
+  if (delay < 1) {
+    delay = 1;
+  }
+  sim_->Schedule(delay, std::move(deliver));
+}
+
+void Network::PartitionRegion(RegionId region) {
+  SM_CHECK(region.valid() && region.value < model_.num_regions());
+  partitioned_[static_cast<size_t>(region.value)] = true;
+}
+
+void Network::HealRegion(RegionId region) {
+  SM_CHECK(region.valid() && region.value < model_.num_regions());
+  partitioned_[static_cast<size_t>(region.value)] = false;
+}
+
+bool Network::IsPartitioned(RegionId region) const {
+  if (!region.valid() || region.value >= model_.num_regions()) {
+    return false;
+  }
+  return partitioned_[static_cast<size_t>(region.value)];
+}
+
+}  // namespace shardman

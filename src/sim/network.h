@@ -1,0 +1,74 @@
+// Simulated wide-area network: inter-region latency matrix with jitter, used by every simulated
+// RPC. One-way delivery only; request/response RPCs compose two Send() hops.
+
+#ifndef SRC_SIM_NETWORK_H_
+#define SRC_SIM_NETWORK_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/sim/simulator.h"
+
+namespace shardman {
+
+// Base one-way latencies between regions. Intra-region traffic uses the diagonal.
+class LatencyModel {
+ public:
+  // A symmetric model with `num_regions` regions: intra-region latency `local`, and inter-region
+  // latency defaults to `wide`; individual pairs can be overridden with SetLatency.
+  LatencyModel(int num_regions, TimeMicros local, TimeMicros wide);
+
+  int num_regions() const { return num_regions_; }
+
+  void SetLatency(RegionId a, RegionId b, TimeMicros latency);
+  TimeMicros Latency(RegionId a, RegionId b) const;
+
+ private:
+  int num_regions_;
+  std::vector<TimeMicros> matrix_;  // row-major num_regions x num_regions
+};
+
+// Delivers callbacks across the simulated network with latency + jitter. Region-level failures
+// can be injected: messages to/from a failed region are dropped.
+class Network {
+ public:
+  Network(Simulator* sim, LatencyModel model, uint64_t seed);
+
+  Simulator* sim() const { return sim_; }
+  const LatencyModel& latency_model() const { return model_; }
+
+  // Schedules `deliver` after the (jittered) one-way latency from `from` to `to`.
+  // If either region is partitioned away the message is silently dropped (like a real network).
+  void Send(RegionId from, RegionId to, std::function<void()> deliver);
+
+  // Returns the expected one-way latency (no jitter) for latency accounting.
+  TimeMicros ExpectedLatency(RegionId from, RegionId to) const { return model_.Latency(from, to); }
+
+  // Region-level partition injection.
+  void PartitionRegion(RegionId region);
+  void HealRegion(RegionId region);
+  bool IsPartitioned(RegionId region) const;
+
+  // Fractional jitter applied uniformly in [1 - j, 1 + j] around base latency (default 0.1).
+  void set_jitter_fraction(double j) { jitter_fraction_ = j; }
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  Simulator* sim_;
+  LatencyModel model_;
+  Rng rng_;
+  double jitter_fraction_ = 0.1;
+  std::vector<bool> partitioned_;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_SIM_NETWORK_H_

@@ -1,0 +1,99 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace shardman {
+
+EventId Simulator::ScheduleAt(TimeMicros when, Callback cb) {
+  SM_CHECK_GE(when, now_);
+  Event ev;
+  ev.when = when;
+  ev.seq = next_seq_++;
+  ev.id = next_id_++;
+  ev.cb = std::move(cb);
+  uint64_t id = ev.id;
+  queue_.push(std::move(ev));
+  return EventId{id};
+}
+
+EventId Simulator::SchedulePeriodic(TimeMicros first_delay, TimeMicros period, Callback cb) {
+  SM_CHECK_GT(period, 0);
+  uint64_t chain_id = next_id_++;
+  periodic_alive_.insert(chain_id);
+  // The chain's firings share chain_id through cancelled_ checks in PeriodicFire.
+  Callback shared_cb = std::move(cb);
+  Event ev;
+  ev.when = now_ + first_delay;
+  ev.seq = next_seq_++;
+  ev.id = next_id_++;
+  ev.cb = [this, chain_id, period, shared_cb]() { PeriodicFire(chain_id, period, shared_cb); };
+  queue_.push(std::move(ev));
+  return EventId{chain_id};
+}
+
+void Simulator::PeriodicFire(uint64_t chain_id, TimeMicros period, const Callback& cb) {
+  if (periodic_alive_.find(chain_id) == periodic_alive_.end()) {
+    return;
+  }
+  cb();
+  if (periodic_alive_.find(chain_id) == periodic_alive_.end()) {
+    return;  // The callback cancelled its own chain.
+  }
+  Event ev;
+  ev.when = now_ + period;
+  ev.seq = next_seq_++;
+  ev.id = next_id_++;
+  Callback again = cb;
+  ev.cb = [this, chain_id, period, again]() { PeriodicFire(chain_id, period, again); };
+  queue_.push(std::move(ev));
+}
+
+void Simulator::Cancel(EventId id) {
+  if (!id.valid()) {
+    return;
+  }
+  if (periodic_alive_.erase(id.value) > 0) {
+    return;
+  }
+  cancelled_.insert(id.value);
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) {
+      continue;
+    }
+    SM_CHECK_GE(ev.when, now_);
+    now_ = ev.when;
+    ++executed_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::RunUntil(TimeMicros t) {
+  SM_CHECK_GE(t, now_);
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id) > 0) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.when > t) {
+      break;
+    }
+    Step();
+  }
+  now_ = t;
+}
+
+void Simulator::RunAll() {
+  while (Step()) {
+  }
+}
+
+}  // namespace shardman

@@ -1,0 +1,136 @@
+#include "src/solver/annealing.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/solver/local_search.h"
+#include "src/solver/violation_tracker.h"
+
+namespace shardman {
+
+SolveResult SolveWithAnnealing(const Rebalancer& rebalancer, SolverProblem& problem,
+                               const AnnealOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  auto start = Clock::now();
+  auto elapsed = [&]() {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start).count();
+  };
+
+  problem.Validate();
+  Rng rng(options.seed);
+
+  // Annealing needs a complete assignment: place unassigned entities with the emergency path
+  // first (both backends share this bootstrap, so comparisons measure the optimization loop).
+  {
+    SolveOptions bootstrap;
+    bootstrap.emergency = true;
+    bootstrap.seed = options.seed;
+    bootstrap.trace_interval = 0;
+    LocalSearch search(&problem, &rebalancer, bootstrap);
+    search.Run();
+  }
+
+  ViolationTracker tracker(&problem, &rebalancer);
+  tracker.Init();
+
+  SolveResult result;
+  result.initial_violations = tracker.Count();
+
+  std::vector<int32_t> live_bins;
+  for (int b = 0; b < problem.num_bins(); ++b) {
+    if (problem.bin_alive[static_cast<size_t>(b)] != 0) {
+      live_bins.push_back(b);
+    }
+  }
+  const int entities = problem.num_entities();
+  if (entities == 0 || live_bins.empty()) {
+    result.final_violations = result.initial_violations;
+    return result;
+  }
+
+  // Calibrate T0 so that `initial_acceptance` of sampled uphill moves would be accepted.
+  double uphill_sum = 0.0;
+  int uphill_count = 0;
+  for (int i = 0; i < 256; ++i) {
+    int entity = static_cast<int>(rng.UniformInt(0, entities - 1));
+    int bin = rng.Pick(live_bins);
+    if (bin == problem.assignment[static_cast<size_t>(entity)]) {
+      continue;
+    }
+    double delta = tracker.MoveDelta(entity, bin);
+    if (delta > 0 && delta < ViolationTracker::kCapacityWeight / 2) {
+      uphill_sum += delta;
+      ++uphill_count;
+    }
+  }
+  double mean_uphill = uphill_count > 0 ? uphill_sum / uphill_count : 1.0;
+  double temperature = -mean_uphill / std::log(std::max(1e-9, options.initial_acceptance));
+  temperature = std::max(temperature, 1e-9);
+
+  TimeMicros last_trace = -1;
+  auto record = [&](bool force) {
+    if (options.trace_interval <= 0) {
+      return;
+    }
+    TimeMicros now = elapsed();
+    if (!force && last_trace >= 0 && now - last_trace < options.trace_interval) {
+      return;
+    }
+    last_trace = now;
+    TracePoint point;
+    point.wall_elapsed = now;
+    point.moves_applied = static_cast<int64_t>(result.moves.size());
+    point.violations = tracker.Count().total();
+    point.objective = tracker.objective();
+    result.trace.push_back(point);
+  };
+  record(/*force=*/true);
+
+  int64_t proposals = 0;
+  int check_interval = 4096;
+  while (true) {
+    if (options.max_proposals > 0 && proposals >= options.max_proposals) {
+      break;
+    }
+    if (proposals % check_interval == 0) {
+      if (options.time_budget > 0 && elapsed() >= options.time_budget) {
+        break;
+      }
+      tracker.RecomputeAll();  // fix incremental drift, refresh balance averages
+      record(/*force=*/false);
+    }
+    ++proposals;
+    int entity = static_cast<int>(rng.UniformInt(0, entities - 1));
+    int bin = rng.Pick(live_bins);
+    int from = problem.assignment[static_cast<size_t>(entity)];
+    if (bin == from) {
+      continue;
+    }
+    ++result.evaluations;
+    double delta = tracker.MoveDelta(entity, bin);
+    bool accept = delta < 0;
+    if (!accept && delta < ViolationTracker::kCapacityWeight / 2) {
+      accept = rng.Uniform() < std::exp(-delta / temperature);
+    }
+    if (accept) {
+      SolverMove move;
+      move.entity = entity;
+      move.from = from;
+      move.to = bin;
+      tracker.ApplyMove(entity, bin);
+      result.moves.push_back(move);
+    }
+    temperature *= options.cooling;
+  }
+
+  record(/*force=*/true);
+  result.final_violations = tracker.Count();
+  result.final_objective = tracker.objective();
+  result.wall_time = elapsed();
+  result.converged = false;  // annealing runs to its budget rather than to a fixed point
+  return result;
+}
+
+}  // namespace shardman

@@ -1,0 +1,39 @@
+// Simulated-annealing backend for the Rebalancer's spec set.
+//
+// Related-work context (§9): Azure Service Fabric "attempted to use LP/IP and genetic
+// algorithms, but found them not scalable or producing inferior solutions, and eventually
+// adopted simulated annealing. Compared with simulated annealing, SM's local search employs
+// advanced optimizations to speed up search." This backend implements the ASF-style approach
+// against the exact same problem/spec/objective machinery so the two can be compared head to
+// head (bench/ablation_backends).
+//
+// Classic anneal: propose a uniformly random (entity -> random live bin) move, accept if it
+// improves the objective or with probability exp(-delta/T); T decays geometrically from an
+// initial temperature calibrated to the typical |delta| of early proposals.
+
+#ifndef SRC_SOLVER_ANNEALING_H_
+#define SRC_SOLVER_ANNEALING_H_
+
+#include "src/solver/rebalancer.h"
+
+namespace shardman {
+
+struct AnnealOptions {
+  TimeMicros time_budget = Seconds(60);
+  int64_t max_proposals = 0;  // <=0: until budget
+  uint64_t seed = 1;
+  double initial_acceptance = 0.5;  // calibrates T0 from sampled uphill deltas
+  double cooling = 0.99997;         // per-proposal geometric decay
+  TimeMicros trace_interval = Millis(200);
+};
+
+// Solves `problem` against the specs configured on `rebalancer` using simulated annealing.
+// Returns the same SolveResult shape as Rebalancer::Solve for direct comparison. Hard
+// constraints are handled by the same huge objective weights as the local-search backend;
+// unassigned entities are first placed greedily (annealing needs a complete assignment).
+SolveResult SolveWithAnnealing(const Rebalancer& rebalancer, SolverProblem& problem,
+                               const AnnealOptions& options);
+
+}  // namespace shardman
+
+#endif  // SRC_SOLVER_ANNEALING_H_

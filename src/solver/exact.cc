@@ -1,0 +1,93 @@
+#include "src/solver/exact.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/solver/violation_tracker.h"
+
+namespace shardman {
+
+namespace {
+
+struct Enumerator {
+  SolverProblem* problem;
+  ViolationTracker* tracker;
+  const std::vector<int32_t>* live_bins;
+  ExactResult* result;
+  int64_t max_states;
+
+  // Depth-first over entities; incremental apply/undo through the tracker keeps leaf
+  // evaluation O(1).
+  bool Recurse(int entity) {
+    if (result->states_explored >= max_states) {
+      return false;
+    }
+    if (entity == problem->num_entities()) {
+      ++result->states_explored;
+      double objective = tracker->objective();
+      if (result->best_assignment.empty() || objective < result->best_objective - 1e-9) {
+        result->best_objective = objective;
+        result->best_violations = tracker->Count().total();
+        result->best_assignment = problem->assignment;
+      }
+      return true;
+    }
+    int32_t original = problem->assignment[static_cast<size_t>(entity)];
+    bool ok = true;
+    for (int32_t bin : *live_bins) {
+      if (bin != problem->assignment[static_cast<size_t>(entity)]) {
+        tracker->ApplyMove(entity, bin);
+      }
+      if (!Recurse(entity + 1)) {
+        ok = false;
+        break;
+      }
+    }
+    // Restore for the caller's iteration.
+    if (problem->assignment[static_cast<size_t>(entity)] != original && original >= 0) {
+      tracker->ApplyMove(entity, original);
+    }
+    return ok;
+  }
+};
+
+}  // namespace
+
+ExactResult SolveExact(const Rebalancer& rebalancer, const SolverProblem& problem,
+                       int64_t max_states) {
+  ExactResult result;
+  SolverProblem working = problem;
+  working.Validate();
+
+  std::vector<int32_t> live_bins;
+  for (int b = 0; b < working.num_bins(); ++b) {
+    if (working.bin_alive[static_cast<size_t>(b)] != 0) {
+      live_bins.push_back(b);
+    }
+  }
+  if (live_bins.empty() || working.num_entities() == 0) {
+    result.completed = true;
+    return result;
+  }
+  // Bail out early if the space is clearly too large.
+  double states = std::pow(static_cast<double>(live_bins.size()),
+                           static_cast<double>(working.num_entities()));
+  if (states > static_cast<double>(max_states) * 4.0) {
+    return result;
+  }
+  // Start from a complete assignment so the tracker's incremental deltas are well-defined.
+  for (auto& bin : working.assignment) {
+    if (bin < 0 || working.bin_alive[static_cast<size_t>(bin)] == 0) {
+      bin = live_bins.front();
+    }
+  }
+
+  ViolationTracker tracker(&working, &rebalancer);
+  tracker.Init();
+
+  Enumerator enumerator{&working, &tracker, &live_bins, &result, max_states};
+  result.completed = enumerator.Recurse(0);
+  return result;
+}
+
+}  // namespace shardman

@@ -1,0 +1,33 @@
+// Exhaustive optimal solver for tiny assignment problems.
+//
+// Production-scale problems have billions of variables (§5.2) and only heuristic backends are
+// feasible — but on problems with a few entities and bins, exhaustive enumeration gives the
+// certified optimum. The property tests use this to measure the local-search backend's
+// optimality gap: on every tiny random instance, local search must reach the same *violation
+// count* as the exact optimum (objective ties may differ).
+
+#ifndef SRC_SOLVER_EXACT_H_
+#define SRC_SOLVER_EXACT_H_
+
+#include <vector>
+
+#include "src/solver/rebalancer.h"
+
+namespace shardman {
+
+struct ExactResult {
+  bool completed = false;          // false if the state space exceeded `max_states`
+  int64_t best_violations = 0;
+  double best_objective = 0.0;
+  std::vector<int32_t> best_assignment;
+  int64_t states_explored = 0;
+};
+
+// Enumerates every assignment of entities to live bins (bins^entities states, capped at
+// `max_states`) and returns the minimum-objective one under the rebalancer's specs.
+ExactResult SolveExact(const Rebalancer& rebalancer, const SolverProblem& problem,
+                       int64_t max_states = 2000000);
+
+}  // namespace shardman
+
+#endif  // SRC_SOLVER_EXACT_H_

@@ -1,0 +1,96 @@
+// LocalSearch: the greedy local-search engine behind Rebalancer::Solve (§5.3).
+//
+// The search repeatedly picks the "hottest" bin (largest violation contribution under the
+// current goal batch), evaluates candidate moves of its largest entities to sampled target bins,
+// and applies the best improving move. It terminates when no improving move remains or a
+// time/move budget is exhausted.
+
+#ifndef SRC_SOLVER_LOCAL_SEARCH_H_
+#define SRC_SOLVER_LOCAL_SEARCH_H_
+
+#include <chrono>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/solver/problem.h"
+#include "src/solver/rebalancer.h"
+#include "src/solver/violation_tracker.h"
+
+namespace shardman {
+
+class LocalSearch {
+ public:
+  LocalSearch(SolverProblem* problem, const Rebalancer* specs, const SolveOptions& options);
+
+  SolveResult Run();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  // Goal batches in descending priority (§5.3: earlier batches get longer timeouts).
+  struct Batch {
+    uint32_t mask;
+    double time_fraction;
+  };
+
+  TimeMicros Elapsed() const;
+  bool BudgetExhausted(TimeMicros deadline) const;
+
+  // Fast placement of unassigned entities (emergency mode and the hard batch): least-loaded of
+  // a feasibility-checked sample, spreading a failed server's entities widely (§5.1 goal 7).
+  void PlaceUnavailable(TimeMicros deadline);
+
+  void RunBatch(uint32_t mask, TimeMicros deadline);
+
+  // Attempts the single best improving move of an entity off `bin`. Entities are examined in
+  // priority order for the current goal batch: members of violating groups first in the group
+  // batch, largest-first in the load batches. Returns true if applied.
+  bool TryImproveBin(int bin, uint32_t mask, TimeMicros deadline);
+
+  // Attempts a two-way swap between `bin`'s largest entity and a small entity of a sampled
+  // cold bin. Returns true if an improving swap was applied.
+  bool TrySwap(int bin);
+
+  // Samples a candidate target bin for `entity` (stratified across regions when enabled,
+  // honoring the entity's group affinity/spread deficits; uniform otherwise).
+  int SampleCandidate(int entity);
+
+  // Rebuilds hot-bin penalties, per-region cold-bin lists and scope averages.
+  void RefreshStructures(uint32_t mask);
+
+  void RecordTrace(bool force);
+
+  void ApplyAndRecord(int entity, int to);
+
+  SolverProblem* problem_;
+  const Rebalancer* specs_;
+  SolveOptions options_;
+  ViolationTracker tracker_;
+  Rng rng_;
+
+  Clock::time_point start_;
+  TimeMicros last_trace_ = -1;
+
+  std::vector<SolverMove> moves_;
+  int64_t evaluations_ = 0;
+  bool converged_ = false;
+  std::vector<TracePoint> trace_;
+
+  // Refreshable structures.
+  std::vector<double> bin_penalty_;
+  std::vector<int32_t> hot_bins_;                       // sorted hottest-first
+  std::vector<std::vector<int32_t>> region_cold_bins_;  // per region, coldest-first
+  std::vector<int32_t> all_live_bins_;
+  int moves_since_refresh_ = 0;
+
+  // Equivalence classes: dense class id per entity; (class, from-bin) pairs that failed to
+  // improve since the last applied move are skipped.
+  std::vector<int32_t> entity_class_;
+  std::unordered_set<int64_t> failed_class_bin_;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_SOLVER_LOCAL_SEARCH_H_

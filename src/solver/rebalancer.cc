@@ -1,0 +1,48 @@
+#include "src/solver/rebalancer.h"
+
+#include "src/solver/local_search.h"
+#include "src/solver/violation_tracker.h"
+
+namespace shardman {
+
+void Rebalancer::AddConstraint(const CapacitySpec& spec) { capacities_.push_back(spec); }
+
+void Rebalancer::AddGoal(const BalanceSpec& spec, double weight) {
+  balances_.emplace_back(spec, weight);
+}
+
+void Rebalancer::AddGoal(const ThresholdSpec& spec, double weight) {
+  thresholds_.emplace_back(spec, weight);
+}
+
+void Rebalancer::AddGoal(const AffinitySpec& spec, double weight) {
+  for (AffinityEntry entry : spec.entries) {
+    entry.weight *= weight;
+    affinities_.push_back(entry);
+  }
+}
+
+void Rebalancer::AddGoal(const ExclusionSpec& spec, double weight) {
+  exclusions_.emplace_back(spec, weight);
+}
+
+void Rebalancer::AddGoal(const DrainSpec& spec, double weight) {
+  (void)spec;
+  drain_weight_ = weight;
+  has_drain_goal_ = true;
+}
+
+SolveResult Rebalancer::Solve(SolverProblem& problem, const SolveOptions& options) const {
+  LocalSearch search(&problem, this, options);
+  return search.Run();
+}
+
+ViolationCounts Rebalancer::Count(const SolverProblem& problem) const {
+  // Count() does not mutate; the tracker API takes a mutable pointer for ApplyMove, which we
+  // do not call here.
+  ViolationTracker tracker(const_cast<SolverProblem*>(&problem), this);
+  tracker.Init();
+  return tracker.Count();
+}
+
+}  // namespace shardman

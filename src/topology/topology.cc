@@ -1,0 +1,76 @@
+#include "src/topology/topology.h"
+
+#include <utility>
+
+namespace shardman {
+
+RegionId Topology::AddRegion(std::string name) {
+  RegionId id(static_cast<int32_t>(regions_.size()));
+  regions_.push_back(RegionInfo{id, std::move(name), {}});
+  return id;
+}
+
+DataCenterId Topology::AddDataCenter(RegionId region, std::string name) {
+  SM_CHECK(region.valid() && region.value < num_regions());
+  DataCenterId id(static_cast<int32_t>(data_centers_.size()));
+  data_centers_.push_back(DataCenterInfo{id, region, std::move(name), {}});
+  regions_[static_cast<size_t>(region.value)].data_centers.push_back(id);
+  return id;
+}
+
+RackId Topology::AddRack(DataCenterId dc) {
+  SM_CHECK(dc.valid() && dc.value < num_data_centers());
+  RackId id(static_cast<int32_t>(racks_.size()));
+  const DataCenterInfo& dc_info = data_centers_[static_cast<size_t>(dc.value)];
+  racks_.push_back(RackInfo{id, dc, dc_info.region, {}});
+  data_centers_[static_cast<size_t>(dc.value)].racks.push_back(id);
+  return id;
+}
+
+MachineId Topology::AddMachine(RackId rack, ResourceVector capacity, bool has_storage) {
+  SM_CHECK(rack.valid() && rack.value < num_racks());
+  MachineId id(static_cast<int32_t>(machines_.size()));
+  const RackInfo& rack_info = racks_[static_cast<size_t>(rack.value)];
+  machines_.push_back(MachineInfo{id, rack, rack_info.data_center, rack_info.region,
+                                  std::move(capacity), has_storage});
+  racks_[static_cast<size_t>(rack.value)].machines.push_back(id);
+  return id;
+}
+
+std::vector<MachineId> Topology::MachinesInRegion(RegionId region) const {
+  std::vector<MachineId> out;
+  for (const MachineInfo& m : machines_) {
+    if (m.region == region) {
+      out.push_back(m.id);
+    }
+  }
+  return out;
+}
+
+RegionId Topology::FindRegion(const std::string& name) const {
+  for (const RegionInfo& r : regions_) {
+    if (r.name == name) {
+      return r.id;
+    }
+  }
+  return RegionId();
+}
+
+Topology BuildSymmetric(const SymmetricTopologySpec& spec) {
+  Topology topo;
+  for (const std::string& name : spec.region_names) {
+    RegionId region = topo.AddRegion(name);
+    for (int d = 0; d < spec.data_centers_per_region; ++d) {
+      DataCenterId dc = topo.AddDataCenter(region, name + "-dc" + std::to_string(d));
+      for (int r = 0; r < spec.racks_per_data_center; ++r) {
+        RackId rack = topo.AddRack(dc);
+        for (int m = 0; m < spec.machines_per_rack; ++m) {
+          topo.AddMachine(rack, spec.base_capacity, spec.machines_have_storage);
+        }
+      }
+    }
+  }
+  return topo;
+}
+
+}  // namespace shardman

@@ -1,0 +1,112 @@
+// Fault-domain topology: region > data center > rack > machine.
+//
+// The placement engine reasons about this tree for replica spreading (§5.1 soft goal 2) and the
+// cluster manager places containers on machines within it. Machines carry heterogeneous capacity
+// vectors (§8.4: storage capacity varies up to 20% in the ZippyDB snapshot).
+
+#ifndef SRC_TOPOLOGY_TOPOLOGY_H_
+#define SRC_TOPOLOGY_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/ids.h"
+#include "src/common/resource.h"
+
+namespace shardman {
+
+struct RegionInfo {
+  RegionId id;
+  std::string name;
+  std::vector<DataCenterId> data_centers;
+};
+
+struct DataCenterInfo {
+  DataCenterId id;
+  RegionId region;
+  std::string name;
+  std::vector<RackId> racks;
+};
+
+struct RackInfo {
+  RackId id;
+  DataCenterId data_center;
+  RegionId region;
+  std::vector<MachineId> machines;
+};
+
+struct MachineInfo {
+  MachineId id;
+  RackId rack;
+  DataCenterId data_center;
+  RegionId region;
+  ResourceVector capacity;
+  bool has_storage = false;
+};
+
+// Immutable after building. Built either by hand (AddRegion/AddDataCenter/...) or via the
+// symmetric helper BuildSymmetric().
+class Topology {
+ public:
+  // -- Construction -------------------------------------------------------------------------
+  RegionId AddRegion(std::string name);
+  DataCenterId AddDataCenter(RegionId region, std::string name);
+  RackId AddRack(DataCenterId dc);
+  MachineId AddMachine(RackId rack, ResourceVector capacity, bool has_storage = false);
+
+  // -- Accessors ----------------------------------------------------------------------------
+  int num_regions() const { return static_cast<int>(regions_.size()); }
+  int num_data_centers() const { return static_cast<int>(data_centers_.size()); }
+  int num_racks() const { return static_cast<int>(racks_.size()); }
+  int num_machines() const { return static_cast<int>(machines_.size()); }
+
+  const RegionInfo& region(RegionId id) const {
+    SM_CHECK(id.valid() && id.value < num_regions());
+    return regions_[static_cast<size_t>(id.value)];
+  }
+  const DataCenterInfo& data_center(DataCenterId id) const {
+    SM_CHECK(id.valid() && id.value < num_data_centers());
+    return data_centers_[static_cast<size_t>(id.value)];
+  }
+  const RackInfo& rack(RackId id) const {
+    SM_CHECK(id.valid() && id.value < num_racks());
+    return racks_[static_cast<size_t>(id.value)];
+  }
+  const MachineInfo& machine(MachineId id) const {
+    SM_CHECK(id.valid() && id.value < num_machines());
+    return machines_[static_cast<size_t>(id.value)];
+  }
+
+  // Region containing a machine (frequent lookup in placement and routing code).
+  RegionId MachineRegion(MachineId id) const { return machine(id).region; }
+
+  // All machines in a region.
+  std::vector<MachineId> MachinesInRegion(RegionId region) const;
+
+  // Finds a region by name, or an invalid id.
+  RegionId FindRegion(const std::string& name) const;
+
+ private:
+  std::vector<RegionInfo> regions_;
+  std::vector<DataCenterInfo> data_centers_;
+  std::vector<RackInfo> racks_;
+  std::vector<MachineInfo> machines_;
+};
+
+// Parameters for a symmetric topology (identical regions). `capacity_fn` may introduce machine
+// heterogeneity; when null every machine gets `base_capacity`.
+struct SymmetricTopologySpec {
+  std::vector<std::string> region_names;
+  int data_centers_per_region = 1;
+  int racks_per_data_center = 4;
+  int machines_per_rack = 8;
+  ResourceVector base_capacity;
+  bool machines_have_storage = false;
+};
+
+Topology BuildSymmetric(const SymmetricTopologySpec& spec);
+
+}  // namespace shardman
+
+#endif  // SRC_TOPOLOGY_TOPOLOGY_H_

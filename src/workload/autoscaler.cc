@@ -1,0 +1,71 @@
+#include "src/workload/autoscaler.h"
+
+#include "src/common/check.h"
+
+namespace shardman {
+
+ContainerAutoscaler::ContainerAutoscaler(Testbed* testbed, AutoscalerConfig config)
+    : testbed_(testbed), config_(config) {
+  SM_CHECK(testbed != nullptr);
+  SM_CHECK_GT(config.step, 0);
+  SM_CHECK_LT(config.low_watermark, config.high_watermark);
+}
+
+void ContainerAutoscaler::Start() {
+  testbed_->sim().SchedulePeriodic(config_.interval, config_.interval, [this]() { RunOnce(); });
+}
+
+double ContainerAutoscaler::MeasureUtilization() const {
+  double load = 0.0;
+  double capacity = 0.0;
+  for (ServerId id : testbed_->servers()) {
+    const ServerHandle* handle = testbed_->registry().Get(id);
+    if (handle == nullptr || !handle->alive || handle->api == nullptr) {
+      continue;
+    }
+    capacity += handle->capacity.Total();
+    for (const ShardLoadEntry& entry : handle->api->ReportLoads().entries) {
+      load += entry.load.Total();
+    }
+  }
+  return capacity > 0.0 ? load / capacity : 0.0;
+}
+
+int ContainerAutoscaler::RunOnce() {
+  double utilization = MeasureUtilization();
+  int servers = static_cast<int>(testbed_->servers().size());
+  if (utilization > config_.high_watermark && servers < config_.max_servers) {
+    int count = std::min(config_.step, config_.max_servers - servers);
+    testbed_->ScaleOut(config_.region, count);
+    ++scale_outs_;
+    // New capacity is useless until shards spread onto it.
+    testbed_->orchestrator().TriggerPeriodicAllocation();
+    return count;
+  }
+  if (utilization < config_.low_watermark && servers > config_.min_servers) {
+    // Scale in the least-loaded live server via the negotiated stop path.
+    ServerId victim;
+    double victim_load = 0.0;
+    for (ServerId id : testbed_->servers()) {
+      const ServerHandle* handle = testbed_->registry().Get(id);
+      if (handle == nullptr || !handle->alive || handle->api == nullptr) {
+        continue;
+      }
+      double load = 0.0;
+      for (const ShardLoadEntry& entry : handle->api->ReportLoads().entries) {
+        load += entry.load.Total();
+      }
+      if (!victim.valid() || load < victim_load) {
+        victim = id;
+        victim_load = load;
+      }
+    }
+    if (victim.valid() && testbed_->ScaleIn(victim).ok()) {
+      ++scale_ins_;
+      return -1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace shardman

@@ -1,0 +1,56 @@
+// ContainerAutoscaler: the auto-scaler the paper's TaskController negotiates with (§4.1:
+// "an auto-scaler adjusting an application's container count in response to load changes").
+//
+// Periodically measures fleet utilization (aggregate reported shard load over aggregate server
+// capacity) and scales the container count to keep it inside a band. Scale-downs go through the
+// cluster manager's negotiable stop path, so the TaskController drains the victim before its
+// container stops; scale-ups register fresh servers that the next allocation round starts
+// using — which is exactly the §7 infrastructure contract ("dynamically adjusting shard
+// placement as an auto-scaler adjusts the application's container count").
+
+#ifndef SRC_WORKLOAD_AUTOSCALER_H_
+#define SRC_WORKLOAD_AUTOSCALER_H_
+
+#include "src/workload/testbed.h"
+
+namespace shardman {
+
+struct AutoscalerConfig {
+  TimeMicros interval = Minutes(2);
+  // Utilization band: above high -> scale out; below low -> scale in.
+  double high_watermark = 0.75;
+  double low_watermark = 0.35;
+  int min_servers = 2;
+  int max_servers = 1000;
+  // Containers added/removed per action.
+  int step = 1;
+  // Region receiving scale-outs (single-region autoscaling; geo autoscaling would pick the
+  // most loaded region).
+  RegionId region = RegionId(0);
+};
+
+class ContainerAutoscaler {
+ public:
+  ContainerAutoscaler(Testbed* testbed, AutoscalerConfig config);
+
+  void Start();
+
+  // One evaluation: returns +n for a scale-out of n, -n for a scale-in, 0 for no action.
+  int RunOnce();
+
+  // Current fleet utilization estimate in [0, inf).
+  double MeasureUtilization() const;
+
+  int64_t scale_outs() const { return scale_outs_; }
+  int64_t scale_ins() const { return scale_ins_; }
+
+ private:
+  Testbed* testbed_;
+  AutoscalerConfig config_;
+  int64_t scale_outs_ = 0;
+  int64_t scale_ins_ = 0;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_WORKLOAD_AUTOSCALER_H_

@@ -1,0 +1,55 @@
+#include "src/workload/load_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace shardman {
+
+std::vector<double> SampleShardLoadScalars(int n, double spread, Rng& rng) {
+  SM_CHECK_GT(n, 0);
+  SM_CHECK_GE(spread, 1.0);
+  std::vector<double> loads(static_cast<size_t>(n));
+  double log_spread = std::log(spread);
+  double sum = 0.0;
+  for (double& load : loads) {
+    load = std::exp(rng.Uniform() * log_spread);  // log-uniform in [1, spread]
+    sum += load;
+  }
+  double mean = sum / static_cast<double>(n);
+  for (double& load : loads) {
+    load /= mean;
+  }
+  return loads;
+}
+
+std::vector<double> SampleCapacities(int n, double base, double variation, Rng& rng) {
+  SM_CHECK_GT(n, 0);
+  SM_CHECK_GE(variation, 0.0);
+  std::vector<double> caps(static_cast<size_t>(n));
+  for (double& cap : caps) {
+    cap = base * rng.Uniform(1.0 - variation, 1.0 + variation);
+  }
+  return caps;
+}
+
+double DiurnalFactor(TimeMicros t, double trough, double peak_hour) {
+  SM_CHECK_GE(trough, 0.0);
+  SM_CHECK_LE(trough, 1.0);
+  double hours = ToSeconds(t) / 3600.0;
+  double phase = 2.0 * M_PI * (hours - peak_hour) / 24.0;
+  // cos(phase) = 1 at the peak hour.
+  double normalized = 0.5 * (std::cos(phase) + 1.0);  // [0, 1]
+  return trough + (1.0 - trough) * normalized;
+}
+
+ResourceVector MakeLoadVector(double intensity, const std::vector<double>& metric_mix) {
+  ResourceVector load(static_cast<int>(metric_mix.size()));
+  for (size_t m = 0; m < metric_mix.size(); ++m) {
+    load[static_cast<int>(m)] = intensity * metric_mix[m];
+  }
+  return load;
+}
+
+}  // namespace shardman

@@ -1,0 +1,33 @@
+// Workload generators: per-shard intrinsic loads with a heavy-tailed spread (§8.4: the largest
+// ZippyDB shard's load is 20x the smallest), heterogeneous server capacities (±20% storage),
+// and the diurnal modulation every production figure exhibits (Figs 18, 23).
+
+#ifndef SRC_WORKLOAD_LOAD_GEN_H_
+#define SRC_WORKLOAD_LOAD_GEN_H_
+
+#include <vector>
+
+#include "src/common/resource.h"
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+
+namespace shardman {
+
+// Samples `n` per-shard load scalars whose max/min ratio is approximately `spread` (log-uniform
+// between 1 and spread, then normalized to mean 1.0).
+std::vector<double> SampleShardLoadScalars(int n, double spread, Rng& rng);
+
+// Samples heterogeneous capacities: base * Uniform[1 - variation, 1 + variation].
+std::vector<double> SampleCapacities(int n, double base, double variation, Rng& rng);
+
+// Diurnal load factor at time t: sinusoid with a 24h period oscillating in [trough, 1.0],
+// peaking at `peak_hour` local time.
+double DiurnalFactor(TimeMicros t, double trough, double peak_hour = 20.0);
+
+// Builds a multi-metric load vector from a scalar intensity: each metric gets the scalar times
+// a per-metric mix factor (so metrics are correlated but not identical).
+ResourceVector MakeLoadVector(double intensity, const std::vector<double>& metric_mix);
+
+}  // namespace shardman
+
+#endif  // SRC_WORKLOAD_LOAD_GEN_H_

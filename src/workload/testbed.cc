@@ -1,0 +1,320 @@
+#include "src/workload/testbed.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace shardman {
+
+Testbed::Testbed(TestbedConfig config) : config_(std::move(config)), rng_(config_.seed) {
+  SM_CHECK(!config_.regions.empty());
+  SM_CHECK_GT(config_.servers_per_region, 0);
+  SM_CHECK_GT(config_.app.num_shards(), 0);
+
+  const int metrics = config_.app.placement.metrics.size();
+  SM_CHECK_GT(metrics, 0);
+  if (config_.server_capacity.dims() == 0) {
+    config_.server_capacity = ResourceVector(metrics);
+    for (int m = 0; m < metrics; ++m) {
+      config_.server_capacity[m] = 100.0;
+    }
+  }
+  SM_CHECK_EQ(config_.server_capacity.dims(), metrics);
+
+  // Topology: enough machines per region for the requested containers (one container/machine).
+  SymmetricTopologySpec topo_spec;
+  topo_spec.region_names = config_.regions;
+  topo_spec.data_centers_per_region = config_.data_centers_per_region;
+  topo_spec.racks_per_data_center = config_.racks_per_data_center;
+  int racks = std::max(1, config_.data_centers_per_region * config_.racks_per_data_center);
+  topo_spec.machines_per_rack = (config_.servers_per_region + racks - 1) / racks;
+  topo_spec.base_capacity = config_.server_capacity;
+  topology_ = BuildSymmetric(topo_spec);
+
+  LatencyModel latency(static_cast<int>(config_.regions.size()), config_.local_latency,
+                       config_.wide_latency);
+  network_ = std::make_unique<Network>(&sim_, latency, rng_.Next());
+  coord_ = std::make_unique<CoordStore>(&sim_);
+  discovery_ = std::make_unique<ServiceDiscovery>(&sim_, config_.discovery_min_delay,
+                                                  config_.discovery_max_delay, rng_.Next());
+  for (size_t r = 0; r < config_.regions.size(); ++r) {
+    RegionId region(static_cast<int32_t>(r));
+    cluster_managers_.push_back(std::make_unique<ClusterManager>(
+        &sim_, &topology_, region, static_cast<int32_t>(r) * 1000000 + 1, rng_.Next()));
+  }
+}
+
+Testbed::~Testbed() = default;
+
+ClusterManager& Testbed::cluster_manager(RegionId region) {
+  SM_CHECK(region.valid());
+  SM_CHECK_LT(static_cast<size_t>(region.value), cluster_managers_.size());
+  return *cluster_managers_[static_cast<size_t>(region.value)];
+}
+
+void Testbed::CreateServer(ClusterManager& cm, ContainerId container) {
+  const ContainerRecord& record = cm.container(container);
+  const MachineInfo& machine = topology_.machine(record.machine);
+  ServerId server_id(container.value);  // 1:1 container <-> application server
+
+  ServerSlot slot;
+  slot.container = container;
+  slot.region = machine.region;
+
+  const int metrics = config_.app.placement.metrics.size();
+  switch (config_.app_kind) {
+    case TestAppKind::kKvStore:
+      slot.app = std::make_unique<KvStoreApp>(&sim_, network_.get(), &registry_, server_id,
+                                              machine.region, metrics);
+      break;
+    case TestAppKind::kReplicatedStore:
+      slot.app = std::make_unique<ReplicatedStoreApp>(&sim_, network_.get(), &registry_,
+                                                      server_id, machine.region, metrics,
+                                                      config_.app.id, discovery_.get(),
+                                                      &peer_directory_);
+      break;
+    case TestAppKind::kQueue:
+      slot.app = std::make_unique<QueueApp>(&sim_, network_.get(), &registry_, server_id,
+                                            machine.region, metrics);
+      break;
+    case TestAppKind::kMaterializedKv:
+      slot.app = std::make_unique<MaterializedKvApp>(&sim_, network_.get(), &registry_,
+                                                     server_id, machine.region, metrics,
+                                                     &data_bus_);
+      break;
+  }
+  slot.app->set_processing_delay(config_.server_processing_delay);
+  if (config_.app.strategy == ReplicationStrategy::kSecondaryOnly) {
+    slot.app->set_allow_writes_on_secondary(true);
+  }
+  if (!config_.shard_load_scalars.empty()) {
+    // Shared closure over the load table: per-shard intrinsic load, equal mix across metrics.
+    const std::vector<double>* loads = &config_.shard_load_scalars;
+    int dims = metrics;
+    slot.app->set_base_load_fn([loads, dims](ShardId shard) {
+      ResourceVector load(dims);
+      double scalar = (*loads)[static_cast<size_t>(shard.value) % loads->size()];
+      for (int m = 0; m < dims; ++m) {
+        load[m] = scalar;
+      }
+      return load;
+    });
+  }
+
+  slot.library = std::make_unique<SmLibrary>(coord_.get(), config_.app.name, server_id,
+                                             slot.app.get());
+  slot.library->Connect();
+
+  ServerHandle handle;
+  handle.id = server_id;
+  handle.container = container;
+  handle.app = config_.app.id;
+  handle.machine = machine.id;
+  handle.region = machine.region;
+  handle.data_center = machine.data_center;
+  handle.rack = machine.rack;
+  handle.capacity = config_.server_capacity;
+  handle.api = slot.app.get();
+  handle.alive = true;
+  registry_.Register(handle);
+
+  server_slots_.emplace(container.value, std::move(slot));
+}
+
+void Testbed::Start() {
+  SM_CHECK(!started_);
+  started_ = true;
+
+  // Create jobs and application servers in every region.
+  for (auto& cm : cluster_managers_) {
+    Result<std::vector<ContainerId>> containers =
+        cm->CreateJob(config_.app.id, config_.servers_per_region);
+    SM_CHECK(containers.ok());
+    for (ContainerId container : containers.value()) {
+      CreateServer(*cm, container);
+    }
+    // Application-side lifecycle glue must run before the mini-SM's listener: on restart, the
+    // server reloads its shards from the coordination store before SM flips availability.
+    ContainerLifecycleListener glue;
+    glue.on_down = [this](ContainerId container, bool planned) {
+      auto it = server_slots_.find(container.value);
+      if (it == server_slots_.end()) {
+        return;
+      }
+      (void)planned;
+      it->second.app->OnCrash();  // soft state is lost either way in this app family
+      it->second.library->Disconnect();
+    };
+    glue.on_up = [this](ContainerId container) {
+      auto it = server_slots_.find(container.value);
+      if (it == server_slots_.end()) {
+        return;
+      }
+      it->second.library->Connect();
+      it->second.library->RestoreAssignmentFromCoord();
+    };
+    glue.on_stopped = [this](ContainerId container) {
+      auto it = server_slots_.find(container.value);
+      if (it != server_slots_.end()) {
+        it->second.library->Disconnect();
+      }
+    };
+    cm->AddLifecycleListener(config_.app.id, std::move(glue));
+  }
+
+  std::vector<ClusterManager*> cms;
+  for (auto& cm : cluster_managers_) {
+    cms.push_back(cm.get());
+  }
+  mini_sm_ = std::make_unique<MiniSm>(&sim_, network_.get(), coord_.get(), discovery_.get(),
+                                      &registry_, std::move(cms), config_.app, RegionId(0),
+                                      config_.mini_sm);
+  mini_sm_->Start();
+}
+
+bool Testbed::RunUntilAllReady(TimeMicros timeout) {
+  TimeMicros deadline = sim_.Now() + timeout;
+  while (sim_.Now() < deadline) {
+    if (orchestrator().AllReady()) {
+      return true;
+    }
+    sim_.RunFor(Millis(100));
+  }
+  return orchestrator().AllReady();
+}
+
+ShardHostBase* Testbed::app_server(ServerId id) {
+  auto it = server_slots_.find(id.value);  // server id == container id
+  return it != server_slots_.end() ? it->second.app.get() : nullptr;
+}
+
+RegionId Testbed::region_of(ServerId id) const {
+  auto it = server_slots_.find(id.value);
+  return it != server_slots_.end() ? it->second.region : RegionId();
+}
+
+std::unique_ptr<ServiceRouter> Testbed::CreateRouter(RegionId region, RouterConfig config) {
+  return std::make_unique<ServiceRouter>(&sim_, network_.get(), discovery_.get(), &registry_,
+                                         &config_.app, region, config, rng_.Next());
+}
+
+std::vector<ServerId> Testbed::ScaleOut(RegionId region, int count) {
+  SM_CHECK(started_);
+  ClusterManager& cm = cluster_manager(region);
+  Result<std::vector<ContainerId>> added = cm.AddContainers(config_.app.id, count);
+  SM_CHECK(added.ok());
+  std::vector<ServerId> servers;
+  for (ContainerId container : added.value()) {
+    CreateServer(cm, container);
+    servers.push_back(ServerId(container.value));
+  }
+  return servers;
+}
+
+Status Testbed::ScaleIn(ServerId server) {
+  SM_CHECK(started_);
+  auto it = server_slots_.find(server.value);
+  if (it == server_slots_.end()) {
+    return NotFoundError("unknown server");
+  }
+  return cluster_manager(it->second.region).RequestStop(it->second.container);
+}
+
+void Testbed::FailRegion(RegionId region) { cluster_manager(region).FailRegion(-1); }
+
+void Testbed::RecoverRegion(RegionId region) { cluster_manager(region).RecoverRegion(); }
+
+void Testbed::StartRollingUpgradeEverywhere(int max_concurrent_per_region,
+                                            TimeMicros restart_downtime) {
+  for (auto& cm : cluster_managers_) {
+    cm->StartRollingUpgrade(config_.app.id, max_concurrent_per_region, restart_downtime);
+  }
+}
+
+bool Testbed::UpgradeInProgress() const {
+  for (const auto& cm : cluster_managers_) {
+    if (cm->UpgradeInProgress(config_.app.id)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------------------------
+// ProbeDriver
+// ---------------------------------------------------------------------------------------------
+
+ProbeDriver::ProbeDriver(Testbed* testbed, RegionId client_region, ProbeConfig config)
+    : testbed_(testbed), region_(client_region), config_(config), rng_(config.seed) {
+  SM_CHECK(testbed != nullptr);
+  SM_CHECK_GT(config_.requests_per_second, 0.0);
+  router_ = testbed_->CreateRouter(client_region, config_.router);
+}
+
+void ProbeDriver::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  current_ = ProbePoint{};
+  latency_sum_ms_ = 0.0;
+  TimeMicros gap = static_cast<TimeMicros>(1e6 / config_.requests_per_second);
+  send_timer_ = testbed_->sim().SchedulePeriodic(gap, gap, [this]() { SendOne(); });
+  roll_timer_ = testbed_->sim().SchedulePeriodic(config_.interval, config_.interval,
+                                                 [this]() { RollInterval(); });
+}
+
+void ProbeDriver::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  testbed_->sim().Cancel(send_timer_);
+  testbed_->sim().Cancel(roll_timer_);
+  RollInterval();
+}
+
+void ProbeDriver::SendOne() {
+  if (router_->map() == nullptr) {
+    return;  // A client cannot issue requests before its first shard-map resolution.
+  }
+  uint64_t key = rng_.Next();
+  double dice = rng_.Uniform();
+  RequestType type;
+  if (dice < config_.write_fraction) {
+    type = RequestType::kWrite;
+  } else if (dice < config_.write_fraction + config_.scan_fraction) {
+    type = RequestType::kScan;
+  } else {
+    type = RequestType::kRead;
+  }
+  ++current_.sent;
+  ++total_sent_;
+  router_->Route(key, type, key, [this](const RequestOutcome& outcome) {
+    if (outcome.success) {
+      ++current_.succeeded;
+      ++total_succeeded_;
+    } else {
+      ++current_.failed;
+      ++total_failed_;
+      ++failure_reasons_[outcome.status.ToString()];
+    }
+    double latency_ms = ToMillis(outcome.latency);
+    latency_sum_ms_ += latency_ms;
+    latency_hist_.Add(latency_ms);
+  });
+}
+
+void ProbeDriver::RollInterval() {
+  current_.time = testbed_->sim().Now();
+  int64_t finished = current_.succeeded + current_.failed;
+  current_.mean_latency_ms = finished > 0 ? latency_sum_ms_ / static_cast<double>(finished) : 0.0;
+  current_.p99_latency_ms = latency_hist_.PercentileEstimate(99);
+  series_.push_back(current_);
+  current_ = ProbePoint{};
+  latency_sum_ms_ = 0.0;
+  latency_hist_.Reset();
+}
+
+}  // namespace shardman

@@ -1,0 +1,216 @@
+// Testbed: assembles the full simulated stack for one application deployment —
+// topology -> regional cluster managers -> application servers (with SM library glue) ->
+// coordination store / discovery -> mini-SM — plus client-side probe drivers that measure
+// request success rate and latency through the real routing path.
+//
+// Every integration test, example and experiment builds on this.
+
+#ifndef SRC_WORKLOAD_TESTBED_H_
+#define SRC_WORKLOAD_TESTBED_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/apps/data_bus.h"
+#include "src/common/stats.h"
+#include "src/apps/kv_store_app.h"
+#include "src/apps/materialized_kv_app.h"
+#include "src/apps/queue_app.h"
+#include "src/apps/replicated_store_app.h"
+#include "src/cluster/cluster_manager.h"
+#include "src/coord/coord_store.h"
+#include "src/core/mini_sm.h"
+#include "src/core/sm_library.h"
+#include "src/routing/service_router.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+#include "src/topology/topology.h"
+
+namespace shardman {
+
+enum class TestAppKind {
+  kKvStore,
+  kReplicatedStore,
+  kQueue,
+  // §2.4 option 3: materialized state rebuilt from the external data bus — data survives
+  // migrations and crashes.
+  kMaterializedKv,
+};
+
+struct TestbedConfig {
+  std::vector<std::string> regions = {"region0"};
+  int data_centers_per_region = 1;
+  int racks_per_data_center = 4;
+  int servers_per_region = 8;
+
+  AppSpec app;
+  TestAppKind app_kind = TestAppKind::kKvStore;
+  // Per-server capacity in the app's metric space. Empty => 100 per metric.
+  ResourceVector server_capacity;
+  // Intrinsic per-shard replica load (scalar intensity per shard; metric mix of 1.0 each).
+  std::vector<double> shard_load_scalars;  // empty => uniform 0 load
+
+  MiniSmConfig mini_sm;
+
+  TimeMicros local_latency = Millis(1);
+  TimeMicros wide_latency = Millis(40);
+  TimeMicros discovery_min_delay = Millis(200);
+  TimeMicros discovery_max_delay = Millis(800);
+  TimeMicros server_processing_delay = Millis(1);
+
+  uint64_t seed = 42;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+  ~Testbed();
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  // Creates the jobs and servers and starts the mini-SM (initial placement begins).
+  void Start();
+
+  // Runs the simulator until every replica is ready, or `timeout` elapses.
+  // Returns true on full readiness.
+  bool RunUntilAllReady(TimeMicros timeout);
+
+  // -- Component access ---------------------------------------------------------------------
+  Simulator& sim() { return sim_; }
+  Network& network() { return *network_; }
+  const Topology& topology() const { return topology_; }
+  CoordStore& coord() { return *coord_; }
+  ServiceDiscovery& discovery() { return *discovery_; }
+  ServerRegistry& registry() { return registry_; }
+  ClusterManager& cluster_manager(RegionId region);
+  MiniSm& mini_sm() { return *mini_sm_; }
+  Orchestrator& orchestrator() { return mini_sm_->orchestrator(); }
+  const AppSpec& spec() const { return config_.app; }
+
+  std::vector<ServerId> servers() const { return registry_.ServersOf(config_.app.id); }
+  ShardHostBase* app_server(ServerId id);
+  RegionId region_of(ServerId id) const;
+
+  // -- Clients --------------------------------------------------------------------------------
+  std::unique_ptr<ServiceRouter> CreateRouter(RegionId region, RouterConfig config = {});
+
+  // -- Autoscaling (§4.1: "an auto-scaler adjusting an application's container count") --------
+  // Adds `count` containers (with application servers) in `region`; the next allocation uses
+  // them. Returns the new server ids.
+  std::vector<ServerId> ScaleOut(RegionId region, int count);
+  // Requests a negotiated stop of `server`'s container (the TaskController drains it first
+  // when the drain policy requires it).
+  Status ScaleIn(ServerId server);
+
+  // -- Fault / operations helpers ----------------------------------------------------------------
+  void FailRegion(RegionId region);
+  void RecoverRegion(RegionId region);
+  // Rolling upgrade of the app across every region's cluster manager.
+  void StartRollingUpgradeEverywhere(int max_concurrent_per_region, TimeMicros restart_downtime);
+  bool UpgradeInProgress() const;
+
+  ReplicaPeerDirectory& peer_directory() { return peer_directory_; }
+  DataBus& data_bus() { return data_bus_; }
+
+ private:
+  struct ServerSlot {
+    std::unique_ptr<ShardHostBase> app;
+    std::unique_ptr<SmLibrary> library;
+    ContainerId container;
+    RegionId region;
+  };
+
+  void CreateServer(ClusterManager& cm, ContainerId container);
+
+  TestbedConfig config_;
+  Simulator sim_;
+  Topology topology_;
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<CoordStore> coord_;
+  std::unique_ptr<ServiceDiscovery> discovery_;
+  ServerRegistry registry_;
+  std::vector<std::unique_ptr<ClusterManager>> cluster_managers_;
+  std::unique_ptr<MiniSm> mini_sm_;
+  std::unordered_map<int32_t, ServerSlot> server_slots_;
+  ReplicaPeerDirectory peer_directory_;
+  DataBus data_bus_;
+  Rng rng_;
+  bool started_ = false;
+};
+
+// ProbeDriver: sampled client traffic through the real router, aggregated per interval — the
+// measurement harness behind Figs 17-19.
+struct ProbePoint {
+  TimeMicros time = 0;     // end of the interval
+  int64_t sent = 0;
+  int64_t succeeded = 0;
+  int64_t failed = 0;
+  double mean_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double success_rate() const {
+    int64_t finished = succeeded + failed;
+    return finished > 0 ? static_cast<double>(succeeded) / static_cast<double>(finished) : 1.0;
+  }
+};
+
+struct ProbeConfig {
+  double requests_per_second = 100.0;
+  double write_fraction = 0.5;
+  double scan_fraction = 0.0;
+  TimeMicros interval = Seconds(10);  // aggregation bucket
+  RouterConfig router;
+  uint64_t seed = 7;
+};
+
+class ProbeDriver {
+ public:
+  ProbeDriver(Testbed* testbed, RegionId client_region, ProbeConfig config);
+
+  void Start();
+  void Stop();
+
+  // Completed aggregation intervals so far.
+  const std::vector<ProbePoint>& series() const { return series_; }
+  // Totals across the whole run.
+  int64_t total_sent() const { return total_sent_; }
+  int64_t total_succeeded() const { return total_succeeded_; }
+  int64_t total_failed() const { return total_failed_; }
+  double overall_success_rate() const {
+    int64_t finished = total_succeeded_ + total_failed_;
+    return finished > 0 ? static_cast<double>(total_succeeded_) / static_cast<double>(finished)
+                        : 1.0;
+  }
+  // Failure diagnostics: terminal error string -> count.
+  const std::map<std::string, int64_t>& failure_reasons() const { return failure_reasons_; }
+
+ private:
+  void SendOne();
+  void RollInterval();
+
+  Testbed* testbed_;
+  RegionId region_;
+  ProbeConfig config_;
+  std::unique_ptr<ServiceRouter> router_;
+  Rng rng_;
+  EventId send_timer_;
+  EventId roll_timer_;
+  bool running_ = false;
+
+  ProbePoint current_;
+  std::vector<ProbePoint> series_;
+  double latency_sum_ms_ = 0.0;
+  Histogram latency_hist_{0.1, 1.3, 48};  // 0.1ms .. ~30s geometric buckets
+  int64_t total_sent_ = 0;
+  int64_t total_succeeded_ = 0;
+  int64_t total_failed_ = 0;
+  std::map<std::string, int64_t> failure_reasons_;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_WORKLOAD_TESTBED_H_

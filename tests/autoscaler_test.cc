@@ -1,0 +1,180 @@
+// Tests for the container autoscaler (§4.1's negotiating counterpart) and AppSpec validation.
+
+#include <gtest/gtest.h>
+
+#include "src/workload/autoscaler.h"
+
+namespace shardman {
+namespace {
+
+TestbedConfig ScalingConfig(double per_shard_load) {
+  TestbedConfig config;
+  config.regions = {"r0"};
+  config.servers_per_region = 3;
+  config.app = MakeUniformAppSpec(AppId(1), "scale", 12, ReplicationStrategy::kPrimaryOnly, 1);
+  config.app.placement.metrics = MetricSet({"cpu"});
+  config.server_capacity = ResourceVector{100.0};
+  config.shard_load_scalars.assign(12, per_shard_load);
+  config.mini_sm.orchestrator.load_poll_interval = Seconds(5);
+  config.mini_sm.orchestrator.periodic_alloc_interval = Seconds(15);
+  config.seed = 44;
+  return config;
+}
+
+TEST(AutoscalerTest, ScalesOutUnderLoadAndSheddingFollows) {
+  // 12 shards x 22 load = 264 on 3x100 capacity: 88% utilization, above the high watermark.
+  Testbed bed(ScalingConfig(22.0));
+  bed.Start();
+  ASSERT_TRUE(bed.RunUntilAllReady(Minutes(3)));
+  bed.sim().RunFor(Seconds(10));  // load poll
+
+  AutoscalerConfig config;
+  config.high_watermark = 0.75;
+  config.low_watermark = 0.20;
+  config.max_servers = 6;
+  config.step = 1;
+  ContainerAutoscaler autoscaler(&bed, config);
+  EXPECT_GT(autoscaler.MeasureUtilization(), 0.75);
+
+  EXPECT_EQ(autoscaler.RunOnce(), 1);  // scale out by one
+  EXPECT_EQ(bed.servers().size(), 4u);
+  ASSERT_TRUE(bed.RunUntilAllReady(Minutes(3)));
+  bed.sim().RunFor(Minutes(1));  // allocation spreads load onto the new server
+  ASSERT_TRUE(bed.RunUntilAllReady(Minutes(3)));
+  bed.sim().RunFor(Seconds(10));  // fresh load poll
+
+  // The new server actually hosts shards now.
+  ServerId newest = bed.servers().back();
+  int hosted = 0;
+  for (ServerId id : bed.servers()) {
+    if (bed.orchestrator().ReplicasOn(id).empty()) {
+      continue;
+    }
+    ++hosted;
+  }
+  EXPECT_EQ(hosted, 4) << "every server, including the scaled-out one, should host shards";
+  (void)newest;
+  EXPECT_LT(autoscaler.MeasureUtilization(), 0.75);
+}
+
+TEST(AutoscalerTest, ScalesInWhenIdleWithDrainFirst) {
+  // 12 shards x 3 load = 36 on 3x100: 12% utilization, under the low watermark.
+  Testbed bed(ScalingConfig(3.0));
+  bed.Start();
+  ASSERT_TRUE(bed.RunUntilAllReady(Minutes(3)));
+  bed.sim().RunFor(Seconds(10));
+
+  AutoscalerConfig config;
+  config.low_watermark = 0.20;
+  config.high_watermark = 0.75;
+  config.min_servers = 2;
+  ContainerAutoscaler autoscaler(&bed, config);
+  EXPECT_LT(autoscaler.MeasureUtilization(), 0.20);
+
+  EXPECT_EQ(autoscaler.RunOnce(), -1);
+  // The negotiated stop drains the victim first; within a couple of minutes the container is
+  // gone and all shards live on the remaining servers.
+  bed.sim().RunFor(Minutes(3));
+  ASSERT_TRUE(bed.RunUntilAllReady(Minutes(3)));
+  EXPECT_EQ(bed.servers().size(), 3u);  // registry still lists it...
+  int live = 0;
+  for (ServerId id : bed.servers()) {
+    if (bed.registry().IsAlive(id)) {
+      ++live;
+    }
+  }
+  EXPECT_EQ(live, 2) << "one container should have been stopped";
+  for (int s = 0; s < bed.spec().num_shards(); ++s) {
+    ServerId owner = bed.orchestrator().replica_server(ShardId(s), 0);
+    ASSERT_TRUE(owner.valid());
+    EXPECT_TRUE(bed.registry().IsAlive(owner));
+  }
+  EXPECT_EQ(autoscaler.scale_ins(), 1);
+}
+
+TEST(AutoscalerTest, RespectsMinAndMaxBounds) {
+  Testbed bed(ScalingConfig(3.0));
+  bed.Start();
+  ASSERT_TRUE(bed.RunUntilAllReady(Minutes(3)));
+  bed.sim().RunFor(Seconds(10));
+  AutoscalerConfig config;
+  config.low_watermark = 0.20;
+  config.min_servers = 3;  // already at the floor
+  ContainerAutoscaler autoscaler(&bed, config);
+  EXPECT_EQ(autoscaler.RunOnce(), 0);
+  EXPECT_EQ(autoscaler.scale_ins(), 0);
+}
+
+// ---- AppSpec validation -------------------------------------------------------------------------
+
+TEST(AppSpecValidationTest, AcceptsWellFormedSpecs) {
+  AppSpec spec = MakeUniformAppSpec(AppId(1), "ok", 8, ReplicationStrategy::kPrimarySecondary, 3);
+  spec.placement.metrics = MetricSet({"cpu"});
+  spec.region_preferences.push_back({ShardId(0), RegionId(1), 1.0, 2});
+  EXPECT_TRUE(spec.Validate().ok());
+}
+
+TEST(AppSpecValidationTest, RejectsMalformedSpecs) {
+  AppSpec base = MakeUniformAppSpec(AppId(1), "x", 4, ReplicationStrategy::kPrimaryOnly, 1);
+  base.placement.metrics = MetricSet({"cpu"});
+  ASSERT_TRUE(base.Validate().ok());
+
+  {
+    AppSpec spec = base;
+    spec.shard_ranges.clear();
+    EXPECT_FALSE(spec.Validate().ok());
+  }
+  {
+    AppSpec spec = base;
+    spec.shard_ranges[1] = {5, 5};  // empty range
+    EXPECT_FALSE(spec.Validate().ok());
+  }
+  {
+    AppSpec spec = base;
+    std::swap(spec.shard_ranges[0], spec.shard_ranges[1]);  // unsorted
+    EXPECT_FALSE(spec.Validate().ok());
+  }
+  {
+    AppSpec spec = base;
+    spec.shard_ranges[1].begin -= 10;  // overlap with shard 0
+    EXPECT_FALSE(spec.Validate().ok());
+  }
+  {
+    AppSpec spec = base;
+    spec.replication_factor = 3;  // primary-only must be 1
+    EXPECT_FALSE(spec.Validate().ok());
+  }
+  {
+    AppSpec spec = base;
+    spec.strategy = ReplicationStrategy::kPrimarySecondary;  // needs >= 2 replicas
+    EXPECT_FALSE(spec.Validate().ok());
+  }
+  {
+    AppSpec spec = base;
+    spec.caps.max_concurrent_ops_fraction = 0.0;
+    EXPECT_FALSE(spec.Validate().ok());
+  }
+  {
+    AppSpec spec = base;
+    spec.caps.max_unavailable_per_shard = 0;
+    EXPECT_FALSE(spec.Validate().ok());
+  }
+  {
+    AppSpec spec = base;
+    spec.placement.metrics = MetricSet();
+    EXPECT_FALSE(spec.Validate().ok());
+  }
+  {
+    AppSpec spec = base;
+    spec.region_preferences.push_back({ShardId(99), RegionId(0), 1.0, 1});  // unknown shard
+    EXPECT_FALSE(spec.Validate().ok());
+  }
+  {
+    AppSpec spec = base;
+    spec.region_preferences.push_back({ShardId(0), RegionId(0), 1.0, 5});  // > replication
+    EXPECT_FALSE(spec.Validate().ok());
+  }
+}
+
+}  // namespace
+}  // namespace shardman

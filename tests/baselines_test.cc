@@ -1,0 +1,280 @@
+// Tests for the comparison baselines: the hand-crafted heuristic allocator (§5.2), the
+// simulated-annealing solver backend (§9 / ASF), the exact tiny-problem solver, and the legacy
+// sharding schemes (§2.2.1).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/allocator/heuristic_allocator.h"
+#include "src/common/rng.h"
+#include "src/routing/sharding_baselines.h"
+#include "src/solver/annealing.h"
+#include "src/solver/exact.h"
+
+namespace shardman {
+namespace {
+
+PartitionSnapshot MakeSnapshot(int regions, int servers_per_region, int shards, int replicas,
+                               double shard_load = 1.0, double capacity = 100.0) {
+  PartitionSnapshot snapshot;
+  snapshot.config.metrics = MetricSet({"cpu"});
+  int32_t server_id = 0;
+  for (int r = 0; r < regions; ++r) {
+    for (int s = 0; s < servers_per_region; ++s) {
+      ServerState server;
+      server.id = ServerId(server_id);
+      server.machine = MachineId(server_id);
+      server.region = RegionId(r);
+      server.data_center = DataCenterId(r);
+      server.rack = RackId(server_id);
+      server.capacity = ResourceVector{capacity};
+      ++server_id;
+      snapshot.servers.push_back(server);
+    }
+  }
+  for (int sh = 0; sh < shards; ++sh) {
+    ShardDescriptor shard;
+    shard.id = ShardId(sh);
+    for (int rep = 0; rep < replicas; ++rep) {
+      ReplicaState replica;
+      replica.id = ReplicaId(shard.id, rep);
+      replica.role = rep == 0 ? ReplicaRole::kPrimary : ReplicaRole::kSecondary;
+      replica.load = ResourceVector{shard_load};
+      shard.replicas.push_back(replica);
+    }
+    snapshot.shards.push_back(shard);
+  }
+  return snapshot;
+}
+
+// ---- Heuristic allocator ----------------------------------------------------------------------
+
+TEST(HeuristicAllocatorTest, PlacesUnassignedWithinCapacity) {
+  PartitionSnapshot snapshot = MakeSnapshot(2, 4, 40, 2, 2.0);
+  HeuristicAllocator heuristic;
+  AllocationResult result = heuristic.Allocate(snapshot);
+  EXPECT_EQ(result.after.unassigned, 0);
+  EXPECT_EQ(result.after.capacity, 0);
+}
+
+TEST(HeuristicAllocatorTest, SpreadsReplicasAcrossRegions) {
+  PartitionSnapshot snapshot = MakeSnapshot(2, 4, 20, 2, 1.0);
+  HeuristicAllocator heuristic;
+  heuristic.Allocate(snapshot);
+  for (const ShardDescriptor& shard : snapshot.shards) {
+    std::set<int32_t> regions;
+    for (const ReplicaState& replica : shard.replicas) {
+      ASSERT_TRUE(replica.server.valid());
+      regions.insert(snapshot.servers[static_cast<size_t>(replica.server.value)].region.value);
+    }
+    EXPECT_EQ(regions.size(), 2u);
+  }
+}
+
+TEST(HeuristicAllocatorTest, HonorsRegionPreference) {
+  PartitionSnapshot snapshot = MakeSnapshot(3, 4, 15, 1, 1.0);
+  for (ShardDescriptor& shard : snapshot.shards) {
+    shard.preferred_region = RegionId(2);
+  }
+  HeuristicAllocator heuristic;
+  AllocationResult result = heuristic.Allocate(snapshot);
+  EXPECT_EQ(result.after.affinity, 0);
+}
+
+TEST(HeuristicAllocatorTest, BalancesBelowThreshold) {
+  PartitionSnapshot snapshot = MakeSnapshot(1, 5, 50, 1, 8.0);  // 400 load / 500 capacity
+  HeuristicAllocator heuristic;
+  heuristic.Allocate(snapshot);
+  // Per-server utilization under the 90% threshold.
+  std::vector<double> load(5, 0.0);
+  for (const ShardDescriptor& shard : snapshot.shards) {
+    load[static_cast<size_t>(shard.replicas[0].server.value)] += 8.0;
+  }
+  for (double l : load) {
+    EXPECT_LE(l, 90.0 + 1e-9);
+  }
+}
+
+TEST(HeuristicAllocatorTest, SolverBeatsHeuristicOnMultiGoalProblem) {
+  // The §5.2 story, as a test: on a problem mixing affinity + spread + balance under pressure,
+  // the solver ends with no more violations than the heuristic (typically strictly fewer).
+  Rng rng(77);
+  auto build = [&](uint64_t seed) {
+    Rng local(seed);
+    PartitionSnapshot snapshot = MakeSnapshot(3, 6, 60, 2, 0.0);
+    for (ShardDescriptor& shard : snapshot.shards) {
+      if (shard.id.value % 2 == 0) {
+        shard.preferred_region = RegionId(shard.id.value % 3);
+      }
+      for (ReplicaState& replica : shard.replicas) {
+        replica.load = ResourceVector{local.Uniform(1.0, 9.0)};
+      }
+    }
+    return snapshot;
+  };
+  PartitionSnapshot for_heuristic = build(5);
+  PartitionSnapshot for_solver = build(5);
+
+  HeuristicAllocator heuristic;
+  AllocationResult heuristic_result = heuristic.Allocate(for_heuristic);
+
+  SmAllocator solver;
+  solver.Allocate(for_solver, AllocationMode::kEmergency);
+  AllocationResult solver_result = solver.Allocate(for_solver, AllocationMode::kPeriodic);
+
+  EXPECT_LE(solver_result.after.total(), heuristic_result.after.total());
+}
+
+// ---- Simulated annealing ----------------------------------------------------------------------
+
+TEST(AnnealingTest, ReducesViolationsOnLoadProblem) {
+  Rng rng(3);
+  SolverProblem problem;
+  for (int b = 0; b < 20; ++b) {
+    problem.AddBin({100.0}, b % 2, b % 4, b);
+  }
+  for (int e = 0; e < 200; ++e) {
+    problem.AddEntity({rng.Uniform(2.0, 8.0)}, -1,
+                      static_cast<int32_t>(rng.UniformInt(0, 4)));  // piled onto 5 bins
+  }
+  Rebalancer rb;
+  rb.AddConstraint(CapacitySpec{0, 1.0});
+  rb.AddGoal(ThresholdSpec{0, 0.9}, 2000.0);
+  rb.AddGoal(BalanceSpec{DomainScope::kGlobal, 0, 0.10}, 1000.0);
+
+  AnnealOptions options;
+  options.time_budget = Seconds(5);
+  options.max_proposals = 400000;
+  options.seed = 1;
+  options.trace_interval = 0;
+  SolveResult result = SolveWithAnnealing(rb, problem, options);
+  EXPECT_GT(result.initial_violations.total(), 0);
+  EXPECT_EQ(result.final_violations.capacity, 0);
+  EXPECT_LT(result.final_violations.total(), result.initial_violations.total() / 2);
+}
+
+TEST(AnnealingTest, BootstrapsUnassignedEntities) {
+  SolverProblem problem;
+  problem.AddBin({10.0}, 0, 0, 0);
+  problem.AddBin({10.0}, 0, 0, 1);
+  for (int i = 0; i < 8; ++i) {
+    problem.AddEntity({1.0}, -1, -1);
+  }
+  Rebalancer rb;
+  rb.AddConstraint(CapacitySpec{0, 1.0});
+  AnnealOptions options;
+  options.max_proposals = 10000;
+  options.trace_interval = 0;
+  SolveResult result = SolveWithAnnealing(rb, problem, options);
+  EXPECT_EQ(result.final_violations.unassigned, 0);
+}
+
+// ---- Exact solver + optimality gap -------------------------------------------------------------
+
+class ExactGapSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExactGapSweep, LocalSearchMatchesExactViolationCount) {
+  Rng rng(GetParam());
+  SolverProblem problem;
+  // Tiny instance: 4 bins x 6 entities = 4096 states. Per-bin racks make same-bin colocation a
+  // counted violation for both solvers.
+  for (int b = 0; b < 4; ++b) {
+    problem.AddBin({10.0}, b % 2, b % 2, b);
+  }
+  for (int e = 0; e < 6; ++e) {
+    problem.AddEntity({rng.Uniform(1.0, 4.0)}, e / 2,
+                      static_cast<int32_t>(rng.UniformInt(0, 3)));
+  }
+  Rebalancer rb;
+  rb.AddConstraint(CapacitySpec{0, 1.0});
+  rb.AddGoal(ThresholdSpec{0, 0.8}, 2000.0);
+  rb.AddGoal(ExclusionSpec{DomainScope::kRack}, 30000.0);
+
+  ExactResult exact = SolveExact(rb, problem);
+  ASSERT_TRUE(exact.completed);
+
+  SolveOptions options;
+  options.time_budget = Seconds(10);
+  options.seed = GetParam() + 1;
+  options.trace_interval = 0;
+  SolveResult local = rb.Solve(problem, options);
+  EXPECT_EQ(local.final_violations.total(), exact.best_violations)
+      << "local search left more violations than the certified optimum";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactGapSweep, ::testing::Values(1u, 2u, 3u, 9u, 21u));
+
+TEST(ExactTest, RefusesOversizedProblems) {
+  SolverProblem problem;
+  for (int b = 0; b < 10; ++b) {
+    problem.AddBin({10.0}, 0, 0, b);
+  }
+  for (int e = 0; e < 12; ++e) {
+    problem.AddEntity({1.0}, -1, 0);
+  }
+  Rebalancer rb;
+  rb.AddConstraint(CapacitySpec{0, 1.0});
+  ExactResult result = SolveExact(rb, problem, /*max_states=*/1000);
+  EXPECT_FALSE(result.completed);  // 10^12 states
+}
+
+// ---- Legacy sharding schemes -------------------------------------------------------------------
+
+TEST(StaticSharderTest, ModuloMappingAndResharding) {
+  StaticSharder sharder(10);
+  EXPECT_EQ(sharder.TaskFor(25), 5);
+  EXPECT_EQ(sharder.TaskFor(30), 0);
+  // Growing from 10 to 11 tasks remaps ~10/11 of keys — the §2.2.1 resharding pain.
+  double remapped = StaticSharder::RemappedFraction(10, 11);
+  EXPECT_GT(remapped, 0.85);
+  // Doubling remaps ~half (keys where key mod 20 >= 10).
+  double doubled = StaticSharder::RemappedFraction(10, 20);
+  EXPECT_NEAR(doubled, 0.5, 0.02);
+}
+
+TEST(ConsistentHashRingTest, MinimalRemappingOnMembershipChange) {
+  ConsistentHashRing before(64);
+  for (int s = 0; s < 20; ++s) {
+    before.AddServer(ServerId(s));
+  }
+  ConsistentHashRing after = before;
+  after.AddServer(ServerId(100));
+  // Adding a 21st server should remap roughly 1/21 of the key space.
+  double remapped = before.RemappedFraction(after);
+  EXPECT_LT(remapped, 0.12);
+  EXPECT_GT(remapped, 0.01);
+}
+
+TEST(ConsistentHashRingTest, BalancedOwnership) {
+  ConsistentHashRing ring(128);
+  for (int s = 0; s < 10; ++s) {
+    ring.AddServer(ServerId(s));
+  }
+  std::vector<int> counts(10, 0);
+  Rng rng(8);
+  const int samples = 50000;
+  for (int i = 0; i < samples; ++i) {
+    ServerId owner = ring.ServerFor(rng.Next());
+    ASSERT_TRUE(owner.valid());
+    counts[static_cast<size_t>(owner.value)]++;
+  }
+  for (int count : counts) {
+    EXPECT_GT(count, samples / 20);  // no server owns less than half its fair share
+    EXPECT_LT(count, samples / 5);   // or more than double
+  }
+}
+
+TEST(ConsistentHashRingTest, RemoveServerRedistributes) {
+  ConsistentHashRing ring(64);
+  ring.AddServer(ServerId(1));
+  ring.AddServer(ServerId(2));
+  ring.RemoveServer(ServerId(1));
+  EXPECT_FALSE(ring.Contains(ServerId(1)));
+  EXPECT_EQ(ring.ServerFor(12345), ServerId(2));
+  ring.RemoveServer(ServerId(2));
+  EXPECT_FALSE(ring.ServerFor(1).valid());
+}
+
+}  // namespace
+}  // namespace shardman

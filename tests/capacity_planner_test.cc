@@ -1,0 +1,119 @@
+// Tests for the capacity planner (§10 future work): SLO-driven replica-region selection,
+// fault-tolerance padding, demand routing and fleet sizing.
+
+#include <gtest/gtest.h>
+
+#include "src/allocator/capacity_planner.h"
+
+namespace shardman {
+namespace {
+
+// Five regions in a line: adjacent regions 20ms apart, others scale linearly.
+LatencyModel LineLatency(int regions, TimeMicros step = Millis(20)) {
+  LatencyModel latency(regions, Millis(1), Millis(1));
+  for (int a = 0; a < regions; ++a) {
+    for (int b = a + 1; b < regions; ++b) {
+      latency.SetLatency(RegionId(a), RegionId(b), step * (b - a));
+    }
+  }
+  return latency;
+}
+
+TEST(CapacityPlannerTest, LooseSloUsesMinimumReplicas) {
+  CapacityPlannerInput input;
+  input.region_demand = {100, 100, 100, 100, 100};
+  input.latency = LineLatency(5);
+  input.latency_slo = Millis(100);  // any single region covers the whole line
+  input.min_replicas_per_shard = 2;
+  CapacityPlan plan = PlanCapacity(input);
+  EXPECT_TRUE(plan.slo_met);
+  EXPECT_EQ(plan.replicas_per_shard, 2);  // 1 region suffices for latency, FT floor adds 1
+  EXPECT_LE(plan.worst_latency, Millis(100));
+}
+
+TEST(CapacityPlannerTest, TightSloForcesMoreReplicaRegions) {
+  CapacityPlannerInput input;
+  input.region_demand = {100, 100, 100, 100, 100};
+  input.latency = LineLatency(5);
+  input.latency_slo = Millis(20);  // a region covers itself and its direct neighbours only
+  input.min_replicas_per_shard = 1;
+  CapacityPlan plan = PlanCapacity(input);
+  EXPECT_TRUE(plan.slo_met);
+  EXPECT_GE(plan.replicas_per_shard, 2);  // line of 5 with radius-1 coverage needs >= 2 centers
+  EXPECT_LE(plan.worst_latency, Millis(20));
+  // Every demand region routed within SLO.
+  for (int d = 0; d < 5; ++d) {
+    int serving = plan.serving_region[static_cast<size_t>(d)];
+    ASSERT_GE(serving, 0);
+    EXPECT_LE(input.latency.Latency(RegionId(d), RegionId(serving)), input.latency_slo);
+  }
+}
+
+TEST(CapacityPlannerTest, ZeroSloMeansReplicaEverywhereThereIsDemand) {
+  CapacityPlannerInput input;
+  input.region_demand = {100, 0, 100, 0, 100};
+  input.latency = LineLatency(5);
+  input.latency_slo = Millis(1);  // only local service qualifies
+  input.min_replicas_per_shard = 1;
+  CapacityPlan plan = PlanCapacity(input);
+  EXPECT_TRUE(plan.slo_met);
+  EXPECT_TRUE(plan.replica_regions[0]);
+  EXPECT_TRUE(plan.replica_regions[2]);
+  EXPECT_TRUE(plan.replica_regions[4]);
+  EXPECT_FALSE(plan.replica_regions[1]);
+  EXPECT_FALSE(plan.replica_regions[3]);
+}
+
+TEST(CapacityPlannerTest, FleetSizingMatchesRoutedDemand) {
+  CapacityPlannerInput input;
+  input.region_demand = {1000, 0, 0};
+  input.latency = LineLatency(3);
+  input.latency_slo = Millis(100);
+  input.min_replicas_per_shard = 1;
+  input.per_request_cost = 1.0;
+  input.server_capacity = 100.0;
+  input.target_utilization = 0.8;
+  CapacityPlan plan = PlanCapacity(input);
+  // 1000 load / (100 * 0.8) = 12.5 -> 13 servers, all in the single chosen region.
+  EXPECT_EQ(plan.total_servers, 13);
+  int replica_region = -1;
+  for (int r = 0; r < 3; ++r) {
+    if (plan.replica_regions[static_cast<size_t>(r)]) {
+      replica_region = r;
+    }
+  }
+  ASSERT_GE(replica_region, 0);
+  EXPECT_EQ(plan.servers_per_region[static_cast<size_t>(replica_region)], 13);
+}
+
+TEST(CapacityPlannerTest, DemandWeightingPicksTheHeavyRegionFirst) {
+  CapacityPlannerInput input;
+  input.region_demand = {10, 10, 1000, 10, 10};
+  input.latency = LineLatency(5);
+  input.latency_slo = Millis(40);  // region 2 covers everyone (radius 2 from the middle)
+  input.min_replicas_per_shard = 1;
+  CapacityPlan plan = PlanCapacity(input);
+  EXPECT_TRUE(plan.slo_met);
+  EXPECT_TRUE(plan.replica_regions[2]) << "the demand-weighted cover should start in the middle";
+  EXPECT_EQ(plan.replicas_per_shard, 1);
+}
+
+TEST(CapacityPlannerTest, TighterSloCostsMoreReplicas) {
+  // The future-work trade-off, quantified: replica count is monotone in SLO tightness.
+  CapacityPlannerInput input;
+  input.region_demand = {100, 100, 100, 100, 100, 100, 100, 100};
+  input.latency = LineLatency(8);
+  input.min_replicas_per_shard = 1;
+  int previous = 0;
+  for (TimeMicros slo : {Millis(140), Millis(60), Millis(20), Millis(1)}) {
+    input.latency_slo = slo;
+    CapacityPlan plan = PlanCapacity(input);
+    EXPECT_TRUE(plan.slo_met);
+    EXPECT_GE(plan.replicas_per_shard, previous) << "tightening the SLO cannot need fewer";
+    previous = plan.replicas_per_shard;
+  }
+  EXPECT_EQ(previous, 8);  // 1ms SLO: a replica in every demand region
+}
+
+}  // namespace
+}  // namespace shardman

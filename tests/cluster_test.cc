@@ -1,0 +1,296 @@
+// Unit tests for the Twine-like cluster manager: jobs, rolling upgrades with and without a
+// TaskControl handler, failures and maintenance events.
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_manager.h"
+#include "src/sim/simulator.h"
+#include "src/topology/topology.h"
+
+namespace shardman {
+namespace {
+
+Topology SmallTopology(int machines_per_rack = 4) {
+  SymmetricTopologySpec spec;
+  spec.region_names = {"r0"};
+  spec.data_centers_per_region = 1;
+  spec.racks_per_data_center = 2;
+  spec.machines_per_rack = machines_per_rack;
+  spec.base_capacity = ResourceVector{100.0};
+  return BuildSymmetric(spec);
+}
+
+TEST(ClusterManagerTest, CreateJobSpreadsAcrossMachines) {
+  Simulator sim;
+  Topology topo = SmallTopology();
+  ClusterManager cm(&sim, &topo, RegionId(0), 1, 1);
+  auto containers = cm.CreateJob(AppId(1), 6);
+  ASSERT_TRUE(containers.ok());
+  EXPECT_EQ(containers->size(), 6u);
+  for (ContainerId id : containers.value()) {
+    EXPECT_TRUE(cm.IsUp(id));
+  }
+  EXPECT_EQ(cm.CreateJob(AppId(1), 2).status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(cm.ContainersOf(AppId(1)).size(), 6u);
+}
+
+TEST(ClusterManagerTest, RollingUpgradeWithoutControllerRespectsParallelism) {
+  Simulator sim;
+  Topology topo = SmallTopology();
+  ClusterManager cm(&sim, &topo, RegionId(0), 1, 1);
+  auto containers = cm.CreateJob(AppId(1), 8);
+  ASSERT_TRUE(containers.ok());
+
+  // Track the maximum number of simultaneously-down containers.
+  int down = 0;
+  int max_down = 0;
+  ContainerLifecycleListener listener;
+  listener.on_down = [&](ContainerId, bool planned) {
+    EXPECT_TRUE(planned);
+    ++down;
+    max_down = std::max(max_down, down);
+  };
+  listener.on_up = [&](ContainerId) { --down; };
+  cm.AddLifecycleListener(AppId(1), listener);
+
+  bool finished = false;
+  cm.StartRollingUpgrade(AppId(1), /*max_concurrent=*/2, Seconds(5), [&]() { finished = true; });
+  sim.RunFor(Minutes(5));
+  EXPECT_TRUE(finished);
+  EXPECT_FALSE(cm.UpgradeInProgress(AppId(1)));
+  EXPECT_EQ(max_down, 2);
+  EXPECT_EQ(cm.planned_restarts(), 8);
+  for (ContainerId id : containers.value()) {
+    EXPECT_TRUE(cm.IsUp(id));
+    EXPECT_EQ(cm.container(id).generation, 2);
+  }
+}
+
+// A handler that approves one op at a time, waiting for completion before the next — the
+// handler owns in-flight accounting, exactly like the real SmTaskController.
+class OneAtATimeHandler : public TaskControlHandler {
+ public:
+  std::vector<int64_t> OnPendingOps(ClusterManager*, AppId,
+                                    const std::vector<ContainerOp>& pending) override {
+    ++rounds_;
+    if (pending.empty() || in_flight_) {
+      return {};
+    }
+    in_flight_ = true;
+    return {pending.front().op_id};
+  }
+  void OnOpFinished(ClusterManager*, AppId, const ContainerOp&) override {
+    in_flight_ = false;
+    ++finished_;
+  }
+
+  int rounds_ = 0;
+  int finished_ = 0;
+  bool in_flight_ = false;
+};
+
+TEST(ClusterManagerTest, UpgradeNegotiatesThroughHandler) {
+  Simulator sim;
+  Topology topo = SmallTopology();
+  ClusterManager cm(&sim, &topo, RegionId(0), 1, 1);
+  ASSERT_TRUE(cm.CreateJob(AppId(1), 4).ok());
+  OneAtATimeHandler handler;
+  cm.RegisterTaskController(AppId(1), &handler);
+
+  int down = 0;
+  int max_down = 0;
+  ContainerLifecycleListener listener;
+  listener.on_down = [&](ContainerId, bool) { max_down = std::max(max_down, ++down); };
+  listener.on_up = [&](ContainerId) { --down; };
+  cm.AddLifecycleListener(AppId(1), listener);
+
+  cm.StartRollingUpgrade(AppId(1), /*max_concurrent=*/4, Seconds(2));
+  sim.RunFor(Minutes(2));
+  EXPECT_FALSE(cm.UpgradeInProgress(AppId(1)));
+  EXPECT_EQ(max_down, 1);  // handler let only one through at a time
+  EXPECT_EQ(handler.finished_, 4);
+}
+
+// A handler that never approves anything.
+class DenyAllHandler : public TaskControlHandler {
+ public:
+  std::vector<int64_t> OnPendingOps(ClusterManager*, AppId,
+                                    const std::vector<ContainerOp>&) override {
+    return {};
+  }
+};
+
+TEST(ClusterManagerTest, UnapprovedOpsStayPending) {
+  Simulator sim;
+  Topology topo = SmallTopology();
+  ClusterManager cm(&sim, &topo, RegionId(0), 1, 1);
+  ASSERT_TRUE(cm.CreateJob(AppId(1), 3).ok());
+  DenyAllHandler handler;
+  cm.RegisterTaskController(AppId(1), &handler);
+  cm.StartRollingUpgrade(AppId(1), 3, Seconds(1));
+  sim.RunFor(Minutes(1));
+  EXPECT_TRUE(cm.UpgradeInProgress(AppId(1)));
+  EXPECT_EQ(cm.UpgradeRemaining(AppId(1)), 3);
+  EXPECT_EQ(cm.planned_restarts(), 0);
+}
+
+TEST(ClusterManagerTest, UnplannedFailureAndRecovery) {
+  Simulator sim;
+  Topology topo = SmallTopology();
+  ClusterManager cm(&sim, &topo, RegionId(0), 1, 1);
+  auto containers = cm.CreateJob(AppId(1), 2);
+  ASSERT_TRUE(containers.ok());
+
+  bool saw_unplanned_down = false;
+  bool saw_up = false;
+  ContainerLifecycleListener listener;
+  listener.on_down = [&](ContainerId, bool planned) { saw_unplanned_down = !planned; };
+  listener.on_up = [&](ContainerId) { saw_up = true; };
+  cm.AddLifecycleListener(AppId(1), listener);
+
+  ContainerId victim = containers->front();
+  cm.FailContainer(victim, Seconds(30));
+  EXPECT_FALSE(cm.IsUp(victim));
+  EXPECT_TRUE(saw_unplanned_down);
+  sim.RunFor(Minutes(1));
+  EXPECT_TRUE(cm.IsUp(victim));
+  EXPECT_TRUE(saw_up);
+  EXPECT_EQ(cm.unplanned_failures(), 1);
+}
+
+TEST(ClusterManagerTest, RegionFailureTakesEverythingDown) {
+  Simulator sim;
+  Topology topo = SmallTopology();
+  ClusterManager cm(&sim, &topo, RegionId(0), 1, 1);
+  auto containers = cm.CreateJob(AppId(1), 5);
+  ASSERT_TRUE(containers.ok());
+  cm.FailRegion(/*downtime=*/-1);
+  for (ContainerId id : containers.value()) {
+    EXPECT_FALSE(cm.IsUp(id));
+  }
+  sim.RunFor(Minutes(5));
+  for (ContainerId id : containers.value()) {
+    EXPECT_FALSE(cm.IsUp(id));  // downtime < 0: stays down until recovery
+  }
+  cm.RecoverRegion();
+  for (ContainerId id : containers.value()) {
+    EXPECT_TRUE(cm.IsUp(id));
+  }
+}
+
+class MaintenanceRecorder : public TaskControlHandler {
+ public:
+  std::vector<int64_t> OnPendingOps(ClusterManager*, AppId,
+                                    const std::vector<ContainerOp>& pending) override {
+    std::vector<int64_t> ids;
+    for (const auto& op : pending) {
+      ids.push_back(op.op_id);
+    }
+    return ids;
+  }
+  void OnMaintenanceScheduled(ClusterManager*, const MaintenanceEvent& event) override {
+    notices.push_back(event);
+  }
+  std::vector<MaintenanceEvent> notices;
+};
+
+TEST(ClusterManagerTest, MaintenanceGivesAdvanceNoticeAndExecutes) {
+  Simulator sim;
+  Topology topo = SmallTopology();
+  ClusterManager cm(&sim, &topo, RegionId(0), 1, 1);
+  auto containers = cm.CreateJob(AppId(1), 4);
+  ASSERT_TRUE(containers.ok());
+  MaintenanceRecorder handler;
+  cm.RegisterTaskController(AppId(1), &handler);
+
+  MachineId machine = cm.MachineOf(containers->front());
+  cm.ScheduleMaintenance({machine}, /*start_in=*/Minutes(10), /*duration=*/Minutes(5),
+                         MaintenanceImpact::kRuntimeStateLoss, /*advance_notice=*/Minutes(5));
+
+  sim.RunFor(Minutes(6));  // notice at t=5min
+  ASSERT_EQ(handler.notices.size(), 1u);
+  EXPECT_EQ(handler.notices[0].impact, MaintenanceImpact::kRuntimeStateLoss);
+  EXPECT_TRUE(cm.IsUp(containers->front()));  // not started yet
+
+  sim.RunFor(Minutes(6));  // t=12min: in the window
+  EXPECT_FALSE(cm.IsUp(containers->front()));
+
+  sim.RunFor(Minutes(5));  // t=17min: window over
+  EXPECT_TRUE(cm.IsUp(containers->front()));
+  EXPECT_EQ(cm.container(containers->front()).generation, 2);  // state-loss bumps generation
+}
+
+TEST(ClusterManagerTest, NetworkLossMaintenancePreservesGeneration) {
+  Simulator sim;
+  Topology topo = SmallTopology();
+  ClusterManager cm(&sim, &topo, RegionId(0), 1, 1);
+  auto containers = cm.CreateJob(AppId(1), 1);
+  ASSERT_TRUE(containers.ok());
+  MachineId machine = cm.MachineOf(containers->front());
+  cm.ScheduleMaintenance({machine}, Seconds(10), Seconds(20), MaintenanceImpact::kNetworkLoss,
+                         Seconds(5));
+  sim.RunFor(Minutes(1));
+  EXPECT_TRUE(cm.IsUp(containers->front()));
+  EXPECT_EQ(cm.container(containers->front()).generation, 1);  // no state loss
+}
+
+TEST(ClusterManagerTest, RequestMoveRelocatesContainer) {
+  Simulator sim;
+  Topology topo = SmallTopology();
+  ClusterManager cm(&sim, &topo, RegionId(0), 1, 1);
+  auto containers = cm.CreateJob(AppId(1), 2);
+  ASSERT_TRUE(containers.ok());
+  ContainerId mover = containers->front();
+  MachineId old_machine = cm.MachineOf(mover);
+  // Pick a different machine in the region.
+  MachineId target;
+  for (MachineId m : topo.MachinesInRegion(RegionId(0))) {
+    if (m != old_machine) {
+      target = m;
+      break;
+    }
+  }
+  ASSERT_TRUE(target.valid());
+
+  int downs = 0;
+  int ups = 0;
+  ContainerLifecycleListener listener;
+  listener.on_down = [&](ContainerId, bool planned) {
+    EXPECT_TRUE(planned);
+    ++downs;
+  };
+  listener.on_up = [&](ContainerId) { ++ups; };
+  cm.AddLifecycleListener(AppId(1), listener);
+
+  ASSERT_TRUE(cm.RequestMove(mover, target, Seconds(10)).ok());
+  sim.RunFor(Minutes(1));
+  EXPECT_EQ(cm.MachineOf(mover), target);
+  EXPECT_TRUE(cm.IsUp(mover));
+  EXPECT_EQ(cm.container(mover).generation, 2);  // restart on the new machine
+  EXPECT_EQ(downs, 1);
+  EXPECT_EQ(ups, 1);
+  // Bad target machine is rejected.
+  EXPECT_EQ(cm.RequestMove(mover, MachineId(99999), Seconds(1)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(cm.RequestMove(ContainerId(424242), target, Seconds(1)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ClusterManagerTest, RequestStopGoesThroughNegotiation) {
+  Simulator sim;
+  Topology topo = SmallTopology();
+  ClusterManager cm(&sim, &topo, RegionId(0), 1, 1);
+  auto containers = cm.CreateJob(AppId(1), 3);
+  ASSERT_TRUE(containers.ok());
+  bool stopped = false;
+  ContainerLifecycleListener listener;
+  listener.on_stopped = [&](ContainerId) { stopped = true; };
+  cm.AddLifecycleListener(AppId(1), listener);
+  ASSERT_TRUE(cm.RequestStop(containers->back()).ok());
+  sim.RunFor(Seconds(10));
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(cm.ContainersOf(AppId(1)).size(), 2u);
+}
+
+}  // namespace
+}  // namespace shardman

@@ -1,0 +1,243 @@
+// Unit tests for src/common: Status/Result, RNG, statistics, histogram, tables, resources, ids.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "src/common/ids.h"
+#include "src/common/resource.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/common/table.h"
+
+namespace shardman {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = NotFoundError("missing shard");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing shard");
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: missing shard");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(FailedPreconditionError("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(DeadlineExceededError("x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ResourceExhaustedError("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(AbortedError("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = NotFoundError("nope");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) {
+    return InvalidArgumentError("odd");
+  }
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  SM_ASSIGN_OR_RETURN(*out, Half(x));
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(UseHalf(7, &out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversEndpoints) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(rng.UniformInt(0, 3));
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, ZipfSkewsTowardHead) {
+  Rng rng(5);
+  int head = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.ZipfIndex(1000, 1.2) < 10) {
+      ++head;
+    }
+  }
+  // With s=1.2, the top-1% of ranks should attract far more than 1% of samples.
+  EXPECT_GT(head, n / 20);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(OnlineStatsTest, MeanMinMax) {
+  OnlineStats stats;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) {
+    stats.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+  EXPECT_EQ(stats.count(), 4);
+  EXPECT_NEAR(stats.stddev(), 1.29099, 1e-4);
+}
+
+TEST(PercentileTest, ExactValues) {
+  std::vector<double> samples{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(Percentile(samples, 0), 10);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 50), 30);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 100), 50);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 25), 20);
+}
+
+TEST(PercentileTest, EmptyIsZero) { EXPECT_DOUBLE_EQ(Percentile({}, 99), 0.0); }
+
+TEST(HistogramTest, PercentileEstimateWithinBucketError) {
+  Histogram hist(0.1, 1.5, 40);
+  Rng rng(9);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    double v = rng.Exponential(20.0);
+    samples.push_back(v);
+    hist.Add(v);
+  }
+  double exact = Percentile(samples, 99);
+  double estimate = hist.PercentileEstimate(99);
+  EXPECT_NEAR(estimate, exact, exact * 0.5);  // bucketed estimate: within bucket growth factor
+  EXPECT_EQ(hist.count(), 5000);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a(1, 2, 10);
+  Histogram b(1, 2, 10);
+  a.Add(5);
+  b.Add(50);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.sum(), 55.0);
+}
+
+TEST(TableTest, AlignedOutputAndCsv) {
+  TablePrinter table({"name", "count"});
+  table.AddRowValues(std::string("alpha"), 10);
+  table.AddRowValues(std::string("b"), 2000);
+  std::ostringstream text;
+  table.Print(text);
+  EXPECT_NE(text.str().find("alpha"), std::string::npos);
+  std::ostringstream csv;
+  table.PrintCsv(csv);
+  EXPECT_EQ(csv.str(), "name,count\nalpha,10\nb,2000\n");
+}
+
+TEST(ResourceVectorTest, Arithmetic) {
+  ResourceVector a{1.0, 2.0};
+  ResourceVector b{0.5, 0.5};
+  ResourceVector c = a + b;
+  EXPECT_DOUBLE_EQ(c[0], 1.5);
+  EXPECT_DOUBLE_EQ(c[1], 2.5);
+  c -= b;
+  EXPECT_TRUE(c == a);
+  EXPECT_DOUBLE_EQ((a * 2.0)[1], 4.0);
+  EXPECT_DOUBLE_EQ(a.Total(), 3.0);
+}
+
+TEST(ResourceVectorTest, AllLessEq) {
+  ResourceVector a{1.0, 2.0};
+  ResourceVector b{1.0, 3.0};
+  EXPECT_TRUE(a.AllLessEq(b));
+  EXPECT_FALSE(b.AllLessEq(a));
+}
+
+TEST(MetricSetTest, IndexLookup) {
+  MetricSet metrics({"cpu", "storage"});
+  EXPECT_EQ(metrics.size(), 2);
+  EXPECT_EQ(metrics.IndexOf("storage"), 1);
+  EXPECT_EQ(metrics.IndexOf("network"), -1);
+  EXPECT_EQ(metrics.name(0), "cpu");
+}
+
+TEST(IdsTest, StrongTypesHashAndCompare) {
+  ShardId a(1);
+  ShardId b(1);
+  ShardId c(2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_FALSE(ShardId().valid());
+  std::set<ReplicaId> replicas;
+  replicas.insert(ReplicaId(a, 0));
+  replicas.insert(ReplicaId(a, 1));
+  replicas.insert(ReplicaId(a, 0));
+  EXPECT_EQ(replicas.size(), 2u);
+}
+
+}  // namespace
+}  // namespace shardman

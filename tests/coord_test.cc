@@ -1,0 +1,115 @@
+// Unit tests for the ZooKeeper-like coordination store.
+
+#include <gtest/gtest.h>
+
+#include "src/coord/coord_store.h"
+#include "src/sim/simulator.h"
+
+namespace shardman {
+namespace {
+
+TEST(CoordStoreTest, CreateGetSetDelete) {
+  CoordStore store;
+  EXPECT_TRUE(store.Create("/a", "1").ok());
+  EXPECT_EQ(store.Create("/a", "dup").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(store.Get("/a").value(), "1");
+  EXPECT_TRUE(store.Set("/a", "2").ok());
+  EXPECT_EQ(store.Get("/a").value(), "2");
+  EXPECT_EQ(store.GetVersion("/a").value(), 2);
+  EXPECT_TRUE(store.Delete("/a").ok());
+  EXPECT_FALSE(store.Exists("/a"));
+  EXPECT_EQ(store.Get("/a").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Delete("/a").code(), StatusCode::kNotFound);
+}
+
+TEST(CoordStoreTest, SetUpsertsByDefault) {
+  CoordStore store;
+  EXPECT_TRUE(store.Set("/new", "v").ok());
+  EXPECT_EQ(store.Get("/new").value(), "v");
+  EXPECT_EQ(store.Set("/missing", "v", /*upsert=*/false).code(), StatusCode::kNotFound);
+}
+
+TEST(CoordStoreTest, ListByPrefix) {
+  CoordStore store;
+  ASSERT_TRUE(store.Create("/app/a/1", "x").ok());
+  ASSERT_TRUE(store.Create("/app/a/2", "y").ok());
+  ASSERT_TRUE(store.Create("/app/b/1", "z").ok());
+  auto listed = store.List("/app/a/");
+  ASSERT_EQ(listed.size(), 2u);
+  EXPECT_EQ(listed[0], "/app/a/1");
+  EXPECT_EQ(listed[1], "/app/a/2");
+  EXPECT_EQ(store.List("/nothing").size(), 0u);
+}
+
+TEST(CoordStoreTest, EphemeralRequiresLiveSession) {
+  CoordStore store;
+  EXPECT_EQ(store.Create("/e", "x", /*ephemeral=*/true, SessionId()).code(),
+            StatusCode::kFailedPrecondition);
+  SessionId session = store.CreateSession();
+  EXPECT_TRUE(store.Create("/e", "x", /*ephemeral=*/true, session).ok());
+  EXPECT_TRUE(store.Exists("/e"));
+}
+
+TEST(CoordStoreTest, SessionExpiryDeletesEphemerals) {
+  CoordStore store;
+  SessionId session = store.CreateSession();
+  ASSERT_TRUE(store.Create("/e1", "x", true, session).ok());
+  ASSERT_TRUE(store.Create("/e2", "x", true, session).ok());
+  ASSERT_TRUE(store.Create("/persistent", "x").ok());
+  store.ExpireSession(session);
+  EXPECT_FALSE(store.Exists("/e1"));
+  EXPECT_FALSE(store.Exists("/e2"));
+  EXPECT_TRUE(store.Exists("/persistent"));
+  EXPECT_FALSE(store.SessionAlive(session));
+}
+
+TEST(CoordStoreTest, WatchesFireSynchronouslyWithoutSim) {
+  CoordStore store;
+  std::vector<WatchEvent> events;
+  store.Watch("/w/", [&](const WatchEvent& event) { events.push_back(event); });
+  ASSERT_TRUE(store.Create("/w/a", "1").ok());
+  ASSERT_TRUE(store.Set("/w/a", "2").ok());
+  ASSERT_TRUE(store.Delete("/w/a").ok());
+  ASSERT_TRUE(store.Create("/other", "x").ok());  // outside prefix
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].type, WatchEventType::kCreated);
+  EXPECT_EQ(events[1].type, WatchEventType::kChanged);
+  EXPECT_EQ(events[1].data, "2");
+  EXPECT_EQ(events[2].type, WatchEventType::kDeleted);
+}
+
+TEST(CoordStoreTest, WatchesAreAsyncWithSim) {
+  Simulator sim;
+  CoordStore store(&sim, Millis(10));
+  int events = 0;
+  store.Watch("/", [&](const WatchEvent&) { ++events; });
+  ASSERT_TRUE(store.Create("/x", "1").ok());
+  EXPECT_EQ(events, 0);  // not yet delivered
+  sim.RunFor(Millis(20));
+  EXPECT_EQ(events, 1);
+}
+
+TEST(CoordStoreTest, UnwatchStopsDelivery) {
+  CoordStore store;
+  int events = 0;
+  int64_t watch = store.Watch("/", [&](const WatchEvent&) { ++events; });
+  ASSERT_TRUE(store.Create("/x", "1").ok());
+  store.Unwatch(watch);
+  ASSERT_TRUE(store.Create("/y", "1").ok());
+  EXPECT_EQ(events, 1);
+}
+
+TEST(CoordStoreTest, EphemeralDeletionFiresWatch) {
+  CoordStore store;
+  std::vector<WatchEvent> events;
+  store.Watch("/live/", [&](const WatchEvent& event) { events.push_back(event); });
+  SessionId session = store.CreateSession();
+  ASSERT_TRUE(store.Create("/live/7", "up", true, session).ok());
+  store.ExpireSession(session);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].type, WatchEventType::kDeleted);
+  EXPECT_EQ(events[1].path, "/live/7");
+}
+
+}  // namespace
+}  // namespace shardman

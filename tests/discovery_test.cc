@@ -1,0 +1,110 @@
+// Unit tests for service discovery: publication, propagation delay, stale-version suppression.
+
+#include <gtest/gtest.h>
+
+#include "src/discovery/service_discovery.h"
+#include "src/sim/simulator.h"
+
+namespace shardman {
+namespace {
+
+ShardMap MakeMap(AppId app, int64_t version, int shards) {
+  ShardMap map;
+  map.app = app;
+  map.version = version;
+  map.entries.resize(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    map.entries[static_cast<size_t>(s)].shard = ShardId(s);
+    ShardMapReplica replica;
+    replica.server = ServerId(100 + s);
+    replica.role = ReplicaRole::kPrimary;
+    replica.region = RegionId(0);
+    map.entries[static_cast<size_t>(s)].replicas.push_back(replica);
+  }
+  return map;
+}
+
+TEST(ServiceDiscoveryTest, SubscriberReceivesAfterDelay) {
+  Simulator sim;
+  ServiceDiscovery discovery(&sim, Millis(100), Millis(100), 1);
+  int64_t seen_version = -1;
+  discovery.Subscribe(AppId(1), [&](const ShardMap& map) { seen_version = map.version; });
+  discovery.Publish(MakeMap(AppId(1), 1, 2));
+  EXPECT_EQ(seen_version, -1);
+  sim.RunFor(Millis(150));
+  EXPECT_EQ(seen_version, 1);
+}
+
+TEST(ServiceDiscoveryTest, LateSubscriberGetsCurrentMap) {
+  Simulator sim;
+  ServiceDiscovery discovery(&sim, Millis(10), Millis(10), 1);
+  discovery.Publish(MakeMap(AppId(1), 5, 1));
+  sim.RunFor(Millis(50));
+  int64_t seen_version = -1;
+  discovery.Subscribe(AppId(1), [&](const ShardMap& map) { seen_version = map.version; });
+  sim.RunFor(Millis(50));
+  EXPECT_EQ(seen_version, 5);
+}
+
+TEST(ServiceDiscoveryTest, StaleVersionsSuppressed) {
+  Simulator sim;
+  // Wide delay range: version 2's delivery can overtake version 1's.
+  ServiceDiscovery discovery(&sim, Millis(10), Seconds(2), 7);
+  std::vector<int64_t> versions;
+  discovery.Subscribe(AppId(1), [&](const ShardMap& map) { versions.push_back(map.version); });
+  for (int64_t v = 1; v <= 10; ++v) {
+    discovery.Publish(MakeMap(AppId(1), v, 1));
+    sim.RunFor(Millis(50));
+  }
+  sim.RunFor(Seconds(5));
+  ASSERT_FALSE(versions.empty());
+  for (size_t i = 1; i < versions.size(); ++i) {
+    EXPECT_GT(versions[i], versions[i - 1]) << "client must never regress to an older map";
+  }
+  EXPECT_EQ(versions.back(), 10);
+}
+
+TEST(ServiceDiscoveryTest, CurrentIsAuthoritativeImmediately) {
+  Simulator sim;
+  ServiceDiscovery discovery(&sim, Seconds(1), Seconds(1), 1);
+  EXPECT_EQ(discovery.Current(AppId(1)), nullptr);
+  discovery.Publish(MakeMap(AppId(1), 1, 3));
+  ASSERT_NE(discovery.Current(AppId(1)), nullptr);
+  EXPECT_EQ(discovery.Current(AppId(1))->version, 1);
+  EXPECT_EQ(discovery.Current(AppId(1))->entries.size(), 3u);
+}
+
+TEST(ServiceDiscoveryTest, UnsubscribeStopsDelivery) {
+  Simulator sim;
+  ServiceDiscovery discovery(&sim, Millis(10), Millis(10), 1);
+  int deliveries = 0;
+  int64_t sub = discovery.Subscribe(AppId(1), [&](const ShardMap&) { ++deliveries; });
+  discovery.Publish(MakeMap(AppId(1), 1, 1));
+  sim.RunFor(Millis(50));
+  EXPECT_EQ(deliveries, 1);
+  discovery.Unsubscribe(sub);
+  discovery.Publish(MakeMap(AppId(1), 2, 1));
+  sim.RunFor(Millis(50));
+  EXPECT_EQ(deliveries, 1);
+}
+
+TEST(ServiceDiscoveryTest, AppsAreIsolated) {
+  Simulator sim;
+  ServiceDiscovery discovery(&sim, Millis(10), Millis(10), 1);
+  int app1_deliveries = 0;
+  discovery.Subscribe(AppId(1), [&](const ShardMap&) { ++app1_deliveries; });
+  discovery.Publish(MakeMap(AppId(2), 1, 1));
+  sim.RunFor(Millis(50));
+  EXPECT_EQ(app1_deliveries, 0);
+}
+
+TEST(ShardMapTest, PrimaryLookup) {
+  ShardMap map = MakeMap(AppId(1), 1, 2);
+  EXPECT_EQ(map.PrimaryOf(ShardId(0)), ServerId(100));
+  EXPECT_EQ(map.PrimaryOf(ShardId(1)), ServerId(101));
+  EXPECT_FALSE(map.PrimaryOf(ShardId(5)).valid());
+  EXPECT_EQ(map.Find(ShardId(9)), nullptr);
+}
+
+}  // namespace
+}  // namespace shardman

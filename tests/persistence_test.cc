@@ -1,0 +1,188 @@
+// Tests for the §2.4 data-persistency substrate: the Kafka-like data bus and the
+// materialized-state application pattern (option 3 — rebuild local state from the bus on every
+// shard acquisition). The headline property: unlike soft-state apps, data written before a
+// migration or crash is readable afterwards.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/data_bus.h"
+#include "src/apps/materialized_kv_app.h"
+#include "src/workload/testbed.h"
+
+namespace shardman {
+namespace {
+
+TEST(DataBusTest, AppendReadOffsets) {
+  DataBus bus;
+  EXPECT_EQ(bus.EndOffset(ShardId(1)), 0);
+  EXPECT_EQ(bus.Append(ShardId(1), 10, 100), 0);
+  EXPECT_EQ(bus.Append(ShardId(1), 11, 101), 1);
+  EXPECT_EQ(bus.Append(ShardId(2), 99, 999), 0);  // topics are independent
+  EXPECT_EQ(bus.EndOffset(ShardId(1)), 2);
+
+  std::vector<BusRecord> records = bus.Read(ShardId(1), 0, 10);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].key, 10u);
+  EXPECT_EQ(records[1].value, 101u);
+
+  // Bounded batches and mid-log reads.
+  EXPECT_EQ(bus.Read(ShardId(1), 1, 10).size(), 1u);
+  EXPECT_EQ(bus.Read(ShardId(1), 0, 1).size(), 1u);
+  EXPECT_EQ(bus.Read(ShardId(1), 2, 10).size(), 0u);
+  EXPECT_EQ(bus.Read(ShardId(7), 0, 10).size(), 0u);
+}
+
+TestbedConfig MaterializedConfig(int shards = 12, int servers = 4) {
+  TestbedConfig config;
+  config.regions = {"r0"};
+  config.servers_per_region = servers;
+  config.app = MakeUniformAppSpec(AppId(1), "matkv", shards, ReplicationStrategy::kPrimaryOnly, 1);
+  config.app.placement.metrics = MetricSet({"cpu"});
+  config.app_kind = TestAppKind::kMaterializedKv;
+  config.seed = 88;
+  return config;
+}
+
+int WriteSome(Testbed& bed, ServiceRouter& router, int count, uint64_t key_base) {
+  int ok = 0;
+  for (int i = 0; i < count; ++i) {
+    router.Route(key_base + static_cast<uint64_t>(i), RequestType::kWrite, 1000 + i,
+                 [&](const RequestOutcome& outcome) { ok += outcome.success ? 1 : 0; });
+    bed.sim().RunFor(Millis(30));
+  }
+  bed.sim().RunFor(Seconds(2));
+  return ok;
+}
+
+int ReadBack(Testbed& bed, ServiceRouter& router, int count, uint64_t key_base) {
+  int correct = 0;
+  for (int i = 0; i < count; ++i) {
+    router.Route(key_base + static_cast<uint64_t>(i), RequestType::kRead,
+                 [&, i](const RequestOutcome& outcome) {
+                   // RequestOutcome doesn't surface the value; success + the app-level check
+                   // below covers correctness.
+                   correct += outcome.success ? 1 : 0;
+                 });
+    bed.sim().RunFor(Millis(30));
+  }
+  bed.sim().RunFor(Seconds(2));
+  return correct;
+}
+
+TEST(MaterializedKvTest, DataSurvivesGracefulMigration) {
+  Testbed bed(MaterializedConfig());
+  bed.Start();
+  ASSERT_TRUE(bed.RunUntilAllReady(Minutes(2)));
+  auto router = bed.CreateRouter(RegionId(0));
+  bed.sim().RunFor(Seconds(2));
+
+  const uint64_t base = 5000;
+  ASSERT_EQ(WriteSome(bed, *router, 20, base), 20);
+
+  // Verify a value is in the owner's view, then drain that owner so the shard migrates.
+  ShardId shard = bed.spec().ShardForKey(base);
+  ServerId old_owner = bed.orchestrator().replica_server(shard, 0);
+  auto* old_app = dynamic_cast<MaterializedKvApp*>(bed.app_server(old_owner));
+  ASSERT_NE(old_app, nullptr);
+  ASSERT_GT(old_app->ShardSize(shard), 0u);
+
+  bool drained = false;
+  bed.orchestrator().DrainServer(old_owner, true, true, [&]() { drained = true; });
+  bed.sim().RunFor(Minutes(2));
+  ASSERT_TRUE(drained);
+  bed.orchestrator().CancelDrain(old_owner);
+  ASSERT_TRUE(bed.RunUntilAllReady(Minutes(2)));
+
+  // The new owner rebuilt the shard's view from the bus: pre-migration keys are present.
+  ServerId new_owner = bed.orchestrator().replica_server(shard, 0);
+  ASSERT_NE(new_owner, old_owner);
+  auto* new_app = dynamic_cast<MaterializedKvApp*>(bed.app_server(new_owner));
+  ASSERT_NE(new_app, nullptr);
+  EXPECT_GT(new_app->ShardSize(shard), 0u) << "view not rebuilt from the bus";
+  EXPECT_GT(new_app->rebuilt_records(), 0);
+  EXPECT_EQ(ReadBack(bed, *router, 20, base), 20);
+}
+
+TEST(MaterializedKvTest, DataSurvivesCrashRestart) {
+  Testbed bed(MaterializedConfig());
+  bed.Start();
+  ASSERT_TRUE(bed.RunUntilAllReady(Minutes(2)));
+  auto router = bed.CreateRouter(RegionId(0));
+  bed.sim().RunFor(Seconds(2));
+
+  const uint64_t base = 9000;
+  ASSERT_EQ(WriteSome(bed, *router, 15, base), 15);
+
+  ShardId shard = bed.spec().ShardForKey(base);
+  ServerId owner = bed.orchestrator().replica_server(shard, 0);
+  // Crash with quick recovery: within the failover grace, so the shard stays assigned; the
+  // restarted server restores the assignment from coord and rebuilds views from the bus.
+  bed.cluster_manager(RegionId(0)).FailContainer(ContainerId(owner.value), Seconds(5));
+  bed.sim().RunFor(Seconds(8));
+  ASSERT_TRUE(bed.RunUntilAllReady(Minutes(2)));
+
+  auto* app = dynamic_cast<MaterializedKvApp*>(bed.app_server(owner));
+  ASSERT_NE(app, nullptr);
+  if (bed.orchestrator().replica_server(shard, 0) == owner) {
+    EXPECT_GT(app->ShardSize(shard), 0u) << "crash wiped the view and rebuild did not happen";
+  }
+  EXPECT_EQ(ReadBack(bed, *router, 15, base), 15);
+}
+
+TEST(MaterializedKvTest, SoftStateAppLosesDataWhereMaterializedKeepsIt) {
+  // The §2.4 contrast, as one test: same scenario, two persistency options.
+  auto run = [](TestAppKind kind) {
+    TestbedConfig config = MaterializedConfig();
+    config.app_kind = kind;
+    Testbed bed(config);
+    bed.Start();
+    EXPECT_TRUE(bed.RunUntilAllReady(Minutes(2)));
+    auto router = bed.CreateRouter(RegionId(0));
+    bed.sim().RunFor(Seconds(2));
+    const uint64_t base = 100;
+    WriteSome(bed, *router, 10, base);
+    ShardId shard = bed.spec().ShardForKey(base);
+    ServerId owner = bed.orchestrator().replica_server(shard, 0);
+    bool drained = false;
+    bed.orchestrator().DrainServer(owner, true, true, [&]() { drained = true; });
+    bed.sim().RunFor(Minutes(2));
+    EXPECT_TRUE(drained);
+    // Size of the shard's store on the new owner.
+    ServerId new_owner = bed.orchestrator().replica_server(shard, 0);
+    ShardHostBase* app = bed.app_server(new_owner);
+    if (kind == TestAppKind::kMaterializedKv) {
+      return dynamic_cast<MaterializedKvApp*>(app)->ShardSize(shard);
+    }
+    return dynamic_cast<KvStoreApp*>(app)->ShardSize(shard);
+  };
+  EXPECT_EQ(run(TestAppKind::kKvStore), 0u) << "soft state should be lost on migration";
+  EXPECT_GT(run(TestAppKind::kMaterializedKv), 0u) << "materialized state should be rebuilt";
+}
+
+TEST(MaterializedKvTest, PrepareAddWarmsTheViewBeforeOwnership) {
+  // Graceful migration step 1 (prepare_add) already triggers the rebuild, so by step 3 the new
+  // primary serves a warm view — modeling production replica warm-up.
+  Simulator sim;
+  Network network(&sim, LatencyModel(1, Millis(1), Millis(1)), 1);
+  ServerRegistry registry;
+  DataBus bus;
+  MaterializedKvApp app(&sim, &network, &registry, ServerId(1), RegionId(0), 1, &bus);
+  ServerHandle handle;
+  handle.id = ServerId(1);
+  handle.container = ContainerId(1);
+  handle.app = AppId(1);
+  handle.region = RegionId(0);
+  handle.api = &app;
+  registry.Register(handle);
+
+  bus.Append(ShardId(0), 1, 11);
+  bus.Append(ShardId(0), 2, 22);
+  ASSERT_TRUE(app.PrepareAddShard(ShardId(0), ServerId(9), ReplicaRole::kPrimary).ok());
+  EXPECT_EQ(app.ShardSize(ShardId(0)), 2u);  // warmed during prepare
+  EXPECT_EQ(app.AppliedOffset(ShardId(0)), 2);
+  ASSERT_TRUE(app.AddShard(ShardId(0), ReplicaRole::kPrimary).ok());
+  EXPECT_EQ(app.ShardSize(ShardId(0)), 2u);
+}
+
+}  // namespace
+}  // namespace shardman

@@ -1,0 +1,155 @@
+// Unit tests for the discrete-event simulator and the simulated network.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace shardman {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Millis(30), [&]() { order.push_back(3); });
+  sim.Schedule(Millis(10), [&]() { order.push_back(1); });
+  sim.Schedule(Millis(20), [&]() { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Millis(30));
+}
+
+TEST(SimulatorTest, SameTimeFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(Millis(5), [&order, i]() { order.push_back(i); });
+  }
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockExactly) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Millis(10), [&]() { ++fired; });
+  sim.Schedule(Millis(100), [&]() { ++fired; });
+  sim.RunUntil(Millis(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), Millis(50));
+  sim.RunUntil(Millis(200));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  EventId id = sim.Schedule(Millis(10), [&]() { ++fired; });
+  sim.Schedule(Millis(20), [&]() { ++fired; });
+  sim.Cancel(id);
+  sim.RunAll();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, CancelledHeadDoesNotBlockRunUntil) {
+  Simulator sim;
+  int fired = 0;
+  EventId id = sim.Schedule(Millis(5), [&]() { ++fired; });
+  sim.Schedule(Millis(40), [&]() { ++fired; });
+  sim.Cancel(id);
+  sim.RunUntil(Millis(10));
+  EXPECT_EQ(fired, 0);
+  sim.RunUntil(Millis(50));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  std::vector<TimeMicros> times;
+  sim.Schedule(Millis(10), [&]() {
+    times.push_back(sim.Now());
+    sim.Schedule(Millis(10), [&]() { times.push_back(sim.Now()); });
+  });
+  sim.RunAll();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], Millis(10));
+  EXPECT_EQ(times[1], Millis(20));
+}
+
+TEST(SimulatorTest, PeriodicFiresRepeatedlyUntilCancelled) {
+  Simulator sim;
+  int fired = 0;
+  EventId id = sim.SchedulePeriodic(Millis(10), Millis(10), [&]() { ++fired; });
+  sim.RunUntil(Millis(55));
+  EXPECT_EQ(fired, 5);
+  sim.Cancel(id);
+  sim.RunUntil(Millis(200));
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(SimulatorTest, PeriodicCanCancelItself) {
+  Simulator sim;
+  int fired = 0;
+  EventId id;
+  id = sim.SchedulePeriodic(Millis(10), Millis(10), [&]() {
+    if (++fired == 3) {
+      sim.Cancel(id);
+    }
+  });
+  sim.RunUntil(Seconds(1));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(LatencyModelTest, LocalAndWideDefaults) {
+  LatencyModel model(3, Millis(1), Millis(50));
+  EXPECT_EQ(model.Latency(RegionId(0), RegionId(0)), Millis(1));
+  EXPECT_EQ(model.Latency(RegionId(0), RegionId(2)), Millis(50));
+  model.SetLatency(RegionId(0), RegionId(1), Millis(80));
+  EXPECT_EQ(model.Latency(RegionId(1), RegionId(0)), Millis(80));  // symmetric
+}
+
+TEST(NetworkTest, DeliversAfterLatency) {
+  Simulator sim;
+  Network net(&sim, LatencyModel(2, Millis(1), Millis(40)), 1);
+  net.set_jitter_fraction(0.0);
+  TimeMicros delivered_at = -1;
+  net.Send(RegionId(0), RegionId(1), [&]() { delivered_at = sim.Now(); });
+  sim.RunAll();
+  EXPECT_EQ(delivered_at, Millis(40));
+}
+
+TEST(NetworkTest, JitterBoundsDelivery) {
+  Simulator sim;
+  Network net(&sim, LatencyModel(2, Millis(1), Millis(40)), 1);
+  net.set_jitter_fraction(0.1);
+  for (int i = 0; i < 50; ++i) {
+    TimeMicros delivered_at = -1;
+    TimeMicros start = sim.Now();
+    net.Send(RegionId(0), RegionId(1), [&]() { delivered_at = sim.Now(); });
+    sim.RunAll();
+    TimeMicros latency = delivered_at - start;
+    EXPECT_GE(latency, Millis(36));
+    EXPECT_LE(latency, Millis(44));
+  }
+}
+
+TEST(NetworkTest, PartitionDropsMessages) {
+  Simulator sim;
+  Network net(&sim, LatencyModel(2, Millis(1), Millis(40)), 1);
+  net.PartitionRegion(RegionId(1));
+  int delivered = 0;
+  net.Send(RegionId(0), RegionId(1), [&]() { ++delivered; });
+  net.Send(RegionId(1), RegionId(0), [&]() { ++delivered; });
+  sim.RunAll();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.messages_dropped(), 2u);
+  net.HealRegion(RegionId(1));
+  net.Send(RegionId(0), RegionId(1), [&]() { ++delivered; });
+  sim.RunAll();
+  EXPECT_EQ(delivered, 1);
+}
+
+}  // namespace
+}  // namespace shardman

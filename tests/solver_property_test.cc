@@ -1,0 +1,193 @@
+// Property-based tests for the solver: invariants that must hold across randomized problem
+// instances, sizes, seeds and optimization-flag configurations (parameterized gtest sweeps).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/common/rng.h"
+#include "src/solver/problem.h"
+#include "src/solver/rebalancer.h"
+
+namespace shardman {
+namespace {
+
+struct RandomProblemSpec {
+  int bins = 24;
+  int regions = 3;
+  int entities = 120;
+  int metrics = 2;
+  int groups = 40;  // entities are round-robined into groups (replicas)
+  double fill = 0.5;  // expected fleet utilization
+  uint64_t seed = 1;
+  bool start_random = true;
+};
+
+SolverProblem MakeRandomProblem(const RandomProblemSpec& spec) {
+  Rng rng(spec.seed);
+  SolverProblem p;
+  for (int b = 0; b < spec.bins; ++b) {
+    std::vector<double> cap(static_cast<size_t>(spec.metrics));
+    for (double& c : cap) {
+      c = rng.Uniform(80.0, 120.0);
+    }
+    int region = b % spec.regions;
+    int dc = b % (spec.regions * 2);
+    p.AddBin(cap, region, dc, b);
+  }
+  // Scale entity loads for the requested fill level.
+  double total_cap = 0;
+  for (int b = 0; b < spec.bins; ++b) {
+    total_cap += p.capacity(b, 0);
+  }
+  double mean_load = spec.fill * total_cap / spec.entities;
+  for (int e = 0; e < spec.entities; ++e) {
+    std::vector<double> load(static_cast<size_t>(spec.metrics));
+    for (double& l : load) {
+      l = rng.Uniform(0.2, 1.8) * mean_load;
+    }
+    int group = spec.groups > 0 ? e % spec.groups : -1;
+    int bin = spec.start_random ? static_cast<int>(rng.UniformInt(0, spec.bins - 1)) : -1;
+    p.AddEntity(load, group, bin);
+  }
+  return p;
+}
+
+Rebalancer StandardSpecs(int metrics) {
+  Rebalancer rb;
+  for (int m = 0; m < metrics; ++m) {
+    rb.AddConstraint(CapacitySpec{m, 1.0});
+    rb.AddGoal(ThresholdSpec{m, 0.9}, 2000.0);
+    rb.AddGoal(BalanceSpec{DomainScope::kGlobal, m, 0.10}, 1000.0);
+  }
+  rb.AddGoal(ExclusionSpec{DomainScope::kRegion}, 30000.0);
+  return rb;
+}
+
+class SolverSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+// Invariant 1: solving never increases total violations, and hard violations end at zero
+// whenever the fleet has headroom.
+TEST_P(SolverSeedSweep, NeverWorseAndHardViolationsCleared) {
+  RandomProblemSpec spec;
+  spec.seed = GetParam();
+  SolverProblem p = MakeRandomProblem(spec);
+  Rebalancer rb = StandardSpecs(spec.metrics);
+  ViolationCounts before = rb.Count(p);
+  SolveOptions options;
+  options.seed = GetParam() + 1;
+  options.time_budget = Seconds(20);
+  options.trace_interval = 0;
+  SolveResult result = rb.Solve(p, options);
+  EXPECT_LE(result.final_violations.total(), before.total());
+  EXPECT_EQ(result.final_violations.capacity, 0);
+  EXPECT_EQ(result.final_violations.unassigned, 0);
+  // Count() after the fact agrees with the result (assignment was mutated in place).
+  ViolationCounts recount = rb.Count(p);
+  EXPECT_EQ(recount.total(), result.final_violations.total());
+}
+
+// Invariant 2: every reported move is consistent with the final assignment.
+TEST_P(SolverSeedSweep, MovesReplayToFinalAssignment) {
+  RandomProblemSpec spec;
+  spec.seed = GetParam() * 13 + 5;
+  SolverProblem p = MakeRandomProblem(spec);
+  std::vector<int32_t> replay = p.assignment;
+  Rebalancer rb = StandardSpecs(spec.metrics);
+  SolveOptions options;
+  options.seed = GetParam();
+  options.time_budget = Seconds(20);
+  options.trace_interval = 0;
+  SolveResult result = rb.Solve(p, options);
+  for (const SolverMove& move : result.moves) {
+    ASSERT_GE(move.entity, 0);
+    ASSERT_LT(move.entity, static_cast<int32_t>(replay.size()));
+    EXPECT_EQ(replay[static_cast<size_t>(move.entity)], move.from);
+    replay[static_cast<size_t>(move.entity)] = move.to;
+  }
+  EXPECT_EQ(replay, p.assignment);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverSeedSweep, ::testing::Values(1u, 2u, 3u, 4u, 5u, 17u, 99u));
+
+struct FlagConfig {
+  bool stratified;
+  bool large_first;
+  bool batching;
+  bool equivalence;
+  bool swaps;
+};
+
+class SolverFlagSweep : public ::testing::TestWithParam<int> {};
+
+// Invariant 3: correctness does not depend on the §5.3 optimizations — any flag combination
+// clears hard violations (they only affect speed / solution quality).
+TEST_P(SolverFlagSweep, AllFlagCombinationsClearHardViolations) {
+  int bits = GetParam();
+  RandomProblemSpec spec;
+  spec.seed = 42;
+  spec.entities = 80;
+  spec.bins = 16;
+  SolverProblem p = MakeRandomProblem(spec);
+  Rebalancer rb = StandardSpecs(spec.metrics);
+  SolveOptions options;
+  options.seed = 9;
+  options.time_budget = Seconds(20);
+  options.trace_interval = 0;
+  options.stratified_sampling = (bits & 1) != 0;
+  options.large_shards_first = (bits & 2) != 0;
+  options.goal_batching = (bits & 4) != 0;
+  options.equivalence_classes = (bits & 8) != 0;
+  options.enable_swaps = (bits & 16) != 0;
+  SolveResult result = rb.Solve(p, options);
+  EXPECT_EQ(result.final_violations.capacity, 0);
+  EXPECT_EQ(result.final_violations.unassigned, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Flags, SolverFlagSweep,
+                         ::testing::Values(0, 1, 2, 4, 8, 16, 31, 21, 10, 27));
+
+class SolverFillSweep : public ::testing::TestWithParam<double> {};
+
+// Invariant 4: across utilization levels, emergency mode places everything that fits.
+TEST_P(SolverFillSweep, EmergencyPlacesAllThatFit) {
+  RandomProblemSpec spec;
+  spec.fill = GetParam();
+  spec.start_random = false;  // everything starts unassigned
+  spec.seed = 321;
+  SolverProblem p = MakeRandomProblem(spec);
+  Rebalancer rb = StandardSpecs(spec.metrics);
+  SolveOptions options;
+  options.emergency = true;
+  options.seed = 11;
+  options.time_budget = Seconds(20);
+  options.trace_interval = 0;
+  SolveResult result = rb.Solve(p, options);
+  EXPECT_EQ(result.final_violations.unassigned, 0);
+  EXPECT_EQ(result.final_violations.capacity, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fills, SolverFillSweep, ::testing::Values(0.2, 0.4, 0.6, 0.75));
+
+// Group spread: with as many regions as replicas, a converged solve leaves every group fully
+// spread (no two replicas share a region).
+TEST(SolverPropertyTest, FullSpreadAchievableWhenRegionsSuffice) {
+  RandomProblemSpec spec;
+  spec.bins = 30;
+  spec.regions = 3;
+  spec.entities = 90;
+  spec.groups = 30;  // 3 replicas per group, 3 regions
+  spec.fill = 0.4;
+  spec.seed = 8;
+  SolverProblem p = MakeRandomProblem(spec);
+  Rebalancer rb = StandardSpecs(spec.metrics);
+  SolveOptions options;
+  options.seed = 3;
+  options.time_budget = Seconds(30);
+  options.trace_interval = 0;
+  SolveResult result = rb.Solve(p, options);
+  EXPECT_EQ(result.final_violations.exclusion, 0);
+}
+
+}  // namespace
+}  // namespace shardman

@@ -1,0 +1,280 @@
+// Unit tests for the constraint solver: spec semantics, violation counting, and local search
+// behaviour on small hand-built problems.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/solver/problem.h"
+#include "src/solver/rebalancer.h"
+
+namespace shardman {
+namespace {
+
+SolveOptions QuickOptions() {
+  SolveOptions options;
+  options.time_budget = Seconds(10);
+  options.seed = 7;
+  options.trace_interval = 0;
+  return options;
+}
+
+// Two bins, one overloaded beyond hard capacity: the solver must move load off it.
+TEST(RebalancerTest, FixesCapacityOverflow) {
+  SolverProblem p;
+  p.AddBin({10.0}, 0, 0, 0);
+  p.AddBin({10.0}, 0, 0, 0);
+  for (int i = 0; i < 10; ++i) {
+    p.AddEntity({1.5}, -1, 0);  // 15 load on a 10-capacity bin
+  }
+  Rebalancer rb;
+  rb.AddConstraint(CapacitySpec{0, 1.0});
+  ViolationCounts before = rb.Count(p);
+  EXPECT_EQ(before.capacity, 1);
+
+  SolveResult result = rb.Solve(p, QuickOptions());
+  EXPECT_EQ(result.final_violations.capacity, 0);
+  EXPECT_GT(result.moves.size(), 0u);
+  // Both bins must now be within capacity.
+  double load0 = 0, load1 = 0;
+  for (int e = 0; e < p.num_entities(); ++e) {
+    (p.assignment[static_cast<size_t>(e)] == 0 ? load0 : load1) += 1.5;
+  }
+  EXPECT_LE(load0, 10.0);
+  EXPECT_LE(load1, 10.0);
+}
+
+TEST(RebalancerTest, PlacesUnassignedEntities) {
+  SolverProblem p;
+  p.AddBin({10.0}, 0, 0, 0);
+  p.AddBin({10.0}, 0, 0, 0);
+  for (int i = 0; i < 6; ++i) {
+    p.AddEntity({1.0}, -1, -1);  // unassigned
+  }
+  Rebalancer rb;
+  rb.AddConstraint(CapacitySpec{0, 1.0});
+  EXPECT_EQ(rb.Count(p).unassigned, 6);
+  SolveResult result = rb.Solve(p, QuickOptions());
+  EXPECT_EQ(result.final_violations.unassigned, 0);
+  for (int e = 0; e < p.num_entities(); ++e) {
+    EXPECT_GE(p.assignment[static_cast<size_t>(e)], 0);
+  }
+}
+
+TEST(RebalancerTest, EmergencyModePlacesQuicklyAndRespectsCapacity) {
+  SolverProblem p;
+  for (int b = 0; b < 4; ++b) {
+    p.AddBin({5.0}, 0, 0, b);
+  }
+  for (int i = 0; i < 16; ++i) {
+    p.AddEntity({1.0}, -1, -1);
+  }
+  Rebalancer rb;
+  rb.AddConstraint(CapacitySpec{0, 1.0});
+  SolveOptions options = QuickOptions();
+  options.emergency = true;
+  SolveResult result = rb.Solve(p, options);
+  EXPECT_EQ(result.final_violations.unassigned, 0);
+  EXPECT_EQ(result.final_violations.capacity, 0);
+  // Parallel-failover flavor: entities spread across all bins, not piled on one.
+  std::vector<int> counts(4, 0);
+  for (int e = 0; e < p.num_entities(); ++e) {
+    counts[static_cast<size_t>(p.assignment[static_cast<size_t>(e)])]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 0);
+  }
+}
+
+TEST(RebalancerTest, DeadBinEntitiesCountAsUnassignedAndGetRescued) {
+  SolverProblem p;
+  int dead = p.AddBin({10.0}, 0, 0, 0);
+  p.AddBin({10.0}, 0, 0, 0);
+  p.bin_alive[static_cast<size_t>(dead)] = 0;
+  for (int i = 0; i < 4; ++i) {
+    p.AddEntity({1.0}, -1, dead);
+  }
+  Rebalancer rb;
+  rb.AddConstraint(CapacitySpec{0, 1.0});
+  EXPECT_EQ(rb.Count(p).unassigned, 4);
+  SolveResult result = rb.Solve(p, QuickOptions());
+  EXPECT_EQ(result.final_violations.unassigned, 0);
+  for (int e = 0; e < p.num_entities(); ++e) {
+    EXPECT_EQ(p.assignment[static_cast<size_t>(e)], 1);
+  }
+}
+
+TEST(RebalancerTest, ThresholdGoalReducesHotBin) {
+  SolverProblem p;
+  p.AddBin({10.0}, 0, 0, 0);
+  p.AddBin({10.0}, 0, 0, 1);
+  for (int i = 0; i < 9; ++i) {
+    p.AddEntity({1.0}, -1, 0);  // bin0 at 90%; bin1 empty
+  }
+  Rebalancer rb;
+  rb.AddConstraint(CapacitySpec{0, 1.0});
+  rb.AddGoal(ThresholdSpec{0, 0.6}, 100.0);
+  EXPECT_EQ(rb.Count(p).threshold, 1);
+  SolveResult result = rb.Solve(p, QuickOptions());
+  EXPECT_EQ(result.final_violations.threshold, 0);
+}
+
+TEST(RebalancerTest, BalanceGoalEqualizesUtilization) {
+  SolverProblem p;
+  for (int b = 0; b < 4; ++b) {
+    p.AddBin({10.0}, 0, 0, b);
+  }
+  for (int i = 0; i < 20; ++i) {
+    p.AddEntity({1.0}, -1, 0);  // all load on bin 0: 200% vs 50% average
+  }
+  Rebalancer rb;
+  rb.AddGoal(BalanceSpec{DomainScope::kGlobal, 0, 0.10}, 100.0);
+  EXPECT_GE(rb.Count(p).balance, 1);
+  SolveResult result = rb.Solve(p, QuickOptions());
+  EXPECT_EQ(result.final_violations.balance, 0);
+}
+
+TEST(RebalancerTest, AffinityPullsShardToPreferredRegion) {
+  SolverProblem p;
+  p.AddBin({10.0}, /*region=*/0, 0, 0);
+  p.AddBin({10.0}, /*region=*/1, 1, 1);
+  int e = p.AddEntity({1.0}, /*group=*/0, /*bin=*/0);
+  Rebalancer rb;
+  AffinitySpec affinity;
+  affinity.entries.push_back(AffinityEntry{0, /*region=*/1, 1, 1.0});
+  rb.AddGoal(affinity, 100.0);
+  EXPECT_EQ(rb.Count(p).affinity, 1);
+  SolveResult result = rb.Solve(p, QuickOptions());
+  EXPECT_EQ(result.final_violations.affinity, 0);
+  EXPECT_EQ(p.assignment[static_cast<size_t>(e)], 1);
+}
+
+TEST(RebalancerTest, ExclusionSpreadsReplicasAcrossRegions) {
+  SolverProblem p;
+  p.AddBin({10.0}, 0, 0, 0);
+  p.AddBin({10.0}, 0, 0, 1);
+  p.AddBin({10.0}, 1, 1, 2);
+  // Both replicas of group 0 start in region 0.
+  p.AddEntity({1.0}, 0, 0);
+  p.AddEntity({1.0}, 0, 1);
+  Rebalancer rb;
+  rb.AddGoal(ExclusionSpec{DomainScope::kRegion}, 100.0);
+  EXPECT_EQ(rb.Count(p).exclusion, 1);
+  SolveResult result = rb.Solve(p, QuickOptions());
+  EXPECT_EQ(result.final_violations.exclusion, 0);
+  int r0 = p.bin_region[static_cast<size_t>(p.assignment[0])];
+  int r1 = p.bin_region[static_cast<size_t>(p.assignment[1])];
+  EXPECT_NE(r0, r1);
+}
+
+TEST(RebalancerTest, DrainGoalEvacuatesDrainingBin) {
+  SolverProblem p;
+  int draining = p.AddBin({10.0}, 0, 0, 0);
+  p.AddBin({10.0}, 0, 0, 1);
+  p.bin_draining[static_cast<size_t>(draining)] = 1;
+  for (int i = 0; i < 3; ++i) {
+    p.AddEntity({1.0}, -1, draining);
+  }
+  Rebalancer rb;
+  rb.AddConstraint(CapacitySpec{0, 1.0});
+  rb.AddGoal(DrainSpec{}, 50.0);
+  EXPECT_EQ(rb.Count(p).drain, 3);
+  SolveResult result = rb.Solve(p, QuickOptions());
+  EXPECT_EQ(result.final_violations.drain, 0);
+}
+
+TEST(RebalancerTest, HardConstraintBeatsAffinity) {
+  // Both entities prefer region 0, which only has room for one: the solver must leave one
+  // affinity goal unmet rather than overflow the hard capacity constraint.
+  SolverProblem p;
+  p.AddBin({1.0}, /*region=*/0, 0, 0);
+  p.AddBin({10.0}, /*region=*/1, 1, 1);
+  p.AddEntity({1.0}, 0, 0);  // fills region 0 completely
+  int e = p.AddEntity({1.0}, 1, 1);
+  Rebalancer rb;
+  rb.AddConstraint(CapacitySpec{0, 1.0});
+  AffinitySpec affinity;
+  affinity.entries.push_back(AffinityEntry{0, /*region=*/0, 1, 1.0});
+  affinity.entries.push_back(AffinityEntry{1, /*region=*/0, 1, 1.0});
+  rb.AddGoal(affinity, 100.0);
+  SolveResult result = rb.Solve(p, QuickOptions());
+  EXPECT_EQ(p.assignment[static_cast<size_t>(e)], 1);
+  EXPECT_EQ(result.final_violations.capacity, 0);
+  EXPECT_EQ(result.final_violations.affinity, 1);
+}
+
+TEST(RebalancerTest, MoveBudgetIsRespected) {
+  SolverProblem p;
+  p.AddBin({100.0}, 0, 0, 0);
+  p.AddBin({100.0}, 0, 0, 1);
+  for (int i = 0; i < 50; ++i) {
+    p.AddEntity({1.0}, -1, 0);
+  }
+  Rebalancer rb;
+  rb.AddGoal(BalanceSpec{DomainScope::kGlobal, 0, 0.05}, 10.0);
+  SolveOptions options = QuickOptions();
+  options.move_budget = 5;
+  SolveResult result = rb.Solve(p, options);
+  EXPECT_LE(result.moves.size(), 5u);
+}
+
+TEST(RebalancerTest, ConvergedCleanProblemMakesNoMoves) {
+  SolverProblem p;
+  p.AddBin({10.0}, 0, 0, 0);
+  p.AddBin({10.0}, 0, 0, 1);
+  p.AddEntity({1.0}, -1, 0);
+  p.AddEntity({1.0}, -1, 1);
+  Rebalancer rb;
+  rb.AddConstraint(CapacitySpec{0, 1.0});
+  rb.AddGoal(ThresholdSpec{0, 0.9}, 10.0);
+  rb.AddGoal(BalanceSpec{DomainScope::kGlobal, 0, 0.10}, 5.0);
+  SolveResult result = rb.Solve(p, QuickOptions());
+  EXPECT_EQ(result.moves.size(), 0u);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(RebalancerTest, RegionalBalanceScopedPerRegion) {
+  SolverProblem p;
+  // Region 0: two bins, all its load on one of them. Region 1: balanced.
+  p.AddBin({10.0}, 0, 0, 0);
+  p.AddBin({10.0}, 0, 0, 1);
+  p.AddBin({10.0}, 1, 1, 2);
+  p.AddBin({10.0}, 1, 1, 3);
+  for (int i = 0; i < 8; ++i) {
+    p.AddEntity({1.0}, -1, 0);
+  }
+  p.AddEntity({1.0}, -1, 2);
+  p.AddEntity({1.0}, -1, 3);
+  Rebalancer rb;
+  rb.AddGoal(BalanceSpec{DomainScope::kRegion, 0, 0.10}, 10.0);
+  ViolationCounts before = rb.Count(p);
+  EXPECT_EQ(before.balance, 1);  // only bin 0 exceeds its regional average + 10%
+  SolveResult result = rb.Solve(p, QuickOptions());
+  EXPECT_EQ(result.final_violations.balance, 0);
+}
+
+TEST(RebalancerTest, TraceIsMonotoneInTimeAndRecordsImprovement) {
+  Rng rng(3);
+  SolverProblem p;
+  for (int b = 0; b < 20; ++b) {
+    p.AddBin({10.0}, b % 2, b % 4, b);
+  }
+  for (int i = 0; i < 100; ++i) {
+    p.AddEntity({rng.Uniform(0.2, 1.5)}, -1,
+                static_cast<int32_t>(rng.UniformInt(0, 4)));  // piled on few bins
+  }
+  Rebalancer rb;
+  rb.AddConstraint(CapacitySpec{0, 1.0});
+  rb.AddGoal(ThresholdSpec{0, 0.9}, 20.0);
+  rb.AddGoal(BalanceSpec{DomainScope::kGlobal, 0, 0.10}, 10.0);
+  SolveOptions options = QuickOptions();
+  options.trace_interval = Millis(1);
+  SolveResult result = rb.Solve(p, options);
+  ASSERT_GE(result.trace.size(), 2u);
+  for (size_t i = 1; i < result.trace.size(); ++i) {
+    EXPECT_GE(result.trace[i].wall_elapsed, result.trace[i - 1].wall_elapsed);
+  }
+  EXPECT_LT(result.trace.back().violations, result.trace.front().violations);
+}
+
+}  // namespace
+}  // namespace shardman

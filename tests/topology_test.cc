@@ -1,0 +1,65 @@
+// Unit tests for the fault-domain topology.
+
+#include <gtest/gtest.h>
+
+#include "src/topology/topology.h"
+
+namespace shardman {
+namespace {
+
+TEST(TopologyTest, ManualConstruction) {
+  Topology topo;
+  RegionId region = topo.AddRegion("frc");
+  DataCenterId dc = topo.AddDataCenter(region, "frc-dc0");
+  RackId rack = topo.AddRack(dc);
+  MachineId machine = topo.AddMachine(rack, ResourceVector{100.0}, /*has_storage=*/true);
+
+  EXPECT_EQ(topo.num_regions(), 1);
+  EXPECT_EQ(topo.num_machines(), 1);
+  const MachineInfo& info = topo.machine(machine);
+  EXPECT_EQ(info.region, region);
+  EXPECT_EQ(info.data_center, dc);
+  EXPECT_EQ(info.rack, rack);
+  EXPECT_TRUE(info.has_storage);
+  EXPECT_DOUBLE_EQ(info.capacity[0], 100.0);
+  EXPECT_EQ(topo.MachineRegion(machine), region);
+}
+
+TEST(TopologyTest, SymmetricBuilder) {
+  SymmetricTopologySpec spec;
+  spec.region_names = {"a", "b", "c"};
+  spec.data_centers_per_region = 2;
+  spec.racks_per_data_center = 3;
+  spec.machines_per_rack = 4;
+  spec.base_capacity = ResourceVector{10.0, 20.0};
+  Topology topo = BuildSymmetric(spec);
+
+  EXPECT_EQ(topo.num_regions(), 3);
+  EXPECT_EQ(topo.num_data_centers(), 6);
+  EXPECT_EQ(topo.num_racks(), 18);
+  EXPECT_EQ(topo.num_machines(), 72);
+  EXPECT_EQ(topo.MachinesInRegion(RegionId(1)).size(), 24u);
+  EXPECT_EQ(topo.FindRegion("b"), RegionId(1));
+  EXPECT_FALSE(topo.FindRegion("zz").valid());
+}
+
+TEST(TopologyTest, HierarchyIsConsistent) {
+  SymmetricTopologySpec spec;
+  spec.region_names = {"a", "b"};
+  spec.data_centers_per_region = 2;
+  spec.racks_per_data_center = 2;
+  spec.machines_per_rack = 2;
+  spec.base_capacity = ResourceVector{1.0};
+  Topology topo = BuildSymmetric(spec);
+  for (int m = 0; m < topo.num_machines(); ++m) {
+    const MachineInfo& machine = topo.machine(MachineId(m));
+    const RackInfo& rack = topo.rack(machine.rack);
+    const DataCenterInfo& dc = topo.data_center(machine.data_center);
+    EXPECT_EQ(rack.data_center, machine.data_center);
+    EXPECT_EQ(rack.region, machine.region);
+    EXPECT_EQ(dc.region, machine.region);
+  }
+}
+
+}  // namespace
+}  // namespace shardman
