@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_backends.dir/ablation_backends.cc.o"
+  "CMakeFiles/ablation_backends.dir/ablation_backends.cc.o.d"
+  "ablation_backends"
+  "ablation_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

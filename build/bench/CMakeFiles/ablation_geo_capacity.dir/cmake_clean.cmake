@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_geo_capacity.dir/ablation_geo_capacity.cc.o"
+  "CMakeFiles/ablation_geo_capacity.dir/ablation_geo_capacity.cc.o.d"
+  "ablation_geo_capacity"
+  "ablation_geo_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_geo_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

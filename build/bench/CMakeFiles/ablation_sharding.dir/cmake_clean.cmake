@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sharding.dir/ablation_sharding.cc.o"
+  "CMakeFiles/ablation_sharding.dir/ablation_sharding.cc.o.d"
+  "ablation_sharding"
+  "ablation_sharding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sharding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

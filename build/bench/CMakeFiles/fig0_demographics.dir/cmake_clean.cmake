@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig0_demographics.dir/fig0_demographics.cc.o"
+  "CMakeFiles/fig0_demographics.dir/fig0_demographics.cc.o.d"
+  "fig0_demographics"
+  "fig0_demographics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig0_demographics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig0_demographics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_app_scale.dir/fig15_app_scale.cc.o"
+  "CMakeFiles/fig15_app_scale.dir/fig15_app_scale.cc.o.d"
+  "fig15_app_scale"
+  "fig15_app_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_app_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_minism_scale.dir/fig16_minism_scale.cc.o"
+  "CMakeFiles/fig16_minism_scale.dir/fig16_minism_scale.cc.o.d"
+  "fig16_minism_scale"
+  "fig16_minism_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_minism_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_upgrade_availability.dir/fig17_upgrade_availability.cc.o"
+  "CMakeFiles/fig17_upgrade_availability.dir/fig17_upgrade_availability.cc.o.d"
+  "fig17_upgrade_availability"
+  "fig17_upgrade_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_upgrade_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_prod_upgrades.dir/fig18_prod_upgrades.cc.o"
+  "CMakeFiles/fig18_prod_upgrades.dir/fig18_prod_upgrades.cc.o.d"
+  "fig18_prod_upgrades"
+  "fig18_prod_upgrades.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_prod_upgrades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

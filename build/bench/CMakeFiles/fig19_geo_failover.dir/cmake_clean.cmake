@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_geo_failover.dir/fig19_geo_failover.cc.o"
+  "CMakeFiles/fig19_geo_failover.dir/fig19_geo_failover.cc.o.d"
+  "fig19_geo_failover"
+  "fig19_geo_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_geo_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

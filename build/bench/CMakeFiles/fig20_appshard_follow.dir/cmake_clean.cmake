@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_appshard_follow.dir/fig20_appshard_follow.cc.o"
+  "CMakeFiles/fig20_appshard_follow.dir/fig20_appshard_follow.cc.o.d"
+  "fig20_appshard_follow"
+  "fig20_appshard_follow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_appshard_follow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

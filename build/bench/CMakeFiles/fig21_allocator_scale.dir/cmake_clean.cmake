@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_allocator_scale.dir/fig21_allocator_scale.cc.o"
+  "CMakeFiles/fig21_allocator_scale.dir/fig21_allocator_scale.cc.o.d"
+  "fig21_allocator_scale"
+  "fig21_allocator_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_allocator_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

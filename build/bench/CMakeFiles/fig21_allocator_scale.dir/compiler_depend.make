@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig21_allocator_scale.
+# This may be replaced when dependencies are built.

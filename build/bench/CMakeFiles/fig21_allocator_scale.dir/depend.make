@@ -1,0 +1,2 @@
+# Empty dependencies file for fig21_allocator_scale.
+# This may be replaced when dependencies are built.

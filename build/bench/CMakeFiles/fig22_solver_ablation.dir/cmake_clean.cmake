@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_solver_ablation.dir/fig22_solver_ablation.cc.o"
+  "CMakeFiles/fig22_solver_ablation.dir/fig22_solver_ablation.cc.o.d"
+  "fig22_solver_ablation"
+  "fig22_solver_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_solver_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

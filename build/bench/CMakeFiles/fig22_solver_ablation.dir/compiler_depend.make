@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig22_solver_ablation.
+# This may be replaced when dependencies are built.

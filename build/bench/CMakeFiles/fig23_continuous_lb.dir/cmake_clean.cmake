@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_continuous_lb.dir/fig23_continuous_lb.cc.o"
+  "CMakeFiles/fig23_continuous_lb.dir/fig23_continuous_lb.cc.o.d"
+  "fig23_continuous_lb"
+  "fig23_continuous_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_continuous_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

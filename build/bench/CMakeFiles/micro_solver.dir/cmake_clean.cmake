@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_solver.dir/micro_solver.cc.o"
+  "CMakeFiles/micro_solver.dir/micro_solver.cc.o.d"
+  "micro_solver"
+  "micro_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composable_controller.dir/composable_controller.cpp.o"
+  "CMakeFiles/composable_controller.dir/composable_controller.cpp.o.d"
+  "composable_controller"
+  "composable_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composable_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_placement.dir/custom_placement.cpp.o"
+  "CMakeFiles/custom_placement.dir/custom_placement.cpp.o.d"
+  "custom_placement"
+  "custom_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

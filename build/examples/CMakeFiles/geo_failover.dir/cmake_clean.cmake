@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_failover.dir/geo_failover.cpp.o"
+  "CMakeFiles/geo_failover.dir/geo_failover.cpp.o.d"
+  "geo_failover"
+  "geo_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laser_bulk_load.dir/laser_bulk_load.cpp.o"
+  "CMakeFiles/laser_bulk_load.dir/laser_bulk_load.cpp.o.d"
+  "laser_bulk_load"
+  "laser_bulk_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laser_bulk_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for laser_bulk_load.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rolling_upgrade.dir/rolling_upgrade.cpp.o"
+  "CMakeFiles/rolling_upgrade.dir/rolling_upgrade.cpp.o.d"
+  "rolling_upgrade"
+  "rolling_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rolling_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

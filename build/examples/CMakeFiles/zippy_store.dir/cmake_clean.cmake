@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zippy_store.dir/zippy_store.cpp.o"
+  "CMakeFiles/zippy_store.dir/zippy_store.cpp.o.d"
+  "zippy_store"
+  "zippy_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zippy_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("topology")
+subdirs("coord")
+subdirs("cluster")
+subdirs("solver")
+subdirs("allocator")
+subdirs("discovery")
+subdirs("core")
+subdirs("routing")
+subdirs("apps")
+subdirs("workload")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_allocator.dir/allocator.cc.o"
+  "CMakeFiles/sm_allocator.dir/allocator.cc.o.d"
+  "CMakeFiles/sm_allocator.dir/capacity_planner.cc.o"
+  "CMakeFiles/sm_allocator.dir/capacity_planner.cc.o.d"
+  "CMakeFiles/sm_allocator.dir/heuristic_allocator.cc.o"
+  "CMakeFiles/sm_allocator.dir/heuristic_allocator.cc.o.d"
+  "libsm_allocator.a"
+  "libsm_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_apps.dir/data_bus.cc.o"
+  "CMakeFiles/sm_apps.dir/data_bus.cc.o.d"
+  "CMakeFiles/sm_apps.dir/kv_store_app.cc.o"
+  "CMakeFiles/sm_apps.dir/kv_store_app.cc.o.d"
+  "CMakeFiles/sm_apps.dir/materialized_kv_app.cc.o"
+  "CMakeFiles/sm_apps.dir/materialized_kv_app.cc.o.d"
+  "CMakeFiles/sm_apps.dir/queue_app.cc.o"
+  "CMakeFiles/sm_apps.dir/queue_app.cc.o.d"
+  "CMakeFiles/sm_apps.dir/replicated_store_app.cc.o"
+  "CMakeFiles/sm_apps.dir/replicated_store_app.cc.o.d"
+  "CMakeFiles/sm_apps.dir/shard_host_base.cc.o"
+  "CMakeFiles/sm_apps.dir/shard_host_base.cc.o.d"
+  "libsm_apps.a"
+  "libsm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_cluster.dir/cluster_manager.cc.o"
+  "CMakeFiles/sm_cluster.dir/cluster_manager.cc.o.d"
+  "libsm_cluster.a"
+  "libsm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

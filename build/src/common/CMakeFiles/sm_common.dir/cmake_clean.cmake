@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_common.dir/logging.cc.o"
+  "CMakeFiles/sm_common.dir/logging.cc.o.d"
+  "CMakeFiles/sm_common.dir/stats.cc.o"
+  "CMakeFiles/sm_common.dir/stats.cc.o.d"
+  "CMakeFiles/sm_common.dir/status.cc.o"
+  "CMakeFiles/sm_common.dir/status.cc.o.d"
+  "CMakeFiles/sm_common.dir/table.cc.o"
+  "CMakeFiles/sm_common.dir/table.cc.o.d"
+  "libsm_common.a"
+  "libsm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

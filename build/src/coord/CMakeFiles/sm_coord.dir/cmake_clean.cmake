@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_coord.dir/coord_store.cc.o"
+  "CMakeFiles/sm_coord.dir/coord_store.cc.o.d"
+  "libsm_coord.a"
+  "libsm_coord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_coord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sm_coord.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/app_spec.cc" "src/core/CMakeFiles/sm_core.dir/app_spec.cc.o" "gcc" "src/core/CMakeFiles/sm_core.dir/app_spec.cc.o.d"
+  "/root/repo/src/core/control_plane.cc" "src/core/CMakeFiles/sm_core.dir/control_plane.cc.o" "gcc" "src/core/CMakeFiles/sm_core.dir/control_plane.cc.o.d"
+  "/root/repo/src/core/generic_task_controller.cc" "src/core/CMakeFiles/sm_core.dir/generic_task_controller.cc.o" "gcc" "src/core/CMakeFiles/sm_core.dir/generic_task_controller.cc.o.d"
+  "/root/repo/src/core/mini_sm.cc" "src/core/CMakeFiles/sm_core.dir/mini_sm.cc.o" "gcc" "src/core/CMakeFiles/sm_core.dir/mini_sm.cc.o.d"
+  "/root/repo/src/core/orchestrator.cc" "src/core/CMakeFiles/sm_core.dir/orchestrator.cc.o" "gcc" "src/core/CMakeFiles/sm_core.dir/orchestrator.cc.o.d"
+  "/root/repo/src/core/server_registry.cc" "src/core/CMakeFiles/sm_core.dir/server_registry.cc.o" "gcc" "src/core/CMakeFiles/sm_core.dir/server_registry.cc.o.d"
+  "/root/repo/src/core/sm_library.cc" "src/core/CMakeFiles/sm_core.dir/sm_library.cc.o" "gcc" "src/core/CMakeFiles/sm_core.dir/sm_library.cc.o.d"
+  "/root/repo/src/core/task_controller.cc" "src/core/CMakeFiles/sm_core.dir/task_controller.cc.o" "gcc" "src/core/CMakeFiles/sm_core.dir/task_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/sm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/sm_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/sm_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/allocator/CMakeFiles/sm_allocator.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/sm_discovery.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

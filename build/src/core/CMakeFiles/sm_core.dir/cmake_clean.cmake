@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_core.dir/app_spec.cc.o"
+  "CMakeFiles/sm_core.dir/app_spec.cc.o.d"
+  "CMakeFiles/sm_core.dir/control_plane.cc.o"
+  "CMakeFiles/sm_core.dir/control_plane.cc.o.d"
+  "CMakeFiles/sm_core.dir/generic_task_controller.cc.o"
+  "CMakeFiles/sm_core.dir/generic_task_controller.cc.o.d"
+  "CMakeFiles/sm_core.dir/mini_sm.cc.o"
+  "CMakeFiles/sm_core.dir/mini_sm.cc.o.d"
+  "CMakeFiles/sm_core.dir/orchestrator.cc.o"
+  "CMakeFiles/sm_core.dir/orchestrator.cc.o.d"
+  "CMakeFiles/sm_core.dir/server_registry.cc.o"
+  "CMakeFiles/sm_core.dir/server_registry.cc.o.d"
+  "CMakeFiles/sm_core.dir/sm_library.cc.o"
+  "CMakeFiles/sm_core.dir/sm_library.cc.o.d"
+  "CMakeFiles/sm_core.dir/task_controller.cc.o"
+  "CMakeFiles/sm_core.dir/task_controller.cc.o.d"
+  "libsm_core.a"
+  "libsm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

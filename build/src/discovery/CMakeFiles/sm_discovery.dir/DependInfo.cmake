@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/discovery/service_discovery.cc" "src/discovery/CMakeFiles/sm_discovery.dir/service_discovery.cc.o" "gcc" "src/discovery/CMakeFiles/sm_discovery.dir/service_discovery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/allocator/CMakeFiles/sm_allocator.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/sm_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

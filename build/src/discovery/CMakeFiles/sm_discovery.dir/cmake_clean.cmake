@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_discovery.dir/service_discovery.cc.o"
+  "CMakeFiles/sm_discovery.dir/service_discovery.cc.o.d"
+  "libsm_discovery.a"
+  "libsm_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

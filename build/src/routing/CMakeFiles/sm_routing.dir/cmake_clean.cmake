@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_routing.dir/service_router.cc.o"
+  "CMakeFiles/sm_routing.dir/service_router.cc.o.d"
+  "CMakeFiles/sm_routing.dir/sharding_baselines.cc.o"
+  "CMakeFiles/sm_routing.dir/sharding_baselines.cc.o.d"
+  "libsm_routing.a"
+  "libsm_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_sim.dir/network.cc.o"
+  "CMakeFiles/sm_sim.dir/network.cc.o.d"
+  "CMakeFiles/sm_sim.dir/simulator.cc.o"
+  "CMakeFiles/sm_sim.dir/simulator.cc.o.d"
+  "libsm_sim.a"
+  "libsm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

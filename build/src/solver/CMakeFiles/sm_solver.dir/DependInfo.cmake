@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/annealing.cc" "src/solver/CMakeFiles/sm_solver.dir/annealing.cc.o" "gcc" "src/solver/CMakeFiles/sm_solver.dir/annealing.cc.o.d"
+  "/root/repo/src/solver/exact.cc" "src/solver/CMakeFiles/sm_solver.dir/exact.cc.o" "gcc" "src/solver/CMakeFiles/sm_solver.dir/exact.cc.o.d"
+  "/root/repo/src/solver/local_search.cc" "src/solver/CMakeFiles/sm_solver.dir/local_search.cc.o" "gcc" "src/solver/CMakeFiles/sm_solver.dir/local_search.cc.o.d"
+  "/root/repo/src/solver/problem.cc" "src/solver/CMakeFiles/sm_solver.dir/problem.cc.o" "gcc" "src/solver/CMakeFiles/sm_solver.dir/problem.cc.o.d"
+  "/root/repo/src/solver/rebalancer.cc" "src/solver/CMakeFiles/sm_solver.dir/rebalancer.cc.o" "gcc" "src/solver/CMakeFiles/sm_solver.dir/rebalancer.cc.o.d"
+  "/root/repo/src/solver/violation_tracker.cc" "src/solver/CMakeFiles/sm_solver.dir/violation_tracker.cc.o" "gcc" "src/solver/CMakeFiles/sm_solver.dir/violation_tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

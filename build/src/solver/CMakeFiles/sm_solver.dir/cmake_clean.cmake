@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_solver.dir/annealing.cc.o"
+  "CMakeFiles/sm_solver.dir/annealing.cc.o.d"
+  "CMakeFiles/sm_solver.dir/exact.cc.o"
+  "CMakeFiles/sm_solver.dir/exact.cc.o.d"
+  "CMakeFiles/sm_solver.dir/local_search.cc.o"
+  "CMakeFiles/sm_solver.dir/local_search.cc.o.d"
+  "CMakeFiles/sm_solver.dir/problem.cc.o"
+  "CMakeFiles/sm_solver.dir/problem.cc.o.d"
+  "CMakeFiles/sm_solver.dir/rebalancer.cc.o"
+  "CMakeFiles/sm_solver.dir/rebalancer.cc.o.d"
+  "CMakeFiles/sm_solver.dir/violation_tracker.cc.o"
+  "CMakeFiles/sm_solver.dir/violation_tracker.cc.o.d"
+  "libsm_solver.a"
+  "libsm_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

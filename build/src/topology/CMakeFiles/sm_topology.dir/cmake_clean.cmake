@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_topology.dir/topology.cc.o"
+  "CMakeFiles/sm_topology.dir/topology.cc.o.d"
+  "libsm_topology.a"
+  "libsm_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

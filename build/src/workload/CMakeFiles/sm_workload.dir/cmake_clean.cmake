@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_workload.dir/autoscaler.cc.o"
+  "CMakeFiles/sm_workload.dir/autoscaler.cc.o.d"
+  "CMakeFiles/sm_workload.dir/load_gen.cc.o"
+  "CMakeFiles/sm_workload.dir/load_gen.cc.o.d"
+  "CMakeFiles/sm_workload.dir/population.cc.o"
+  "CMakeFiles/sm_workload.dir/population.cc.o.d"
+  "CMakeFiles/sm_workload.dir/testbed.cc.o"
+  "CMakeFiles/sm_workload.dir/testbed.cc.o.d"
+  "libsm_workload.a"
+  "libsm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscaler_test.dir/autoscaler_test.cc.o"
+  "CMakeFiles/autoscaler_test.dir/autoscaler_test.cc.o.d"
+  "autoscaler_test"
+  "autoscaler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscaler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/availability_sweep_test.dir/availability_sweep_test.cc.o"
+  "CMakeFiles/availability_sweep_test.dir/availability_sweep_test.cc.o.d"
+  "availability_sweep_test"
+  "availability_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/availability_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_planner_test.dir/capacity_planner_test.cc.o"
+  "CMakeFiles/capacity_planner_test.dir/capacity_planner_test.cc.o.d"
+  "capacity_planner_test"
+  "capacity_planner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coord_test.dir/coord_test.cc.o"
+  "CMakeFiles/coord_test.dir/coord_test.cc.o.d"
+  "coord_test"
+  "coord_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coord_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

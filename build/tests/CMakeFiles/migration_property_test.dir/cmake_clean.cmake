@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_property_test.dir/migration_property_test.cc.o"
+  "CMakeFiles/migration_property_test.dir/migration_property_test.cc.o.d"
+  "migration_property_test"
+  "migration_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

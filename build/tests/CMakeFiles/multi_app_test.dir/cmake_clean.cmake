@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_app_test.dir/multi_app_test.cc.o"
+  "CMakeFiles/multi_app_test.dir/multi_app_test.cc.o.d"
+  "multi_app_test"
+  "multi_app_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

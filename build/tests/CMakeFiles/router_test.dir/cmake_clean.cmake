@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_test.dir/router_test.cc.o"
+  "CMakeFiles/router_test.dir/router_test.cc.o.d"
+  "router_test"
+  "router_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_property_test.dir/solver_property_test.cc.o"
+  "CMakeFiles/solver_property_test.dir/solver_property_test.cc.o.d"
+  "solver_property_test"
+  "solver_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_controller_test.dir/task_controller_test.cc.o"
+  "CMakeFiles/task_controller_test.dir/task_controller_test.cc.o.d"
+  "task_controller_test"
+  "task_controller_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
