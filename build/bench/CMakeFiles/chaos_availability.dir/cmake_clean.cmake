@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_availability.dir/chaos_availability.cc.o"
+  "CMakeFiles/chaos_availability.dir/chaos_availability.cc.o.d"
+  "chaos_availability"
+  "chaos_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -16,3 +16,4 @@ subdirs("core")
 subdirs("routing")
 subdirs("apps")
 subdirs("workload")
+subdirs("chaos")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_chaos.dir/fault_injector.cc.o"
+  "CMakeFiles/sm_chaos.dir/fault_injector.cc.o.d"
+  "CMakeFiles/sm_chaos.dir/invariant_checker.cc.o"
+  "CMakeFiles/sm_chaos.dir/invariant_checker.cc.o.d"
+  "libsm_chaos.a"
+  "libsm_chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

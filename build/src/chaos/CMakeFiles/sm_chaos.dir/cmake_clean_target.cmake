@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsm_chaos.a"
+)

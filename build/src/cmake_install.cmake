@@ -102,3 +102,8 @@ if(NOT CMAKE_INSTALL_LOCAL_ONLY)
   include("/root/repo/build/src/workload/cmake_install.cmake")
 endif()
 
+if(NOT CMAKE_INSTALL_LOCAL_ONLY)
+  # Include the install script for the subdirectory.
+  include("/root/repo/build/src/chaos/cmake_install.cmake")
+endif()
+

@@ -25,6 +25,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/routing/CMakeFiles/sm_routing.dir/DependInfo.cmake"
   "/root/repo/build/src/apps/CMakeFiles/sm_apps.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/sm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/chaos/CMakeFiles/sm_chaos.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

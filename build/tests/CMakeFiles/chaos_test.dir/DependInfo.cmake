@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chaos_test.cc" "tests/CMakeFiles/chaos_test.dir/chaos_test.cc.o" "gcc" "tests/CMakeFiles/chaos_test.dir/chaos_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/sm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/sm_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/sm_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/allocator/CMakeFiles/sm_allocator.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/sm_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/sm_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/sm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/chaos/CMakeFiles/sm_chaos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_test.dir/chaos_test.cc.o"
+  "CMakeFiles/chaos_test.dir/chaos_test.cc.o.d"
+  "chaos_test"
+  "chaos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

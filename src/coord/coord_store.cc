@@ -37,6 +37,12 @@ void CoordStore::ExpireSession(SessionId session) {
   }
 }
 
+void CoordStore::ExpireSessions(const std::vector<SessionId>& sessions) {
+  for (SessionId session : sessions) {
+    ExpireSession(session);
+  }
+}
+
 bool CoordStore::SessionAlive(SessionId session) const {
   auto it = sessions_.find(session.value);
   return it != sessions_.end() && it->second;
@@ -126,11 +132,11 @@ void CoordStore::Unwatch(int64_t watch_id) { watchers_.erase(watch_id); }
 
 void CoordStore::FireEvent(WatchEventType type, const std::string& path,
                            const std::string& data) {
-  // Snapshot matching callbacks first: a callback may mutate the watcher set.
-  std::vector<WatchCallback> to_fire;
+  // Snapshot matching watch ids first: a callback may mutate the watcher set.
+  std::vector<int64_t> to_fire;
   for (const auto& [id, watcher] : watchers_) {
     if (path.compare(0, watcher.prefix.size(), watcher.prefix) == 0) {
-      to_fire.push_back(watcher.cb);
+      to_fire.push_back(id);
     }
   }
   if (to_fire.empty()) {
@@ -138,12 +144,22 @@ void CoordStore::FireEvent(WatchEventType type, const std::string& path,
   }
   WatchEvent event{type, path, data};
   if (sim_ != nullptr) {
-    for (auto& cb : to_fire) {
-      sim_->Schedule(notify_delay_, [cb = std::move(cb), event]() { cb(event); });
+    // The watcher is re-resolved at delivery time so that Unwatch also cancels in-flight
+    // notifications — the callback's owner may be gone by then (see Unwatch contract).
+    for (int64_t id : to_fire) {
+      sim_->Schedule(notify_delay_, [this, id, event]() {
+        auto it = watchers_.find(id);
+        if (it != watchers_.end()) {
+          it->second.cb(event);
+        }
+      });
     }
   } else {
-    for (auto& cb : to_fire) {
-      cb(event);
+    for (int64_t id : to_fire) {
+      auto it = watchers_.find(id);
+      if (it != watchers_.end()) {
+        it->second.cb(event);
+      }
     }
   }
 }

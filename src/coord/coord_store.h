@@ -51,7 +51,16 @@ class CoordStore {
   SessionId CreateSession();
   // Expires a session: all its ephemeral nodes are deleted (firing watches).
   void ExpireSession(SessionId session);
+  // Batch expiry (session-expiry storm injection): all sessions expire within the same event,
+  // so their watch notifications land inside one notify-delay window.
+  void ExpireSessions(const std::vector<SessionId>& sessions);
   bool SessionAlive(SessionId session) const;
+
+  // -- Fault injection ----------------------------------------------------------------------
+  // Watch notification latency, mutable at runtime: a chaos scenario models a slow ZooKeeper
+  // by spiking this and restoring it later. Only affects notifications fired after the change.
+  void set_notify_delay(TimeMicros delay) { notify_delay_ = delay; }
+  TimeMicros notify_delay() const { return notify_delay_; }
 
   // -- Node operations ----------------------------------------------------------------------
   // Creates a node. Ephemeral nodes require a live owner session.
@@ -73,6 +82,10 @@ class CoordStore {
   // Registers a callback invoked for every event on any path with the given prefix.
   // Returns a watch id usable with Unwatch.
   int64_t Watch(const std::string& prefix, WatchCallback cb);
+  // Removes the watch. Notifications already in flight (scheduled but not yet delivered) are
+  // dropped at delivery time — after Unwatch returns, the callback never fires again. This is
+  // what makes control-plane failover safe: a retiring orchestrator unregisters its watches
+  // and can be destroyed even while notifications are queued in the simulator.
   void Unwatch(int64_t watch_id);
 
   size_t NodeCount() const { return nodes_.size(); }

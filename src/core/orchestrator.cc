@@ -22,7 +22,8 @@ Orchestrator::Orchestrator(Simulator* sim, Network* network, CoordStore* coord,
       allocator_(allocator),
       spec_(std::move(spec)),
       home_region_(home_region),
-      config_(config) {
+      config_(config),
+      retry_rng_(config.retry_seed) {
   SM_CHECK(sim != nullptr);
   SM_CHECK(network != nullptr);
   SM_CHECK(coord != nullptr);
@@ -98,6 +99,10 @@ void Orchestrator::LoadAssignmentsFromCoord() {
         r.phase = ReplicaPhase::kPending;
       }
     }
+    // Re-persist the reconciled view (as HandleServerGone does on the normal path). Without
+    // this, a gone server's stale entries outlive the re-placement of its shards, and the
+    // server would restore them — possibly as a second primary — when it returns.
+    PersistServerAssignment(server);
   }
 }
 
@@ -113,6 +118,25 @@ void Orchestrator::Shutdown() {
     sim_->Cancel(timer);
   }
   server_timers_.clear();
+  for (auto& [token, timer] : retry_timers_) {
+    sim_->Cancel(timer);
+  }
+  retry_timers_.clear();
+  // Step-5 delayed drops of lingering old primaries would run against a destroyed orchestrator;
+  // execute them now (fire-and-forget, capturing nothing of `this`) — the replacement recovers
+  // from the coordination store, where these copies are already unassigned, so nobody else
+  // would ever clean them up.
+  for (auto& [token, pending] : linger_drops_) {
+    sim_->Cancel(pending.timer);
+    if (!ShardBoundTo(pending.shard, pending.server)) {
+      ShardId shard = pending.shard;
+      CallControl(*network_, home_region_, *registry_, pending.server,
+                  [shard](ShardServerApi& api) { return api.DropShard(shard); },
+                  [](const Status&) {});
+    }
+  }
+  linger_drops_.clear();
+  lingering_forwarders_.clear();
   if (liveness_watch_ != 0) {
     coord_->Unwatch(liveness_watch_);
     liveness_watch_ = 0;
@@ -289,6 +313,23 @@ void Orchestrator::PublishMap() {
 // Op engine
 // ---------------------------------------------------------------------------------------------
 
+TimeMicros Orchestrator::RetryBackoff(int attempts) {
+  SM_CHECK_GE(attempts, 1);
+  TimeMicros delay = config_.retry_backoff_base;
+  for (int i = 1; i < attempts && delay < config_.retry_backoff_max; ++i) {
+    delay *= 2;
+  }
+  if (delay > config_.retry_backoff_max) {
+    delay = config_.retry_backoff_max;
+  }
+  double jitter = config_.retry_jitter;
+  if (jitter > 0.0) {
+    delay = static_cast<TimeMicros>(static_cast<double>(delay) *
+                                    retry_rng_.Uniform(1.0 - jitter, 1.0 + jitter));
+  }
+  return delay < 1 ? 1 : delay;
+}
+
 void Orchestrator::EnqueueOp(Op op) {
   ReplicaRuntime& r = Replica(op.shard, op.replica);
   if (r.op_queued) {
@@ -388,7 +429,9 @@ void Orchestrator::FinishOp(const Op& op, bool success) {
     if (retry.attempts < config_.max_op_attempts) {
       // Re-pick the target on retry; the original may have died.
       retry.to = ServerId();
-      sim_->Schedule(Seconds(1), [this, retry]() {
+      int64_t token = next_deferred_token_++;
+      EventId timer = sim_->Schedule(RetryBackoff(retry.attempts), [this, retry, token]() {
+        retry_timers_.erase(token);
         ReplicaRuntime& r = Replica(retry.shard, retry.replica);
         if (!r.op_queued) {
           Op again = retry;
@@ -400,6 +443,7 @@ void Orchestrator::FinishOp(const Op& op, bool success) {
           EnqueueOp(std::move(again));
         }
       });
+      retry_timers_[token] = timer;
     } else if (op.kind == Op::Kind::kPlace) {
       TriggerEmergencyAllocation();
     }
@@ -575,7 +619,10 @@ void Orchestrator::ExecuteMovePrimaryGraceful(Op op) {
                     // Step 5: after a grace window (requests still trickling to the old
                     // primary are forwarded), drop the old replica.
                     ++lingering_forwarders_[old_server.value];
-                    sim_->Schedule(config_.drop_grace, [this, shard, old_server]() {
+                    int64_t token = next_deferred_token_++;
+                    EventId timer =
+                        sim_->Schedule(config_.drop_grace, [this, shard, old_server, token]() {
+                      linger_drops_.erase(token);
                       auto release = [this, old_server]() {
                         auto it = lingering_forwarders_.find(old_server.value);
                         if (it != lingering_forwarders_.end() && --it->second <= 0) {
@@ -596,6 +643,7 @@ void Orchestrator::ExecuteMovePrimaryGraceful(Op op) {
                                   },
                                   [release](const Status&) { release(); });
                     });
+                    linger_drops_[token] = {timer, shard, old_server};
                     FinishOp(op, /*success=*/true);
                   });
             });
@@ -957,6 +1005,18 @@ int Orchestrator::UnavailableReplicas(ShardId shard) const {
         break;
       default:
         break;
+    }
+  }
+  return count;
+}
+
+int Orchestrator::DownReplicas(ShardId shard) const {
+  const ShardRuntime& rt = shards_[static_cast<size_t>(shard.value)];
+  int count = 0;
+  for (const ReplicaRuntime& r : rt.replicas) {
+    if (r.phase == ReplicaPhase::kUnavailable ||
+        (r.phase == ReplicaPhase::kMigrating && r.abrupt_move)) {
+      ++count;
     }
   }
   return count;

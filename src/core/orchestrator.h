@@ -51,6 +51,13 @@ struct OrchestratorConfig {
   TimeMicros periodic_solver_budget = Millis(500);
   TimeMicros emergency_solver_budget = Millis(200);
   int max_op_attempts = 3;
+  // Failed operations retry with capped exponential backoff: attempt n waits
+  // min(retry_backoff_base * 2^(n-1), retry_backoff_max), scaled by a seeded jitter factor
+  // uniform in [1 - retry_jitter, 1 + retry_jitter] so synchronized failures fan out.
+  TimeMicros retry_backoff_base = Seconds(1);
+  TimeMicros retry_backoff_max = Seconds(16);
+  double retry_jitter = 0.2;
+  uint64_t retry_seed = 0x5eedbacc0ff;
 };
 
 enum class ReplicaPhase {
@@ -102,6 +109,10 @@ class Orchestrator {
   std::vector<std::pair<ShardId, ReplicaRole>> ReplicasOn(ServerId server) const;
   // Number of currently unavailable replicas of a shard (down, pending, or mid-abrupt-move).
   int UnavailableReplicas(ShardId shard) const;
+  // Replicas of a shard that *lost* availability: bound to a down server or mid-abrupt-move.
+  // Unlike UnavailableReplicas this excludes pending/adding replicas (capacity being added, not
+  // availability taken away) — the quantity the per-shard unavailability cap bounds.
+  int DownReplicas(ShardId shard) const;
   int ReplicaCount(ShardId shard) const;
 
   // -- Shard scaling (§3.4) ---------------------------------------------------------------------
@@ -166,6 +177,8 @@ class Orchestrator {
   const ReplicaRuntime& Replica(ShardId shard, int replica) const;
 
   // -- Op engine -------------------------------------------------------------------------------
+  // Backoff delay before re-attempting a failed op (see OrchestratorConfig::retry_backoff_*).
+  TimeMicros RetryBackoff(int attempts);
   void EnqueueOp(Op op);
   void Pump();
   void StartOp(Op op);
@@ -230,6 +243,19 @@ class Orchestrator {
   std::deque<Op> op_queue_;
   std::unordered_set<int32_t> busy_shards_;
   int in_flight_ops_ = 0;
+
+  // Deferred work that captures `this` and therefore must be cancelled on Shutdown so a
+  // replacement orchestrator can take over without dangling callbacks: op retries waiting out
+  // their backoff, and the §4.3 step-5 delayed drops of lingering old primaries.
+  struct PendingLingerDrop {
+    EventId timer;
+    ShardId shard;
+    ServerId server;
+  };
+  std::unordered_map<int64_t, EventId> retry_timers_;
+  std::unordered_map<int64_t, PendingLingerDrop> linger_drops_;
+  int64_t next_deferred_token_ = 1;
+  Rng retry_rng_;
 
   EventId load_poll_timer_;
   EventId periodic_alloc_timer_;

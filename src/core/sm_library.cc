@@ -76,6 +76,22 @@ void SmLibrary::Disconnect() {
 
 bool SmLibrary::connected() const { return session_.valid() && coord_->SessionAlive(session_); }
 
+void SmLibrary::OnSessionExpired() {
+  session_ = SessionId();
+  // Fence: drop primary-ship on everything the coordination store says we were primary for.
+  // The persisted assignment is the authoritative pre-expiry view; local state may match or
+  // may already be ahead (mid-migration), so demotion errors are ignored.
+  Result<std::string> data = coord_->Get(AssignmentPath());
+  if (!data.ok()) {
+    return;
+  }
+  for (const PersistedReplica& replica : ParseAssignment(data.value())) {
+    if (replica.role == ReplicaRole::kPrimary) {
+      (void)self_->ChangeRole(replica.shard, ReplicaRole::kPrimary, ReplicaRole::kSecondary);
+    }
+  }
+}
+
 int SmLibrary::RestoreAssignmentFromCoord() {
   Result<std::string> data = coord_->Get(AssignmentPath());
   if (!data.ok()) {

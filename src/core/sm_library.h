@@ -37,7 +37,17 @@ class SmLibrary {
   // Expires the session (deleting the ephemeral node). Called on container stop/crash.
   void Disconnect();
 
+  // ZooKeeper-style fencing: when the session expires while the process is still alive (gray
+  // failure), the server must stop claiming primary ownership — the orchestrator will promote
+  // a survivor and two direct writers must never coexist. Demotes every locally-held primary
+  // to secondary (keeping data so a later reconnect can resume cheaply). Call after the
+  // session has been expired externally (e.g. CoordStore::ExpireSessions).
+  void OnSessionExpired();
+
   bool connected() const;
+  // The current session (invalid when disconnected). Exposed for fault injection: a chaos
+  // scenario expires sessions directly via CoordStore to model ZK-side expiry of a live server.
+  SessionId session() const { return session_; }
 
   // Reads the persisted assignment and calls AddShard for each entry — boot-time recovery
   // without the control plane (§3.2). Returns the number of shards restored.

@@ -34,23 +34,85 @@ Network::Network(Simulator* sim, LatencyModel model, uint64_t seed)
     : sim_(sim),
       model_(std::move(model)),
       rng_(seed),
-      partitioned_(static_cast<size_t>(model_.num_regions()), false) {
+      partitioned_(static_cast<size_t>(model_.num_regions()), false),
+      blocked_(static_cast<size_t>(model_.num_regions()) *
+                   static_cast<size_t>(model_.num_regions()),
+               false),
+      links_(static_cast<size_t>(model_.num_regions()) *
+             static_cast<size_t>(model_.num_regions())),
+      region_stats_(static_cast<size_t>(model_.num_regions())) {
   SM_CHECK(sim != nullptr);
 }
 
+size_t Network::LinkIndex(RegionId from, RegionId to) const {
+  SM_CHECK(from.valid() && from.value < model_.num_regions());
+  SM_CHECK(to.valid() && to.value < model_.num_regions());
+  return static_cast<size_t>(from.value) * static_cast<size_t>(model_.num_regions()) +
+         static_cast<size_t>(to.value);
+}
+
+RegionNetStats* Network::StatsFor(RegionId region) {
+  if (!region.valid() || region.value >= model_.num_regions()) {
+    return nullptr;
+  }
+  return &region_stats_[static_cast<size_t>(region.value)];
+}
+
 void Network::Send(RegionId from, RegionId to, std::function<void()> deliver) {
-  if (IsPartitioned(from) || IsPartitioned(to)) {
+  ++messages_sent_;
+  RegionNetStats* from_stats = StatsFor(from);
+  RegionNetStats* to_stats = StatsFor(to);
+  if (from_stats != nullptr) {
+    ++from_stats->sent;
+  }
+
+  const bool link_known = from.valid() && from.value < model_.num_regions() && to.valid() &&
+                          to.value < model_.num_regions();
+  const LinkQuality* quality = link_known ? &links_[LinkIndex(from, to)] : nullptr;
+  bool drop = IsPartitioned(from) || IsPartitioned(to) ||
+              (link_known && blocked_[LinkIndex(from, to)]);
+  if (!drop && quality != nullptr && quality->loss_probability > 0.0) {
+    drop = rng_.Bernoulli(quality->loss_probability);
+  }
+  if (drop) {
     ++messages_dropped_;
+    if (from_stats != nullptr) {
+      ++from_stats->dropped_out;
+    }
+    if (to_stats != nullptr) {
+      ++to_stats->dropped_in;
+    }
     return;
   }
-  ++messages_sent_;
+
   TimeMicros base = model_.Latency(from, to);
-  double factor = rng_.Uniform(1.0 - jitter_fraction_, 1.0 + jitter_fraction_);
-  TimeMicros delay = static_cast<TimeMicros>(static_cast<double>(base) * factor);
-  if (delay < 1) {
-    delay = 1;
+  if (quality != nullptr && quality->latency_multiplier != 1.0) {
+    base = static_cast<TimeMicros>(static_cast<double>(base) * quality->latency_multiplier);
   }
-  sim_->Schedule(delay, std::move(deliver));
+  auto jittered = [this, base]() {
+    double factor = rng_.Uniform(1.0 - jitter_fraction_, 1.0 + jitter_fraction_);
+    TimeMicros delay = static_cast<TimeMicros>(static_cast<double>(base) * factor);
+    return delay < 1 ? 1 : delay;
+  };
+
+  bool duplicate = quality != nullptr && quality->duplicate_probability > 0.0 &&
+                   rng_.Bernoulli(quality->duplicate_probability);
+  if (duplicate) {
+    // Both copies race with independent jitter, like a retransmit-induced duplicate.
+    std::function<void()> copy = deliver;
+    sim_->Schedule(jittered(), std::move(copy));
+    ++messages_duplicated_;
+    if (from_stats != nullptr) {
+      ++from_stats->duplicated;
+    }
+    if (to_stats != nullptr) {
+      ++to_stats->delivered_in;
+    }
+  }
+  sim_->Schedule(jittered(), std::move(deliver));
+  if (to_stats != nullptr) {
+    ++to_stats->delivered_in;
+  }
 }
 
 void Network::PartitionRegion(RegionId region) {
@@ -68,6 +130,36 @@ bool Network::IsPartitioned(RegionId region) const {
     return false;
   }
   return partitioned_[static_cast<size_t>(region.value)];
+}
+
+void Network::BlockLink(RegionId from, RegionId to) { blocked_[LinkIndex(from, to)] = true; }
+
+void Network::UnblockLink(RegionId from, RegionId to) { blocked_[LinkIndex(from, to)] = false; }
+
+bool Network::LinkBlocked(RegionId from, RegionId to) const {
+  return blocked_[LinkIndex(from, to)];
+}
+
+void Network::SetLinkQuality(RegionId from, RegionId to, const LinkQuality& quality) {
+  SM_CHECK_GE(quality.loss_probability, 0.0);
+  SM_CHECK_LE(quality.loss_probability, 1.0);
+  SM_CHECK_GE(quality.duplicate_probability, 0.0);
+  SM_CHECK_LE(quality.duplicate_probability, 1.0);
+  SM_CHECK_GT(quality.latency_multiplier, 0.0);
+  links_[LinkIndex(from, to)] = quality;
+}
+
+void Network::ResetLink(RegionId from, RegionId to) {
+  links_[LinkIndex(from, to)] = LinkQuality{};
+}
+
+const LinkQuality& Network::link_quality(RegionId from, RegionId to) const {
+  return links_[LinkIndex(from, to)];
+}
+
+const RegionNetStats& Network::region_stats(RegionId region) const {
+  SM_CHECK(region.valid() && region.value < model_.num_regions());
+  return region_stats_[static_cast<size_t>(region.value)];
 }
 
 }  // namespace shardman

@@ -1,9 +1,19 @@
 // Simulated wide-area network: inter-region latency matrix with jitter, used by every simulated
 // RPC. One-way delivery only; request/response RPCs compose two Send() hops.
+//
+// Beyond clean delivery, the network models the failure spectrum the chaos engine injects:
+//   * symmetric region partitions (PartitionRegion) — all traffic to/from the region drops;
+//   * asymmetric partitions (BlockLink) — one direction of one region pair drops while the
+//     reverse direction keeps delivering;
+//   * gray link degradation (SetLinkQuality) — probabilistic loss, duplication and a latency
+//     multiplier per directed region pair.
+// All drops and duplications are accounted both globally and per region so tests can assert
+// exactly where traffic was lost.
 
 #ifndef SRC_SIM_NETWORK_H_
 #define SRC_SIM_NETWORK_H_
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -32,6 +42,28 @@ class LatencyModel {
   std::vector<TimeMicros> matrix_;  // row-major num_regions x num_regions
 };
 
+// Gray-failure knobs for one directed region pair (applied from -> to only).
+struct LinkQuality {
+  double loss_probability = 0.0;       // each message independently dropped
+  double duplicate_probability = 0.0;  // a second, independently jittered copy is delivered
+  double latency_multiplier = 1.0;     // scales the base latency before jitter
+
+  bool degraded() const {
+    return loss_probability > 0.0 || duplicate_probability > 0.0 || latency_multiplier != 1.0;
+  }
+};
+
+// Per-region traffic accounting. A message from A to B increments A.sent always; on drop it
+// increments A.dropped_out and B.dropped_in; on delivery it increments B.delivered_in (twice
+// when duplicated, plus A.duplicated once).
+struct RegionNetStats {
+  uint64_t sent = 0;
+  uint64_t delivered_in = 0;
+  uint64_t dropped_out = 0;
+  uint64_t dropped_in = 0;
+  uint64_t duplicated = 0;
+};
+
 // Delivers callbacks across the simulated network with latency + jitter. Region-level failures
 // can be injected: messages to/from a failed region are dropped.
 class Network {
@@ -42,31 +74,55 @@ class Network {
   const LatencyModel& latency_model() const { return model_; }
 
   // Schedules `deliver` after the (jittered) one-way latency from `from` to `to`.
-  // If either region is partitioned away the message is silently dropped (like a real network).
+  // Partitioned, blocked or lossy links drop the message (like a real network: silently for
+  // the sender, but accounted in the drop statistics).
   void Send(RegionId from, RegionId to, std::function<void()> deliver);
 
   // Returns the expected one-way latency (no jitter) for latency accounting.
   TimeMicros ExpectedLatency(RegionId from, RegionId to) const { return model_.Latency(from, to); }
 
-  // Region-level partition injection.
+  // Symmetric region-level partition injection.
   void PartitionRegion(RegionId region);
   void HealRegion(RegionId region);
   bool IsPartitioned(RegionId region) const;
 
+  // Asymmetric partition: drops messages flowing from -> to; the reverse direction is
+  // unaffected. Orthogonal to the gray LinkQuality knobs.
+  void BlockLink(RegionId from, RegionId to);
+  void UnblockLink(RegionId from, RegionId to);
+  bool LinkBlocked(RegionId from, RegionId to) const;
+
+  // Gray degradation of one directed link. Overwrites the previous quality; ResetLink restores
+  // the clean default. Does not touch BlockLink state.
+  void SetLinkQuality(RegionId from, RegionId to, const LinkQuality& quality);
+  void ResetLink(RegionId from, RegionId to);
+  const LinkQuality& link_quality(RegionId from, RegionId to) const;
+
   // Fractional jitter applied uniformly in [1 - j, 1 + j] around base latency (default 0.1).
   void set_jitter_fraction(double j) { jitter_fraction_ = j; }
 
+  // Every Send() attempt counts as sent, whether or not it is later dropped — so
+  // messages_sent() >= messages_dropped() holds under any mix of partitions and loss.
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t messages_duplicated() const { return messages_duplicated_; }
+  const RegionNetStats& region_stats(RegionId region) const;
 
  private:
+  size_t LinkIndex(RegionId from, RegionId to) const;
+  RegionNetStats* StatsFor(RegionId region);
+
   Simulator* sim_;
   LatencyModel model_;
   Rng rng_;
   double jitter_fraction_ = 0.1;
   std::vector<bool> partitioned_;
+  std::vector<bool> blocked_;       // row-major directed from x to
+  std::vector<LinkQuality> links_;  // row-major directed from x to
+  std::vector<RegionNetStats> region_stats_;
   uint64_t messages_sent_ = 0;
   uint64_t messages_dropped_ = 0;
+  uint64_t messages_duplicated_ = 0;
 };
 
 }  // namespace shardman

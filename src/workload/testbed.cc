@@ -194,6 +194,50 @@ RegionId Testbed::region_of(ServerId id) const {
   return it != server_slots_.end() ? it->second.region : RegionId();
 }
 
+ContainerId Testbed::container_of(ServerId id) const {
+  auto it = server_slots_.find(id.value);
+  return it != server_slots_.end() ? it->second.container : ContainerId();
+}
+
+SmLibrary* Testbed::library_of(ServerId id) {
+  auto it = server_slots_.find(id.value);
+  return it != server_slots_.end() ? it->second.library.get() : nullptr;
+}
+
+void Testbed::ExpireServerSessions(const std::vector<ServerId>& servers,
+                                   TimeMicros reconnect_after) {
+  // Expire everything in one batch first so all deletion watches land inside the same
+  // notify-delay window, then fence: demote-before-the-orchestrator-notices is what keeps
+  // the single-writer invariant intact during the window.
+  std::vector<SessionId> sessions;
+  std::vector<SmLibrary*> affected;
+  for (ServerId server : servers) {
+    auto it = server_slots_.find(server.value);
+    if (it == server_slots_.end()) {
+      continue;
+    }
+    SmLibrary* library = it->second.library.get();
+    if (!library->connected()) {
+      continue;
+    }
+    sessions.push_back(library->session());
+    affected.push_back(library);
+  }
+  coord_->ExpireSessions(sessions);
+  for (SmLibrary* library : affected) {
+    library->OnSessionExpired();
+  }
+  if (reconnect_after > 0) {
+    for (SmLibrary* library : affected) {
+      // Slots are never destroyed while the testbed lives, so the raw pointer is stable.
+      sim_.Schedule(reconnect_after, [library]() {
+        library->Connect();
+        library->RestoreAssignmentFromCoord();
+      });
+    }
+  }
+}
+
 std::unique_ptr<ServiceRouter> Testbed::CreateRouter(RegionId region, RouterConfig config) {
   return std::make_unique<ServiceRouter>(&sim_, network_.get(), discovery_.get(), &registry_,
                                          &config_.app, region, config, rng_.Next());

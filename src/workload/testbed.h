@@ -91,6 +91,10 @@ class Testbed {
   MiniSm& mini_sm() { return *mini_sm_; }
   Orchestrator& orchestrator() { return mini_sm_->orchestrator(); }
   const AppSpec& spec() const { return config_.app; }
+  const TestbedConfig& config() const { return config_; }
+  int num_regions() const { return static_cast<int>(config_.regions.size()); }
+  ContainerId container_of(ServerId id) const;
+  SmLibrary* library_of(ServerId id);
 
   std::vector<ServerId> servers() const { return registry_.ServersOf(config_.app.id); }
   ShardHostBase* app_server(ServerId id);
@@ -110,6 +114,15 @@ class Testbed {
   // -- Fault / operations helpers ----------------------------------------------------------------
   void FailRegion(RegionId region);
   void RecoverRegion(RegionId region);
+  // Gray failure: the servers' coordination-store sessions expire (liveness nodes vanish, the
+  // orchestrator starts failover) while the processes stay up and keep serving. Each affected
+  // server is fenced (demotes its primaries, see SmLibrary::OnSessionExpired) and, when
+  // `reconnect_after` > 0, reconnects and reconciles with the persisted assignment after that
+  // delay. All sessions expire within one simulator event — a session-expiry storm.
+  void ExpireServerSessions(const std::vector<ServerId>& servers, TimeMicros reconnect_after);
+  void ExpireServerSession(ServerId server, TimeMicros reconnect_after) {
+    ExpireServerSessions({server}, reconnect_after);
+  }
   // Rolling upgrade of the app across every region's cluster manager.
   void StartRollingUpgradeEverywhere(int max_concurrent_per_region, TimeMicros restart_downtime);
   bool UpgradeInProgress() const;

@@ -151,5 +151,88 @@ TEST(NetworkTest, PartitionDropsMessages) {
   EXPECT_EQ(delivered, 1);
 }
 
+TEST(NetworkTest, AsymmetricBlockDropsOneDirectionOnly) {
+  Simulator sim;
+  Network net(&sim, LatencyModel(2, Millis(1), Millis(40)), 1);
+  net.BlockLink(RegionId(0), RegionId(1));
+  EXPECT_TRUE(net.LinkBlocked(RegionId(0), RegionId(1)));
+  EXPECT_FALSE(net.LinkBlocked(RegionId(1), RegionId(0)));
+  int forward = 0;
+  int reverse = 0;
+  net.Send(RegionId(0), RegionId(1), [&]() { ++forward; });
+  net.Send(RegionId(1), RegionId(0), [&]() { ++reverse; });
+  sim.RunAll();
+  EXPECT_EQ(forward, 0);
+  EXPECT_EQ(reverse, 1);
+  // Accounting: both sends counted, one drop attributed to the right regions.
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  EXPECT_EQ(net.region_stats(RegionId(0)).sent, 1u);
+  EXPECT_EQ(net.region_stats(RegionId(0)).dropped_out, 1u);
+  EXPECT_EQ(net.region_stats(RegionId(1)).dropped_in, 1u);
+  EXPECT_EQ(net.region_stats(RegionId(0)).delivered_in, 1u);
+  net.UnblockLink(RegionId(0), RegionId(1));
+  net.Send(RegionId(0), RegionId(1), [&]() { ++forward; });
+  sim.RunAll();
+  EXPECT_EQ(forward, 1);
+}
+
+TEST(NetworkTest, LinkLossDropsAFractionOfMessages) {
+  Simulator sim;
+  Network net(&sim, LatencyModel(2, Millis(1), Millis(40)), 7);
+  LinkQuality lossy;
+  lossy.loss_probability = 0.5;
+  net.SetLinkQuality(RegionId(0), RegionId(1), lossy);
+  int delivered = 0;
+  const int kSends = 400;
+  for (int i = 0; i < kSends; ++i) {
+    net.Send(RegionId(0), RegionId(1), [&]() { ++delivered; });
+  }
+  sim.RunAll();
+  EXPECT_GT(delivered, kSends / 4);
+  EXPECT_LT(delivered, 3 * kSends / 4);
+  EXPECT_EQ(net.messages_dropped(), static_cast<uint64_t>(kSends - delivered));
+  // The reverse direction is untouched.
+  int reverse = 0;
+  net.Send(RegionId(1), RegionId(0), [&]() { ++reverse; });
+  sim.RunAll();
+  EXPECT_EQ(reverse, 1);
+  net.ResetLink(RegionId(0), RegionId(1));
+  EXPECT_FALSE(net.link_quality(RegionId(0), RegionId(1)).degraded());
+}
+
+TEST(NetworkTest, DuplicationDeliversTwice) {
+  Simulator sim;
+  Network net(&sim, LatencyModel(2, Millis(1), Millis(40)), 1);
+  LinkQuality dupey;
+  dupey.duplicate_probability = 1.0;
+  net.SetLinkQuality(RegionId(0), RegionId(1), dupey);
+  int delivered = 0;
+  net.Send(RegionId(0), RegionId(1), [&]() { ++delivered; });
+  sim.RunAll();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(net.messages_duplicated(), 1u);
+  EXPECT_EQ(net.region_stats(RegionId(1)).delivered_in, 2u);
+}
+
+TEST(NetworkTest, LatencyMultiplierScalesDelivery) {
+  Simulator sim;
+  Network net(&sim, LatencyModel(2, Millis(1), Millis(40)), 1);
+  net.set_jitter_fraction(0.0);
+  LinkQuality slow;
+  slow.latency_multiplier = 4.0;
+  net.SetLinkQuality(RegionId(0), RegionId(1), slow);
+  TimeMicros delivered_at = -1;
+  net.Send(RegionId(0), RegionId(1), [&]() { delivered_at = sim.Now(); });
+  sim.RunAll();
+  EXPECT_EQ(delivered_at, Millis(160));
+  // Unaffected direction still takes the base latency.
+  TimeMicros reverse_at = -1;
+  TimeMicros start = sim.Now();
+  net.Send(RegionId(1), RegionId(0), [&]() { reverse_at = sim.Now(); });
+  sim.RunAll();
+  EXPECT_EQ(reverse_at - start, Millis(40));
+}
+
 }  // namespace
 }  // namespace shardman
