@@ -7,12 +7,15 @@
 // document for plotting/CI ingestion.
 
 #include <algorithm>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/chaos/fault_injector.h"
 #include "src/chaos/invariant_checker.h"
+#include "src/obs/obs.h"
 #include "src/workload/testbed.h"
 
 using namespace shardman;
@@ -30,6 +33,10 @@ struct CurvePoint {
 };
 
 CurvePoint RunLevel(double mean_fault_interval_s, TimeMicros churn) {
+  // Fresh telemetry window per level; a cleared tracer restarts trace ids from 1, so the
+  // exported trace of any level is deterministic for the fixed seeds.
+  obs::DefaultMetrics().ResetValues();
+  obs::DefaultTracer().Clear();
   TestbedConfig config;
   config.regions = {"r0", "r1", "r2"};
   config.servers_per_region = 6;
@@ -68,16 +75,22 @@ CurvePoint RunLevel(double mean_fault_interval_s, TimeMicros churn) {
     bed.sim().RunFor(churn);
     injector.Stop();
     bed.sim().RunFor(Minutes(2));  // active faults heal before measurement closes
-    point.faults = injector.faults_injected();
   } else {
     bed.sim().RunFor(churn + Minutes(2));
   }
   checker.Stop();
   probe.Stop();
 
-  point.success_rate = probe.overall_success_rate();
-  point.requests = probe.total_sent();
-  point.violations = checker.total_violations();
+  // All reported numbers come from the telemetry registry; the component accessors
+  // (injector.faults_injected() etc.) remain for tests and must agree by construction.
+  obs::MetricsSnapshot snapshot = obs::DefaultMetrics().Snapshot();
+  point.faults = snapshot.CounterValue("sm.chaos.faults_injected");
+  point.violations = snapshot.CounterValue("sm.chaos.invariant_violations");
+  point.requests = snapshot.CounterValue("sm.probe.sent");
+  int64_t ok = snapshot.CounterValue("sm.probe.succeeded");
+  int64_t failed = snapshot.CounterValue("sm.probe.failed");
+  point.success_rate =
+      ok + failed > 0 ? static_cast<double>(ok) / static_cast<double>(ok + failed) : 1.0;
   for (const ProbePoint& p : probe.series()) {
     point.worst_p99_ms = std::max(point.worst_p99_ms, p.p99_latency_ms);
   }
@@ -94,6 +107,14 @@ int main() {
   double scale = BenchScale();
   TimeMicros churn = std::max(Minutes(1), static_cast<TimeMicros>(Minutes(4) * scale));
   const std::vector<double> levels = {0.0, 60.0, 30.0, 15.0, 8.0};
+
+  // SM_TRACE_OUT=<path>: record shard-lifecycle traces and write the final (most intense)
+  // level's timeline as Chrome trace_event JSON — load it in chrome://tracing or Perfetto to
+  // see each injected fault instant followed by the orchestrator's reaction spans.
+  const char* trace_out = std::getenv("SM_TRACE_OUT");
+  if (trace_out != nullptr) {
+    obs::DefaultTracer().Enable();
+  }
 
   std::vector<CurvePoint> curve;
   TablePrinter table(
@@ -119,5 +140,17 @@ int main() {
               << ",\"violations\":" << p.violations << "}";
   }
   std::cout << "]}\n";
+
+  if (trace_out != nullptr) {
+    std::ofstream os(trace_out);
+    obs::DefaultTracer().WriteChromeTrace(os);
+    std::cout << "Chrome trace (last level) written to " << trace_out << "\n";
+  }
+  // SM_METRICS_OUT=<path>: flat JSONL export of the last level's metrics registry.
+  if (const char* metrics_out = std::getenv("SM_METRICS_OUT")) {
+    std::ofstream os(metrics_out);
+    obs::DefaultMetrics().WriteJsonl(os);
+    std::cout << "Metrics JSONL written to " << metrics_out << "\n";
+  }
   return 0;
 }

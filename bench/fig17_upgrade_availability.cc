@@ -16,6 +16,7 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "src/obs/obs.h"
 #include "src/workload/testbed.h"
 
 using namespace shardman;
@@ -32,6 +33,8 @@ struct RunOutput {
 };
 
 RunOutput RunConfig(bool graceful_migration, bool task_controller, int shards) {
+  // Each configuration reports from its own metrics window (registrations persist; values zero).
+  obs::DefaultMetrics().ResetValues();
   TestbedConfig config;
   config.regions = {"r0"};
   config.servers_per_region = 60;
@@ -76,8 +79,11 @@ RunOutput RunConfig(bool graceful_migration, bool task_controller, int shards) {
   output.series = probe.series();
   output.overall_success = probe.overall_success_rate();
   output.upgrade_seconds = ToSeconds(upgrade_end - upgrade_start);
-  output.graceful = bed.orchestrator().graceful_migrations();
-  output.abrupt = bed.orchestrator().abrupt_migrations();
+  // Reported migration counts come from the telemetry registry (the orchestrator accessors
+  // remain and must agree; obs_test asserts the equivalence on a smaller run).
+  obs::MetricsSnapshot snapshot = obs::DefaultMetrics().Snapshot();
+  output.graceful = snapshot.CounterValue("sm.orchestrator.migrations_graceful");
+  output.abrupt = snapshot.CounterValue("sm.orchestrator.migrations_abrupt");
   return output;
 }
 

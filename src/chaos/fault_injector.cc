@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/common/check.h"
+#include "src/obs/obs.h"
 
 namespace shardman {
 
@@ -137,12 +138,16 @@ void FaultInjector::InjectOne() {
   }
   if (!injected) {
     ++faults_skipped_;
+    SM_COUNTER_INC("sm.chaos.faults_skipped");
   }
 }
 
 int64_t FaultInjector::RecordInject(FaultKind kind, const std::string& detail) {
   int64_t id = next_fault_id_++;
   ++faults_injected_;
+  SM_COUNTER_INC("sm.chaos.faults_injected");
+  SM_TRACE_INSTANT("chaos", FaultKindName(kind),
+                   obs::Arg("fault_id", id) + "," + obs::Arg("detail", detail));
   journal_.push_back(ChaosEvent{bed_->sim().Now(), id, kind, false, detail});
   return id;
 }
@@ -151,6 +156,10 @@ void FaultInjector::ScheduleHeal(int64_t fault_id, FaultKind kind, TimeMicros af
                                  std::string detail) {
   ++active_faults_;
   bed_->sim().Schedule(after, [this, fault_id, kind, detail = std::move(detail)]() {
+    SM_COUNTER_INC("sm.chaos.faults_healed");
+    SM_TRACE_INSTANT("chaos", "heal",
+                     obs::Arg("fault_id", fault_id) + "," +
+                         obs::Arg("kind", std::string(FaultKindName(kind))));
     journal_.push_back(ChaosEvent{bed_->sim().Now(), fault_id, kind, true, detail});
     --active_faults_;
   });

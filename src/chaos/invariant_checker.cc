@@ -6,6 +6,7 @@
 
 #include "src/common/check.h"
 #include "src/core/sm_library.h"
+#include "src/obs/obs.h"
 
 namespace shardman {
 
@@ -42,6 +43,9 @@ void InvariantChecker::Record(const std::string& invariant, const std::string& d
     first_context_ = context_fn_();
   }
   ++total_violations_;
+  SM_COUNTER_INC("sm.chaos.invariant_violations");
+  SM_TRACE_INSTANT("chaos", "invariant_violation",
+                   obs::Arg("invariant", invariant) + "," + obs::Arg("detail", detail));
   if (static_cast<int>(violations_.size()) < config_.max_recorded_violations) {
     violations_.push_back(InvariantViolation{bed_->sim().Now(), invariant, detail});
   }

@@ -1,0 +1,28 @@
+#include "src/common/clock.h"
+
+#include <utility>
+
+namespace shardman {
+
+namespace {
+// The simulator is single-threaded; no synchronization needed.
+TimeSource& GlobalSource() {
+  static TimeSource source;
+  return source;
+}
+}  // namespace
+
+TimeSource ExchangeSimTimeSource(TimeSource source) {
+  TimeSource previous = std::move(GlobalSource());
+  GlobalSource() = std::move(source);
+  return previous;
+}
+
+bool SimTimeSourceInstalled() { return static_cast<bool>(GlobalSource()); }
+
+TimeMicros SimTimeNow() {
+  const TimeSource& source = GlobalSource();
+  return source ? source() : 0;
+}
+
+}  // namespace shardman

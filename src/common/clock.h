@@ -1,0 +1,32 @@
+// Process-global time source shared by logging and telemetry.
+//
+// Simulated binaries install their Simulator's clock (Testbed does this automatically); from
+// then on SM_LOG prefixes and trace/metric timestamps are deterministic sim time, so the same
+// seed yields byte-identical logs and traces. Non-sim binaries leave it uninstalled and fall
+// back to wall clock where one is needed (log prefixes) or to t=0 (trace timestamps).
+
+#ifndef SRC_COMMON_CLOCK_H_
+#define SRC_COMMON_CLOCK_H_
+
+#include <functional>
+
+#include "src/common/sim_time.h"
+
+namespace shardman {
+
+using TimeSource = std::function<TimeMicros()>;
+
+// Installs `source` as the global time source and returns the previously installed one (empty
+// when none), so nested scopes (back-to-back testbeds in one binary) can restore their outer
+// clock on teardown. Passing an empty function uninstalls.
+TimeSource ExchangeSimTimeSource(TimeSource source);
+
+// True when a simulated clock is currently installed.
+bool SimTimeSourceInstalled();
+
+// Current simulated time, or 0 when no source is installed.
+TimeMicros SimTimeNow();
+
+}  // namespace shardman
+
+#endif  // SRC_COMMON_CLOCK_H_

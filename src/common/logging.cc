@@ -3,6 +3,9 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
+
+#include "src/common/clock.h"
 
 namespace shardman {
 
@@ -27,6 +30,19 @@ const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash != nullptr ? slash + 1 : path;
 }
+
+// Time prefix: deterministic sim-time when a simulator clock is installed (so interleaved
+// orchestrator/chaos log lines are orderable on one timeline), wall clock otherwise.
+void FormatTimePrefix(char* buf, size_t size) {
+  if (SimTimeSourceInstalled()) {
+    std::snprintf(buf, size, "t=%.6fs", ToSeconds(SimTimeNow()));
+    return;
+  }
+  std::time_t now = std::time(nullptr);
+  std::tm tm_buf{};
+  localtime_r(&now, &tm_buf);
+  std::strftime(buf, size, "%H:%M:%S", &tm_buf);
+}
 }  // namespace
 
 void SetMinLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
@@ -43,7 +59,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::fprintf(stderr, "%s %s:%d] %s\n", LevelTag(level_), Basename(file_), line_,
+    char time_buf[32];
+    FormatTimePrefix(time_buf, sizeof(time_buf));
+    std::fprintf(stderr, "%s %s %s:%d] %s\n", LevelTag(level_), time_buf, Basename(file_), line_,
                  stream_.str().c_str());
   }
 }

@@ -5,11 +5,11 @@
 namespace shardman {
 
 double Percentile(std::vector<double> samples, double p) {
-  if (samples.empty()) {
-    return 0.0;
-  }
+  // Validate p even for empty input: an out-of-range percentile is caller error regardless of
+  // sample count, and must not be masked by the empty-sample early return.
   SM_CHECK_GE(p, 0.0);
   SM_CHECK_LE(p, 100.0);
+  SM_CHECK(!samples.empty());
   double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
   size_t lo = static_cast<size_t>(rank);
   size_t hi = std::min(lo + 1, samples.size() - 1);
@@ -59,7 +59,10 @@ void Histogram::Add(double value) {
 }
 
 void Histogram::Merge(const Histogram& other) {
+  // Mismatched bucket geometry would silently attribute counts to the wrong value ranges.
   SM_CHECK_EQ(buckets_.size(), other.buckets_.size());
+  SM_CHECK_EQ(min_bucket_, other.min_bucket_);
+  SM_CHECK_EQ(growth_, other.growth_);
   for (size_t i = 0; i < buckets_.size(); ++i) {
     buckets_[i] += other.buckets_[i];
   }
@@ -68,11 +71,11 @@ void Histogram::Merge(const Histogram& other) {
 }
 
 double Histogram::PercentileEstimate(double p) const {
-  if (count_ == 0) {
-    return 0.0;
-  }
   SM_CHECK_GE(p, 0.0);
   SM_CHECK_LE(p, 100.0);
+  if (count_ == 0) {
+    return 0.0;  // An empty histogram (e.g. a quiet probe interval) estimates 0, by contract.
+  }
   double target = p / 100.0 * static_cast<double>(count_);
   int64_t seen = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {

@@ -46,6 +46,7 @@ class OnlineStats {
 };
 
 // Exact p-th percentile (p in [0, 100]) of a sample, by partial sort. Mutates its copy.
+// SM_CHECK-fails on an empty sample or out-of-range p: a percentile of nothing is caller error.
 double Percentile(std::vector<double> samples, double p);
 
 // Fixed geometric-bucket histogram for non-negative values (e.g. latencies in ms).

@@ -7,8 +7,29 @@
 #include "src/common/check.h"
 #include "src/common/logging.h"
 #include "src/core/sm_library.h"
+#include "src/obs/obs.h"
 
 namespace shardman {
+
+namespace {
+
+const char* OpKindName(Orchestrator::OpKind kind) {
+  switch (kind) {
+    case Orchestrator::OpKind::kPlace:
+      return "place";
+    case Orchestrator::OpKind::kMoveSecondary:
+      return "move_secondary";
+    case Orchestrator::OpKind::kMovePrimary:
+      return "move_primary";
+    case Orchestrator::OpKind::kDrop:
+      return "drop";
+    case Orchestrator::OpKind::kPromote:
+      return "promote";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 Orchestrator::Orchestrator(Simulator* sim, Network* network, CoordStore* coord,
                            ServiceDiscovery* discovery, ServerRegistry* registry,
@@ -304,6 +325,7 @@ void Orchestrator::PublishMap() {
   map_dirty_ = false;
   ShardMap map = BuildMap();
   ++map_version_;
+  SM_COUNTER_INC("sm.orchestrator.map_publishes");
   discovery_->Publish(map);
   // Persisted so a replacement orchestrator continues the version sequence (§6.2).
   SM_CHECK_OK(coord_->Set("/sm/" + spec_.name + "/map_version", std::to_string(map_version_)));
@@ -336,7 +358,10 @@ void Orchestrator::EnqueueOp(Op op) {
     return;
   }
   r.op_queued = true;
-  if (op.kind == Op::Kind::kPromote) {
+  if (!op.trace.valid()) {
+    op.trace = obs::DefaultTracer().NewTrace();
+  }
+  if (op.kind == OpKind::kPromote) {
     op_queue_.push_front(std::move(op));  // failover jumps the queue
   } else {
     op_queue_.push_back(std::move(op));
@@ -358,8 +383,8 @@ void Orchestrator::Pump() {
       if (busy_shards_.count(candidate->shard.value) > 0) {
         continue;
       }
-      if (candidate->to.valid() && candidate->kind != Op::Kind::kDrop &&
-          candidate->kind != Op::Kind::kPromote &&
+      if (candidate->to.valid() && candidate->kind != OpKind::kDrop &&
+          candidate->kind != OpKind::kPromote &&
           ShardBoundTo(candidate->shard, candidate->to)) {
         bool sibling_op_queued = false;
         for (const Op& other : op_queue_) {
@@ -388,30 +413,45 @@ void Orchestrator::Pump() {
 }
 
 void Orchestrator::StartOp(Op op) {
+  SM_COUNTER_INC("sm.orchestrator.ops_started");
+  SM_TRACE_BEGIN(op.trace, "orchestrator", OpKindName(op.kind),
+                 obs::Arg("shard", static_cast<int64_t>(op.shard.value)) + "," +
+                     obs::Arg("replica", static_cast<int64_t>(op.replica)) + "," +
+                     obs::Arg("attempt", static_cast<int64_t>(op.attempts)) +
+                     (op.parent.valid()
+                          ? "," + obs::Arg("alloc_trace",
+                                           static_cast<int64_t>(op.parent.value))
+                          : std::string()));
   switch (op.kind) {
-    case Op::Kind::kPlace:
+    case OpKind::kPlace:
       ExecutePlace(std::move(op));
       break;
-    case Op::Kind::kMoveSecondary:
+    case OpKind::kMoveSecondary:
       ExecuteMoveSecondary(std::move(op));
       break;
-    case Op::Kind::kMovePrimary:
+    case OpKind::kMovePrimary:
       if (spec_.graceful_migration) {
         ExecuteMovePrimaryGraceful(std::move(op));
       } else {
         ExecuteMovePrimaryAbrupt(std::move(op));
       }
       break;
-    case Op::Kind::kDrop:
+    case OpKind::kDrop:
       ExecuteDrop(std::move(op));
       break;
-    case Op::Kind::kPromote:
+    case OpKind::kPromote:
       ExecutePromote(std::move(op));
       break;
   }
 }
 
 void Orchestrator::FinishOp(const Op& op, bool success) {
+  SM_TRACE_END(op.trace, "orchestrator", OpKindName(op.kind), obs::Arg("ok", int64_t{success}));
+  if (success) {
+    SM_COUNTER_INC("sm.orchestrator.ops_completed");
+  } else {
+    SM_COUNTER_INC("sm.orchestrator.ops_failed");
+  }
   busy_shards_.erase(op.shard.value);
   --in_flight_ops_;
   ShardRuntime& rt = shards_[static_cast<size_t>(op.shard.value)];
@@ -419,14 +459,16 @@ void Orchestrator::FinishOp(const Op& op, bool success) {
     rt.replicas[static_cast<size_t>(op.replica)].op_queued = false;
   }
   if (success) {
-    if (op.kind != Op::Kind::kPromote && op.kind != Op::Kind::kDrop) {
+    if (op.kind != OpKind::kPromote && op.kind != OpKind::kDrop) {
       ++completed_moves_;
+      SM_COUNTER_INC("sm.orchestrator.moves_completed");
     }
   } else {
     ++failed_ops_;
     Op retry = op;
     ++retry.attempts;
     if (retry.attempts < config_.max_op_attempts) {
+      SM_COUNTER_INC("sm.orchestrator.ops_retried");
       // Re-pick the target on retry; the original may have died.
       retry.to = ServerId();
       int64_t token = next_deferred_token_++;
@@ -436,7 +478,7 @@ void Orchestrator::FinishOp(const Op& op, bool success) {
         if (!r.op_queued) {
           Op again = retry;
           // Placement retries go through the emergency allocator instead when unassigned.
-          if (again.kind == Op::Kind::kPlace) {
+          if (again.kind == OpKind::kPlace) {
             TriggerEmergencyAllocation();
             return;
           }
@@ -444,7 +486,7 @@ void Orchestrator::FinishOp(const Op& op, bool success) {
         }
       });
       retry_timers_[token] = timer;
-    } else if (op.kind == Op::Kind::kPlace) {
+    } else if (op.kind == OpKind::kPlace) {
       TriggerEmergencyAllocation();
     }
   }
@@ -614,6 +656,7 @@ void Orchestrator::ExecuteMovePrimaryGraceful(Op op) {
                     PersistServerAssignment(old_server);
                     PersistServerAssignment(new_server);
                     ++graceful_migrations_;
+                    SM_COUNTER_INC("sm.orchestrator.migrations_graceful");
                     // Step 4: disseminate the new map immediately.
                     MarkMapDirty(/*urgent=*/true);
                     // Step 5: after a grace window (requests still trickling to the old
@@ -689,6 +732,7 @@ void Orchestrator::ExecuteMovePrimaryAbrupt(Op op) {
                 PersistServerAssignment(op.from);
                 PersistServerAssignment(op.to);
                 ++abrupt_migrations_;
+                SM_COUNTER_INC("sm.orchestrator.migrations_abrupt");
                 MarkMapDirty(/*urgent=*/true);
                 FinishOp(op, /*success=*/true);
               } else {
@@ -735,6 +779,7 @@ void Orchestrator::ExecutePromote(Op op) {
                   ReplicaRuntime& r = Replica(op.shard, op.replica);
                   r.role = ReplicaRole::kPrimary;
                   PersistServerAssignment(op.from);
+                  SM_COUNTER_INC("sm.orchestrator.promotions");
                   MarkMapDirty(/*urgent=*/true);
                   FinishOp(op, /*success=*/true);
                 } else {
@@ -748,6 +793,10 @@ void Orchestrator::ExecutePromote(Op op) {
 // ---------------------------------------------------------------------------------------------
 
 void Orchestrator::OnServerDown(ServerId server, bool planned) {
+  SM_COUNTER_INC("sm.orchestrator.server_down_events");
+  SM_TRACE_INSTANT("orchestrator", "server_down",
+                   obs::Arg("server", static_cast<int64_t>(server.value)) + "," +
+                       obs::Arg("planned", int64_t{planned}));
   registry_->SetAlive(server, false);
   auto it = server_replicas_.find(server.value);
   if (it != server_replicas_.end()) {
@@ -777,6 +826,9 @@ void Orchestrator::OnServerDown(ServerId server, bool planned) {
 }
 
 void Orchestrator::OnServerUp(ServerId server) {
+  SM_COUNTER_INC("sm.orchestrator.server_up_events");
+  SM_TRACE_INSTANT("orchestrator", "server_up",
+                   obs::Arg("server", static_cast<int64_t>(server.value)));
   registry_->SetAlive(server, true);
   auto timer_it = server_timers_.find(server.value);
   if (timer_it != server_timers_.end()) {
@@ -826,6 +878,8 @@ void Orchestrator::HandleServerGone(ServerId server) {
   }
   PersistServerAssignment(server);
   if (any) {
+    SM_TRACE_INSTANT("orchestrator", "server_gone",
+                     obs::Arg("server", static_cast<int64_t>(server.value)));
     MarkMapDirty(/*urgent=*/false);
     TriggerEmergencyAllocation();
   }
@@ -850,7 +904,7 @@ void Orchestrator::PromoteSurvivor(ShardId shard, int dead_replica) {
   // coordination store, and must come back as a secondary — not as a second primary.
   PersistServerAssignment(rt.replicas[static_cast<size_t>(dead_replica)].server);
   Op op;
-  op.kind = Op::Kind::kPromote;
+  op.kind = OpKind::kPromote;
   op.shard = shard;
   op.replica = survivor;
   op.from = rt.replicas[static_cast<size_t>(survivor)].server;
@@ -883,8 +937,8 @@ void Orchestrator::DrainServer(ServerId server, bool drain_primaries, bool drain
         continue;
       }
       Op op;
-      op.kind = r.role == ReplicaRole::kPrimary ? Op::Kind::kMovePrimary
-                                                : Op::Kind::kMoveSecondary;
+      op.kind = r.role == ReplicaRole::kPrimary ? OpKind::kMovePrimary
+                                                : OpKind::kMoveSecondary;
       op.shard = shard;
       op.replica = replica;
       op.from = server;
@@ -1079,7 +1133,7 @@ Status Orchestrator::AddReplica(ShardId shard) {
   replica.load = ResourceVector(spec_.placement.metrics.size());
   rt.replicas.push_back(std::move(replica));
   Op op;
-  op.kind = Op::Kind::kPlace;
+  op.kind = OpKind::kPlace;
   op.shard = shard;
   op.replica = static_cast<int>(rt.replicas.size()) - 1;
   EnqueueOp(std::move(op));
@@ -1097,7 +1151,7 @@ Status Orchestrator::RemoveReplica(ShardId shard) {
     if (r.role == ReplicaRole::kSecondary && r.phase == ReplicaPhase::kReady && !r.op_queued &&
         i == static_cast<int>(rt.replicas.size()) - 1) {
       Op op;
-      op.kind = Op::Kind::kDrop;
+      op.kind = OpKind::kDrop;
       op.shard = shard;
       op.replica = i;
       op.from = r.server;
@@ -1167,7 +1221,7 @@ PartitionSnapshot Orchestrator::BuildSnapshot() const {
 }
 
 void Orchestrator::ApplyAllocation(const PartitionSnapshot& snapshot,
-                                   const AllocationResult& result) {
+                                   const AllocationResult& result, obs::TraceId alloc_trace) {
   for (const AssignmentChange& change : result.changes) {
     ShardId shard = change.replica.shard;
     int replica_idx = change.replica.index;
@@ -1186,12 +1240,13 @@ void Orchestrator::ApplyAllocation(const PartitionSnapshot& snapshot,
     op.shard = shard;
     op.replica = replica_idx;
     op.to = change.to;
+    op.parent = alloc_trace;
     if (r.phase == ReplicaPhase::kPending) {
-      op.kind = Op::Kind::kPlace;
+      op.kind = OpKind::kPlace;
     } else if (r.phase == ReplicaPhase::kReady) {
       op.from = r.server;
-      op.kind = r.role == ReplicaRole::kPrimary ? Op::Kind::kMovePrimary
-                                                : Op::Kind::kMoveSecondary;
+      op.kind = r.role == ReplicaRole::kPrimary ? OpKind::kMovePrimary
+                                                : OpKind::kMoveSecondary;
     } else {
       continue;  // Unavailable/transitioning replicas are handled by their own paths.
     }
@@ -1207,12 +1262,17 @@ void Orchestrator::TriggerEmergencyAllocation() {
   // Small scheduling delay coalesces bursts of failures into one solver run.
   emergency_timer_ = sim_->Schedule(Millis(100), [this]() {
     emergency_pending_ = false;
+    SM_COUNTER_INC("sm.orchestrator.allocs_emergency");
+    obs::TraceId alloc_trace = obs::DefaultTracer().NewTrace();
+    SM_TRACE_BEGIN(alloc_trace, "allocator", "emergency_allocation");
     PartitionSnapshot snapshot = BuildSnapshot();
     AllocatorOptions opts = allocator_->options();
     opts.emergency_time_budget = config_.emergency_solver_budget;
     SmAllocator emergency(opts);
     AllocationResult result = emergency.Allocate(snapshot, AllocationMode::kEmergency);
-    ApplyAllocation(snapshot, result);
+    SM_TRACE_END(alloc_trace, "allocator", "emergency_allocation",
+                 obs::Arg("changes", static_cast<int64_t>(result.changes.size())));
+    ApplyAllocation(snapshot, result, alloc_trace);
   });
 }
 
@@ -1220,12 +1280,17 @@ void Orchestrator::TriggerPeriodicAllocation() {
   if (!op_queue_.empty() || in_flight_ops_ > 0) {
     return;  // Let the current wave settle first.
   }
+  SM_COUNTER_INC("sm.orchestrator.allocs_periodic");
+  obs::TraceId alloc_trace = obs::DefaultTracer().NewTrace();
+  SM_TRACE_BEGIN(alloc_trace, "allocator", "periodic_allocation");
   PartitionSnapshot snapshot = BuildSnapshot();
   AllocatorOptions opts = allocator_->options();
   opts.periodic_time_budget = config_.periodic_solver_budget;
   SmAllocator periodic(opts);
   AllocationResult result = periodic.Allocate(snapshot, AllocationMode::kPeriodic);
-  ApplyAllocation(snapshot, result);
+  SM_TRACE_END(alloc_trace, "allocator", "periodic_allocation",
+               obs::Arg("changes", static_cast<int64_t>(result.changes.size())));
+  ApplyAllocation(snapshot, result, alloc_trace);
 }
 
 // ---------------------------------------------------------------------------------------------

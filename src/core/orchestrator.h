@@ -29,6 +29,7 @@
 #include "src/core/app_spec.h"
 #include "src/core/server_registry.h"
 #include "src/discovery/service_discovery.h"
+#include "src/obs/trace.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
 
@@ -71,6 +72,10 @@ enum class ReplicaPhase {
 
 class Orchestrator {
  public:
+  // The kinds of replica lifecycle operation the op engine executes (public for telemetry:
+  // trace span names are derived from the kind).
+  enum class OpKind { kPlace, kMoveSecondary, kMovePrimary, kDrop, kPromote };
+
   Orchestrator(Simulator* sim, Network* network, CoordStore* coord, ServiceDiscovery* discovery,
                ServerRegistry* registry, SmAllocator* allocator, AppSpec spec,
                RegionId home_region, OrchestratorConfig config);
@@ -159,13 +164,14 @@ class Orchestrator {
     int min_replicas_in_preferred = 1;
   };
   struct Op {
-    enum class Kind { kPlace, kMoveSecondary, kMovePrimary, kDrop, kPromote };
-    Kind kind = Kind::kPlace;
+    OpKind kind = OpKind::kPlace;
     ShardId shard;
     int replica = 0;
     ServerId from;
     ServerId to;
     int attempts = 0;
+    obs::TraceId trace;   // spans of this op's execution; assigned at enqueue
+    obs::TraceId parent;  // the allocation run that produced the op, when any
   };
   struct DrainState {
     bool primaries = false;
@@ -213,7 +219,8 @@ class Orchestrator {
 
   // -- Allocation --------------------------------------------------------------------------------
   PartitionSnapshot BuildSnapshot() const;
-  void ApplyAllocation(const PartitionSnapshot& snapshot, const AllocationResult& result);
+  void ApplyAllocation(const PartitionSnapshot& snapshot, const AllocationResult& result,
+                       obs::TraceId alloc_trace);
   ServerId PickDrainTarget(ShardId shard, int replica, ServerId from) const;
   void CheckDrainDone(ServerId server);
   double ServerLoadScore(ServerId server) const;

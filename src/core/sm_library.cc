@@ -4,6 +4,7 @@
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
+#include "src/obs/obs.h"
 
 namespace shardman {
 
@@ -60,6 +61,8 @@ void SmLibrary::Connect() {
     return;
   }
   session_ = coord_->CreateSession();
+  SM_COUNTER_INC("sm.smlib.connects");
+  SM_TRACE_INSTANT("smlib", "connect", obs::Arg("server", static_cast<int64_t>(server_.value)));
   Status status = coord_->Create(LivenessPath(), "up", /*ephemeral=*/true, session_);
   if (!status.ok()) {
     SM_LOG(Warning) << "liveness node creation failed: " << status.ToString();
@@ -78,6 +81,9 @@ bool SmLibrary::connected() const { return session_.valid() && coord_->SessionAl
 
 void SmLibrary::OnSessionExpired() {
   session_ = SessionId();
+  SM_COUNTER_INC("sm.smlib.session_expiries");
+  SM_TRACE_INSTANT("smlib", "session_expired",
+                   obs::Arg("server", static_cast<int64_t>(server_.value)));
   // Fence: drop primary-ship on everything the coordination store says we were primary for.
   // The persisted assignment is the authoritative pre-expiry view; local state may match or
   // may already be ahead (mid-migration), so demotion errors are ignored.
@@ -87,6 +93,7 @@ void SmLibrary::OnSessionExpired() {
   }
   for (const PersistedReplica& replica : ParseAssignment(data.value())) {
     if (replica.role == ReplicaRole::kPrimary) {
+      SM_COUNTER_INC("sm.smlib.fence_demotions");
       (void)self_->ChangeRole(replica.shard, ReplicaRole::kPrimary, ReplicaRole::kSecondary);
     }
   }
@@ -103,6 +110,12 @@ int SmLibrary::RestoreAssignmentFromCoord() {
     if (status.ok()) {
       ++restored;
     }
+  }
+  SM_COUNTER_ADD("sm.smlib.restored_shards", restored);
+  if (restored > 0) {
+    SM_TRACE_INSTANT("smlib", "restored_assignment",
+                     obs::Arg("server", static_cast<int64_t>(server_.value)) + "," +
+                         obs::Arg("shards", static_cast<int64_t>(restored)));
   }
   return restored;
 }

@@ -4,6 +4,7 @@
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
+#include "src/obs/obs.h"
 
 namespace shardman {
 
@@ -53,6 +54,34 @@ std::vector<int64_t> SmTaskController::OnPendingOps(ClusterManager* cm, AppId ap
   SM_CHECK(app == spec_.id);
   std::vector<int64_t> approved;
 
+  // Telemetry: each pending op gets a negotiation record on first sight (opens the trace span
+  // that ends at approval) and counts a deferral every round it is held back.
+  auto note_pending = [this](const ContainerOp& op) -> Negotiation& {
+    auto [it, inserted] = negotiations_.emplace(op.op_id, Negotiation{});
+    if (inserted) {
+      it->second.first_seen = sim_->Now();
+      it->second.trace = obs::DefaultTracer().NewTrace();
+      SM_TRACE_BEGIN(it->second.trace, "taskcontrol", "negotiate",
+                     obs::Arg("container", static_cast<int64_t>(op.container.value)));
+    }
+    return it->second;
+  };
+  auto record_approval = [this](const ContainerOp& op) {
+    auto it = negotiations_.find(op.op_id);
+    if (it != negotiations_.end()) {
+      SM_COUNTER_INC("sm.taskcontrol.approvals");
+      SM_HISTOGRAM_OBSERVE("sm.taskcontrol.approval_delay_ms",
+                           ToMillis(sim_->Now() - it->second.first_seen));
+      SM_TRACE_END(it->second.trace, "taskcontrol", "negotiate",
+                   obs::Arg("container", static_cast<int64_t>(op.container.value)));
+      negotiations_.erase(it);
+    }
+  };
+  auto record_deferral = [](const ContainerOp& op) {
+    (void)op;
+    SM_COUNTER_INC("sm.taskcontrol.deferrals");
+  };
+
   const int total = std::max(1, TotalContainers());
   int global_cap = std::max(
       1, static_cast<int>(spec_.caps.max_concurrent_ops_fraction * static_cast<double>(total)));
@@ -67,6 +96,7 @@ std::vector<int64_t> SmTaskController::OnPendingOps(ClusterManager* cm, AppId ap
     if (budget <= 0) {
       break;
     }
+    note_pending(op);
     ServerHandle* server = registry_->GetByContainer(op.container);
     if (server == nullptr) {
       // No application server in this container (e.g. already deregistered): nothing to protect.
@@ -74,6 +104,7 @@ std::vector<int64_t> SmTaskController::OnPendingOps(ClusterManager* cm, AppId ap
       --budget;
       in_flight_.insert(op.container.value);
       ++approvals_;
+      record_approval(op);
       continue;
     }
 
@@ -90,10 +121,12 @@ std::vector<int64_t> SmTaskController::OnPendingOps(ClusterManager* cm, AppId ap
                                      drain_phase_[container.value] = DrainPhase::kDone;
                                    });
         ++deferrals_;
+        record_deferral(op);
         continue;  // Approve in a later round, once drained.
       }
       if (phase == DrainPhase::kInProgress) {
         ++deferrals_;
+        record_deferral(op);
         continue;
       }
       // kDone falls through to the cap checks below.
@@ -120,12 +153,14 @@ std::vector<int64_t> SmTaskController::OnPendingOps(ClusterManager* cm, AppId ap
     }
     if (!safe) {
       ++deferrals_;
+      record_deferral(op);
       continue;
     }
 
     approved.push_back(op.op_id);
     --budget;
     ++approvals_;
+    record_approval(op);
     in_flight_.insert(op.container.value);
     impact_[op.container.value] = impacted;
     for (int32_t shard : impacted) {

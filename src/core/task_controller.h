@@ -26,6 +26,7 @@
 #include "src/core/app_spec.h"
 #include "src/core/orchestrator.h"
 #include "src/core/server_registry.h"
+#include "src/obs/trace.h"
 
 namespace shardman {
 
@@ -68,6 +69,14 @@ class SmTaskController : public TaskControlHandler {
   std::unordered_map<int32_t, int> planned_unavailable_;
   // Shards impacted per approved container, to undo planned_unavailable_ on completion.
   std::unordered_map<int32_t, std::vector<int32_t>> impact_;
+
+  // Telemetry for ops under negotiation: when the op was first seen (feeds the approval-delay
+  // histogram) and the trace span opened for it. Erased on approval.
+  struct Negotiation {
+    TimeMicros first_seen = 0;
+    obs::TraceId trace;
+  };
+  std::unordered_map<int64_t, Negotiation> negotiations_;  // by op_id
 
   int64_t approvals_ = 0;
   int64_t deferrals_ = 0;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/obs/obs.h"
 
 namespace shardman {
 
@@ -26,18 +27,26 @@ void ServiceDiscovery::Publish(const ShardMap& map) {
     SM_CHECK_GT(map.version, slot->version);
   }
   slot = std::make_shared<const ShardMap>(map);
+  TimeMicros published_at = sim_->Now();
+  published_at_[map.app.value] = published_at;
   ++publishes_;
+  SM_COUNTER_INC("sm.discovery.publishes");
+  SM_TRACE_INSTANT("discovery", "publish",
+                   obs::Arg("app", static_cast<int64_t>(map.app.value)) + "," +
+                       obs::Arg("version", map.version));
   for (const auto& [id, sub] : subscribers_) {
     if (sub.app == map.app) {
       int64_t subscription = id;
       auto shared = slot;
-      sim_->Schedule(SampleDelay(),
-                     [this, subscription, shared]() { Deliver(subscription, shared); });
+      sim_->Schedule(SampleDelay(), [this, subscription, shared, published_at]() {
+        Deliver(subscription, shared, published_at);
+      });
     }
   }
 }
 
-void ServiceDiscovery::Deliver(int64_t subscription, std::shared_ptr<const ShardMap> map) {
+void ServiceDiscovery::Deliver(int64_t subscription, std::shared_ptr<const ShardMap> map,
+                               TimeMicros published_at) {
   auto it = subscribers_.find(subscription);
   if (it == subscribers_.end()) {
     return;
@@ -46,6 +55,8 @@ void ServiceDiscovery::Deliver(int64_t subscription, std::shared_ptr<const Shard
     return;  // Out-of-order delivery of an older version; suppress.
   }
   it->second.delivered_version = map->version;
+  SM_COUNTER_INC("sm.discovery.deliveries");
+  SM_HISTOGRAM_OBSERVE("sm.discovery.staleness_ms", ToMillis(sim_->Now() - published_at));
   it->second.cb(*map);
 }
 
@@ -55,7 +66,9 @@ int64_t ServiceDiscovery::Subscribe(AppId app, MapCallback cb) {
   auto it = current_.find(app.value);
   if (it != current_.end() && it->second != nullptr) {
     auto shared = it->second;
-    sim_->Schedule(SampleDelay(), [this, id, shared]() { Deliver(id, shared); });
+    TimeMicros published_at = published_at_[app.value];
+    sim_->Schedule(SampleDelay(),
+                   [this, id, shared, published_at]() { Deliver(id, shared, published_at); });
   }
   return id;
 }

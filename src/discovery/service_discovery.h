@@ -48,13 +48,17 @@ class ServiceDiscovery {
   };
 
   TimeMicros SampleDelay();
-  void Deliver(int64_t subscription, std::shared_ptr<const ShardMap> map);
+  // `published_at` is when the map version was published (sim time), for the staleness metric.
+  void Deliver(int64_t subscription, std::shared_ptr<const ShardMap> map,
+               TimeMicros published_at);
 
   Simulator* sim_;
   TimeMicros min_delay_;
   TimeMicros max_delay_;
   Rng rng_;
   std::unordered_map<int32_t, std::shared_ptr<const ShardMap>> current_;
+  // When the current map of each app was published, feeding the delivery staleness histogram.
+  std::unordered_map<int32_t, TimeMicros> published_at_;
   std::unordered_map<int64_t, Subscriber> subscribers_;
   int64_t next_subscription_ = 1;
   int64_t publishes_ = 0;

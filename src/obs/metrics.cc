@@ -1,0 +1,167 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace shardman {
+namespace obs {
+
+namespace {
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+const MetricSample* MetricsSnapshot::Find(const std::string& name) const {
+  auto it = std::lower_bound(
+      samples.begin(), samples.end(), name,
+      [](const MetricSample& sample, const std::string& key) { return sample.name < key; });
+  if (it == samples.end() || it->name != name) {
+    return nullptr;
+  }
+  return &*it;
+}
+
+int64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  const MetricSample* sample = Find(name);
+  return sample != nullptr ? sample->counter : 0;
+}
+
+double MetricsSnapshot::GaugeValue(const std::string& name) const {
+  const MetricSample* sample = Find(name);
+  return sample != nullptr ? sample->gauge : 0.0;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  Entry& entry = metrics_[name];
+  if (entry.counter == nullptr) {
+    SM_CHECK(entry.gauge == nullptr && entry.histogram == nullptr);
+    entry.kind = MetricKind::kCounter;
+    entry.counter = std::make_unique<Counter>();
+  }
+  return entry.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  Entry& entry = metrics_[name];
+  if (entry.gauge == nullptr) {
+    SM_CHECK(entry.counter == nullptr && entry.histogram == nullptr);
+    entry.kind = MetricKind::kGauge;
+    entry.gauge = std::make_unique<Gauge>();
+  }
+  return entry.gauge.get();
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name,
+                                               const HistogramOptions& options) {
+  Entry& entry = metrics_[name];
+  if (entry.histogram == nullptr) {
+    SM_CHECK(entry.counter == nullptr && entry.gauge == nullptr);
+    entry.kind = MetricKind::kHistogram;
+    entry.histogram = std::make_unique<HistogramMetric>(options);
+  }
+  return entry.histogram.get();
+}
+
+void MetricsRegistry::ResetValues() {
+  for (auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        entry.counter->Reset();
+        break;
+      case MetricKind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case MetricKind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  snapshot.samples.reserve(metrics_.size());
+  for (const auto& [name, entry] : metrics_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        sample.counter = entry.counter->value();
+        break;
+      case MetricKind::kGauge:
+        sample.gauge = entry.gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& hist = entry.histogram->histogram();
+        sample.hist_count = hist.count();
+        sample.hist_sum = hist.sum();
+        sample.p50 = hist.PercentileEstimate(50);
+        sample.p99 = hist.PercentileEstimate(99);
+        break;
+      }
+    }
+    snapshot.samples.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+MetricsSnapshot MetricsRegistry::Delta(const MetricsSnapshot& before,
+                                       const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  delta.samples.reserve(after.samples.size());
+  for (const MetricSample& sample : after.samples) {
+    MetricSample d = sample;
+    const MetricSample* base = before.Find(sample.name);
+    if (base != nullptr) {
+      SM_CHECK(base->kind == sample.kind);
+      d.counter -= base->counter;
+      d.hist_count -= base->hist_count;
+      d.hist_sum -= base->hist_sum;
+      // Gauges and percentiles keep the `after` value: neither is meaningful as a difference.
+    }
+    delta.samples.push_back(std::move(d));
+  }
+  return delta;
+}
+
+void MetricsRegistry::WriteJsonl(std::ostream& os) const {
+  for (const MetricSample& sample : Snapshot().samples) {
+    os << "{\"name\":\"" << sample.name << "\",\"kind\":\"" << KindName(sample.kind) << "\"";
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        os << ",\"value\":" << sample.counter;
+        break;
+      case MetricKind::kGauge:
+        os << ",\"value\":" << sample.gauge;
+        break;
+      case MetricKind::kHistogram:
+        os << ",\"count\":" << sample.hist_count << ",\"sum\":" << sample.hist_sum
+           << ",\"p50\":" << sample.p50 << ",\"p99\":" << sample.p99;
+        break;
+    }
+    os << "}\n";
+  }
+}
+
+MetricsRegistry& DefaultMetrics() {
+  // Leaked singleton: instrumentation runs from destructors of static-lifetime components;
+  // never destroy the registry underneath them.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace shardman

@@ -1,0 +1,188 @@
+// MetricsRegistry: the control plane's single source of measurement truth.
+//
+// Named counters, gauges and sim-time-aware histograms (reusing the geometric buckets of
+// common/stats.h), registered on first use and stable for the process lifetime so call sites
+// can cache metric pointers. The registry supports:
+//   * point-in-time snapshots and snapshot deltas (what the bench binaries report);
+//   * a flat JSONL export (one metric per line) consumed by bench/ and plotting scripts;
+//   * ResetValues() to zero every metric between experiment runs without invalidating any
+//     cached pointer.
+//
+// Instrumentation goes through the SM_COUNTER_* / SM_GAUGE_* / SM_HISTOGRAM_* macros below,
+// which compile to no-ops when the tree is configured with -DSHARDMAN_OBS=OFF.
+//
+// Metric naming scheme (see DESIGN.md §7): dot-separated "sm.<subsystem>.<what>", e.g.
+// "sm.orchestrator.ops_retried", "sm.discovery.staleness_ms". Histograms carry their unit as a
+// suffix (_ms, _us).
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+
+// Compile-time master switch; CMake defines it 0 for SHARDMAN_OBS=OFF builds.
+#ifndef SHARDMAN_OBS_ENABLED
+#define SHARDMAN_OBS_ENABLED 1
+#endif
+
+namespace shardman {
+namespace obs {
+
+class Counter {
+ public:
+  void Add(int64_t delta) { value_ += delta; }
+  int64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+  void Reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Geometric-bucket histogram parameters; the default range (1us granularity at the bottom,
+// overflow past ~5 minutes when observing milliseconds) fits every control-plane latency the
+// experiments measure.
+struct HistogramOptions {
+  double min_bucket = 0.001;
+  double growth = 1.6;
+  int num_buckets = 48;
+};
+
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(const HistogramOptions& options)
+      : hist_(options.min_bucket, options.growth, options.num_buckets) {}
+
+  void Observe(double value) { hist_.Add(value < 0.0 ? 0.0 : value); }
+  const Histogram& histogram() const { return hist_; }
+  void Reset() { hist_.Reset(); }
+
+ private:
+  Histogram hist_;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+// One exported metric value. Counters fill `counter`; gauges fill `gauge`; histograms fill
+// count/sum/percentiles.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  int64_t counter = 0;
+  double gauge = 0.0;
+  int64_t hist_count = 0;
+  double hist_sum = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  // sorted by name
+
+  const MetricSample* Find(const std::string& name) const;
+  // Value of a counter metric, or 0 when absent (absent == never incremented).
+  int64_t CounterValue(const std::string& name) const;
+  double GaugeValue(const std::string& name) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create. Returned pointers remain valid for the registry's lifetime; ResetValues()
+  // zeroes values but never unregisters, so call sites may cache them in function-local
+  // statics. Registering the same name with a different kind SM_CHECK-fails.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  HistogramMetric* GetHistogram(const std::string& name, const HistogramOptions& options = {});
+
+  // Zeroes every registered metric (between experiment runs). Registrations persist.
+  void ResetValues();
+
+  MetricsSnapshot Snapshot() const;
+  // Per-metric difference `after - before`: counters and histogram count/sum subtract (metrics
+  // absent in `before` count from zero); gauges take the `after` value. Histogram percentiles
+  // are not delta-able from two snapshots and are reported as the `after` values.
+  static MetricsSnapshot Delta(const MetricsSnapshot& before, const MetricsSnapshot& after);
+
+  // Flat JSONL export: one {"name":...,"kind":...,...} object per line, sorted by name.
+  void WriteJsonl(std::ostream& os) const;
+
+  size_t size() const { return metrics_.size(); }
+
+ private:
+  struct Entry {
+    MetricKind kind = MetricKind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+
+  // Ordered map: exports are sorted by name, independent of registration order.
+  std::map<std::string, Entry> metrics_;
+};
+
+// The process-wide registry all instrumentation macros write to. Never destroyed before exit.
+MetricsRegistry& DefaultMetrics();
+
+}  // namespace obs
+}  // namespace shardman
+
+// -- Instrumentation macros --------------------------------------------------------------------
+// `name` must be a string literal (the pointer is cached in a function-local static, keyed by
+// the call site). With SHARDMAN_OBS=OFF these compile to nothing; the registry API itself stays
+// available so exporters and benches always link.
+
+#if SHARDMAN_OBS_ENABLED
+
+#define SM_COUNTER_ADD(name, delta)                                          \
+  do {                                                                       \
+    static ::shardman::obs::Counter* sm_obs_counter_ =                       \
+        ::shardman::obs::DefaultMetrics().GetCounter(name);                  \
+    sm_obs_counter_->Add(delta);                                             \
+  } while (false)
+
+#define SM_GAUGE_SET(name, value)                                            \
+  do {                                                                       \
+    static ::shardman::obs::Gauge* sm_obs_gauge_ =                           \
+        ::shardman::obs::DefaultMetrics().GetGauge(name);                    \
+    sm_obs_gauge_->Set(value);                                               \
+  } while (false)
+
+#define SM_HISTOGRAM_OBSERVE(name, value)                                    \
+  do {                                                                       \
+    static ::shardman::obs::HistogramMetric* sm_obs_hist_ =                  \
+        ::shardman::obs::DefaultMetrics().GetHistogram(name);                \
+    sm_obs_hist_->Observe(value);                                            \
+  } while (false)
+
+#else  // !SHARDMAN_OBS_ENABLED
+
+#define SM_COUNTER_ADD(name, delta) ((void)0)
+#define SM_GAUGE_SET(name, value) ((void)0)
+#define SM_HISTOGRAM_OBSERVE(name, value) ((void)0)
+
+#endif  // SHARDMAN_OBS_ENABLED
+
+#define SM_COUNTER_INC(name) SM_COUNTER_ADD(name, 1)
+
+#endif  // SRC_OBS_METRICS_H_

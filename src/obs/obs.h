@@ -1,0 +1,11 @@
+// Umbrella header for control-plane telemetry: the metrics registry and the lifecycle tracer.
+// Instrumented code includes this and uses the SM_COUNTER_* / SM_GAUGE_* / SM_HISTOGRAM_* /
+// SM_TRACE_* macros; all of them compile to no-ops under -DSHARDMAN_OBS=OFF.
+
+#ifndef SRC_OBS_OBS_H_
+#define SRC_OBS_OBS_H_
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+#endif  // SRC_OBS_OBS_H_

@@ -1,0 +1,170 @@
+#include "src/obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/clock.h"
+
+namespace shardman {
+namespace obs {
+
+namespace {
+
+// JSON string escaping for the characters that can plausibly appear in event names/args.
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  // %.17g round-trips doubles exactly, keeping exported traces byte-stable across runs.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string Arg(const char* key, int64_t value) {
+  std::ostringstream os;
+  os << '"' << key << "\":" << value;
+  return os.str();
+}
+
+std::string Arg(const char* key, double value) {
+  std::ostringstream os;
+  os << '"' << key << "\":" << FormatDouble(value);
+  return os.str();
+}
+
+std::string Arg(const char* key, const std::string& value) {
+  std::ostringstream os;
+  os << '"' << key << "\":\"" << JsonEscape(value) << '"';
+  return os.str();
+}
+
+void Tracer::Clear() {
+  events_.clear();
+  lanes_.clear();
+  lane_names_.clear();
+  next_trace_id_ = 1;
+}
+
+TraceId Tracer::NewTrace() { return TraceId{next_trace_id_++}; }
+
+void Tracer::Begin(TraceId id, const char* category, const char* name, std::string args_json) {
+  Record(SimTimeNow(), 'b', id.value, category, name, std::move(args_json));
+}
+
+void Tracer::End(TraceId id, const char* category, const char* name, std::string args_json) {
+  Record(SimTimeNow(), 'e', id.value, category, name, std::move(args_json));
+}
+
+void Tracer::Instant(const char* category, const char* name, std::string args_json, TraceId id) {
+  Record(SimTimeNow(), 'i', id.value, category, name, std::move(args_json));
+}
+
+void Tracer::Record(TimeMicros ts, char phase, uint64_t id, const char* category,
+                    const char* name, std::string args_json) {
+  if (!enabled_) {
+    return;
+  }
+  auto [it, inserted] = lanes_.emplace(category, static_cast<int>(lane_names_.size()));
+  if (inserted) {
+    lane_names_.push_back(category);
+  }
+  TraceEvent event;
+  event.ts = ts;
+  event.phase = phase;
+  event.id = id;
+  event.category = category;
+  event.name = name;
+  event.args_json = std::move(args_json);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::WriteChromeTrace(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  // One metadata event per category lane so the viewer shows subsystem names, not tids.
+  for (size_t tid = 0; tid < lane_names_.size(); ++tid) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "\n{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << JsonEscape(lane_names_[tid])
+       << "\"}}";
+  }
+  for (const TraceEvent& event : events_) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    int tid = lanes_.at(event.category);
+    os << "\n{\"ph\":\"" << event.phase << "\",\"pid\":1,\"tid\":" << tid
+       << ",\"ts\":" << event.ts << ",\"cat\":\"" << JsonEscape(event.category)
+       << "\",\"name\":\"" << JsonEscape(event.name) << '"';
+    if (event.phase == 'b' || event.phase == 'e') {
+      char idbuf[32];
+      std::snprintf(idbuf, sizeof(idbuf), "0x%" PRIx64, event.id);
+      os << ",\"id\":\"" << idbuf << '"';
+    } else if (event.phase == 'i') {
+      os << ",\"s\":\"g\"";  // global-scope instant: full-height line in the viewer
+    }
+    os << ",\"args\":{";
+    if (event.id != 0 && event.phase == 'i') {
+      os << "\"trace_id\":" << event.id;
+      if (!event.args_json.empty()) {
+        os << ",";
+      }
+    }
+    os << event.args_json << "}}";
+  }
+  os << "\n]}\n";
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  std::ostringstream os;
+  WriteChromeTrace(os);
+  return os.str();
+}
+
+Tracer& DefaultTracer() {
+  // Leaked singleton for the same reason as DefaultMetrics(): instrumentation may fire from
+  // static-lifetime destructors.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+}  // namespace obs
+}  // namespace shardman

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/obs/obs.h"
 
 namespace shardman {
 
@@ -24,6 +25,10 @@ ServiceRouter::ServiceRouter(Simulator* sim, Network* network, ServiceDiscovery*
   SM_CHECK(registry != nullptr);
   SM_CHECK(spec != nullptr);
   subscription_ = discovery_->Subscribe(spec_->id, [this](const ShardMap& map) {
+    // First client-visible point of a lifecycle chain: the routing table now reflects the
+    // published version.
+    SM_COUNTER_INC("sm.router.maps_applied");
+    SM_TRACE_INSTANT("router", "map_applied", obs::Arg("version", map.version));
     map_ = map;
     has_map_ = true;
   });
@@ -122,6 +127,12 @@ void ServiceRouter::Finish(const Attempt& attempt, const Reply& reply) {
   outcome.latency = sim_->Now() - attempt.started_at;
   outcome.attempts = attempt.attempt;
   outcome.served_by = reply.served_by;
+  if (outcome.success) {
+    SM_COUNTER_INC("sm.router.requests_ok");
+  } else {
+    SM_COUNTER_INC("sm.router.requests_failed");
+  }
+  SM_HISTOGRAM_OBSERVE("sm.router.request_latency_ms", ToMillis(outcome.latency));
   attempt.done(outcome);
 }
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/obs/metrics.h"
+
 namespace shardman {
 
 LatencyModel::LatencyModel(int num_regions, TimeMicros local, TimeMicros wide)
@@ -60,6 +62,7 @@ RegionNetStats* Network::StatsFor(RegionId region) {
 
 void Network::Send(RegionId from, RegionId to, std::function<void()> deliver) {
   ++messages_sent_;
+  SM_COUNTER_INC("sm.net.sent");
   RegionNetStats* from_stats = StatsFor(from);
   RegionNetStats* to_stats = StatsFor(to);
   if (from_stats != nullptr) {
@@ -76,6 +79,7 @@ void Network::Send(RegionId from, RegionId to, std::function<void()> deliver) {
   }
   if (drop) {
     ++messages_dropped_;
+    SM_COUNTER_INC("sm.net.dropped");
     if (from_stats != nullptr) {
       ++from_stats->dropped_out;
     }
@@ -102,6 +106,7 @@ void Network::Send(RegionId from, RegionId to, std::function<void()> deliver) {
     std::function<void()> copy = deliver;
     sim_->Schedule(jittered(), std::move(copy));
     ++messages_duplicated_;
+    SM_COUNTER_INC("sm.net.duplicated");
     if (from_stats != nullptr) {
       ++from_stats->duplicated;
     }

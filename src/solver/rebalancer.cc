@@ -1,5 +1,6 @@
 #include "src/solver/rebalancer.h"
 
+#include "src/obs/metrics.h"
 #include "src/solver/local_search.h"
 #include "src/solver/violation_tracker.h"
 
@@ -34,7 +35,14 @@ void Rebalancer::AddGoal(const DrainSpec& spec, double weight) {
 
 SolveResult Rebalancer::Solve(SolverProblem& problem, const SolveOptions& options) const {
   LocalSearch search(&problem, this, options);
-  return search.Run();
+  SolveResult result = search.Run();
+  // Wall-clock values go to metrics only, never into traces: trace output must stay
+  // deterministic for a fixed seed, and solver wall time is host-dependent.
+  SM_COUNTER_INC("sm.solver.solves");
+  SM_COUNTER_ADD("sm.solver.moves_proposed", static_cast<int64_t>(result.moves.size()));
+  SM_COUNTER_ADD("sm.solver.evaluations", result.evaluations);
+  SM_HISTOGRAM_OBSERVE("sm.solver.wall_ms", ToMillis(result.wall_time));
+  return result;
 }
 
 ViolationCounts Rebalancer::Count(const SolverProblem& problem) const {

@@ -4,10 +4,14 @@
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
+#include "src/obs/obs.h"
 
 namespace shardman {
 
 Testbed::Testbed(TestbedConfig config) : config_(std::move(config)), rng_(config_.seed) {
+  // Route the global clock hook to this testbed's simulator: SM_LOG lines get "t=..s" prefixes
+  // and trace events get deterministic sim timestamps. Restored in the destructor.
+  prev_time_source_ = ExchangeSimTimeSource([this]() { return sim_.Now(); });
   SM_CHECK(!config_.regions.empty());
   SM_CHECK_GT(config_.servers_per_region, 0);
   SM_CHECK_GT(config_.app.num_shards(), 0);
@@ -45,7 +49,7 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)), rng_(config
   }
 }
 
-Testbed::~Testbed() = default;
+Testbed::~Testbed() { ExchangeSimTimeSource(std::move(prev_time_source_)); }
 
 ClusterManager& Testbed::cluster_manager(RegionId region) {
   SM_CHECK(region.valid());
@@ -335,16 +339,20 @@ void ProbeDriver::SendOne() {
   }
   ++current_.sent;
   ++total_sent_;
+  SM_COUNTER_INC("sm.probe.sent");
   router_->Route(key, type, key, [this](const RequestOutcome& outcome) {
     if (outcome.success) {
       ++current_.succeeded;
       ++total_succeeded_;
+      SM_COUNTER_INC("sm.probe.succeeded");
     } else {
       ++current_.failed;
       ++total_failed_;
       ++failure_reasons_[outcome.status.ToString()];
+      SM_COUNTER_INC("sm.probe.failed");
     }
     double latency_ms = ToMillis(outcome.latency);
+    SM_HISTOGRAM_OBSERVE("sm.probe.latency_ms", latency_ms);
     latency_sum_ms_ += latency_ms;
     latency_hist_.Add(latency_ms);
   });

@@ -22,6 +22,7 @@
 #include "src/apps/queue_app.h"
 #include "src/apps/replicated_store_app.h"
 #include "src/cluster/cluster_manager.h"
+#include "src/common/clock.h"
 #include "src/coord/coord_store.h"
 #include "src/core/mini_sm.h"
 #include "src/core/sm_library.h"
@@ -154,6 +155,9 @@ class Testbed {
   DataBus data_bus_;
   Rng rng_;
   bool started_ = false;
+  // The global sim-time source installed for this testbed (SM_LOG prefixes, trace timestamps);
+  // the previous source is restored on destruction so nested testbeds stay correct.
+  TimeSource prev_time_source_;
 };
 
 // ProbeDriver: sampled client traffic through the real router, aggregated per interval — the

@@ -158,7 +158,43 @@ TEST(PercentileTest, ExactValues) {
   EXPECT_DOUBLE_EQ(Percentile(samples, 25), 20);
 }
 
-TEST(PercentileTest, EmptyIsZero) { EXPECT_DOUBLE_EQ(Percentile({}, 99), 0.0); }
+TEST(PercentileTest, SingleElementAllPercentiles) {
+  // p=100 on a single-element vector must return that element, not interpolate past the end.
+  std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(Percentile(one, 0), 42.0);
+  EXPECT_DOUBLE_EQ(Percentile(one, 50), 42.0);
+  EXPECT_DOUBLE_EQ(Percentile(one, 100), 42.0);
+}
+
+TEST(PercentileDeathTest, EmptySampleChecks) {
+  EXPECT_DEATH(Percentile({}, 99), "SM_CHECK");
+}
+
+TEST(PercentileDeathTest, OutOfRangePChecksEvenWhenEmpty) {
+  EXPECT_DEATH(Percentile({}, 500), "SM_CHECK");
+  EXPECT_DEATH(Percentile({1.0}, -1), "SM_CHECK");
+  EXPECT_DEATH(Percentile({1.0, 2.0}, 100.5), "SM_CHECK");
+}
+
+TEST(HistogramTest, EmptyPercentileEstimateIsZero) {
+  Histogram hist(1, 2, 10);
+  EXPECT_DOUBLE_EQ(hist.PercentileEstimate(99), 0.0);
+}
+
+TEST(HistogramDeathTest, PercentileEstimateRangeChecksEvenWhenEmpty) {
+  Histogram hist(1, 2, 10);
+  EXPECT_DEATH(hist.PercentileEstimate(101), "SM_CHECK");
+}
+
+TEST(HistogramDeathTest, MergeMismatchedConfigsChecks) {
+  Histogram base(1, 2, 10);
+  Histogram fewer_buckets(1, 2, 8);
+  Histogram different_origin(0.5, 2, 10);
+  Histogram different_growth(1, 1.5, 10);
+  EXPECT_DEATH(base.Merge(fewer_buckets), "SM_CHECK");
+  EXPECT_DEATH(base.Merge(different_origin), "SM_CHECK");
+  EXPECT_DEATH(base.Merge(different_growth), "SM_CHECK");
+}
 
 TEST(HistogramTest, PercentileEstimateWithinBucketError) {
   Histogram hist(0.1, 1.5, 40);

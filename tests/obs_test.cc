@@ -1,0 +1,544 @@
+// Control-plane telemetry tests: metrics registry semantics (find-or-create, reset, snapshot,
+// delta, JSONL export), tracer mechanics and Chrome trace_event JSON shape, byte-identical
+// trace determinism across same-seed chaos runs, and the equivalence between the component
+// accessors and the registry counters the bench binaries report from.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/chaos/fault_injector.h"
+#include "src/chaos/invariant_checker.h"
+#include "src/obs/obs.h"
+#include "src/workload/testbed.h"
+
+// Tests below that assert instrumentation *output* (macro writes, testbed lifecycle traces)
+// skip when the tree is configured with -DSHARDMAN_OBS=OFF — the whole point of that flavour
+// is that the macros record nothing. The registry/tracer API tests run in both flavours.
+#if SHARDMAN_OBS_ENABLED
+#define SM_REQUIRE_OBS() ((void)0)
+#else
+#define SM_REQUIRE_OBS() GTEST_SKIP() << "instrumentation compiled out (SHARDMAN_OBS=OFF)"
+#endif
+
+namespace shardman {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::HistogramMetric;
+using obs::MetricKind;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::TraceId;
+using obs::Tracer;
+
+// -- MetricsRegistry ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, FindOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("sm.test.counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(registry.GetCounter("sm.test.counter"), c);
+  c->Add(3);
+  c->Add(4);
+  EXPECT_EQ(c->value(), 7);
+
+  Gauge* g = registry.GetGauge("sm.test.gauge");
+  EXPECT_EQ(registry.GetGauge("sm.test.gauge"), g);
+  g->Set(2.5);
+  g->Add(0.5);
+  EXPECT_DOUBLE_EQ(g->value(), 3.0);
+
+  HistogramMetric* h = registry.GetHistogram("sm.test.hist_ms");
+  EXPECT_EQ(registry.GetHistogram("sm.test.hist_ms"), h);
+  h->Observe(10.0);
+  h->Observe(-1.0);  // clamped to 0, never dropped
+  EXPECT_EQ(h->histogram().count(), 2);
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(MetricsRegistryDeathTest, KindMismatchFails) {
+  MetricsRegistry registry;
+  registry.GetCounter("sm.test.metric");
+  EXPECT_DEATH(registry.GetGauge("sm.test.metric"), "");
+  EXPECT_DEATH(registry.GetHistogram("sm.test.metric"), "");
+}
+
+TEST(MetricsRegistry, ResetValuesKeepsRegistrationsAndPointers) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("sm.test.counter");
+  Gauge* g = registry.GetGauge("sm.test.gauge");
+  HistogramMetric* h = registry.GetHistogram("sm.test.hist_ms");
+  c->Add(5);
+  g->Set(1.0);
+  h->Observe(2.0);
+
+  registry.ResetValues();
+  EXPECT_EQ(registry.size(), 3u);
+  EXPECT_EQ(registry.GetCounter("sm.test.counter"), c);  // cached pointers stay valid
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->histogram().count(), 0);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndQueryable) {
+  MetricsRegistry registry;
+  registry.GetCounter("sm.z.last")->Add(9);
+  registry.GetCounter("sm.a.first")->Add(1);
+  registry.GetGauge("sm.m.gauge")->Set(4.5);
+  HistogramMetric* h = registry.GetHistogram("sm.m.hist_ms");
+  for (int i = 1; i <= 100; ++i) {
+    h->Observe(static_cast<double>(i));
+  }
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.samples.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(
+      snapshot.samples.begin(), snapshot.samples.end(),
+      [](const obs::MetricSample& a, const obs::MetricSample& b) { return a.name < b.name; }));
+
+  EXPECT_EQ(snapshot.CounterValue("sm.a.first"), 1);
+  EXPECT_EQ(snapshot.CounterValue("sm.z.last"), 9);
+  EXPECT_EQ(snapshot.CounterValue("sm.never.registered"), 0);  // absent == never incremented
+  EXPECT_DOUBLE_EQ(snapshot.GaugeValue("sm.m.gauge"), 4.5);
+
+  const obs::MetricSample* hist = snapshot.Find("sm.m.hist_ms");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->kind, MetricKind::kHistogram);
+  EXPECT_EQ(hist->hist_count, 100);
+  EXPECT_DOUBLE_EQ(hist->hist_sum, 5050.0);
+  // Geometric buckets give estimates, not exact order statistics; generous tolerance.
+  EXPECT_NEAR(hist->p50, 50.0, 25.0);
+  EXPECT_GE(hist->p99, hist->p50);
+  EXPECT_EQ(snapshot.Find("sm.never.registered"), nullptr);
+}
+
+TEST(MetricsRegistry, DeltaSubtractsCountersAndKeepsAfterGauges) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("sm.test.counter");
+  Gauge* g = registry.GetGauge("sm.test.gauge");
+  HistogramMetric* h = registry.GetHistogram("sm.test.hist_ms");
+  c->Add(10);
+  g->Set(1.0);
+  h->Observe(5.0);
+  MetricsSnapshot before = registry.Snapshot();
+
+  c->Add(7);
+  g->Set(9.0);
+  h->Observe(6.0);
+  h->Observe(7.0);
+  registry.GetCounter("sm.test.new_counter")->Add(2);  // registered after `before`
+  MetricsSnapshot after = registry.Snapshot();
+
+  MetricsSnapshot delta = MetricsRegistry::Delta(before, after);
+  EXPECT_EQ(delta.CounterValue("sm.test.counter"), 7);
+  EXPECT_EQ(delta.CounterValue("sm.test.new_counter"), 2);  // absent-in-before counts from zero
+  EXPECT_DOUBLE_EQ(delta.GaugeValue("sm.test.gauge"), 9.0);
+  const obs::MetricSample* hist = delta.Find("sm.test.hist_ms");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->hist_count, 2);
+  EXPECT_DOUBLE_EQ(hist->hist_sum, 13.0);
+}
+
+TEST(MetricsRegistry, WriteJsonlOneObjectPerLine) {
+  MetricsRegistry registry;
+  registry.GetCounter("sm.test.counter")->Add(3);
+  registry.GetGauge("sm.test.gauge")->Set(1.5);
+  registry.GetHistogram("sm.test.hist_ms")->Observe(2.0);
+
+  std::ostringstream os;
+  registry.WriteJsonl(os);
+  std::istringstream is(os.str());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(is, line);) {
+    lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"name\":"), std::string::npos);
+    EXPECT_NE(line.find("\"kind\":"), std::string::npos);
+  }
+  EXPECT_NE(lines[0].find("\"sm.test.counter\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"value\":3"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"count\":1"), std::string::npos);
+}
+
+TEST(MetricsMacros, WriteToDefaultRegistry) {
+  SM_REQUIRE_OBS();
+  obs::DefaultMetrics().ResetValues();
+  SM_COUNTER_INC("sm.test.macro_counter");
+  SM_COUNTER_ADD("sm.test.macro_counter", 4);
+  SM_GAUGE_SET("sm.test.macro_gauge", 7.5);
+  SM_HISTOGRAM_OBSERVE("sm.test.macro_hist_ms", 3.0);
+
+  MetricsSnapshot snapshot = obs::DefaultMetrics().Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("sm.test.macro_counter"), 5);
+  EXPECT_DOUBLE_EQ(snapshot.GaugeValue("sm.test.macro_gauge"), 7.5);
+  const obs::MetricSample* hist = snapshot.Find("sm.test.macro_hist_ms");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->hist_count, 1);
+}
+
+// -- Tracer ------------------------------------------------------------------------------------
+
+TEST(Tracer, NewTraceIsSequentialAndClearResets) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.NewTrace().value, 1u);
+  EXPECT_EQ(tracer.NewTrace().value, 2u);
+  EXPECT_EQ(tracer.NewTrace().value, 3u);  // works while disabled
+  tracer.Clear();
+  EXPECT_EQ(tracer.NewTrace().value, 1u);
+  EXPECT_FALSE(TraceId{}.valid());
+  EXPECT_TRUE(tracer.NewTrace().valid());
+}
+
+TEST(Tracer, RecordsOnlyWhileEnabled) {
+  Tracer tracer;
+  tracer.Begin(tracer.NewTrace(), "cat", "ignored");
+  EXPECT_TRUE(tracer.events().empty());
+
+  tracer.Enable();
+  TraceId id = tracer.NewTrace();
+  tracer.Begin(id, "orchestrator", "op", obs::Arg("shard", int64_t{7}));
+  tracer.Instant("chaos", "server_crash", obs::Arg("server", std::string("s\"1\"")));
+  tracer.End(id, "orchestrator", "op");
+  tracer.Disable();
+  tracer.Instant("chaos", "ignored");
+
+  ASSERT_EQ(tracer.events().size(), 3u);
+  EXPECT_EQ(tracer.events()[0].phase, 'b');
+  EXPECT_EQ(tracer.events()[0].id, id.value);
+  EXPECT_EQ(tracer.events()[0].args_json, "\"shard\":7");
+  EXPECT_EQ(tracer.events()[1].phase, 'i');
+  EXPECT_EQ(tracer.events()[1].args_json, "\"server\":\"s\\\"1\\\"\"");  // value escaped
+  EXPECT_EQ(tracer.events()[2].phase, 'e');
+}
+
+TEST(Tracer, ChromeTraceJsonShape) {
+  Tracer tracer;
+  tracer.Enable();
+  TraceId id = tracer.NewTrace();
+  tracer.Begin(id, "orchestrator", "op", obs::Arg("shard", int64_t{1}));
+  tracer.Instant("chaos", "server_crash");
+  tracer.End(id, "orchestrator", "op");
+
+  std::string json = tracer.ChromeTraceJson();
+  // Whole-document shape.
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["), 0u);
+  EXPECT_EQ(json.back(), '\n');
+  // One thread_name metadata lane per category, in first-use order.
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+  size_t orch_lane = json.find("\"name\":\"orchestrator\"");
+  size_t chaos_lane = json.find("\"name\":\"chaos\"");
+  ASSERT_NE(orch_lane, std::string::npos);
+  ASSERT_NE(chaos_lane, std::string::npos);
+  EXPECT_LT(orch_lane, chaos_lane);
+  // Async span events keyed by the hex TraceId; instants carry global scope.
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"0x1\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"g\""), std::string::npos);
+
+  // Balanced braces/brackets — cheap structural validity check for the whole document.
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  EXPECT_EQ(os.str(), json);
+}
+
+// -- Lifecycle tracing on the testbed ----------------------------------------------------------
+
+TestbedConfig ObsBedConfig(uint64_t seed) {
+  TestbedConfig config;
+  config.regions = {"r0", "r1", "r2"};
+  config.servers_per_region = 5;
+  config.app =
+      MakeUniformAppSpec(AppId(1), "obs", 24, ReplicationStrategy::kPrimarySecondary, 3);
+  config.app.placement.metrics = MetricSet({"cpu"});
+  config.app.caps.max_unavailable_per_shard = 1;
+  config.mini_sm.orchestrator.periodic_alloc_interval = Seconds(20);
+  config.mini_sm.orchestrator.failover_grace = Seconds(8);
+  config.seed = seed;
+  return config;
+}
+
+struct ObsRunResult {
+  std::string trace_json;
+  std::vector<obs::TraceEvent> events;
+  MetricsSnapshot snapshot;
+  int64_t orch_graceful = 0;
+  int64_t orch_abrupt = 0;
+  int64_t orch_moves = 0;
+  int64_t injector_faults = 0;
+  int64_t probe_sent = 0;
+  int64_t probe_succeeded = 0;
+  int64_t probe_failed = 0;
+};
+
+// One fully instrumented chaos run: fresh metrics window, cleared+enabled tracer, seeded
+// faults against the standard 3-region primary-secondary bed.
+ObsRunResult RunInstrumentedChaos(uint64_t seed) {
+  obs::DefaultMetrics().ResetValues();
+  obs::DefaultTracer().Clear();
+  obs::DefaultTracer().Enable();
+
+  ObsRunResult result;
+  {
+    Testbed bed(ObsBedConfig(seed));
+    bed.Start();
+    EXPECT_TRUE(bed.RunUntilAllReady(Minutes(5)));
+
+    ProbeConfig probe_config;
+    probe_config.requests_per_second = 20;
+    probe_config.seed = seed + 1;
+    ProbeDriver probe(&bed, RegionId(0), probe_config);
+    probe.Start();
+
+    ChaosConfig chaos;
+    chaos.mean_fault_interval = Seconds(10);
+    chaos.min_duration = Seconds(5);
+    chaos.max_duration = Seconds(20);
+    chaos.seed = seed + 2;
+    FaultInjector injector(&bed, chaos);
+    injector.Start();
+    bed.sim().RunFor(Minutes(2));
+    injector.Stop();
+    bed.sim().RunFor(Minutes(2));  // faults heal, failovers complete
+    probe.Stop();
+
+    result.orch_graceful = bed.orchestrator().graceful_migrations();
+    result.orch_abrupt = bed.orchestrator().abrupt_migrations();
+    result.orch_moves = bed.orchestrator().completed_moves();
+    result.injector_faults = injector.faults_injected();
+    result.probe_sent = probe.total_sent();
+    result.probe_succeeded = probe.total_succeeded();
+    result.probe_failed = probe.total_failed();
+  }
+  result.trace_json = obs::DefaultTracer().ChromeTraceJson();
+  result.events = obs::DefaultTracer().events();
+  result.snapshot = obs::DefaultMetrics().Snapshot();
+  obs::DefaultTracer().Disable();
+  return result;
+}
+
+// The determinism contract from trace.h: same seed => byte-identical exported trace. This is
+// the `obs`-labelled ctest referenced by DESIGN.md §7.
+TEST(TraceDeterminism, SameSeedProducesByteIdenticalChromeTrace) {
+  SM_REQUIRE_OBS();
+  ObsRunResult a = RunInstrumentedChaos(7001);
+  ObsRunResult b = RunInstrumentedChaos(7001);
+  EXPECT_GT(a.events.size(), 0u);
+  EXPECT_GT(a.injector_faults, 0);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+}
+
+TEST(TraceDeterminism, DifferentSeedsDiverge) {
+  SM_REQUIRE_OBS();
+  ObsRunResult a = RunInstrumentedChaos(7001);
+  ObsRunResult b = RunInstrumentedChaos(7002);
+  EXPECT_NE(a.trace_json, b.trace_json);
+}
+
+// Acceptance criterion: an injected fault appears as an instant on the chaos lane, and the
+// orchestrator's reaction (a failover/migration op span) begins on the same timeline at or
+// after it.
+TEST(LifecycleTrace, FaultInstantIsFollowedByOrchestratorReaction) {
+  SM_REQUIRE_OBS();
+  ObsRunResult run = RunInstrumentedChaos(7003);
+  ASSERT_GT(run.injector_faults, 0);
+
+  TimeMicros first_fault_ts = -1;
+  for (const obs::TraceEvent& e : run.events) {
+    if (e.category == "chaos" && e.phase == 'i') {
+      first_fault_ts = e.ts;
+      break;
+    }
+  }
+  ASSERT_GE(first_fault_ts, 0) << "no chaos fault instant recorded";
+
+  bool reaction_after_fault = false;
+  for (const obs::TraceEvent& e : run.events) {
+    if (e.category == "orchestrator" && e.phase == 'b' && e.ts >= first_fault_ts) {
+      reaction_after_fault = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(reaction_after_fault)
+      << "no orchestrator op span begins after the first fault instant";
+}
+
+// Every hop of the fault-reaction chain shows up: allocator decision spans, orchestrator op
+// spans with a back-reference to the allocation that created them, server-side and discovery
+// instants, and the client-visible map application. (TaskControl negotiation is exercised by
+// the upgrade run below — container restarts, not shard moves, are what get negotiated.)
+TEST(LifecycleTrace, AllLifecycleStagesAreRecorded) {
+  SM_REQUIRE_OBS();
+  ObsRunResult run = RunInstrumentedChaos(7004);
+
+  auto has = [&](const char* category, char phase) {
+    for (const obs::TraceEvent& e : run.events) {
+      if (e.phase == phase && e.category == category) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("allocator", 'b'));
+  EXPECT_TRUE(has("allocator", 'e'));
+  EXPECT_TRUE(has("orchestrator", 'b'));
+  EXPECT_TRUE(has("orchestrator", 'e'));
+  EXPECT_TRUE(has("smlib", 'i'));
+  EXPECT_TRUE(has("discovery", 'i'));
+  EXPECT_TRUE(has("router", 'i'));
+
+  // Ops created by an allocation run carry the run's TraceId as a causal back-reference.
+  bool op_links_allocation = false;
+  for (const obs::TraceEvent& e : run.events) {
+    if (e.category == "orchestrator" && e.phase == 'b' &&
+        e.args_json.find("\"alloc_trace\":") != std::string::npos) {
+      op_links_allocation = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(op_links_allocation);
+}
+
+// A fig17-style rolling upgrade at small scale: this exercises the TaskController (container
+// restarts are what get negotiated) and — unlike the chaos run, whose control-plane-failover
+// fault replaces the orchestrator instance mid-run — keeps one orchestrator alive end to end,
+// so its accessors and the global registry must agree exactly.
+ObsRunResult RunInstrumentedUpgrade(uint64_t seed) {
+  obs::DefaultMetrics().ResetValues();
+  obs::DefaultTracer().Clear();
+  obs::DefaultTracer().Enable();
+
+  ObsRunResult result;
+  {
+    TestbedConfig config;
+    config.regions = {"r0"};
+    config.servers_per_region = 12;
+    config.app =
+        MakeUniformAppSpec(AppId(1), "obsup", 60, ReplicationStrategy::kPrimaryOnly, 1);
+    config.app.placement.metrics = MetricSet({"cpu"});
+    config.app.caps.max_concurrent_ops_fraction = 0.25;
+    config.app.graceful_migration = true;
+    config.app.drain.drain_primaries = true;
+    config.seed = seed;
+    Testbed bed(config);
+    bed.Start();
+    EXPECT_TRUE(bed.RunUntilAllReady(Minutes(5)));
+
+    ProbeConfig probe_config;
+    probe_config.requests_per_second = 20;
+    probe_config.seed = seed + 1;
+    ProbeDriver probe(&bed, RegionId(0), probe_config);
+    probe.Start();
+    bed.sim().RunFor(Seconds(30));
+
+    bed.StartRollingUpgradeEverywhere(/*max_concurrent_per_region=*/3,
+                                      /*restart_downtime=*/Seconds(20));
+    for (int i = 0; i < 1200 && bed.UpgradeInProgress(); ++i) {
+      bed.sim().RunFor(Seconds(1));
+    }
+    EXPECT_FALSE(bed.UpgradeInProgress());
+    bed.sim().RunFor(Seconds(30));  // tail: in-flight ops drain
+    probe.Stop();
+
+    result.orch_graceful = bed.orchestrator().graceful_migrations();
+    result.orch_abrupt = bed.orchestrator().abrupt_migrations();
+    result.orch_moves = bed.orchestrator().completed_moves();
+    result.probe_sent = probe.total_sent();
+    result.probe_succeeded = probe.total_succeeded();
+    result.probe_failed = probe.total_failed();
+  }
+  result.trace_json = obs::DefaultTracer().ChromeTraceJson();
+  result.events = obs::DefaultTracer().events();
+  result.snapshot = obs::DefaultMetrics().Snapshot();
+  obs::DefaultTracer().Disable();
+  return result;
+}
+
+// The container-restart negotiation leg of the lifecycle chain: TaskControl spans open when
+// the cluster manager proposes a restart and close at approval, with the wait recorded in the
+// approval-delay histogram.
+TEST(LifecycleTrace, UpgradeRecordsTaskControlNegotiation) {
+  SM_REQUIRE_OBS();
+  ObsRunResult run = RunInstrumentedUpgrade(8001);
+
+  bool begin = false;
+  bool end = false;
+  for (const obs::TraceEvent& e : run.events) {
+    if (e.category != "taskcontrol") continue;
+    if (e.phase == 'b') begin = true;
+    if (e.phase == 'e') end = true;
+  }
+  EXPECT_TRUE(begin);
+  EXPECT_TRUE(end);
+  EXPECT_GT(run.snapshot.CounterValue("sm.taskcontrol.approvals"), 0);
+  const obs::MetricSample* delay = run.snapshot.Find("sm.taskcontrol.approval_delay_ms");
+  ASSERT_NE(delay, nullptr);
+  EXPECT_EQ(delay->hist_count, run.snapshot.CounterValue("sm.taskcontrol.approvals"));
+}
+
+// The benches report from the registry; the component accessors remain the ground truth. Both
+// views must agree on the same run (this is what lets fig17/chaos_availability switch their
+// reporting source without changing semantics).
+TEST(BenchEquivalence, RegistryCountersMatchComponentAccessors) {
+  SM_REQUIRE_OBS();
+  ObsRunResult run = RunInstrumentedUpgrade(8002);
+
+  EXPECT_GT(run.orch_graceful, 0);  // drained primaries move gracefully during the upgrade
+  EXPECT_EQ(run.snapshot.CounterValue("sm.orchestrator.migrations_graceful"),
+            run.orch_graceful);
+  EXPECT_EQ(run.snapshot.CounterValue("sm.orchestrator.migrations_abrupt"), run.orch_abrupt);
+  EXPECT_EQ(run.snapshot.CounterValue("sm.orchestrator.moves_completed"), run.orch_moves);
+  EXPECT_EQ(run.snapshot.CounterValue("sm.probe.sent"), run.probe_sent);
+  EXPECT_EQ(run.snapshot.CounterValue("sm.probe.succeeded"), run.probe_succeeded);
+  EXPECT_EQ(run.snapshot.CounterValue("sm.probe.failed"), run.probe_failed);
+
+  // The op ledger balances: everything started either completed or failed (in-flight ops
+  // drained during the post-upgrade tail).
+  int64_t started = run.snapshot.CounterValue("sm.orchestrator.ops_started");
+  int64_t completed = run.snapshot.CounterValue("sm.orchestrator.ops_completed");
+  int64_t failed = run.snapshot.CounterValue("sm.orchestrator.ops_failed");
+  EXPECT_GT(started, 0);
+  EXPECT_EQ(started, completed + failed);
+
+  // Latency histograms observed real control-plane activity.
+  const obs::MetricSample* staleness = run.snapshot.Find("sm.discovery.staleness_ms");
+  ASSERT_NE(staleness, nullptr);
+  EXPECT_GT(staleness->hist_count, 0);
+  const obs::MetricSample* probe_lat = run.snapshot.Find("sm.probe.latency_ms");
+  ASSERT_NE(probe_lat, nullptr);
+  EXPECT_GT(probe_lat->hist_count, 0);
+}
+
+}  // namespace
+}  // namespace shardman
