@@ -10,13 +10,99 @@
 // Output: the violations-over-time series per size (the Fig. 21 curves) plus a summary row per
 // size. Absolute times differ from the paper's testbed; the reproduction target is the shape:
 // every size converges to zero violations, and time grows mildly super-linearly with size.
+//
+// A second phase sweeps the parallel portfolio solver (starts=8, fixed eval budget) over
+// thread counts on the mid-size problem and writes BENCH_solver_parallel.json. The sweep
+// doubles as a determinism check: every thread count must produce the identical objective and
+// violation count, or the rows are flagged and the process exits nonzero.
 
+#include <fstream>
 #include <iostream>
 
 #include "bench/bench_util.h"
 
 using namespace shardman;
 using namespace shardman::bench;
+
+namespace {
+
+// Thread-count sweep of the parallel portfolio on one problem size. Returns false if any
+// thread count produced a different result than threads=1 (a determinism-contract violation).
+bool RunParallelSweep(double scale) {
+  PrintHeader("Parallel portfolio: thread-count sweep",
+              "starts=8, fixed eval budget; identical results required at every thread count");
+
+  ZippyProblemSpec spec;
+  spec.servers = std::max(10, static_cast<int>(3000 * scale));
+  spec.seed = 21;
+  Rebalancer rb = MakeZippySpecs(spec);
+
+  SolveOptions options;
+  options.seed = 7;
+  options.starts = 8;
+  options.eval_budget = std::max<int64_t>(50000, static_cast<int64_t>(1500000 * scale));
+  options.time_budget = Minutes(30);  // wall safety cap, never the binding budget
+  options.trace_interval = 0;
+
+  struct SweepRow {
+    int threads = 0;
+    double seconds = 0.0;
+    double objective = 0.0;
+    int64_t violations = 0;
+    int64_t evaluations = 0;
+    int winner_start = 0;
+  };
+  const int thread_counts[] = {1, 2, 4, 8};
+  std::vector<SweepRow> rows;
+  for (int threads : thread_counts) {
+    options.threads = threads;
+    SolverProblem problem = MakeZippyProblem(spec);  // fresh identical instance per run
+    SolveResult result = rb.Solve(problem, options);
+    rows.push_back({threads, ToSeconds(result.wall_time), result.final_objective,
+                    result.final_violations.total(), result.evaluations, result.winner_start});
+  }
+
+  bool deterministic = true;
+  TablePrinter table({"threads", "solve_seconds", "speedup", "objective", "violations",
+                      "winner_start", "identical"});
+  for (const SweepRow& row : rows) {
+    bool same = row.objective == rows[0].objective && row.violations == rows[0].violations &&
+                row.evaluations == rows[0].evaluations &&
+                row.winner_start == rows[0].winner_start;
+    deterministic = deterministic && same;
+    table.AddRowValues(row.threads, FormatDouble(row.seconds, 3),
+                       FormatDouble(row.seconds > 0 ? rows[0].seconds / row.seconds : 0.0, 2),
+                       FormatDouble(row.objective, 3), row.violations, row.winner_start,
+                       same ? "yes" : "NO");
+  }
+  table.Print(std::cout);
+
+  // Machine-readable sweep for CI artifacts; SM_BENCH_JSON_OUT overrides the output path.
+  const char* json_path = std::getenv("SM_BENCH_JSON_OUT");
+  std::ofstream os(json_path != nullptr ? json_path : "BENCH_solver_parallel.json");
+  os << "{\"experiment\":\"solver_parallel\",\"servers\":" << spec.servers
+     << ",\"shards\":" << spec.servers * spec.shards_per_server
+     << ",\"starts\":" << options.starts << ",\"eval_budget\":" << options.eval_budget
+     << ",\"deterministic\":" << (deterministic ? "true" : "false") << ",\"points\":[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& row = rows[i];
+    os << (i > 0 ? "," : "") << "{\"threads\":" << row.threads
+       << ",\"solve_seconds\":" << row.seconds
+       << ",\"speedup\":" << (row.seconds > 0 ? rows[0].seconds / row.seconds : 0.0)
+       << ",\"objective\":" << row.objective << ",\"violations\":" << row.violations
+       << ",\"evaluations\":" << row.evaluations << ",\"winner_start\":" << row.winner_start
+       << "}";
+  }
+  os << "]}\n";
+  std::cout << "Sweep JSON written to "
+            << (json_path != nullptr ? json_path : "BENCH_solver_parallel.json") << "\n";
+  if (!deterministic) {
+    std::cout << "ERROR: results differ across thread counts — determinism contract broken\n";
+  }
+  return deterministic;
+}
+
+}  // namespace
 
 int main() {
   PrintHeader("Fig 21: allocator scalability vs. problem size",
@@ -62,5 +148,6 @@ int main() {
   }
   std::cout << "Summary (paper: 30s -> 205s over 5x size growth, all violations fixed):\n";
   summary.Print(std::cout);
-  return 0;
+
+  return RunParallelSweep(scale) ? 0 : 1;
 }

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Checks (default) or fixes (--fix) clang-format conformance for every tracked C++ file.
+# Mirrors the CI `format` job: scripts/check_format.sh must pass before a PR can merge.
+#
+# Usage:
+#   scripts/check_format.sh          # dry-run, nonzero exit on any violation
+#   scripts/check_format.sh --fix    # rewrite files in place
+#   CLANG_FORMAT=clang-format-18 scripts/check_format.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "error: $CLANG_FORMAT not found; install clang-format or set CLANG_FORMAT" >&2
+  exit 2
+fi
+
+mapfile -t files < <(git ls-files '*.h' '*.cc' '*.cpp')
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "no C++ files tracked; nothing to check"
+  exit 0
+fi
+
+if [ "${1:-}" = "--fix" ]; then
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "formatted ${#files[@]} files"
+else
+  "$CLANG_FORMAT" --dry-run --Werror "${files[@]}"
+  echo "format OK (${#files[@]} files)"
+fi

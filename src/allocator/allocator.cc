@@ -121,6 +121,10 @@ SolveOptions SmAllocator::BuildSolveOptions(AllocationMode mode) const {
   SolveOptions solve;
   solve.time_budget = mode == AllocationMode::kEmergency ? options_.emergency_time_budget
                                                          : options_.periodic_time_budget;
+  solve.eval_budget = mode == AllocationMode::kEmergency ? options_.emergency_eval_budget
+                                                         : options_.periodic_eval_budget;
+  solve.threads = options_.solver_threads;
+  solve.starts = options_.solver_starts;
   solve.seed = options_.seed;
   solve.candidates_per_entity = options_.candidates_per_entity;
   solve.entities_per_bin_visit = options_.entities_per_bin_visit;

@@ -25,10 +25,20 @@ enum class AllocationMode {
 };
 
 struct AllocatorOptions {
-  // Wall-clock budget per partition solve.
+  // Wall-clock safety cap per partition solve (see SolveOptions::time_budget: the deterministic
+  // eval budgets below are the primary limit; the wall cap guards oversubscribed machines).
   TimeMicros periodic_time_budget = Seconds(60);
   TimeMicros emergency_time_budget = Seconds(5);
+  // Deterministic candidate-evaluation budgets per solve mode; <=0 means run to convergence
+  // (or the wall cap). Sized so a solve result never depends on machine load.
+  int64_t periodic_eval_budget = 0;
+  int64_t emergency_eval_budget = 0;
   uint64_t seed = 1;
+
+  // Parallel portfolio configuration (see SolveOptions::{threads, starts}): results depend on
+  // `solver_starts` but never on `solver_threads`.
+  int solver_threads = 1;
+  int solver_starts = 1;
 
   // Passed through to the solver; see SolveOptions. Exposed so the Fig. 22 ablation and the
   // scalability benches can control the search configuration.

@@ -1,0 +1,202 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace shardman {
+
+namespace {
+// Slot of the current thread: worker index for pool workers, -1 for everyone else. Workers of
+// different pools never share a thread, so one thread-local is enough.
+thread_local int tls_slot = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
+  const int workers = threads_ - 1;
+  deques_.resize(static_cast<size_t>(workers) + 1);  // + external deque
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int slot = 0; slot < workers; ++slot) {
+    workers_.emplace_back([this, slot]() { WorkerLoop(slot); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+int ThreadPool::CurrentSlot() const {
+  // Workers of *this* pool carry their slot in tls_slot; a worker of another pool (nested
+  // pools) or a plain thread submits through the external deque.
+  int slot = tls_slot;
+  if (slot >= 0 && static_cast<size_t>(slot) < workers_.size()) {
+    return slot;
+  }
+  return static_cast<int>(workers_.size());
+}
+
+bool ThreadPool::PopTask(int slot, Task& out) {
+  // Own deque first, newest task (LIFO: likely cache-warm and part of the current batch).
+  std::deque<Task>& own = deques_[static_cast<size_t>(slot)];
+  if (!own.empty()) {
+    out = std::move(own.back());
+    own.pop_back();
+    return true;
+  }
+  // Steal oldest-first from the other deques, scanning round-robin from the next slot so no
+  // single victim is preferred.
+  const int n = static_cast<int>(deques_.size());
+  for (int offset = 1; offset < n; ++offset) {
+    std::deque<Task>& victim = deques_[static_cast<size_t>((slot + offset) % n)];
+    if (!victim.empty()) {
+      out = std::move(victim.front());
+      victim.pop_front();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::ExecuteTask(Task& task) {
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  std::exception_ptr error;
+  try {
+    task.fn();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Batch* batch = task.batch;
+    if (error != nullptr &&
+        (batch->failed_index < 0 || task.index < batch->failed_index)) {
+      batch->failed_index = task.index;
+      batch->exception = error;
+    }
+    --batch->remaining;
+  }
+  // Wake the batch submitter (and idle workers, in case the task spawned nested work).
+  cv_.notify_all();
+}
+
+void ThreadPool::WorkerLoop(int slot) {
+  tls_slot = slot;
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&]() { return stop_ || PopTask(slot, task); });
+      if (task.fn == nullptr) {
+        return;  // stop_ with no work left
+      }
+    }
+    ExecuteTask(task);
+  }
+}
+
+void ThreadPool::Run(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) {
+    return;
+  }
+  if (workers_.empty()) {
+    // Inline path: run every task in submission order; defer the lowest-index exception to the
+    // end so the semantics match the pooled path (all tasks run, deterministic error).
+    std::exception_ptr first_error;
+    for (std::function<void()>& fn : tasks) {
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      try {
+        fn();
+      } catch (...) {
+        if (first_error == nullptr) {
+          first_error = std::current_exception();
+        }
+      }
+    }
+    if (first_error != nullptr) {
+      std::rethrow_exception(first_error);
+    }
+    return;
+  }
+
+  Batch batch;
+  batch.remaining = static_cast<int64_t>(tasks.size());
+  const int my_slot = CurrentSlot();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SM_CHECK(!stop_);
+    // Round-robin distribution starting at the submitter's own deque: with a single batch the
+    // submitter and each worker begin with a fair share, and imbalance is fixed by stealing.
+    const int n = static_cast<int>(deques_.size());
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      Task task;
+      task.fn = std::move(tasks[i]);
+      task.batch = &batch;
+      task.index = static_cast<int64_t>(i);
+      deques_[static_cast<size_t>((my_slot + static_cast<int>(i)) % n)]
+          .push_back(std::move(task));
+    }
+  }
+  cv_.notify_all();
+
+  // Help-first wait: run pending tasks (ours or anyone's) until the batch completes. Helping
+  // with other batches' tasks is deliberate — a nested Run inside a task must make progress on
+  // the outer batch to avoid idling.
+  while (true) {
+    Task task;
+    bool got = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (batch.remaining == 0) {
+        break;
+      }
+      got = PopTask(my_slot, task);
+      if (!got) {
+        // Nothing runnable: the batch's stragglers are in flight on other threads.
+        cv_.wait(lock, [&]() { return batch.remaining == 0 || PopTask(my_slot, task); });
+        if (task.fn == nullptr) {
+          break;  // batch completed while waiting
+        }
+        got = true;
+      }
+    }
+    if (got) {
+      ExecuteTask(task);
+    }
+  }
+  if (batch.exception != nullptr) {
+    std::rethrow_exception(batch.exception);
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& body) {
+  const int64_t n = end - begin;
+  if (n <= 0) {
+    return;
+  }
+  if (grain <= 0) {
+    grain = std::max<int64_t>(1, n / threads_);
+  }
+  if (workers_.empty() || n <= grain) {
+    body(begin, end);
+    return;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<size_t>((n + grain - 1) / grain));
+  for (int64_t chunk = begin; chunk < end; chunk += grain) {
+    int64_t chunk_end = std::min(end, chunk + grain);
+    tasks.push_back([&body, chunk, chunk_end]() { body(chunk, chunk_end); });
+  }
+  Run(std::move(tasks));
+}
+
+}  // namespace shardman

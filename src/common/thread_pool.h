@@ -1,0 +1,97 @@
+// ThreadPool: a work-stealing task pool for the parallel portfolio solver (and any other
+// compute fan-out).
+//
+// Design goals, in priority order:
+//   1. Determinism friendliness — the pool never decides *what* is computed, only *where*.
+//      Callers submit batches whose tasks write disjoint outputs; scheduling (which worker runs
+//      which task, steal order) is free to vary, so results must not depend on it.
+//   2. `threads == 1` degenerates to fully inline execution on the calling thread: no workers
+//      are spawned, no locks are taken, and the task order is exactly the submission order.
+//      This is what lets the parallel solver reproduce the single-threaded solver bit for bit.
+//   3. Nested use — a task may call ParallelFor/Run on the same pool; the waiting thread helps
+//      by executing pending tasks instead of blocking (help-first work stealing).
+//
+// Scheduling: each worker owns a deque; batches are distributed round-robin across the worker
+// deques plus one shared external deque for non-worker submitters. An owner pops its own deque
+// LIFO (cache-warm); an idle worker steals FIFO from the other deques, oldest first. Executing
+// a task taken from a deque you do not own counts as a steal (exported via steals()).
+//
+// Exceptions: every task of a batch runs regardless of failures; the exception thrown by the
+// lowest-index failing task is rethrown to the batch submitter (lowest-index, not first-in-time,
+// so the propagated error is deterministic).
+
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace shardman {
+
+class ThreadPool {
+ public:
+  // Total parallelism, including the thread that calls Run/ParallelFor: `threads - 1` workers
+  // are spawned. threads <= 1 spawns none and runs everything inline.
+  explicit ThreadPool(int threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  int threads() const { return threads_; }
+
+  // Runs every task and blocks until all complete. The calling thread participates. Safe to
+  // call from inside a task (the nested call helps run other pending work while it waits).
+  void Run(std::vector<std::function<void()>> tasks);
+
+  // Splits [begin, end) into chunks of `grain` indices (grain <= 0 picks one chunk per slot)
+  // and runs body(chunk_begin, chunk_end) across the pool. Correctness must not depend on the
+  // chunking: chunks of one batch may run in any order on any thread.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& body);
+
+  // Scheduling telemetry: tasks executed by a thread other than their submitter's slot, and
+  // total tasks executed. Monotonic over the pool's lifetime.
+  int64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+  int64_t tasks_executed() const { return tasks_executed_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Batch {
+    int64_t remaining = 0;
+    int64_t failed_index = -1;  // lowest task index that threw
+    std::exception_ptr exception;
+  };
+  struct Task {
+    std::function<void()> fn;
+    Batch* batch = nullptr;
+    int64_t index = 0;
+  };
+
+  void WorkerLoop(int slot);
+  // Pops a runnable task under mu_: own deque back first, then steal from the others front.
+  // Returns false if no task is available.
+  bool PopTask(int slot, Task& out);
+  void ExecuteTask(Task& task);
+  int CurrentSlot() const;
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+  // One deque per worker plus the external deque (index = workers_.size()) shared by every
+  // non-worker submitter.
+  std::vector<std::deque<Task>> deques_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::atomic<int64_t> steals_{0};
+  std::atomic<int64_t> tasks_executed_{0};
+};
+
+}  // namespace shardman
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

@@ -1268,6 +1268,9 @@ void Orchestrator::TriggerEmergencyAllocation() {
     PartitionSnapshot snapshot = BuildSnapshot();
     AllocatorOptions opts = allocator_->options();
     opts.emergency_time_budget = config_.emergency_solver_budget;
+    opts.emergency_eval_budget = config_.emergency_solver_evals;
+    opts.solver_threads = config_.solver_threads;
+    opts.solver_starts = config_.solver_starts;
     SmAllocator emergency(opts);
     AllocationResult result = emergency.Allocate(snapshot, AllocationMode::kEmergency);
     SM_TRACE_END(alloc_trace, "allocator", "emergency_allocation",
@@ -1286,6 +1289,9 @@ void Orchestrator::TriggerPeriodicAllocation() {
   PartitionSnapshot snapshot = BuildSnapshot();
   AllocatorOptions opts = allocator_->options();
   opts.periodic_time_budget = config_.periodic_solver_budget;
+  opts.periodic_eval_budget = config_.periodic_solver_evals;
+  opts.solver_threads = config_.solver_threads;
+  opts.solver_starts = config_.solver_starts;
   SmAllocator periodic(opts);
   AllocationResult result = periodic.Allocate(snapshot, AllocationMode::kPeriodic);
   SM_TRACE_END(alloc_trace, "allocator", "periodic_allocation",

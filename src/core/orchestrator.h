@@ -48,9 +48,18 @@ struct OrchestratorConfig {
   // `publish_coalesce`; urgent ones (migration step 4, promotions) wait only `publish_urgent`.
   TimeMicros publish_coalesce = Millis(50);
   TimeMicros publish_urgent = Millis(10);
-  // Wall-clock solver budget for periodic / emergency allocator runs inside the control loop.
-  TimeMicros periodic_solver_budget = Millis(500);
-  TimeMicros emergency_solver_budget = Millis(200);
+  // Solver budgets for periodic / emergency allocator runs inside the control loop. The eval
+  // budgets are the deterministic primary limit (a solve result never depends on machine
+  // load); the wall budgets remain as safety caps only. The defaults are far above what the
+  // control loop's problem sizes need to converge.
+  int64_t periodic_solver_evals = 4'000'000;
+  int64_t emergency_solver_evals = 1'000'000;
+  TimeMicros periodic_solver_budget = Seconds(5);
+  TimeMicros emergency_solver_budget = Seconds(2);
+  // Parallel portfolio for control-loop solves (SolveOptions::{threads, starts}): placements
+  // depend on solver_starts but never on solver_threads.
+  int solver_threads = 1;
+  int solver_starts = 1;
   int max_op_attempts = 3;
   // Failed operations retry with capped exponential backoff: attempt n waits
   // min(retry_backoff_base * 2^(n-1), retry_backoff_max), scaled by a seeded jitter factor

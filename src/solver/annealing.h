@@ -19,8 +19,10 @@
 namespace shardman {
 
 struct AnnealOptions {
+  // Wall-clock safety cap; max_proposals is the deterministic budget (mirrors
+  // SolveOptions::eval_budget) and should be sized to bind first for reproducible runs.
   TimeMicros time_budget = Seconds(60);
-  int64_t max_proposals = 0;  // <=0: until budget
+  int64_t max_proposals = 0;  // <=0: until the wall cap
   uint64_t seed = 1;
   double initial_acceptance = 0.5;  // calibrates T0 from sampled uphill deltas
   double cooling = 0.99997;         // per-proposal geometric decay

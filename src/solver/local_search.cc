@@ -12,19 +12,26 @@ constexpr double kImproveEps = 1e-7;
 }  // namespace
 
 LocalSearch::LocalSearch(SolverProblem* problem, const Rebalancer* specs,
-                         const SolveOptions& options)
+                         const SolveOptions& options, ThreadPool* pool)
     : problem_(problem), specs_(specs), options_(options), tracker_(problem, specs),
-      rng_(options.seed) {}
+      rng_(options.seed), pool_(pool) {}
 
 TimeMicros LocalSearch::Elapsed() const {
   return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_).count();
 }
 
-bool LocalSearch::BudgetExhausted(TimeMicros deadline) const {
+bool LocalSearch::BudgetExhausted(const Deadline& deadline) const {
   if (options_.move_budget > 0 && static_cast<int64_t>(moves_.size()) >= options_.move_budget) {
     return true;
   }
-  return deadline > 0 && Elapsed() >= deadline;
+  // The deterministic budget: candidate evaluations are counted identically on every machine
+  // and at every thread count, so a solve that stops here is reproducible.
+  if (deadline.evals > 0 && evaluations_ >= deadline.evals) {
+    return true;
+  }
+  // Wall clock is a safety cap only (runaway solves on oversubscribed machines); a solve whose
+  // wall cap binds is not reproducible, which is why callers size the eval budget to bind first.
+  return deadline.wall > 0 && Elapsed() >= deadline.wall;
 }
 
 void LocalSearch::RecordTrace(bool force) {
@@ -88,12 +95,13 @@ SolveResult LocalSearch::Run() {
   result.initial_violations = tracker_.Count();
   RecordTrace(/*force=*/true);
 
-  TimeMicros budget = options_.time_budget;
+  const Deadline budget{options_.time_budget, options_.eval_budget};
   if (options_.emergency) {
     PlaceUnavailable(budget);
   } else if (options_.goal_batching) {
-    // Earlier (higher-priority) batches get larger shares of the budget; unused time rolls
-    // forward because each batch's deadline is absolute.
+    // Earlier (higher-priority) batches get larger shares of the budget; unused budget rolls
+    // forward because each batch's deadline is absolute. Both the deterministic eval budget and
+    // the wall safety cap are split by the same fractions.
     const Batch batches[] = {
         {kGoalHard, 0.35},
         {kGoalDrain, 0.10},
@@ -102,15 +110,22 @@ SolveResult LocalSearch::Run() {
     };
     double consumed_fraction = 0.0;
     for (const Batch& batch : batches) {
-      consumed_fraction += batch.time_fraction;
-      TimeMicros deadline =
-          budget > 0 ? static_cast<TimeMicros>(static_cast<double>(budget) * consumed_fraction)
-                     : 0;
+      consumed_fraction += batch.budget_fraction;
+      Deadline deadline;
+      deadline.wall =
+          budget.wall > 0
+              ? static_cast<TimeMicros>(static_cast<double>(budget.wall) * consumed_fraction)
+              : 0;
+      deadline.evals =
+          budget.evals > 0
+              ? static_cast<int64_t>(static_cast<double>(budget.evals) * consumed_fraction)
+              : 0;
       if ((batch.mask & kGoalHard) != 0) {
         PlaceUnavailable(deadline);
       }
       RunBatch(batch.mask, deadline);
       if (BudgetExhausted(budget)) {
+        converged_ = false;  // the run was cut short, whatever the last batch reported
         break;
       }
     }
@@ -130,7 +145,7 @@ SolveResult LocalSearch::Run() {
   return result;
 }
 
-void LocalSearch::PlaceUnavailable(TimeMicros deadline) {
+void LocalSearch::PlaceUnavailable(const Deadline& deadline) {
   std::vector<int32_t> pending = tracker_.UnavailableEntities();
   if (pending.empty()) {
     return;
@@ -197,7 +212,7 @@ void LocalSearch::PlaceUnavailable(TimeMicros deadline) {
 
 void LocalSearch::RefreshStructures(uint32_t mask) {
   tracker_.RecomputeAll();
-  bin_penalty_ = tracker_.ComputeBinPenalties(mask);
+  bin_penalty_ = tracker_.ComputeBinPenalties(mask, pool_);
 
   hot_bins_.clear();
   for (int b = 0; b < problem_->num_bins(); ++b) {
@@ -219,15 +234,30 @@ void LocalSearch::RefreshStructures(uint32_t mask) {
     region_cold_bins_[static_cast<size_t>(problem_->bin_region[static_cast<size_t>(b)])]
         .push_back(b);
   }
-  for (auto& bins : region_cold_bins_) {
-    std::sort(bins.begin(), bins.end(), [this](int32_t a, int32_t b) {
-      return tracker_.BinMaxUtilization(a) < tracker_.BinMaxUtilization(b);
-    });
+  // The per-region sorts are independent (disjoint vectors, read-only comparator), so sharding
+  // them across the pool cannot change the sorted output — wall time only.
+  auto sort_region = [this](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      std::vector<int32_t>& bins = region_cold_bins_[static_cast<size_t>(r)];
+      std::sort(bins.begin(), bins.end(), [this](int32_t a, int32_t b) {
+        return tracker_.BinMaxUtilization(a) < tracker_.BinMaxUtilization(b);
+      });
+    }
+  };
+  const int64_t regions = static_cast<int64_t>(region_cold_bins_.size());
+  if (pool_ != nullptr && pool_->threads() > 1 && all_live_bins_.size() >= 2048) {
+    pool_->ParallelFor(0, regions, 1, sort_region);
+  } else {
+    sort_region(0, regions);
   }
   moves_since_refresh_ = 0;
 }
 
-void LocalSearch::RunBatch(uint32_t mask, TimeMicros deadline) {
+void LocalSearch::RunBatch(uint32_t mask, const Deadline& deadline) {
+  // `converged_` reflects whether the *latest* batch ran out of improving moves; a batch that
+  // exits on its budget clears the flag so a stale true from an earlier batch cannot leak into
+  // the result when the overall budget cuts the run short.
+  converged_ = false;
   while (true) {
     RefreshStructures(mask);
     RecordTrace(/*force=*/true);
@@ -302,7 +332,7 @@ int LocalSearch::SampleCandidate(int entity) {
   return bins[static_cast<size_t>(rng_.UniformInt(0, static_cast<int64_t>(limit) - 1))];
 }
 
-bool LocalSearch::TryImproveBin(int bin, uint32_t mask, TimeMicros deadline) {
+bool LocalSearch::TryImproveBin(int bin, uint32_t mask, const Deadline& deadline) {
   std::vector<int32_t> entities = tracker_.bin_entities(bin);
   if (entities.empty()) {
     return false;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/solver/problem.h"
 #include "src/solver/rebalancer.h"
 #include "src/solver/violation_tracker.h"
@@ -22,32 +23,43 @@ namespace shardman {
 
 class LocalSearch {
  public:
-  LocalSearch(SolverProblem* problem, const Rebalancer* specs, const SolveOptions& options);
+  // `pool` (optional) shards the refresh-phase scans (bin penalties, cold-bin sorts) across
+  // the pool for large problems. Sharded computations write disjoint per-element outputs, so
+  // results are bit-identical with and without a pool — the pool affects wall time only.
+  LocalSearch(SolverProblem* problem, const Rebalancer* specs, const SolveOptions& options,
+              ThreadPool* pool = nullptr);
 
   SolveResult Run();
 
  private:
   using Clock = std::chrono::steady_clock;
 
-  // Goal batches in descending priority (§5.3: earlier batches get longer timeouts).
+  // Goal batches in descending priority (§5.3: earlier batches get larger budget shares).
   struct Batch {
     uint32_t mask;
-    double time_fraction;
+    double budget_fraction;
+  };
+
+  // Absolute budget deadline: `evals` is the deterministic budget (candidate evaluations since
+  // the solve started); `wall` is the nondeterministic safety cap. 0 disables either limit.
+  struct Deadline {
+    TimeMicros wall = 0;
+    int64_t evals = 0;
   };
 
   TimeMicros Elapsed() const;
-  bool BudgetExhausted(TimeMicros deadline) const;
+  bool BudgetExhausted(const Deadline& deadline) const;
 
   // Fast placement of unassigned entities (emergency mode and the hard batch): least-loaded of
   // a feasibility-checked sample, spreading a failed server's entities widely (§5.1 goal 7).
-  void PlaceUnavailable(TimeMicros deadline);
+  void PlaceUnavailable(const Deadline& deadline);
 
-  void RunBatch(uint32_t mask, TimeMicros deadline);
+  void RunBatch(uint32_t mask, const Deadline& deadline);
 
   // Attempts the single best improving move of an entity off `bin`. Entities are examined in
   // priority order for the current goal batch: members of violating groups first in the group
   // batch, largest-first in the load batches. Returns true if applied.
-  bool TryImproveBin(int bin, uint32_t mask, TimeMicros deadline);
+  bool TryImproveBin(int bin, uint32_t mask, const Deadline& deadline);
 
   // Attempts a two-way swap between `bin`'s largest entity and a small entity of a sampled
   // cold bin. Returns true if an improving swap was applied.
@@ -69,6 +81,7 @@ class LocalSearch {
   SolveOptions options_;
   ViolationTracker tracker_;
   Rng rng_;
+  ThreadPool* pool_ = nullptr;  // not owned; may be null (sequential refresh)
 
   Clock::time_point start_;
   TimeMicros last_trace_ = -1;

@@ -1,7 +1,9 @@
 #include "src/solver/rebalancer.h"
 
+#include "src/common/sim_time.h"
 #include "src/obs/metrics.h"
 #include "src/solver/local_search.h"
+#include "src/solver/parallel_solver.h"
 #include "src/solver/violation_tracker.h"
 
 namespace shardman {
@@ -34,14 +36,26 @@ void Rebalancer::AddGoal(const DrainSpec& spec, double weight) {
 }
 
 SolveResult Rebalancer::Solve(SolverProblem& problem, const SolveOptions& options) const {
-  LocalSearch search(&problem, this, options);
-  SolveResult result = search.Run();
+  SolveResult result;
+  if (options.threads <= 1 && options.starts <= 1) {
+    // Sequential path: byte-for-byte the pre-portfolio solver.
+    LocalSearch search(&problem, this, options);
+    result = search.Run();
+  } else {
+    ParallelSolver portfolio(this);
+    result = portfolio.Solve(problem, options);
+  }
   // Wall-clock values go to metrics only, never into traces: trace output must stay
   // deterministic for a fixed seed, and solver wall time is host-dependent.
   SM_COUNTER_INC("sm.solver.solves");
   SM_COUNTER_ADD("sm.solver.moves_proposed", static_cast<int64_t>(result.moves.size()));
   SM_COUNTER_ADD("sm.solver.evaluations", result.evaluations);
   SM_HISTOGRAM_OBSERVE("sm.solver.wall_ms", ToMillis(result.wall_time));
+  double wall_s = ToSeconds(result.wall_time);
+  if (wall_s > 0.0) {
+    SM_GAUGE_SET("sm.solver.moves_per_sec", static_cast<double>(result.moves.size()) / wall_s);
+    SM_GAUGE_SET("sm.solver.evals_per_sec", static_cast<double>(result.evaluations) / wall_s);
+  }
   return result;
 }
 

@@ -77,11 +77,24 @@ struct DrainSpec {
 // ---- Options / results ------------------------------------------------------------------------
 
 struct SolveOptions {
-  // Wall-clock budget for the whole solve. <=0 means unlimited (converge or hit move budget).
+  // Wall-clock SAFETY CAP for the whole solve; <=0 means uncapped. This is not the primary
+  // budget: a solve that stops on wall time is not reproducible (it depends on machine load).
+  // Size `eval_budget` to bind first and leave this as the runaway guard.
   TimeMicros time_budget = Seconds(60);
   // Maximum number of applied moves. <=0 means unlimited.
   int64_t move_budget = 0;
+  // Deterministic budget: maximum candidate-move evaluations per start. <=0 means unlimited
+  // (run to convergence or another budget). Evaluations are counted identically on every
+  // machine and at every thread count, so results for a fixed seed are reproducible.
+  int64_t eval_budget = 0;
   uint64_t seed = 1;
+
+  // Parallel portfolio (ParallelSolver): `starts` independently-seeded local searches race and
+  // the best result wins a deterministic reduction (objective, then violations, then start
+  // index), so the outcome depends only on `seed` and `starts` — never on `threads`.
+  // threads=1, starts=1 is exactly the sequential solver.
+  int threads = 1;
+  int starts = 1;
 
   // Candidate bins sampled per entity evaluation.
   int candidates_per_entity = 12;
@@ -128,14 +141,16 @@ struct TracePoint {
 };
 
 struct SolveResult {
-  std::vector<SolverMove> moves;       // in application order
+  std::vector<SolverMove> moves;       // in application order (the winning start's moves)
   ViolationCounts initial_violations;
   ViolationCounts final_violations;
   double final_objective = 0.0;
-  TimeMicros wall_time = 0;
-  int64_t evaluations = 0;             // candidate moves evaluated
+  TimeMicros wall_time = 0;            // nondeterministic; excluded from the determinism contract
+  int64_t evaluations = 0;             // candidate moves evaluated, summed across all starts
   std::vector<TracePoint> trace;
-  bool converged = false;              // no improving move remained
+  bool converged = false;              // no improving move remained (in the winning start)
+  int starts = 1;                      // portfolio starts executed
+  int winner_start = 0;                // index of the start whose result this is
 };
 
 // ---- Rebalancer -------------------------------------------------------------------------------

@@ -462,22 +462,50 @@ ViolationCounts ViolationTracker::Count() const {
   return counts;
 }
 
-std::vector<double> ViolationTracker::ComputeBinPenalties(uint32_t mask) const {
-  std::vector<double> penalties(static_cast<size_t>(problem_->num_bins()), 0.0);
-  for (int b = 0; b < problem_->num_bins(); ++b) {
-    if (!BinLive(b)) {
-      continue;
+std::vector<double> ViolationTracker::ComputeBinPenalties(uint32_t mask, ThreadPool* pool) const {
+  const int64_t bins = problem_->num_bins();
+  const int64_t groups = static_cast<int64_t>(group_members_.size());
+  // Sharding is worth the task overhead only for large scans; below the threshold the pool is
+  // ignored. Each sharded iteration writes its own slot, so the values never depend on the
+  // chunking or on which thread ran them — the scan is a pure map.
+  const bool shard = pool != nullptr && pool->threads() > 1 && bins + groups >= 4096;
+
+  std::vector<double> penalties(static_cast<size_t>(bins), 0.0);
+  auto scan_bins = [&](int64_t begin, int64_t end) {
+    for (int64_t b = begin; b < end; ++b) {
+      if (!BinLive(static_cast<int>(b))) {
+        continue;
+      }
+      double pen = BinLoadPenalty(static_cast<int>(b), mask);
+      if ((mask & kGoalDrain) != 0) {
+        pen += DrainPenaltyOf(static_cast<int>(b)) *
+               static_cast<double>(bin_entities_[static_cast<size_t>(b)].size());
+      }
+      penalties[static_cast<size_t>(b)] = pen;
     }
-    double pen = BinLoadPenalty(b, mask);
-    if ((mask & kGoalDrain) != 0) {
-      pen += DrainPenaltyOf(b) *
-             static_cast<double>(bin_entities_[static_cast<size_t>(b)].size());
-    }
-    penalties[static_cast<size_t>(b)] = pen;
+  };
+  if (shard) {
+    pool->ParallelFor(0, bins, 1024, scan_bins);
+  } else {
+    scan_bins(0, bins);
   }
+
   if ((mask & kGoalGroup) != 0) {
+    // Group penalties are computed into per-group slots (shardable map), then scattered onto
+    // member bins sequentially: the scatter writes overlap across groups, so it stays serial.
+    std::vector<double> group_pen(static_cast<size_t>(groups), 0.0);
+    auto scan_groups = [&](int64_t begin, int64_t end) {
+      for (int64_t g = begin; g < end; ++g) {
+        group_pen[static_cast<size_t>(g)] = GroupPenalty(static_cast<int32_t>(g), -1, -1);
+      }
+    };
+    if (shard) {
+      pool->ParallelFor(0, groups, 2048, scan_groups);
+    } else {
+      scan_groups(0, groups);
+    }
     for (size_t g = 0; g < group_members_.size(); ++g) {
-      double pen = GroupPenalty(static_cast<int32_t>(g), -1, -1);
+      double pen = group_pen[g];
       if (pen <= kEps) {
         continue;
       }

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/solver/problem.h"
 #include "src/solver/rebalancer.h"
 
@@ -58,7 +59,9 @@ class ViolationTracker {
 
   // Per-bin penalty restricted to the goal families in `mask`; used to pick hot bins.
   // Group penalties are attributed to every bin hosting a member of a violating group.
-  std::vector<double> ComputeBinPenalties(uint32_t mask) const;
+  // `pool` (optional) shards the scan for large problems; every sharded write is to a disjoint
+  // per-bin / per-group slot, so the output is bit-identical with and without a pool.
+  std::vector<double> ComputeBinPenalties(uint32_t mask, ThreadPool* pool = nullptr) const;
 
   // Entities currently unassigned or stranded on dead bins.
   std::vector<int32_t> UnavailableEntities() const;

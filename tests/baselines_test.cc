@@ -195,7 +195,8 @@ TEST_P(ExactGapSweep, LocalSearchMatchesExactViolationCount) {
   ASSERT_TRUE(exact.completed);
 
   SolveOptions options;
-  options.time_budget = Seconds(10);
+  options.eval_budget = 200000;       // deterministic budget binds first
+  options.time_budget = Seconds(30);  // wall safety cap only
   options.seed = GetParam() + 1;
   options.trace_interval = 0;
   SolveResult local = rb.Solve(problem, options);

@@ -169,7 +169,8 @@ TEST(SolveResultTest, TraceViolationsEndAtFinal) {
   Rebalancer rb = Specs();
   SolveOptions options;
   options.seed = 3;
-  options.time_budget = Seconds(20);
+  options.eval_budget = 100000;       // deterministic budget; wall cap below never binds
+  options.time_budget = Seconds(30);
   options.trace_interval = Millis(1);
   SolveResult result = rb.Solve(p, options);
   ASSERT_FALSE(result.trace.empty());

@@ -1,0 +1,204 @@
+// Determinism contract of the parallel portfolio solver: for a fixed (seed, starts), the
+// SolveResult is byte-identical at every thread count, threads=1/starts=1 is exactly the
+// sequential solver, and the deterministic eval budget — not wall time — bounds the search.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/solver/parallel_solver.h"
+#include "src/solver/rebalancer.h"
+
+namespace shardman {
+namespace {
+
+SolverProblem RandomProblem(uint64_t seed, int bins, int entities, int groups) {
+  Rng rng(seed);
+  SolverProblem p;
+  for (int b = 0; b < bins; ++b) {
+    p.AddBin({rng.Uniform(80, 120), rng.Uniform(80, 120)}, b % 4, b % 8, b);
+  }
+  for (int e = 0; e < entities; ++e) {
+    p.AddEntity({rng.Uniform(1, 8), rng.Uniform(1, 8)}, groups > 0 ? e % groups : -1,
+                static_cast<int32_t>(rng.UniformInt(0, bins - 1)));
+  }
+  return p;
+}
+
+Rebalancer Specs() {
+  Rebalancer rb;
+  for (int m = 0; m < 2; ++m) {
+    rb.AddConstraint(CapacitySpec{m, 1.0});
+    rb.AddGoal(ThresholdSpec{m, 0.85}, 2000.0);
+    rb.AddGoal(BalanceSpec{DomainScope::kGlobal, m, 0.10}, 1000.0);
+  }
+  rb.AddGoal(ExclusionSpec{DomainScope::kRegion}, 30000.0);
+  AffinitySpec affinity;
+  for (int g = 0; g < 40; g += 3) {
+    affinity.entries.push_back(AffinityEntry{g, g % 4, 1, 1.0});
+  }
+  rb.AddGoal(affinity, 100000.0);
+  return rb;
+}
+
+void ExpectIdentical(const SolveResult& a, const SolveResult& b, const std::string& label) {
+  ASSERT_EQ(a.moves.size(), b.moves.size()) << label;
+  for (size_t i = 0; i < a.moves.size(); ++i) {
+    EXPECT_EQ(a.moves[i].entity, b.moves[i].entity) << label << " move " << i;
+    EXPECT_EQ(a.moves[i].from, b.moves[i].from) << label << " move " << i;
+    EXPECT_EQ(a.moves[i].to, b.moves[i].to) << label << " move " << i;
+  }
+  // Exact double equality on purpose: the contract is bit-identity, not approximation.
+  EXPECT_EQ(a.final_objective, b.final_objective) << label;
+  EXPECT_EQ(a.final_violations.total(), b.final_violations.total()) << label;
+  EXPECT_EQ(a.final_violations.capacity, b.final_violations.capacity) << label;
+  EXPECT_EQ(a.final_violations.exclusion, b.final_violations.exclusion) << label;
+  EXPECT_EQ(a.final_violations.affinity, b.final_violations.affinity) << label;
+  EXPECT_EQ(a.initial_violations.total(), b.initial_violations.total()) << label;
+  EXPECT_EQ(a.evaluations, b.evaluations) << label;
+  EXPECT_EQ(a.winner_start, b.winner_start) << label;
+  EXPECT_EQ(a.converged, b.converged) << label;
+}
+
+TEST(ParallelSolverTest, ResultIsIdenticalAcrossThreadCounts) {
+  Rebalancer rb = Specs();
+  SolveOptions options;
+  options.seed = 42;
+  options.time_budget = Minutes(10);  // safety cap, never binds
+  options.eval_budget = 20000;
+  options.starts = 4;
+  options.trace_interval = 0;
+
+  std::vector<int> thread_counts = {1, 2, 8};
+  std::vector<SolveResult> results;
+  std::vector<SolverProblem> problems;
+  for (int threads : thread_counts) {
+    options.threads = threads;
+    problems.push_back(RandomProblem(7, 32, 200, 40));
+    results.push_back(rb.Solve(problems.back(), options));
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    ExpectIdentical(results[0], results[i],
+                    "threads=" + std::to_string(thread_counts[i]) + " vs threads=1");
+    EXPECT_EQ(problems[0].assignment, problems[i].assignment)
+        << "assignment differs at threads=" << thread_counts[i];
+  }
+  EXPECT_EQ(results[0].starts, 4);
+}
+
+TEST(ParallelSolverTest, ShardedScanMatchesSequentialOnLargeProblem) {
+  // Large enough to cross the intra-start sharding thresholds (bins+groups >= 4096, live bins
+  // >= 2048), so threads=8/starts=1 exercises the pooled ComputeBinPenalties and per-region
+  // sort paths. The result must still be bit-identical to the fully sequential solver.
+  Rebalancer rb = Specs();
+  SolveOptions options;
+  options.seed = 5;
+  options.time_budget = Minutes(10);
+  options.eval_budget = 15000;
+  options.trace_interval = 0;
+
+  options.threads = 1;
+  options.starts = 1;
+  SolverProblem sequential = RandomProblem(11, 4600, 9200, 3000);
+  SolveResult seq_result = rb.Solve(sequential, options);
+
+  options.threads = 8;
+  SolverProblem sharded = RandomProblem(11, 4600, 9200, 3000);
+  SolveResult par_result = rb.Solve(sharded, options);
+
+  ExpectIdentical(seq_result, par_result, "sharded scan vs sequential");
+  EXPECT_EQ(sequential.assignment, sharded.assignment);
+}
+
+TEST(ParallelSolverTest, SingleStartSingleThreadMatchesSequentialDispatch) {
+  // ParallelSolver::Solve with threads=1, starts=1 must equal the sequential LocalSearch path
+  // that Rebalancer::Solve dispatches to (same seed handling: start 0 uses the master seed).
+  Rebalancer rb = Specs();
+  SolveOptions options;
+  options.seed = 3;
+  options.time_budget = Minutes(10);
+  options.eval_budget = 8000;
+  options.threads = 1;
+  options.starts = 1;
+  options.trace_interval = 0;
+
+  SolverProblem p1 = RandomProblem(13, 32, 200, 40);
+  SolveResult r1 = rb.Solve(p1, options);
+
+  SolverProblem p2 = RandomProblem(13, 32, 200, 40);
+  ParallelSolver solver(&rb);
+  SolveResult r2 = solver.Solve(p2, options);
+
+  ExpectIdentical(r1, r2, "rebalancer dispatch vs explicit ParallelSolver");
+  EXPECT_EQ(p1.assignment, p2.assignment);
+}
+
+TEST(ParallelSolverTest, PortfolioWinnerIsNoWorseThanStartZero) {
+  Rebalancer rb = Specs();
+  SolveOptions options;
+  options.seed = 99;
+  options.time_budget = Minutes(10);
+  options.eval_budget = 10000;
+  options.threads = 2;
+  options.trace_interval = 0;
+
+  options.starts = 1;
+  SolverProblem single = RandomProblem(17, 32, 200, 40);
+  SolveResult single_result = rb.Solve(single, options);
+
+  options.starts = 6;
+  SolverProblem portfolio = RandomProblem(17, 32, 200, 40);
+  SolveResult portfolio_result = rb.Solve(portfolio, options);
+
+  // Start 0 of the portfolio is the same seeded run as starts=1, so the winning start can only
+  // match or beat it.
+  EXPECT_LE(portfolio_result.final_objective, single_result.final_objective);
+  EXPECT_EQ(portfolio_result.starts, 6);
+  EXPECT_GE(portfolio_result.winner_start, 0);
+  EXPECT_LT(portfolio_result.winner_start, 6);
+  // Evaluations are summed across starts, so the portfolio did strictly more search work.
+  EXPECT_GT(portfolio_result.evaluations, single_result.evaluations);
+}
+
+TEST(ParallelSolverTest, EvalBudgetBindsAndIsReproducible) {
+  // A tight eval budget on a problem too big to converge must stop the search deterministically:
+  // two runs agree exactly, and the count lands within one check-granule of the budget.
+  Rebalancer rb = Specs();
+  SolveOptions options;
+  options.seed = 8;
+  options.time_budget = Minutes(10);
+  options.eval_budget = 3000;
+  options.trace_interval = 0;
+
+  SolverProblem p1 = RandomProblem(29, 128, 2000, 250);
+  SolveResult r1 = rb.Solve(p1, options);
+  SolverProblem p2 = RandomProblem(29, 128, 2000, 250);
+  SolveResult r2 = rb.Solve(p2, options);
+
+  ExpectIdentical(r1, r2, "same seed, same eval budget");
+  EXPECT_EQ(p1.assignment, p2.assignment);
+  // The budget is checked between bins/entities, so overshoot is bounded by one visit's worth
+  // of evaluations (entities_per_bin_visit * candidates_per_entity plus swap probes).
+  EXPECT_LE(r1.evaluations, options.eval_budget + 512);
+  EXPECT_FALSE(r1.converged);
+}
+
+TEST(ParallelSolverTest, StartSeedsAreDistinctAndStableByIndex) {
+  const uint64_t master = 0xDEADBEEFu;
+  EXPECT_EQ(ParallelSolver::StartSeed(master, 0), master);
+  std::vector<uint64_t> seeds;
+  for (int i = 0; i < 16; ++i) {
+    seeds.push_back(ParallelSolver::StartSeed(master, i));
+    // Derivation depends only on (seed, index): recomputing gives the same value.
+    EXPECT_EQ(seeds.back(), ParallelSolver::StartSeed(master, i));
+  }
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    for (size_t j = i + 1; j < seeds.size(); ++j) {
+      EXPECT_NE(seeds[i], seeds[j]) << "starts " << i << " and " << j << " collide";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shardman

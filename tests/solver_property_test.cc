@@ -76,7 +76,8 @@ TEST_P(SolverSeedSweep, NeverWorseAndHardViolationsCleared) {
   ViolationCounts before = rb.Count(p);
   SolveOptions options;
   options.seed = GetParam() + 1;
-  options.time_budget = Seconds(20);
+  options.eval_budget = 500000;       // deterministic budget binds first
+  options.time_budget = Seconds(30);  // wall safety cap only
   options.trace_interval = 0;
   SolveResult result = rb.Solve(p, options);
   EXPECT_LE(result.final_violations.total(), before.total());
@@ -96,7 +97,8 @@ TEST_P(SolverSeedSweep, MovesReplayToFinalAssignment) {
   Rebalancer rb = StandardSpecs(spec.metrics);
   SolveOptions options;
   options.seed = GetParam();
-  options.time_budget = Seconds(20);
+  options.eval_budget = 500000;
+  options.time_budget = Seconds(30);
   options.trace_interval = 0;
   SolveResult result = rb.Solve(p, options);
   for (const SolverMove& move : result.moves) {
@@ -132,7 +134,8 @@ TEST_P(SolverFlagSweep, AllFlagCombinationsClearHardViolations) {
   Rebalancer rb = StandardSpecs(spec.metrics);
   SolveOptions options;
   options.seed = 9;
-  options.time_budget = Seconds(20);
+  options.eval_budget = 500000;
+  options.time_budget = Seconds(30);
   options.trace_interval = 0;
   options.stratified_sampling = (bits & 1) != 0;
   options.large_shards_first = (bits & 2) != 0;
@@ -160,7 +163,8 @@ TEST_P(SolverFillSweep, EmergencyPlacesAllThatFit) {
   SolveOptions options;
   options.emergency = true;
   options.seed = 11;
-  options.time_budget = Seconds(20);
+  options.eval_budget = 500000;
+  options.time_budget = Seconds(30);
   options.trace_interval = 0;
   SolveResult result = rb.Solve(p, options);
   EXPECT_EQ(result.final_violations.unassigned, 0);
@@ -183,7 +187,8 @@ TEST(SolverPropertyTest, FullSpreadAchievableWhenRegionsSuffice) {
   Rebalancer rb = StandardSpecs(spec.metrics);
   SolveOptions options;
   options.seed = 3;
-  options.time_budget = Seconds(30);
+  options.eval_budget = 1000000;
+  options.time_budget = Seconds(60);
   options.trace_interval = 0;
   SolveResult result = rb.Solve(p, options);
   EXPECT_EQ(result.final_violations.exclusion, 0);

@@ -12,7 +12,10 @@ namespace {
 
 SolveOptions QuickOptions() {
   SolveOptions options;
-  options.time_budget = Seconds(10);
+  // The deterministic eval budget binds (or the problem converges first); wall time is only a
+  // safety cap so the assertions do not depend on machine speed.
+  options.eval_budget = 200000;
+  options.time_budget = Seconds(30);
   options.seed = 7;
   options.trace_interval = 0;
   return options;

@@ -1,0 +1,153 @@
+// ThreadPool unit tests: completion, nested use, shutdown, deterministic exception
+// propagation, and steal accounting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+
+namespace shardman {
+namespace {
+
+TEST(ThreadPoolTest, InlinePoolRunsTasksInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([&order, i]() { order.push_back(i); });
+  }
+  pool.Run(std::move(tasks));
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+  EXPECT_EQ(pool.steals(), 0);
+  EXPECT_EQ(pool.tasks_executed(), 8);
+}
+
+TEST(ThreadPoolTest, PooledRunExecutesEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 200;
+  std::vector<std::atomic<int>> hits(kTasks);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.push_back([&hits, i]() { hits[static_cast<size_t>(i)].fetch_add(1); });
+  }
+  pool.Run(std::move(tasks));
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "task " << i;
+  }
+  EXPECT_EQ(pool.tasks_executed(), kTasks);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(0, kN, 128, [&hits](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    }
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForMakesProgress) {
+  // A task that itself fans out on the same pool must not deadlock: the waiting thread helps
+  // run pending chunks.
+  ThreadPool pool(3);
+  std::atomic<int64_t> sum{0};
+  std::vector<std::function<void()>> tasks;
+  for (int outer = 0; outer < 6; ++outer) {
+    tasks.push_back([&pool, &sum]() {
+      pool.ParallelFor(0, 100, 10, [&sum](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          sum.fetch_add(i);
+        }
+      });
+    });
+  }
+  pool.Run(std::move(tasks));
+  EXPECT_EQ(sum.load(), 6 * (99 * 100 / 2));
+}
+
+TEST(ThreadPoolTest, LowestIndexExceptionWinsAndEveryTaskStillRuns) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    std::atomic<int> ran{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 10; ++i) {
+      tasks.push_back([&ran, i]() {
+        ran.fetch_add(1);
+        if (i == 7 || i == 3) {
+          throw std::runtime_error("task " + std::to_string(i));
+        }
+      });
+    }
+    try {
+      pool.Run(std::move(tasks));
+      FAIL() << "expected an exception (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 3") << "threads=" << threads;
+    }
+    EXPECT_EQ(ran.load(), 10) << "threads=" << threads;
+
+    // The pool survives a failed batch and keeps working.
+    std::atomic<int> after{0};
+    std::vector<std::function<void()>> more;
+    for (int i = 0; i < 4; ++i) {
+      more.push_back([&after]() { after.fetch_add(1); });
+    }
+    pool.Run(std::move(more));
+    EXPECT_EQ(after.load(), 4);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorJoinsIdleWorkers) {
+  // Construct-and-destroy with and without having run work; must not hang or crash.
+  { ThreadPool pool(8); }
+  {
+    ThreadPool pool(8);
+    std::atomic<int> ran{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 32; ++i) {
+      tasks.push_back([&ran]() { ran.fetch_add(1); });
+    }
+    pool.Run(std::move(tasks));
+    EXPECT_EQ(ran.load(), 32);
+  }
+}
+
+TEST(ThreadPoolTest, ImbalancedBatchIsRebalancedByStealing) {
+  // Round-robin distribution gives the single worker a share of long tasks while the caller's
+  // share is instant; the caller must steal the worker's pending long tasks to finish the
+  // batch, so at least one steal is guaranteed (the worker is asleep inside its first task
+  // while the caller drains everything else).
+  ThreadPool pool(2);
+  std::atomic<int> slow_ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 6; ++i) {
+    if (i % 2 == 0) {
+      tasks.push_back([]() {});
+    } else {
+      tasks.push_back([&slow_ran]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        slow_ran.fetch_add(1);
+      });
+    }
+  }
+  pool.Run(std::move(tasks));
+  EXPECT_EQ(slow_ran.load(), 3);
+  EXPECT_GE(pool.steals(), 1);
+  EXPECT_EQ(pool.tasks_executed(), 6);
+}
+
+}  // namespace
+}  // namespace shardman
