@@ -1,0 +1,290 @@
+// Micro-benchmarks for the data-plane hot paths (DESIGN.md §9):
+//
+//   1. Simulator event throughput — chains of small self-rescheduling callbacks exercise the
+//      SmallFunction inline path and the free-listed event pool.
+//   2. Shard-map dissemination — many apps x many subscribers x large maps; zero-copy publish
+//      hands every subscriber the same immutable map.
+//   3. Router target selection — PickTarget against the per-version routing cache, with the
+//      binary-wide allocation counter asserting the fast path stays heap-free.
+//   4. End-to-end Route through loopback servers (two simulated network hops per attempt).
+//
+// Emits one flat JSON object (stdout + SM_DATAPLANE_OUT, default BENCH_dataplane.json in the
+// working directory). The committed BENCH_dataplane.json pairs a frozen pre-optimization run
+// ("before") with a current run ("after"); scripts/check_bench_regression.py compares fresh CI
+// numbers against it advisorily. SM_BENCH_SCALE (e.g. 0.1) shrinks iteration counts for smoke
+// runs; the throughput rates stay comparable, the absolute counts do not.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <new>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/app_spec.h"
+#include "src/core/server_registry.h"
+#include "src/discovery/service_discovery.h"
+#include "src/routing/service_router.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+// Binary-wide allocation counter for allocs_per_pick. Replacing operator new is incompatible
+// with ASan's allocator interception, so the overrides are compiled out under sanitizers
+// (allocs_per_pick then reads 0 regardless — use a plain build for that number).
+#if defined(__SANITIZE_ADDRESS__)
+#define SM_COUNT_ALLOCS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SM_COUNT_ALLOCS 0
+#else
+#define SM_COUNT_ALLOCS 1
+#endif
+#else
+#define SM_COUNT_ALLOCS 1
+#endif
+
+namespace {
+std::atomic<long long> g_heap_allocs{0};
+}  // namespace
+
+#if SM_COUNT_ALLOCS
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif  // SM_COUNT_ALLOCS
+
+namespace shardman {
+namespace {
+
+double NowSeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
+}
+
+// A server that replies immediately: the bench measures the routing path, not an application.
+struct LoopbackServer : public ShardServerApi {
+  ServerId self;
+  Status AddShard(ShardId, ReplicaRole) override { return Status::Ok(); }
+  Status DropShard(ShardId) override { return Status::Ok(); }
+  Status ChangeRole(ShardId, ReplicaRole, ReplicaRole) override { return Status::Ok(); }
+  Status PrepareAddShard(ShardId, ServerId, ReplicaRole) override { return Status::Ok(); }
+  Status PrepareDropShard(ShardId, ServerId, ReplicaRole) override { return Status::Ok(); }
+  ShardLoadReport ReportLoads() override { return {}; }
+  void HandleRequest(const Request&, ReplyCallback done) override {
+    Reply reply;
+    reply.served_by = self;
+    done(reply);
+  }
+};
+
+ShardMap MakeMap(AppId app, int64_t version, int shards, int replicas, int regions,
+                 int servers) {
+  ShardMap map;
+  map.app = app;
+  map.version = version;
+  map.entries.resize(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    ShardMapEntry& entry = map.entries[static_cast<size_t>(s)];
+    entry.shard = ShardId(s);
+    for (int r = 0; r < replicas; ++r) {
+      ShardMapReplica replica;
+      replica.server = ServerId((s + r * 7919) % servers);
+      replica.role = r == 0 ? ReplicaRole::kPrimary : ReplicaRole::kSecondary;
+      replica.region = RegionId(replica.server.value % regions);
+      entry.replicas.push_back(replica);
+    }
+  }
+  return map;
+}
+
+struct BenchResult {
+  double events_per_sec = 0.0;
+  long long events_executed = 0;
+  double publishes_per_sec = 0.0;
+  long long publishes = 0;
+  double routed_requests_per_sec = 0.0;
+  double allocs_per_pick = 0.0;
+  double route_end_to_end_per_sec = 0.0;
+  long long route_ok = 0;
+};
+
+// 1. Event-loop throughput: 64 interleaved chains of tiny callbacks, each firing re-schedules.
+void BenchEvents(double scale, BenchResult* out) {
+  Simulator sim;
+  const int kChains = 64;
+  const long long kTotal = static_cast<long long>(2000000 * scale);
+  long long fired = 0;
+  std::function<void()> tick = [&]() {
+    if (++fired < kTotal) {
+      sim.Schedule(1, [&]() { tick(); });
+    }
+  };
+  for (int c = 0; c < kChains; ++c) {
+    sim.Schedule(1, [&]() { tick(); });
+  }
+  double t0 = NowSeconds();
+  sim.RunAll();
+  double dt = NowSeconds() - t0;
+  out->events_executed = static_cast<long long>(sim.ExecutedEvents());
+  out->events_per_sec = static_cast<double>(sim.ExecutedEvents()) / dt;
+}
+
+// 2. Dissemination: 32 apps x 32 subscribers x 512-shard maps. Subscribers do what the router
+// does — retain the delivered (shared) map.
+void BenchDissemination(double scale, BenchResult* out) {
+  Simulator sim;
+  ServiceDiscovery discovery(&sim, Millis(1), Millis(5), 99);
+  const int kApps = 32;
+  const int kSubscribers = 32;
+  const int kShards = 512;
+  const int kVersions = static_cast<int>(50 * scale) > 0 ? static_cast<int>(50 * scale) : 1;
+  std::vector<std::shared_ptr<const ShardMap>> retained(
+      static_cast<size_t>(kApps) * kSubscribers);
+  for (int a = 0; a < kApps; ++a) {
+    for (int s = 0; s < kSubscribers; ++s) {
+      std::shared_ptr<const ShardMap>* slot = &retained[static_cast<size_t>(a) * kSubscribers + s];
+      discovery.Subscribe(AppId(a),
+                          [slot](const std::shared_ptr<const ShardMap>& map) { *slot = map; });
+    }
+  }
+  double t0 = NowSeconds();
+  for (int v = 1; v <= kVersions; ++v) {
+    for (int a = 0; a < kApps; ++a) {
+      discovery.Publish(MakeMap(AppId(a), v, kShards, 3, 3, 48));
+    }
+    sim.RunFor(Millis(20));
+  }
+  sim.RunAll();
+  double dt = NowSeconds() - t0;
+  out->publishes = discovery.publishes();
+  out->publishes_per_sec = static_cast<double>(discovery.publishes()) / dt;
+}
+
+// 3 + 4. Router: cached target selection throughput (with allocation accounting), then
+// end-to-end Route over loopback servers.
+void BenchRouting(double scale, BenchResult* out) {
+  Simulator sim;
+  Network net(&sim, LatencyModel(3, Millis(1), Millis(40)), 5);
+  ServiceDiscovery discovery(&sim, Millis(1), Millis(2), 7);
+  ServerRegistry registry;
+  const int kServers = 48;
+  const int kShards = 4096;
+  std::vector<LoopbackServer> servers(kServers);
+  for (int i = 0; i < kServers; ++i) {
+    servers[static_cast<size_t>(i)].self = ServerId(i);
+    ServerHandle handle;
+    handle.id = ServerId(i);
+    handle.container = ContainerId(i);
+    handle.app = AppId(1);
+    handle.region = RegionId(i % 3);
+    handle.api = &servers[static_cast<size_t>(i)];
+    registry.Register(handle);
+  }
+  AppSpec spec =
+      MakeUniformAppSpec(AppId(1), "bench", kShards, ReplicationStrategy::kSecondaryOnly, 3);
+  ServiceRouter router(&sim, &net, &discovery, &registry, &spec, RegionId(0), RouterConfig{},
+                       11);
+  discovery.Publish(MakeMap(AppId(1), 1, kShards, 3, 3, kServers));
+  sim.RunFor(Seconds(1));
+
+  const long long kPicks = static_cast<long long>(2000000 * scale);
+  Request request;
+  request.app = AppId(1);
+  request.type = RequestType::kRead;
+  request.client_region = RegionId(0);
+  long long allocs_before = g_heap_allocs.load(std::memory_order_relaxed);
+  double t0 = NowSeconds();
+  uint64_t sink = 0;
+  for (long long i = 0; i < kPicks; ++i) {
+    request.shard = ShardId(static_cast<int32_t>(i & (kShards - 1)));
+    sink += static_cast<uint64_t>(router.PickTargetForBench(request, 1, ServerId()).value);
+  }
+  double dt = NowSeconds() - t0;
+  long long allocs = g_heap_allocs.load(std::memory_order_relaxed) - allocs_before;
+  out->routed_requests_per_sec = static_cast<double>(kPicks) / dt;
+  out->allocs_per_pick = static_cast<double>(allocs) / static_cast<double>(kPicks);
+  if (sink == 0) {
+    std::fprintf(stderr, "unexpected: all picks invalid\n");
+  }
+
+  const long long kRoutes = static_cast<long long>(200000 * scale);
+  long long ok = 0;
+  long long issued = 0;
+  double t1 = NowSeconds();
+  std::function<void()> pump = [&]() {
+    for (int b = 0; b < 200 && issued < kRoutes; ++b, ++issued) {
+      router.Route(static_cast<uint64_t>(issued) * 2654435761ULL, RequestType::kRead,
+                   [&](const RequestOutcome& outcome) { ok += outcome.success ? 1 : 0; });
+    }
+    if (issued < kRoutes) {
+      sim.Schedule(Millis(1), [&]() { pump(); });
+    }
+  };
+  pump();
+  sim.RunAll();
+  double dt1 = NowSeconds() - t1;
+  out->route_ok = ok;
+  out->route_end_to_end_per_sec = static_cast<double>(kRoutes) / dt1;
+}
+
+void WriteJson(const BenchResult& r, double scale, std::ostream& os) {
+  char buffer[640];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\n"
+                "  \"bench\": \"micro_dataplane\",\n"
+                "  \"scale\": %g,\n"
+                "  \"events_per_sec\": %.0f,\n"
+                "  \"events_executed\": %lld,\n"
+                "  \"publishes_per_sec\": %.0f,\n"
+                "  \"publishes\": %lld,\n"
+                "  \"routed_requests_per_sec\": %.0f,\n"
+                "  \"allocs_per_pick\": %.4f,\n"
+                "  \"route_end_to_end_per_sec\": %.0f,\n"
+                "  \"route_ok\": %lld\n"
+                "}\n",
+                scale, r.events_per_sec, r.events_executed, r.publishes_per_sec, r.publishes,
+                r.routed_requests_per_sec, r.allocs_per_pick, r.route_end_to_end_per_sec,
+                r.route_ok);
+  os << buffer;
+}
+
+int Run() {
+  double scale = bench::BenchScale();
+  BenchResult result;
+  BenchEvents(scale, &result);
+  BenchDissemination(scale, &result);
+  BenchRouting(scale, &result);
+
+  WriteJson(result, scale, std::cout);
+  const char* out_path = std::getenv("SM_DATAPLANE_OUT");
+  std::ofstream file(out_path != nullptr ? out_path : "BENCH_dataplane.json");
+  if (file) {
+    WriteJson(result, scale, file);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace shardman
+
+int main() { return shardman::Run(); }

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Advisory data-plane bench regression check.
+
+Compares a fresh micro_dataplane run against the committed baseline
+(BENCH_dataplane.json, "after" block). Exits 0 always — CI treats this as
+advisory because shared-runner throughput is noisy — but prints a loud
+warning (and a GitHub ::warning:: annotation) when a tracked rate drops more
+than the threshold. allocs_per_pick is absolute: any nonzero value on the
+router fast path is flagged regardless of threshold.
+
+Usage: check_bench_regression.py <baseline.json> <fresh.json> [--threshold 0.20]
+"""
+
+import argparse
+import json
+import sys
+
+RATE_KEYS = [
+    "events_per_sec",
+    "publishes_per_sec",
+    "routed_requests_per_sec",
+    "route_end_to_end_per_sec",
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_dataplane.json")
+    parser.add_argument("fresh", help="fresh micro_dataplane output")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional drop before warning (default 0.20)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    # The committed file stores before/after; a raw bench run is flat.
+    reference = baseline.get("after", baseline)
+
+    warnings = []
+    for key in RATE_KEYS:
+        base = reference.get(key)
+        now = fresh.get(key)
+        if not base or now is None:
+            continue
+        drop = (base - now) / base
+        status = "WARN" if drop > args.threshold else "ok"
+        print(f"{status:4} {key}: baseline {base:,.0f} fresh {now:,.0f} "
+              f"({-drop:+.1%})")
+        if drop > args.threshold:
+            warnings.append(f"{key} dropped {drop:.1%} "
+                            f"(baseline {base:,.0f}, fresh {now:,.0f})")
+
+    allocs = fresh.get("allocs_per_pick")
+    if allocs is not None:
+        print(f"{'WARN' if allocs > 0 else 'ok':4} allocs_per_pick: {allocs}")
+        if allocs > 0:
+            warnings.append(f"allocs_per_pick is {allocs}, expected 0 "
+                            "(router fast path should be allocation-free)")
+
+    if warnings:
+        for w in warnings:
+            print(f"::warning title=Data-plane bench regression::{w}")
+        print(f"\n{len(warnings)} advisory regression(s) — see above. "
+              "Shared-runner noise is common; re-run before acting on this.",
+              file=sys.stderr)
+    else:
+        print("\nNo data-plane regressions beyond threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

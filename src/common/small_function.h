@@ -1,0 +1,155 @@
+// SmallFunction: a move-only `void()` callable with small-buffer optimization, used as the
+// simulator's event callback type.
+//
+// std::function heap-allocates any capture larger than its tiny internal buffer (16 bytes on
+// libstdc++), which puts one malloc/free pair on every scheduled event of the hot simulation
+// loop. SmallFunction stores captures up to kInlineCapacity (48 bytes — sized to fit the
+// dissemination and retry closures, see DESIGN.md §9) inline in the event object itself and
+// only falls back to the heap beyond that. Move-only on purpose: event callbacks are consumed
+// exactly once, and copyability is what forces std::function to type-erase through an extra
+// indirection.
+
+#ifndef SRC_COMMON_SMALL_FUNCTION_H_
+#define SRC_COMMON_SMALL_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace shardman {
+
+class SmallFunction {
+ public:
+  // Captures up to this many bytes (with fundamental alignment) are stored inline.
+  static constexpr size_t kInlineCapacity = 48;
+
+  SmallFunction() noexcept = default;
+  SmallFunction(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFunction(F&& f) {  // NOLINT(runtime/explicit)
+    using Fn = std::decay_t<F>;
+    if constexpr (kInlineEligible<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = &InlineInvoke<Fn>;
+      manage_ = &InlineManage<Fn>;
+    } else {
+      *HeapSlot() = new Fn(std::forward<F>(f));
+      invoke_ = &HeapInvoke<Fn>;
+      manage_ = &HeapManage<Fn>;
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { MoveFrom(other); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { Destroy(); }
+
+  void operator()() {
+    SM_CHECK(invoke_ != nullptr);
+    invoke_(storage_);
+  }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  // True when the callable lives in the inline buffer (diagnostics / allocation tests).
+  bool is_inline() const noexcept { return invoke_ != nullptr && heap_ == false; }
+
+  void reset() noexcept {
+    Destroy();
+    invoke_ = nullptr;
+    manage_ = nullptr;
+    heap_ = false;
+  }
+
+ private:
+  enum class Op { kMoveTo, kDestroy };
+
+  using InvokeFn = void (*)(void*);
+  // kMoveTo: relocate the callable from `self` into `other` (leaving `self` destroyed);
+  // kDestroy: destroy the callable in `self`.
+  using ManageFn = void (*)(Op, void* self, void* other);
+
+  // Inline storage requires fitting the buffer, fundamental alignment, and a noexcept move so
+  // relocation during event-pool growth cannot throw mid-move.
+  template <typename Fn>
+  static constexpr bool kInlineEligible = sizeof(Fn) <= kInlineCapacity &&
+                                          alignof(Fn) <= alignof(std::max_align_t) &&
+                                          std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn>
+  static void InlineInvoke(void* s) {
+    (*std::launder(reinterpret_cast<Fn*>(s)))();
+  }
+  template <typename Fn>
+  static void InlineManage(Op op, void* self, void* other) {
+    Fn* fn = std::launder(reinterpret_cast<Fn*>(self));
+    if (op == Op::kMoveTo) {
+      ::new (other) Fn(std::move(*fn));
+    }
+    fn->~Fn();
+  }
+
+  template <typename Fn>
+  static void HeapInvoke(void* s) {
+    (**static_cast<Fn**>(s))();
+  }
+  template <typename Fn>
+  static void HeapManage(Op op, void* self, void* other) {
+    Fn** slot = static_cast<Fn**>(self);
+    if (op == Op::kMoveTo) {
+      *static_cast<Fn**>(other) = *slot;
+    } else {
+      delete *slot;
+    }
+    *slot = nullptr;
+  }
+
+  void** HeapSlot() {
+    heap_ = true;
+    return reinterpret_cast<void**>(storage_);
+  }
+
+  void MoveFrom(SmallFunction& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    heap_ = other.heap_;
+    if (other.invoke_ != nullptr) {
+      other.manage_(Op::kMoveTo, other.storage_, storage_);
+    }
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+    other.heap_ = false;
+  }
+
+  void Destroy() noexcept {
+    if (invoke_ != nullptr) {
+      manage_(Op::kDestroy, storage_, nullptr);
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+  bool heap_ = false;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_COMMON_SMALL_FUNCTION_H_

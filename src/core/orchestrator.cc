@@ -326,7 +326,7 @@ void Orchestrator::PublishMap() {
   ShardMap map = BuildMap();
   ++map_version_;
   SM_COUNTER_INC("sm.orchestrator.map_publishes");
-  discovery_->Publish(map);
+  discovery_->Publish(std::move(map));  // moved into the shared map; subscribers never copy it
   // Persisted so a replacement orchestrator continues the version sequence (§6.2).
   SM_CHECK_OK(coord_->Set("/sm/" + spec_.name + "/map_version", std::to_string(map_version_)));
 }
@@ -561,13 +561,55 @@ void Orchestrator::ExecuteMoveSecondary(Op op) {
                 PersistServerAssignment(op.from);
                 PersistServerAssignment(op.to);
                 MarkMapDirty(/*urgent=*/false);
-                // Release the old copy (make-before-break). The op — and with it the per-shard
-                // concurrency slot — completes only after the drop is acknowledged, so a later
-                // move of this shard cannot land on op.from before the old copy is gone.
                 ShardId shard = op.shard;
-                CallControl(*network_, home_region_, *registry_, op.from,
-                            [shard](ShardServerApi& api) { return api.DropShard(shard); },
-                            [this, op](const Status&) { FinishOp(op, /*success=*/true); });
+                if (!spec_.graceful_migration) {
+                  // Release the old copy immediately (make-before-break with no grace window:
+                  // clients on a stale map see "not owner" until their map refreshes). The op —
+                  // and with it the per-shard concurrency slot — completes only after the drop
+                  // is acknowledged, so a later move of this shard cannot land on op.from
+                  // before the old copy is gone.
+                  CallControl(*network_, home_region_, *registry_, op.from,
+                              [shard](ShardServerApi& api) { return api.DropShard(shard); },
+                              [this, op](const Status&) { FinishOp(op, /*success=*/true); });
+                  return;
+                }
+                // Graceful variant: stale clients keep finding a responsive replica at the old
+                // location for the whole dissemination window. The old copy forwards to the new
+                // one (step 2 of §4.3 applied to secondaries), and the real drop happens after
+                // the grace window (step 5), sharing the linger bookkeeping drains wait on.
+                ServerId old_server = op.from;
+                ServerId new_server = op.to;
+                CallControl(*network_, home_region_, *registry_, old_server,
+                            [shard, new_server](ShardServerApi& api) {
+                              return api.PrepareDropShard(shard, new_server,
+                                                          ReplicaRole::kSecondary);
+                            },
+                            [](const Status&) {});
+                ++lingering_forwarders_[old_server.value];
+                int64_t token = next_deferred_token_++;
+                EventId timer =
+                    sim_->Schedule(config_.drop_grace, [this, shard, old_server, token]() {
+                      linger_drops_.erase(token);
+                      auto release = [this, old_server]() {
+                        auto it = lingering_forwarders_.find(old_server.value);
+                        if (it != lingering_forwarders_.end() && --it->second <= 0) {
+                          lingering_forwarders_.erase(it);
+                        }
+                        CheckDrainDone(old_server);
+                      };
+                      // Load balancing may have re-bound a replica of this shard to the old
+                      // server during the grace window; the "old copy" is then a live replica
+                      // and must not be dropped.
+                      if (ShardBoundTo(shard, old_server)) {
+                        release();
+                        return;
+                      }
+                      CallControl(*network_, home_region_, *registry_, old_server,
+                                  [shard](ShardServerApi& api) { return api.DropShard(shard); },
+                                  [release](const Status&) { release(); });
+                    });
+                linger_drops_[token] = {timer, shard, old_server};
+                FinishOp(op, /*success=*/true);
               });
 }
 

@@ -8,11 +8,13 @@
 #ifndef SRC_CORE_SM_LIBRARY_H_
 #define SRC_CORE_SM_LIBRARY_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/coord/coord_store.h"
 #include "src/core/server_api.h"
+#include "src/discovery/service_discovery.h"
 
 namespace shardman {
 
@@ -30,9 +32,20 @@ std::vector<PersistedReplica> ParseAssignment(const std::string& data);
 class SmLibrary {
  public:
   SmLibrary(CoordStore* coord, std::string app_name, ServerId server, ShardServerApi* self);
+  ~SmLibrary();
 
   // Establishes the liveness session and ephemeral node. Called on container start.
   void Connect();
+
+  // Subscribes to the app's shard map so the server-side library holds the same immutable map
+  // clients route by (the paper's library uses it to forward misdirected requests). The view is
+  // a shared reference to the published map — zero-copy, refreshed on each delivery.
+  void WatchShardMap(ServiceDiscovery* discovery, AppId app);
+
+  // The library's current (possibly stale) map view; nullptr before the first delivery or when
+  // WatchShardMap was never called.
+  const ShardMap* shard_map_view() const { return map_view_.get(); }
+  std::shared_ptr<const ShardMap> shard_map_shared() const { return map_view_; }
 
   // Expires the session (deleting the ephemeral node). Called on container stop/crash.
   void Disconnect();
@@ -63,6 +76,9 @@ class SmLibrary {
   ServerId server_;
   ShardServerApi* self_;
   SessionId session_;
+  ServiceDiscovery* discovery_ = nullptr;
+  int64_t map_subscription_ = 0;
+  std::shared_ptr<const ShardMap> map_view_;
 };
 
 }  // namespace shardman

@@ -1,5 +1,6 @@
 #include "src/discovery/service_discovery.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/check.h"
@@ -7,45 +8,60 @@
 
 namespace shardman {
 
+namespace {
+// splitmix64 finalizer: a high-quality 64-bit mixer.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
 ServiceDiscovery::ServiceDiscovery(Simulator* sim, TimeMicros min_delay, TimeMicros max_delay,
                                    uint64_t seed)
-    : sim_(sim), min_delay_(min_delay), max_delay_(max_delay), rng_(seed) {
+    : sim_(sim), min_delay_(min_delay), max_delay_(max_delay), seed_(seed) {
   SM_CHECK(sim != nullptr);
   SM_CHECK_LE(min_delay, max_delay);
 }
 
-TimeMicros ServiceDiscovery::SampleDelay() {
+TimeMicros ServiceDiscovery::DeliveryDelay(int64_t subscription, int64_t version) const {
   if (max_delay_ == min_delay_) {
     return min_delay_;
   }
-  return rng_.UniformInt(min_delay_, max_delay_);
+  // Pure function of (seed, subscription, version): the delay a subscriber experiences for a
+  // version does not depend on how many other subscribers exist or the order they are served.
+  uint64_t h = Mix64(seed_ ^ Mix64(static_cast<uint64_t>(subscription)) ^
+                     Mix64(static_cast<uint64_t>(version) * 0xD1B54A32D192ED03ULL));
+  uint64_t span = static_cast<uint64_t>(max_delay_ - min_delay_) + 1;
+  return min_delay_ + static_cast<TimeMicros>(h % span);
 }
 
-void ServiceDiscovery::Publish(const ShardMap& map) {
-  auto& slot = current_[map.app.value];
-  if (slot != nullptr) {
-    SM_CHECK_GT(map.version, slot->version);
+void ServiceDiscovery::Publish(std::shared_ptr<const ShardMap> map) {
+  SM_CHECK(map != nullptr);
+  AppState& app = apps_[map->app.value];
+  if (app.current != nullptr) {
+    SM_CHECK_GT(map->version, app.current->version);
   }
-  slot = std::make_shared<const ShardMap>(map);
+  app.current = std::move(map);
+  const std::shared_ptr<const ShardMap>& shared = app.current;
   TimeMicros published_at = sim_->Now();
-  published_at_[map.app.value] = published_at;
+  app.published_at = published_at;
   ++publishes_;
   SM_COUNTER_INC("sm.discovery.publishes");
   SM_TRACE_INSTANT("discovery", "publish",
-                   obs::Arg("app", static_cast<int64_t>(map.app.value)) + "," +
-                       obs::Arg("version", map.version));
-  for (const auto& [id, sub] : subscribers_) {
-    if (sub.app == map.app) {
-      int64_t subscription = id;
-      auto shared = slot;
-      sim_->Schedule(SampleDelay(), [this, subscription, shared, published_at]() {
-        Deliver(subscription, shared, published_at);
-      });
-    }
+                   obs::Arg("app", static_cast<int64_t>(shared->app.value)) + "," +
+                       obs::Arg("version", shared->version));
+  // Only this app's subscribers are scanned; each delivery shares the one immutable map.
+  for (int64_t subscription : app.subscriptions) {
+    sim_->Schedule(DeliveryDelay(subscription, shared->version),
+                   [this, subscription, shared, published_at]() {
+                     Deliver(subscription, shared, published_at);
+                   });
   }
 }
 
-void ServiceDiscovery::Deliver(int64_t subscription, std::shared_ptr<const ShardMap> map,
+void ServiceDiscovery::Deliver(int64_t subscription, const std::shared_ptr<const ShardMap>& map,
                                TimeMicros published_at) {
   auto it = subscribers_.find(subscription);
   if (it == subscribers_.end()) {
@@ -57,27 +73,44 @@ void ServiceDiscovery::Deliver(int64_t subscription, std::shared_ptr<const Shard
   it->second.delivered_version = map->version;
   SM_COUNTER_INC("sm.discovery.deliveries");
   SM_HISTOGRAM_OBSERVE("sm.discovery.staleness_ms", ToMillis(sim_->Now() - published_at));
-  it->second.cb(*map);
+  it->second.cb(map);
 }
 
 int64_t ServiceDiscovery::Subscribe(AppId app, MapCallback cb) {
   int64_t id = next_subscription_++;
   subscribers_[id] = Subscriber{app, std::move(cb), -1};
-  auto it = current_.find(app.value);
-  if (it != current_.end() && it->second != nullptr) {
-    auto shared = it->second;
-    TimeMicros published_at = published_at_[app.value];
-    sim_->Schedule(SampleDelay(),
+  AppState& state = apps_[app.value];
+  state.subscriptions.push_back(id);
+  if (state.current != nullptr) {
+    std::shared_ptr<const ShardMap> shared = state.current;
+    TimeMicros published_at = state.published_at;
+    sim_->Schedule(DeliveryDelay(id, shared->version),
                    [this, id, shared, published_at]() { Deliver(id, shared, published_at); });
   }
   return id;
 }
 
-void ServiceDiscovery::Unsubscribe(int64_t subscription) { subscribers_.erase(subscription); }
+void ServiceDiscovery::Unsubscribe(int64_t subscription) {
+  auto it = subscribers_.find(subscription);
+  if (it == subscribers_.end()) {
+    return;
+  }
+  auto app_it = apps_.find(it->second.app.value);
+  if (app_it != apps_.end()) {
+    auto& subs = app_it->second.subscriptions;
+    subs.erase(std::remove(subs.begin(), subs.end(), subscription), subs.end());
+  }
+  subscribers_.erase(it);
+}
 
 const ShardMap* ServiceDiscovery::Current(AppId app) const {
-  auto it = current_.find(app.value);
-  return it != current_.end() ? it->second.get() : nullptr;
+  auto it = apps_.find(app.value);
+  return it != apps_.end() ? it->second.current.get() : nullptr;
+}
+
+std::shared_ptr<const ShardMap> ServiceDiscovery::CurrentShared(AppId app) const {
+  auto it = apps_.find(app.value);
+  return it != apps_.end() ? it->second.current : nullptr;
 }
 
 }  // namespace shardman

@@ -4,6 +4,14 @@
 // availability experiments observe is the *client-visible staleness window*, so the simulator
 // models dissemination as a per-subscriber propagation delay sampled from a configurable range.
 // Stale deliveries (older version than the subscriber already has) are suppressed.
+//
+// Hot-path design (DESIGN.md §9): dissemination is zero-copy. Publish stores one immutable
+// ShardMap behind a shared_ptr and hands that same pointer to every subscriber — a map version
+// is materialized exactly once no matter how many clients consume it. Subscribers are indexed
+// per app, so publishing app A never scans app B's subscribers. Each delivery delay is derived
+// by hashing (seed, subscription, version) rather than drawn from a shared RNG stream, so the
+// delay a subscriber experiences is independent of fan-out iteration order — publish order can
+// never perturb the seeded timing of other subscribers.
 
 #ifndef SRC_DISCOVERY_SERVICE_DISCOVERY_H_
 #define SRC_DISCOVERY_SERVICE_DISCOVERY_H_
@@ -13,7 +21,6 @@
 #include <unordered_map>
 #include <vector>
 
-#include "src/common/rng.h"
 #include "src/discovery/shard_map.h"
 #include "src/sim/simulator.h"
 
@@ -21,13 +28,19 @@ namespace shardman {
 
 class ServiceDiscovery {
  public:
-  using MapCallback = std::function<void(const ShardMap&)>;
+  // Subscribers receive the shared immutable map — store the shared_ptr, never copy the map.
+  using MapCallback = std::function<void(const std::shared_ptr<const ShardMap>&)>;
 
-  // Propagation delay per subscriber is sampled uniformly in [min_delay, max_delay].
+  // Propagation delay per subscriber is derived deterministically from (seed, subscription,
+  // version), uniform in [min_delay, max_delay].
   ServiceDiscovery(Simulator* sim, TimeMicros min_delay, TimeMicros max_delay, uint64_t seed);
 
   // Publishes a new map version for map.app. Versions must be monotonically increasing.
-  void Publish(const ShardMap& map);
+  // The by-value overload materializes the shared map once; prefer moving in the freshly-built
+  // map. The shared_ptr overload publishes an already-shared map with no copy at all.
+  void Publish(const ShardMap& map) { Publish(std::make_shared<const ShardMap>(map)); }
+  void Publish(ShardMap&& map) { Publish(std::make_shared<const ShardMap>(std::move(map))); }
+  void Publish(std::shared_ptr<const ShardMap> map);
 
   // Subscribes to an app's map. If a map already exists it is delivered after a propagation
   // delay. Returns a subscription id for Unsubscribe.
@@ -37,6 +50,8 @@ class ServiceDiscovery {
   // The authoritative (most recently published) map, or nullptr. Control-plane components use
   // this; clients must go through Subscribe to experience propagation delay.
   const ShardMap* Current(AppId app) const;
+  // Shared handle to the authoritative map (zero-copy access for co-located components).
+  std::shared_ptr<const ShardMap> CurrentShared(AppId app) const;
 
   int64_t publishes() const { return publishes_; }
 
@@ -46,19 +61,22 @@ class ServiceDiscovery {
     MapCallback cb;
     int64_t delivered_version = -1;
   };
+  struct AppState {
+    std::shared_ptr<const ShardMap> current;
+    TimeMicros published_at = 0;  // feeds the delivery staleness histogram
+    std::vector<int64_t> subscriptions;  // insertion order (stable for same-instant delivery)
+  };
 
-  TimeMicros SampleDelay();
+  TimeMicros DeliveryDelay(int64_t subscription, int64_t version) const;
   // `published_at` is when the map version was published (sim time), for the staleness metric.
-  void Deliver(int64_t subscription, std::shared_ptr<const ShardMap> map,
+  void Deliver(int64_t subscription, const std::shared_ptr<const ShardMap>& map,
                TimeMicros published_at);
 
   Simulator* sim_;
   TimeMicros min_delay_;
   TimeMicros max_delay_;
-  Rng rng_;
-  std::unordered_map<int32_t, std::shared_ptr<const ShardMap>> current_;
-  // When the current map of each app was published, feeding the delivery staleness histogram.
-  std::unordered_map<int32_t, TimeMicros> published_at_;
+  uint64_t seed_;
+  std::unordered_map<int32_t, AppState> apps_;
   std::unordered_map<int64_t, Subscriber> subscribers_;
   int64_t next_subscription_ = 1;
   int64_t publishes_ = 0;

@@ -24,14 +24,100 @@ ServiceRouter::ServiceRouter(Simulator* sim, Network* network, ServiceDiscovery*
   SM_CHECK(discovery != nullptr);
   SM_CHECK(registry != nullptr);
   SM_CHECK(spec != nullptr);
-  subscription_ = discovery_->Subscribe(spec_->id, [this](const ShardMap& map) {
-    // First client-visible point of a lifecycle chain: the routing table now reflects the
-    // published version.
-    SM_COUNTER_INC("sm.router.maps_applied");
-    SM_TRACE_INSTANT("router", "map_applied", obs::Arg("version", map.version));
-    map_ = map;
-    has_map_ = true;
-  });
+  subscription_ = discovery_->Subscribe(
+      spec_->id, [this](const std::shared_ptr<const ShardMap>& map) { ApplyMap(map); });
+}
+
+void ServiceRouter::ApplyMap(const std::shared_ptr<const ShardMap>& map) {
+  // First client-visible point of a lifecycle chain: the routing table now reflects the
+  // published version.
+  SM_COUNTER_INC("sm.router.maps_applied");
+  SM_TRACE_INSTANT("router", "map_applied", obs::Arg("version", map->version));
+  map_ = map;
+  RebuildCache();
+}
+
+void ServiceRouter::RebuildCache() {
+  ++cache_rebuilds_;
+  SM_COUNTER_INC("sm.router.cache_rebuilds");
+  cache_.clear();
+  ranked_.clear();
+  cache_.reserve(map_->entries.size());
+  for (const ShardMapEntry& entry : map_->entries) {
+    CachedShard cached;
+    cached.replica_begin = static_cast<uint32_t>(ranked_.size());
+    for (const ShardMapReplica& replica : entry.replicas) {
+      if (replica.role == ReplicaRole::kPrimary) {
+        cached.primary = replica.server;
+      }
+      ranked_.push_back(RankedReplica{
+          replica.server, network_->ExpectedLatency(client_region_, replica.region)});
+    }
+    cached.replica_count = static_cast<uint16_t>(ranked_.size() - cached.replica_begin);
+    // Rank by expected latency; stable sort keeps map order within a latency tier so the
+    // ranking itself is deterministic (load spreading happens per request, not here).
+    auto begin = ranked_.begin() + cached.replica_begin;
+    std::stable_sort(begin, ranked_.end(), [](const RankedReplica& a, const RankedReplica& b) {
+      return a.latency < b.latency;
+    });
+    uint16_t tier = 0;
+    while (tier < cached.replica_count && begin[tier].latency == begin->latency) {
+      ++tier;
+    }
+    cached.first_tier = tier;
+    cache_.push_back(cached);
+  }
+}
+
+ServerId ServiceRouter::PickTarget(const Request& request, int attempt, ServerId exclude) {
+  if (map_ == nullptr || !request.shard.valid() ||
+      static_cast<size_t>(request.shard.value) >= cache_.size()) {
+    return ServerId();
+  }
+  const CachedShard& cached = cache_[static_cast<size_t>(request.shard.value)];
+  if (cached.replica_count == 0) {
+    return ServerId();
+  }
+  const bool writes_anywhere = spec_->strategy == ReplicationStrategy::kSecondaryOnly;
+  if (request.type == RequestType::kWrite && !writes_anywhere) {
+    // Writes must reach the primary; there is no alternative to fail over to. Deliberately
+    // returned even when it equals `exclude`: during graceful migration the old primary
+    // forwards, so retrying it beats giving up.
+    return cached.primary;
+  }
+  // Reads/scans (and secondary-only writes): walk the latency-ranked replicas, skipping the
+  // server that failed the previous attempt when an alternative exists; later attempts walk
+  // down the preference list. One seeded draw rotates the start within the equidistant first
+  // tier to spread load across it — no per-request sort or allocation.
+  const RankedReplica* ranked = ranked_.data() + cached.replica_begin;
+  const int count = cached.replica_count;
+  int avail = count;
+  if (count > 1 && exclude.valid()) {
+    for (int i = 0; i < count; ++i) {
+      if (ranked[i].server == exclude) {
+        --avail;
+        break;
+      }
+    }
+  }
+  if (avail == 0) {
+    return exclude;  // everything filtered: retry the excluded server rather than nothing
+  }
+  const int rotation =
+      cached.first_tier > 1 ? rng_.UniformInt(0, cached.first_tier - 1) : 0;
+  int remaining = std::min(attempt - 1, avail - 1);
+  for (int i = 0; i < count; ++i) {
+    const int pos = i < cached.first_tier ? (i + rotation) % cached.first_tier : i;
+    const ServerId candidate = ranked[pos].server;
+    if (count > 1 && candidate == exclude) {
+      continue;
+    }
+    if (remaining == 0) {
+      return candidate;
+    }
+    --remaining;
+  }
+  return exclude;
 }
 
 void ServiceRouter::Route(uint64_t key, RequestType type,
@@ -54,46 +140,6 @@ void ServiceRouter::Route(uint64_t key, RequestType type, uint64_t payload,
   Send(std::move(attempt));
 }
 
-ServerId ServiceRouter::PickTarget(const Request& request, int attempt, ServerId exclude) {
-  if (!has_map_) {
-    return ServerId();
-  }
-  const ShardMapEntry* entry = map_.Find(request.shard);
-  if (entry == nullptr || entry->replicas.empty()) {
-    return ServerId();
-  }
-  const bool writes_anywhere = spec_->strategy == ReplicationStrategy::kSecondaryOnly;
-  if (request.type == RequestType::kWrite && !writes_anywhere) {
-    // Writes must reach the primary; there is no alternative to fail over to.
-    for (const ShardMapReplica& replica : entry->replicas) {
-      if (replica.role == ReplicaRole::kPrimary) {
-        return replica.server;
-      }
-    }
-    return ServerId();
-  }
-  // Reads/scans (and secondary-only writes): order replicas by expected latency from the
-  // client region, skipping the server that failed the previous attempt when an alternative
-  // exists; later attempts walk down the preference list.
-  std::vector<std::pair<TimeMicros, ServerId>> ranked;
-  ranked.reserve(entry->replicas.size());
-  for (const ShardMapReplica& replica : entry->replicas) {
-    if (replica.server == exclude && entry->replicas.size() > 1) {
-      continue;
-    }
-    TimeMicros latency = network_->ExpectedLatency(client_region_, replica.region);
-    // Small random tiebreak spreads load across equidistant replicas.
-    latency += static_cast<TimeMicros>(rng_.UniformInt(0, 99));
-    ranked.emplace_back(latency, replica.server);
-  }
-  if (ranked.empty()) {
-    return exclude;  // everything filtered: retry the excluded server rather than nothing
-  }
-  std::sort(ranked.begin(), ranked.end());
-  size_t index = std::min(static_cast<size_t>(attempt - 1), ranked.size() - 1);
-  return ranked[index].second;
-}
-
 void ServiceRouter::Send(Attempt attempt) {
   ServerId target = PickTarget(attempt.request, attempt.attempt, attempt.exclude);
   if (!target.valid()) {
@@ -102,6 +148,7 @@ void ServiceRouter::Send(Attempt attempt) {
     Finish(attempt, reply);
     return;
   }
+  attempt.target = target;
   ++requests_sent_;
   Request request = attempt.request;
   auto self = this;
@@ -116,7 +163,11 @@ void ServiceRouter::Finish(const Attempt& attempt, const Reply& reply) {
   if (!reply.status.ok() && attempt.attempt < config_.max_attempts) {
     Attempt retry = attempt;
     ++retry.attempt;
-    retry.exclude = reply.served_by;  // avoid the server that just failed
+    // Avoid the server that just failed. A timed-out attempt carries no served_by, so fall
+    // back to the server we actually sent to — otherwise the retry could re-pick it while
+    // still consuming an attempt slot.
+    retry.exclude = reply.served_by.valid() ? reply.served_by : attempt.target;
+    SM_COUNTER_INC("sm.router.retries");
     sim_->Schedule(config_.retry_backoff,
                    [this, retry = std::move(retry)]() mutable { Send(std::move(retry)); });
     return;

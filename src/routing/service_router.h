@@ -2,17 +2,25 @@
 //
 // Mirrors the paper's client API: a client asks for the server responsible for a key
 // (get_client(app, key)) and sends requests there. The router:
-//   * maintains a (possibly stale) local copy of the shard map, updated via service discovery;
+//   * maintains a (possibly stale) local view of the shard map, updated via service discovery —
+//     a shared reference to the one immutable published map, never a copy;
 //   * resolves key -> shard through the app's key ranges (app-key abstraction, §3.1);
 //   * routes writes to the primary and reads/scans to the lowest-latency replica from the
 //     client's region;
 //   * retries with backoff on failures and wrong-owner responses, re-resolving the (by then
 //     hopefully refreshed) map on each attempt.
+//
+// Hot-path design (DESIGN.md §9): on every map application the router builds a per-version
+// routing cache — for each shard, the primary plus the replicas ranked by expected latency from
+// the client's region (ExpectedLatency is deterministic per region pair). PickTarget is then an
+// array lookup plus one seeded rotation draw inside the equidistant first tier; no per-request
+// allocation, latency query or sort. The cache is invalidated only by the next map version.
 
 #ifndef SRC_ROUTING_SERVICE_ROUTER_H_
 #define SRC_ROUTING_SERVICE_ROUTER_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -49,22 +57,48 @@ class ServiceRouter {
              std::function<void(const RequestOutcome&)> done);
 
   // The client's current view of the map (possibly stale). Null before first delivery.
-  const ShardMap* map() const { return has_map_ ? &map_ : nullptr; }
+  const ShardMap* map() const { return map_.get(); }
   RegionId region() const { return client_region_; }
 
   int64_t requests_sent() const { return requests_sent_; }
+  // Routing-cache rebuilds so far (== map versions applied); tests assert invalidation.
+  int64_t cache_rebuilds() const { return cache_rebuilds_; }
+
+  // Exposes the target-selection fast path for benchmarks and allocation tests; behaves exactly
+  // like the selection performed inside Route.
+  ServerId PickTargetForBench(const Request& request, int attempt, ServerId exclude) {
+    return PickTarget(request, attempt, exclude);
+  }
 
  private:
   struct Attempt {
     Request request;
     int attempt = 1;
     TimeMicros started_at = 0;
+    // The server this attempt was sent to (so a timed-out attempt with no reply still knows
+    // whom to exclude next).
+    ServerId target;
     // The server that failed the previous attempt; excluded from re-selection when an
     // alternative replica exists.
     ServerId exclude;
     std::function<void(const RequestOutcome&)> done;
   };
 
+  // One shard's cached routing entry; replicas_[replica_begin, replica_begin+replica_count)
+  // are ranked by (expected latency from the client region, map order).
+  struct CachedShard {
+    ServerId primary;            // invalid when the map has no primary for the shard
+    uint32_t replica_begin = 0;
+    uint16_t replica_count = 0;
+    uint16_t first_tier = 0;     // replicas sharing the lowest expected latency
+  };
+  struct RankedReplica {
+    ServerId server;
+    TimeMicros latency = 0;
+  };
+
+  void ApplyMap(const std::shared_ptr<const ShardMap>& map);
+  void RebuildCache();
   // Picks the target server for this attempt, or an invalid id if the map has no candidate.
   ServerId PickTarget(const Request& request, int attempt, ServerId exclude);
   void Send(Attempt attempt);
@@ -79,10 +113,14 @@ class ServiceRouter {
   RouterConfig config_;
   Rng rng_;
 
-  ShardMap map_;
-  bool has_map_ = false;
+  // Shared reference to the published map (zero-copy; null before the first delivery).
+  std::shared_ptr<const ShardMap> map_;
+  // Per-version routing cache, rebuilt on map application only.
+  std::vector<CachedShard> cache_;
+  std::vector<RankedReplica> ranked_;
   int64_t subscription_ = 0;
   int64_t requests_sent_ = 0;
+  int64_t cache_rebuilds_ = 0;
 };
 
 }  // namespace shardman

@@ -1,89 +1,142 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace shardman {
 
+uint32_t Simulator::AcquireSlot() {
+  if (!free_slots_.empty()) {
+    uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  pool_.emplace_back();
+  return static_cast<uint32_t>(pool_.size() - 1);
+}
+
+void Simulator::ReleaseSlot(uint32_t slot) {
+  Event& ev = pool_[slot];
+  ev.generation = (ev.generation + 1) & 0x7FFFFFFFU;  // invalidates outstanding EventIds
+  ev.in_heap = false;
+  ev.cancelled = false;
+  ev.cb.reset();
+  free_slots_.push_back(slot);
+}
+
 EventId Simulator::ScheduleAt(TimeMicros when, Callback cb) {
   SM_CHECK_GE(when, now_);
-  Event ev;
-  ev.when = when;
-  ev.seq = next_seq_++;
-  ev.id = next_id_++;
+  uint32_t slot = AcquireSlot();
+  Event& ev = pool_[slot];
   ev.cb = std::move(cb);
-  uint64_t id = ev.id;
-  queue_.push(std::move(ev));
+  ev.in_heap = true;
+  ev.cancelled = false;
+  uint64_t id = MakeEventId(ev.generation, slot);
+  heap_.push_back(HeapItem{when, next_seq_++, slot});
+  std::push_heap(heap_.begin(), heap_.end(), HeapAfter{});
   return EventId{id};
 }
 
 EventId Simulator::SchedulePeriodic(TimeMicros first_delay, TimeMicros period, Callback cb) {
   SM_CHECK_GT(period, 0);
-  uint64_t chain_id = next_id_++;
-  periodic_alive_.insert(chain_id);
-  // The chain's firings share chain_id through cancelled_ checks in PeriodicFire.
-  Callback shared_cb = std::move(cb);
-  Event ev;
-  ev.when = now_ + first_delay;
-  ev.seq = next_seq_++;
-  ev.id = next_id_++;
-  ev.cb = [this, chain_id, period, shared_cb]() { PeriodicFire(chain_id, period, shared_cb); };
-  queue_.push(std::move(ev));
-  return EventId{chain_id};
+  uint64_t chain_id = next_chain_id_++;
+  PeriodicChain& chain = chains_[chain_id];
+  chain.period = period;
+  chain.cb = std::move(cb);
+  chain.pending = ScheduleAt(now_ + first_delay, [this, chain_id]() { PeriodicFire(chain_id); });
+  return EventId{kPeriodicTag | chain_id};
 }
 
-void Simulator::PeriodicFire(uint64_t chain_id, TimeMicros period, const Callback& cb) {
-  if (periodic_alive_.find(chain_id) == periodic_alive_.end()) {
+void Simulator::PeriodicFire(uint64_t chain_id) {
+  auto it = chains_.find(chain_id);
+  if (it == chains_.end()) {
     return;
   }
-  cb();
-  if (periodic_alive_.find(chain_id) == periodic_alive_.end()) {
-    return;  // The callback cancelled its own chain.
+  // References into unordered_map nodes are stable even if the callback creates or cancels
+  // other chains (only iterators are invalidated by a rehash).
+  PeriodicChain& chain = it->second;
+  chain.running = true;
+  chain.cb();
+  chain.running = false;
+  if (chain.dead) {  // the callback cancelled its own chain
+    chains_.erase(chain_id);
+    return;
   }
-  Event ev;
-  ev.when = now_ + period;
-  ev.seq = next_seq_++;
-  ev.id = next_id_++;
-  Callback again = cb;
-  ev.cb = [this, chain_id, period, again]() { PeriodicFire(chain_id, period, again); };
-  queue_.push(std::move(ev));
+  chain.pending = ScheduleAt(now_ + chain.period, [this, chain_id]() { PeriodicFire(chain_id); });
 }
 
 void Simulator::Cancel(EventId id) {
   if (!id.valid()) {
     return;
   }
-  if (periodic_alive_.erase(id.value) > 0) {
+  if ((id.value & kPeriodicTag) != 0) {
+    CancelChain(id.value & ~kPeriodicTag);
     return;
   }
-  cancelled_.insert(id.value);
+  uint32_t slot = SlotOf(id.value);
+  if (slot >= pool_.size()) {
+    return;  // never issued
+  }
+  Event& ev = pool_[slot];
+  if (!ev.in_heap || ev.cancelled || ev.generation != GenerationOf(id.value)) {
+    return;  // already fired, already cancelled, or a recycled slot — nothing to do
+  }
+  ev.cancelled = true;
+  ev.cb.reset();  // release captures eagerly; the heap entry is reaped when it surfaces
+  ++cancelled_pending_;
+}
+
+void Simulator::CancelChain(uint64_t chain_id) {
+  auto it = chains_.find(chain_id);
+  if (it == chains_.end()) {
+    return;
+  }
+  Cancel(it->second.pending);
+  if (it->second.running) {
+    it->second.dead = true;  // PeriodicFire erases after the callback returns
+  } else {
+    chains_.erase(it);
+  }
+}
+
+void Simulator::DropCancelledHead() {
+  while (!heap_.empty()) {
+    const HeapItem& top = heap_.front();
+    if (!pool_[top.slot].cancelled) {
+      return;
+    }
+    uint32_t slot = top.slot;
+    std::pop_heap(heap_.begin(), heap_.end(), HeapAfter{});
+    heap_.pop_back();
+    ReleaseSlot(slot);
+    --cancelled_pending_;
+  }
 }
 
 bool Simulator::Step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (cancelled_.erase(ev.id) > 0) {
-      continue;
-    }
-    SM_CHECK_GE(ev.when, now_);
-    now_ = ev.when;
-    ++executed_;
-    ev.cb();
-    return true;
+  DropCancelledHead();
+  if (heap_.empty()) {
+    return false;
   }
-  return false;
+  HeapItem top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), HeapAfter{});
+  heap_.pop_back();
+  SM_CHECK_GE(top.when, now_);
+  now_ = top.when;
+  ++executed_;
+  // Move the callback out and free the slot before running it, so the callback can schedule
+  // new events (reusing this slot) or Cancel its own id (a generation-mismatch no-op).
+  Callback cb = std::move(pool_[top.slot].cb);
+  ReleaseSlot(top.slot);
+  cb();
+  return true;
 }
 
 void Simulator::RunUntil(TimeMicros t) {
   SM_CHECK_GE(t, now_);
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (cancelled_.count(top.id) > 0) {
-      cancelled_.erase(top.id);
-      queue_.pop();
-      continue;
-    }
-    if (top.when > t) {
+  while (true) {
+    DropCancelledHead();
+    if (heap_.empty() || heap_.front().when > t) {
       break;
     }
     Step();

@@ -4,22 +4,28 @@
 // events are (time, sequence)-ordered closures, so a run is fully reproducible and simulated
 // hours execute in wall-clock milliseconds. Components hold a Simulator* and schedule callbacks
 // instead of sleeping.
+//
+// Hot-path design (DESIGN.md §9): the event loop is allocation-free in steady state. Callbacks
+// are SmallFunction (captures ≤ 48 bytes stored inline, no malloc per Schedule), events live in
+// a free-listed slab (`pool_`) that is recycled rather than reallocated, and the priority queue
+// orders lightweight {when, seq, slot} triples. EventId encodes {slot, generation}: cancelling
+// an already-executed, already-cancelled or never-issued id is an O(1) no-op that leaves no
+// residue behind (the old implementation grew an unordered_set forever on such calls).
 
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/check.h"
 #include "src/common/sim_time.h"
+#include "src/common/small_function.h"
 
 namespace shardman {
 
-// Handle for cancelling a scheduled event.
+// Handle for cancelling a scheduled event (or a periodic chain).
 struct EventId {
   uint64_t value = 0;
   bool valid() const { return value != 0; }
@@ -27,7 +33,7 @@ struct EventId {
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFunction;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -43,11 +49,14 @@ class Simulator {
   // Schedules `cb` at absolute virtual time `when` (>= Now()).
   EventId ScheduleAt(TimeMicros when, Callback cb);
 
-  // Schedules `cb` every `period` microseconds, starting `first_delay` from now. Returns the id
-  // of the recurring chain; cancelling it stops future firings.
+  // Schedules `cb` every `period` microseconds, starting `first_delay` from now. The callback is
+  // stored once in the chain registry; each firing schedules only a {this, chain_id} trampoline,
+  // never a fresh copy of `cb`. Returns the id of the recurring chain; cancelling it stops
+  // future firings.
   EventId SchedulePeriodic(TimeMicros first_delay, TimeMicros period, Callback cb);
 
-  // Cancels a pending event. Cancelling an already-fired or invalid id is a no-op.
+  // Cancels a pending event. Cancelling an already-fired, already-cancelled or invalid id is an
+  // O(1) no-op with no bookkeeping growth.
   void Cancel(EventId id);
 
   // Runs a single event. Returns false if the queue is empty.
@@ -63,38 +72,70 @@ class Simulator {
   void RunAll();
 
   // Number of pending (uncancelled) events.
-  size_t PendingEvents() const { return queue_.size() - cancelled_.size(); }
+  size_t PendingEvents() const { return heap_.size() - cancelled_pending_; }
 
   // Total events executed since construction (diagnostics).
   uint64_t ExecutedEvents() const { return executed_; }
 
+  // Size of the event slab (diagnostics/tests): bounded by the peak number of simultaneously
+  // pending events, independent of how many events have ever been scheduled or cancelled.
+  size_t EventPoolSlots() const { return pool_.size(); }
+
  private:
   struct Event {
+    Callback cb;
+    uint32_t generation = 0;
+    bool in_heap = false;    // scheduled and not yet executed or reaped
+    bool cancelled = false;  // cancelled while still queued; reaped when it reaches the top
+  };
+  struct HeapItem {
     TimeMicros when;
     uint64_t seq;
-    uint64_t id;
-    Callback cb;
+    uint32_t slot;
   };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
+  struct HeapAfter {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
       if (a.when != b.when) {
         return a.when > b.when;
       }
       return a.seq > b.seq;
     }
   };
+  struct PeriodicChain {
+    TimeMicros period = 0;
+    Callback cb;
+    EventId pending;        // the queued next firing
+    bool running = false;   // cb currently executing (defer erase to PeriodicFire)
+    bool dead = false;      // cancelled while running
+  };
 
-  void PeriodicFire(uint64_t chain_id, TimeMicros period, const Callback& cb);
+  static constexpr uint64_t kPeriodicTag = 1ULL << 63;
+
+  static uint64_t MakeEventId(uint32_t generation, uint32_t slot) {
+    return (static_cast<uint64_t>(generation) << 32) | (static_cast<uint64_t>(slot) + 1);
+  }
+  static uint32_t SlotOf(uint64_t value) { return static_cast<uint32_t>(value & 0xFFFFFFFFULL) - 1; }
+  static uint32_t GenerationOf(uint64_t value) {
+    return static_cast<uint32_t>((value >> 32) & 0x7FFFFFFFULL);
+  }
+
+  uint32_t AcquireSlot();
+  void ReleaseSlot(uint32_t slot);
+  // Reaps cancelled events sitting at the queue head — the single cancelled-event handler
+  // shared by Step and RunUntil.
+  void DropCancelledHead();
+  void PeriodicFire(uint64_t chain_id);
+  void CancelChain(uint64_t chain_id);
 
   TimeMicros now_ = 0;
   uint64_t next_seq_ = 1;
-  uint64_t next_id_ = 1;
   uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
-  std::unordered_set<uint64_t> cancelled_;
-  // Ids of periodic chains mapped through rescheduling: a chain keeps its original id so Cancel
-  // works across firings.
-  std::unordered_set<uint64_t> periodic_alive_;
+  std::vector<Event> pool_;
+  std::vector<uint32_t> free_slots_;
+  std::vector<HeapItem> heap_;
+  size_t cancelled_pending_ = 0;
+  std::unordered_map<uint64_t, PeriodicChain> chains_;
+  uint64_t next_chain_id_ = 1;
 };
 
 }  // namespace shardman

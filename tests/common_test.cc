@@ -2,12 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "src/common/ids.h"
 #include "src/common/resource.h"
 #include "src/common/rng.h"
+#include "src/common/small_function.h"
 #include "src/common/stats.h"
 #include "src/common/status.h"
 #include "src/common/table.h"
@@ -273,6 +276,62 @@ TEST(IdsTest, StrongTypesHashAndCompare) {
   replicas.insert(ReplicaId(a, 1));
   replicas.insert(ReplicaId(a, 0));
   EXPECT_EQ(replicas.size(), 2u);
+}
+
+TEST(SmallFunctionTest, SmallCapturesAreStoredInline) {
+  int hits = 0;
+  int* p = &hits;
+  SmallFunction fn([p]() { ++*p; });
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFunctionTest, LargeCapturesFallBackToHeap) {
+  struct Big {
+    char bytes[128] = {};
+  };
+  Big big;
+  big.bytes[0] = 42;
+  int seen = 0;
+  SmallFunction fn([big, &seen]() { seen = big.bytes[0]; });
+  EXPECT_FALSE(fn.is_inline());
+  fn();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(SmallFunctionTest, MoveTransfersStateAndEmptiesSource) {
+  int hits = 0;
+  SmallFunction a([&hits]() { ++hits; });
+  SmallFunction b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move): post-move state is spec'd
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+  SmallFunction c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFunctionTest, MoveOnlyCapturesWork) {
+  auto owned = std::make_unique<int>(7);
+  int seen = 0;
+  SmallFunction fn([owned = std::move(owned), &seen]() { seen = *owned; });
+  SmallFunction moved(std::move(fn));
+  moved();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(SmallFunctionTest, DestructorReleasesCaptures) {
+  auto tracked = std::make_shared<int>(1);
+  std::weak_ptr<int> weak = tracked;
+  {
+    SmallFunction fn([tracked = std::move(tracked)]() { (void)*tracked; });
+    EXPECT_FALSE(weak.expired());
+  }
+  EXPECT_TRUE(weak.expired());
 }
 
 }  // namespace

@@ -102,6 +102,103 @@ TEST(SimulatorTest, PeriodicCanCancelItself) {
   EXPECT_EQ(fired, 3);
 }
 
+TEST(SimulatorTest, CancelAfterExecutionIsNoOp) {
+  Simulator sim;
+  int fired = 0;
+  EventId id = sim.Schedule(Millis(10), [&]() { ++fired; });
+  sim.RunAll();
+  EXPECT_EQ(fired, 1);
+  sim.Cancel(id);  // already executed: nothing to cancel, nothing to remember
+  sim.Cancel(id);
+  sim.Cancel(EventId{});           // invalid id
+  sim.Cancel(EventId{0xDEADBEEF});  // never-issued id
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(SimulatorTest, StaleCancelDoesNotAffectRecycledSlot) {
+  Simulator sim;
+  int first = 0;
+  int second = 0;
+  EventId a = sim.Schedule(Millis(1), [&]() { ++first; });
+  sim.RunAll();
+  // The slot `a` used is recycled for `b`; cancelling the stale id must not touch `b`.
+  sim.Schedule(Millis(1), [&]() { ++second; });
+  sim.Cancel(a);
+  sim.RunAll();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(SimulatorTest, CancelBookkeepingDoesNotGrowOnStaleCancels) {
+  // Regression: the old implementation recorded every Cancel of an already-executed or
+  // never-scheduled id in an unordered_set that was never pruned, so long-lived sims leaked.
+  Simulator sim;
+  for (int i = 0; i < 10000; ++i) {
+    EventId id = sim.Schedule(1, []() {});
+    sim.RunAll();
+    sim.Cancel(id);  // stale by the time it is cancelled
+  }
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+  // The event slab is bounded by peak concurrency (1 here), not by cancel history.
+  EXPECT_LE(sim.EventPoolSlots(), 2u);
+}
+
+TEST(SimulatorTest, EventPoolBoundedByPeakPendingEvents) {
+  Simulator sim;
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 500; ++i) {
+      sim.Schedule(Millis(i % 7), []() {});
+    }
+    sim.RunAll();
+  }
+  EXPECT_LE(sim.EventPoolSlots(), 500u);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(SimulatorTest, CancelledEventsAreReapedAndSlotsReused) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.Schedule(Millis(10), []() {}));
+  }
+  EXPECT_EQ(sim.PendingEvents(), 100u);
+  for (EventId id : ids) {
+    sim.Cancel(id);
+    sim.Cancel(id);  // double cancel: no-op
+  }
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+  sim.RunAll();
+  size_t slots_after_first_wave = sim.EventPoolSlots();
+  for (int i = 0; i < 100; ++i) {
+    sim.Schedule(Millis(10), []() {});
+  }
+  sim.RunAll();
+  EXPECT_EQ(sim.EventPoolSlots(), slots_after_first_wave);  // slots recycled, no new growth
+}
+
+TEST(SimulatorTest, PeriodicChainDoesNotGrowPool) {
+  Simulator sim;
+  int fired = 0;
+  EventId id = sim.SchedulePeriodic(Millis(1), Millis(1), [&]() { ++fired; });
+  sim.RunUntil(Seconds(10));
+  EXPECT_EQ(fired, 10000);
+  EXPECT_LE(sim.EventPoolSlots(), 2u);  // one pending firing at a time
+  sim.Cancel(id);
+  sim.RunUntil(Seconds(11));
+  EXPECT_EQ(fired, 10000);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(SimulatorTest, CancelPeriodicFromAnotherEvent) {
+  Simulator sim;
+  int fired = 0;
+  EventId id = sim.SchedulePeriodic(Millis(10), Millis(10), [&]() { ++fired; });
+  sim.Schedule(Millis(35), [&]() { sim.Cancel(id); });
+  sim.RunUntil(Seconds(1));
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
 TEST(LatencyModelTest, LocalAndWideDefaults) {
   LatencyModel model(3, Millis(1), Millis(50));
   EXPECT_EQ(model.Latency(RegionId(0), RegionId(0)), Millis(1));
