@@ -7,12 +7,17 @@
 //   3. Router target selection — PickTarget against the per-version routing cache, with the
 //      binary-wide allocation counter asserting the fast path stays heap-free.
 //   4. End-to-end Route through loopback servers (two simulated network hops per attempt).
+//   5. Delta dissemination (DESIGN.md §10) — a 100k-shard app under steady rebalancing,
+//      published to router subscribers in snapshot mode vs delta mode. Reports disseminated
+//      entries and per-publish apply cost for both, the reduction factors, and verifies the
+//      two modes leave every subscriber byte-identical (nonzero exit on divergence).
 //
 // Emits one flat JSON object (stdout + SM_DATAPLANE_OUT, default BENCH_dataplane.json in the
-// working directory). The committed BENCH_dataplane.json pairs a frozen pre-optimization run
-// ("before") with a current run ("after"); scripts/check_bench_regression.py compares fresh CI
-// numbers against it advisorily. SM_BENCH_SCALE (e.g. 0.1) shrinks iteration counts for smoke
-// runs; the throughput rates stay comparable, the absolute counts do not.
+// working directory) plus the delta comparison (SM_DELTA_OUT, default BENCH_delta.json). The
+// committed BENCH_dataplane.json pairs a frozen pre-optimization run ("before") with a current
+// run ("after"); scripts/check_bench_regression.py compares fresh CI numbers against both
+// baselines advisorily. SM_BENCH_SCALE (e.g. 0.1) shrinks iteration counts for smoke runs; the
+// throughput rates and reduction factors stay comparable, the absolute counts do not.
 
 #include <atomic>
 #include <chrono>
@@ -20,7 +25,9 @@
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <new>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -247,6 +254,142 @@ void BenchRouting(double scale, BenchResult* out) {
   out->route_end_to_end_per_sec = static_cast<double>(kRoutes) / dt1;
 }
 
+// 5. Delta dissemination: a 100k-shard map (the acceptance scenario) published to router
+// subscribers under steady rebalancing — every version rewrites a small set of rows, the way
+// a drain/failover publish does. Snapshot mode rebuilds each router's whole ranked cache per
+// version; delta mode ships only the changed rows and patches. Map construction happens
+// outside the timed window (it models the orchestrator's BuildMap, identical in both modes);
+// the timed window is publish -> diff (delta mode only) -> delivery -> cache apply.
+struct DeltaModeStats {
+  long long entries_shipped = 0;
+  double apply_us_per_publish = 0.0;
+  long long cache_rebuilds = 0;
+  long long cache_patches = 0;
+  long long delta_deliveries = 0;
+  long long snapshot_fallbacks = 0;
+  std::string subscriber_maps;  // concatenated serializations, for cross-mode identity
+};
+
+struct DeltaResult {
+  int shards = 0;
+  int publishes = 0;
+  int touched_per_publish = 0;
+  int subscribers = 0;
+  DeltaModeStats snapshot;
+  DeltaModeStats delta;
+  double entries_reduction_x = 0.0;
+  double apply_reduction_x = 0.0;
+  bool maps_identical = false;
+};
+
+DeltaModeStats RunDeltaMode(bool delta_on, int shards, int versions, int touched,
+                            int subscribers) {
+  Simulator sim;
+  Network net(&sim, LatencyModel(3, Millis(1), Millis(40)), 5);
+  ServiceDiscovery discovery(&sim, Millis(1), Millis(2), 7);
+  ServerRegistry registry;
+  const int kServers = 64;
+  AppSpec spec =
+      MakeUniformAppSpec(AppId(1), "delta", shards, ReplicationStrategy::kSecondaryOnly, 3);
+  if (delta_on) {
+    discovery.SetDeltaDissemination(AppId(1), true);
+  }
+  std::vector<std::unique_ptr<ServiceRouter>> routers;
+  for (int i = 0; i < subscribers; ++i) {
+    routers.push_back(std::make_unique<ServiceRouter>(&sim, &net, &discovery, &registry, &spec,
+                                                      RegionId(i % 3), RouterConfig{},
+                                                      static_cast<uint64_t>(1000 + i)));
+  }
+
+  ShardMap map = MakeMap(AppId(1), 1, shards, 3, 3, kServers);
+  discovery.Publish(map);  // initial snapshot, outside the steady-state measurement
+  sim.RunAll();
+
+  long long entries_before =
+      discovery.delta_entries_shipped() + discovery.snapshot_entries_shipped();
+  double apply_wall = 0.0;
+  for (int v = 0; v < versions; ++v) {
+    // Steady rebalancing: rewrite `touched` rows (rotate their replicas to other servers).
+    ++map.version;
+    for (int i = 0; i < touched; ++i) {
+      ShardMapEntry& entry =
+          map.entries[static_cast<size_t>((map.version * 8191 + i * 131) % shards)];
+      for (ShardMapReplica& replica : entry.replicas) {
+        replica.server = ServerId((replica.server.value + 1) % kServers);
+        replica.region = RegionId(replica.server.value % 3);
+      }
+    }
+    auto shared = std::make_shared<const ShardMap>(map);
+    double t0 = NowSeconds();
+    discovery.Publish(std::move(shared));
+    sim.RunAll();  // deliveries + cache applies drain here
+    apply_wall += NowSeconds() - t0;
+  }
+
+  DeltaModeStats stats;
+  stats.entries_shipped = discovery.delta_entries_shipped() +
+                          discovery.snapshot_entries_shipped() - entries_before;
+  stats.apply_us_per_publish = apply_wall * 1e6 / versions;
+  stats.delta_deliveries = discovery.delta_deliveries();
+  stats.snapshot_fallbacks = discovery.snapshot_fallbacks();
+  for (const auto& router : routers) {
+    stats.cache_rebuilds += router->cache_rebuilds();
+    stats.cache_patches += router->cache_patches();
+    stats.subscriber_maps += SerializeShardMap(*router->map());
+  }
+  return stats;
+}
+
+DeltaResult BenchDelta(double scale) {
+  DeltaResult result;
+  result.shards = 100000;
+  result.publishes = static_cast<int>(48 * scale) > 0 ? static_cast<int>(48 * scale) : 2;
+  result.touched_per_publish = 64;
+  result.subscribers = 4;
+  result.snapshot = RunDeltaMode(false, result.shards, result.publishes,
+                                 result.touched_per_publish, result.subscribers);
+  result.delta = RunDeltaMode(true, result.shards, result.publishes,
+                              result.touched_per_publish, result.subscribers);
+  result.maps_identical = result.snapshot.subscriber_maps == result.delta.subscriber_maps;
+  if (result.delta.entries_shipped > 0) {
+    result.entries_reduction_x = static_cast<double>(result.snapshot.entries_shipped) /
+                                 static_cast<double>(result.delta.entries_shipped);
+  }
+  if (result.delta.apply_us_per_publish > 0) {
+    result.apply_reduction_x =
+        result.snapshot.apply_us_per_publish / result.delta.apply_us_per_publish;
+  }
+  return result;
+}
+
+void WriteDeltaJson(const DeltaResult& r, double scale, std::ostream& os) {
+  char buffer[1024];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\n"
+                "  \"bench\": \"delta_dissemination\",\n"
+                "  \"scale\": %g,\n"
+                "  \"shards\": %d,\n"
+                "  \"publishes\": %d,\n"
+                "  \"touched_per_publish\": %d,\n"
+                "  \"subscribers\": %d,\n"
+                "  \"snapshot\": {\"entries_shipped\": %lld, \"apply_us_per_publish\": %.1f,"
+                " \"cache_rebuilds\": %lld, \"cache_patches\": %lld},\n"
+                "  \"delta\": {\"entries_shipped\": %lld, \"apply_us_per_publish\": %.1f,"
+                " \"cache_rebuilds\": %lld, \"cache_patches\": %lld,"
+                " \"delta_deliveries\": %lld, \"snapshot_fallbacks\": %lld},\n"
+                "  \"entries_reduction_x\": %.1f,\n"
+                "  \"apply_reduction_x\": %.1f,\n"
+                "  \"maps_identical\": %s\n"
+                "}\n",
+                scale, r.shards, r.publishes, r.touched_per_publish, r.subscribers,
+                r.snapshot.entries_shipped, r.snapshot.apply_us_per_publish,
+                r.snapshot.cache_rebuilds, r.snapshot.cache_patches, r.delta.entries_shipped,
+                r.delta.apply_us_per_publish, r.delta.cache_rebuilds, r.delta.cache_patches,
+                r.delta.delta_deliveries, r.delta.snapshot_fallbacks, r.entries_reduction_x,
+                r.apply_reduction_x, r.maps_identical ? "true" : "false");
+  os << buffer;
+}
+
 void WriteJson(const BenchResult& r, double scale, std::ostream& os) {
   char buffer[640];
   std::snprintf(buffer, sizeof(buffer),
@@ -280,6 +423,20 @@ int Run() {
   std::ofstream file(out_path != nullptr ? out_path : "BENCH_dataplane.json");
   if (file) {
     WriteJson(result, scale, file);
+  }
+
+  DeltaResult delta = BenchDelta(scale);
+  WriteDeltaJson(delta, scale, std::cout);
+  const char* delta_path = std::getenv("SM_DELTA_OUT");
+  std::ofstream delta_file(delta_path != nullptr ? delta_path : "BENCH_delta.json");
+  if (delta_file) {
+    WriteDeltaJson(delta, scale, delta_file);
+  }
+  if (!delta.maps_identical) {
+    // The equivalence contract is the whole point of delta mode; a divergence here is a bug,
+    // not a perf regression — fail the run loudly.
+    std::fprintf(stderr, "FATAL: delta-mode subscriber maps diverged from snapshot mode\n");
+    return 1;
   }
   return 0;
 }

@@ -1,12 +1,22 @@
 #!/usr/bin/env python3
 """Advisory data-plane bench regression check.
 
-Compares a fresh micro_dataplane run against the committed baseline
-(BENCH_dataplane.json, "after" block). Exits 0 always — CI treats this as
-advisory because shared-runner throughput is noisy — but prints a loud
-warning (and a GitHub ::warning:: annotation) when a tracked rate drops more
-than the threshold. allocs_per_pick is absolute: any nonzero value on the
-router fast path is flagged regardless of threshold.
+Compares a fresh bench run against its committed baseline. Two bench formats
+are recognised by their "bench" field:
+
+* micro_dataplane (BENCH_dataplane.json, "after" block): throughput rates must
+  not drop more than the threshold, and allocs_per_pick must be 0.
+* delta_dissemination (BENCH_delta.json): the snapshot-vs-delta reduction
+  factors must not drop more than the threshold, entries_reduction_x must stay
+  >= 5 (the acceptance floor — it is scale-independent), and maps_identical
+  must be true (delta mode must be byte-equivalent to snapshot mode).
+  apply_reduction_x is compared only when baseline and fresh ran at the same
+  SM_BENCH_SCALE: the one-time owned-map materialisation amortises over the
+  publish count, so the factor is not comparable across scales.
+
+Exits 0 always — CI treats this as advisory because shared-runner throughput
+is noisy — but prints a loud warning (and a GitHub ::warning:: annotation)
+when something regresses.
 
 Usage: check_bench_regression.py <baseline.json> <fresh.json> [--threshold 0.20]
 """
@@ -22,23 +32,10 @@ RATE_KEYS = [
     "route_end_to_end_per_sec",
 ]
 
+DELTA_FLOOR = 5.0  # acceptance floor for entries_reduction_x
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="committed BENCH_dataplane.json")
-    parser.add_argument("fresh", help="fresh micro_dataplane output")
-    parser.add_argument("--threshold", type=float, default=0.20,
-                        help="allowed fractional drop before warning (default 0.20)")
-    args = parser.parse_args()
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-    with open(args.fresh) as f:
-        fresh = json.load(f)
-
-    # The committed file stores before/after; a raw bench run is flat.
-    reference = baseline.get("after", baseline)
-
+def check_dataplane(reference, fresh, threshold):
     warnings = []
     for key in RATE_KEYS:
         base = reference.get(key)
@@ -46,10 +43,10 @@ def main() -> int:
         if not base or now is None:
             continue
         drop = (base - now) / base
-        status = "WARN" if drop > args.threshold else "ok"
+        status = "WARN" if drop > threshold else "ok"
         print(f"{status:4} {key}: baseline {base:,.0f} fresh {now:,.0f} "
               f"({-drop:+.1%})")
-        if drop > args.threshold:
+        if drop > threshold:
             warnings.append(f"{key} dropped {drop:.1%} "
                             f"(baseline {base:,.0f}, fresh {now:,.0f})")
 
@@ -59,6 +56,64 @@ def main() -> int:
         if allocs > 0:
             warnings.append(f"allocs_per_pick is {allocs}, expected 0 "
                             "(router fast path should be allocation-free)")
+    return warnings
+
+
+def check_delta(reference, fresh, threshold):
+    warnings = []
+    same_scale = reference.get("scale") == fresh.get("scale")
+    keys = ["entries_reduction_x"] + (["apply_reduction_x"] if same_scale else [])
+    if not same_scale:
+        print(f"note: scales differ (baseline {reference.get('scale')}, fresh "
+              f"{fresh.get('scale')}); skipping apply_reduction_x comparison")
+    for key in keys:
+        base = reference.get(key)
+        now = fresh.get(key)
+        if not base or now is None:
+            continue
+        drop = (base - now) / base
+        status = "WARN" if drop > threshold else "ok"
+        print(f"{status:4} {key}: baseline {base:,.1f}x fresh {now:,.1f}x "
+              f"({-drop:+.1%})")
+        if drop > threshold:
+            warnings.append(f"{key} dropped {drop:.1%} "
+                            f"(baseline {base:,.1f}x, fresh {now:,.1f}x)")
+
+    entries_x = fresh.get("entries_reduction_x")
+    if entries_x is not None and entries_x < DELTA_FLOOR:
+        print(f"WARN entries_reduction_x {entries_x:.1f}x below the "
+              f"{DELTA_FLOOR:.0f}x acceptance floor")
+        warnings.append(f"entries_reduction_x is {entries_x:.1f}x, "
+                        f"acceptance floor is {DELTA_FLOOR:.0f}x")
+
+    identical = fresh.get("maps_identical")
+    print(f"{'ok' if identical else 'WARN':4} maps_identical: {identical}")
+    if not identical:
+        warnings.append("delta-mode subscriber maps diverged from snapshot "
+                        "mode — a correctness bug, not noise")
+    return warnings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("fresh", help="fresh bench output")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional drop before warning (default 0.20)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    # The committed dataplane file stores before/after; a raw bench run is flat.
+    reference = baseline.get("after", baseline)
+
+    if fresh.get("bench") == "delta_dissemination":
+        warnings = check_delta(reference, fresh, args.threshold)
+    else:
+        warnings = check_dataplane(reference, fresh, args.threshold)
 
     if warnings:
         for w in warnings:

@@ -26,6 +26,8 @@ const char* FaultKindName(FaultKind kind) {
       return "session-expiry-storm";
     case FaultKind::kControlPlaneFailover:
       return "control-plane-failover";
+    case FaultKind::kMapDeliveryLoss:
+      return "map-delivery-loss";
   }
   return "unknown";
 }
@@ -42,7 +44,7 @@ FaultInjector::FaultInjector(Testbed* testbed, ChaosConfig config, InvariantChec
          {FaultKind::kServerCrash, FaultKind::kRackPowerLoss, FaultKind::kRegionPartition,
           FaultKind::kAsymmetricPartition, FaultKind::kLinkDegradation,
           FaultKind::kWatchDelaySpike, FaultKind::kSessionExpiryStorm,
-          FaultKind::kControlPlaneFailover}) {
+          FaultKind::kControlPlaneFailover, FaultKind::kMapDeliveryLoss}) {
       mix_.push_back(FaultWeight{kind, 1.0});
     }
   } else {
@@ -134,6 +136,9 @@ void FaultInjector::InjectOne() {
       break;
     case FaultKind::kControlPlaneFailover:
       injected = InjectControlPlaneFailover();
+      break;
+    case FaultKind::kMapDeliveryLoss:
+      injected = InjectMapDeliveryLoss(duration);
       break;
   }
   if (!injected) {
@@ -333,6 +338,25 @@ bool FaultInjector::InjectWatchDelaySpike(TimeMicros duration) {
     watch_spike_active_ = false;
   });
   ScheduleHeal(id, FaultKind::kWatchDelaySpike, duration, "notify delay restored");
+  return true;
+}
+
+bool FaultInjector::InjectMapDeliveryLoss(TimeMicros duration) {
+  if (map_loss_active_) {
+    return false;
+  }
+  double probability = rng_.Uniform(0.05, config_.max_map_loss_probability);
+  uint64_t loss_seed = rng_.Next();
+  std::ostringstream os;
+  os << "loss_probability=" << probability << " duration=" << duration << "us";
+  int64_t id = RecordInject(FaultKind::kMapDeliveryLoss, os.str());
+  map_loss_active_ = true;
+  bed_->discovery().SetDeliveryLoss(probability, loss_seed);
+  bed_->sim().Schedule(duration, [this]() {
+    bed_->discovery().SetDeliveryLoss(0.0, 0);
+    map_loss_active_ = false;
+  });
+  ScheduleHeal(id, FaultKind::kMapDeliveryLoss, duration, "map deliveries reliable again");
   return true;
 }
 

@@ -40,6 +40,10 @@ enum class FaultKind {
   kWatchDelaySpike,
   kSessionExpiryStorm,
   kControlPlaneFailover,
+  // Shard-map dissemination loss: deliveries drop with a sampled probability for the fault's
+  // duration. Delta-mode subscribers develop version gaps and must recover via snapshot
+  // fallback (DESIGN.md §10); snapshot-mode subscribers just run staler until the next publish.
+  kMapDeliveryLoss,
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -68,6 +72,8 @@ struct ChaosConfig {
   // Session-expiry storm: this many live servers expire at once, reconnecting after the delay.
   int storm_sessions = 3;
   TimeMicros storm_reconnect_after = Seconds(12);
+  // Map-delivery loss windows sample a drop probability up to this ceiling.
+  double max_map_loss_probability = 0.5;
   // Whether full/partial partitions may touch region 0 (control plane + probe home).
   bool partition_home_region = false;
   // Unplanned-fault bracketing on the invariant checker is released this long after heal,
@@ -112,6 +118,7 @@ class FaultInjector {
   bool InjectWatchDelaySpike(TimeMicros duration);
   bool InjectSessionExpiryStorm();
   bool InjectControlPlaneFailover();
+  bool InjectMapDeliveryLoss(TimeMicros duration);
 
   int64_t RecordInject(FaultKind kind, const std::string& detail);
   void ScheduleHeal(int64_t fault_id, FaultKind kind, TimeMicros after, std::string detail);
@@ -131,6 +138,7 @@ class FaultInjector {
   int64_t faults_skipped_ = 0;
   int active_faults_ = 0;
   bool watch_spike_active_ = false;
+  bool map_loss_active_ = false;
   std::set<int32_t> partitioned_regions_;
   std::set<std::pair<int32_t, int32_t>> blocked_links_;
   std::set<std::pair<int32_t, int32_t>> degraded_links_;

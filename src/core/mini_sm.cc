@@ -69,6 +69,11 @@ void MiniSm::Start() {
 }
 
 void MiniSm::SimulateControlPlaneFailover() {
+  // Documented precondition (see header): a failover while operations are queued or in flight
+  // destroys the orchestrator that owns their completion callbacks — the replicas those ops
+  // were driving would be silently corrupted. Fail loudly instead; callers (e.g. the chaos
+  // engine) must check pending_ops() == 0 first.
+  SM_CHECK_EQ(orchestrator_->pending_ops(), 0);
   orchestrator_->Shutdown();
   // The replacement instance recovers everything from the coordination store (§6.2); the old
   // instance is destroyed only after the new one is serving, mirroring a primary/secondary

@@ -43,8 +43,9 @@ class MiniSm {
 
   // Control-plane fault tolerance (§6.2): tears down the current orchestrator + TaskController
   // and brings up replacements that recover all state from the coordination store. Models a
-  // mini-SM primary failing over to its secondary. Precondition: the orchestrator is quiescent
-  // (see Orchestrator::Shutdown).
+  // mini-SM primary failing over to its secondary. Precondition (enforced by SM_CHECK): the
+  // orchestrator is quiescent — no queued or in-flight operations (pending_ops() == 0); see
+  // Orchestrator::Shutdown.
   void SimulateControlPlaneFailover();
 
   Orchestrator& orchestrator() { return *orchestrator_; }

@@ -51,6 +51,9 @@ Orchestrator::Orchestrator(Simulator* sim, Network* network, CoordStore* coord,
   SM_CHECK(discovery != nullptr);
   SM_CHECK(registry != nullptr);
   SM_CHECK(allocator != nullptr);
+  // The toggle lives in discovery so a replacement orchestrator (control-plane failover)
+  // re-applies it for its app before the first publish.
+  discovery_->SetDeltaDissemination(spec_.id, config_.delta_dissemination);
 }
 
 Orchestrator::ReplicaRuntime& Orchestrator::Replica(ShardId shard, int replica) {

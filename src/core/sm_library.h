@@ -39,11 +39,14 @@ class SmLibrary {
 
   // Subscribes to the app's shard map so the server-side library holds the same immutable map
   // clients route by (the paper's library uses it to forward misdirected requests). The view is
-  // a shared reference to the published map — zero-copy, refreshed on each delivery.
+  // a shared reference to the published map — zero-copy, refreshed on each delivery. The
+  // subscription is delta-capable: with delta dissemination on, the library patches a privately
+  // owned copy in O(changed shards) per publish instead of swapping full snapshots.
   void WatchShardMap(ServiceDiscovery* discovery, AppId app);
 
   // The library's current (possibly stale) map view; nullptr before the first delivery or when
-  // WatchShardMap was never called.
+  // WatchShardMap was never called. In delta mode the view is patched in place on delivery —
+  // a live view, not a frozen snapshot.
   const ShardMap* shard_map_view() const { return map_view_.get(); }
   std::shared_ptr<const ShardMap> shard_map_shared() const { return map_view_; }
 
@@ -79,6 +82,8 @@ class SmLibrary {
   ServiceDiscovery* discovery_ = nullptr;
   int64_t map_subscription_ = 0;
   std::shared_ptr<const ShardMap> map_view_;
+  // Private mutable copy deltas patch into; map_view_ aliases it while deltas are flowing.
+  std::shared_ptr<ShardMap> owned_map_;
 };
 
 }  // namespace shardman

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/rng.h"
 #include "src/obs/obs.h"
 
 namespace shardman {
@@ -37,55 +38,130 @@ TimeMicros ServiceDiscovery::DeliveryDelay(int64_t subscription, int64_t version
   return min_delay_ + static_cast<TimeMicros>(h % span);
 }
 
+void ServiceDiscovery::SetDeltaDissemination(AppId app, bool enabled) {
+  apps_[app.value].delta_mode = enabled;
+}
+
+bool ServiceDiscovery::delta_dissemination(AppId app) const {
+  auto it = apps_.find(app.value);
+  return it != apps_.end() && it->second.delta_mode;
+}
+
+void ServiceDiscovery::SetDeliveryFilter(DeliveryFilter filter) {
+  delivery_filter_ = std::move(filter);
+}
+
+void ServiceDiscovery::SetDeliveryLoss(double probability, uint64_t seed) {
+  if (probability <= 0.0) {
+    delivery_filter_ = nullptr;
+    return;
+  }
+  SM_CHECK_LE(probability, 1.0);
+  // The Rng rides inside the filter; delivery events execute in deterministic sim order, so
+  // the drop pattern is a pure function of (seed, delivery sequence).
+  auto rng = std::make_shared<Rng>(seed);
+  delivery_filter_ = [rng, probability](int64_t, int64_t) {
+    return rng->Uniform(0.0, 1.0) >= probability;
+  };
+}
+
 void ServiceDiscovery::Publish(std::shared_ptr<const ShardMap> map) {
   SM_CHECK(map != nullptr);
   AppState& app = apps_[map->app.value];
-  if (app.current != nullptr) {
-    SM_CHECK_GT(map->version, app.current->version);
+  const std::shared_ptr<const ShardMap> previous =
+      app.last_publish != nullptr ? app.last_publish->map : nullptr;
+  if (previous != nullptr) {
+    SM_CHECK_GT(map->version, previous->version);
+  } else {
+    app.first_published_version = map->version;
   }
-  app.current = std::move(map);
-  const std::shared_ptr<const ShardMap>& shared = app.current;
-  TimeMicros published_at = sim_->Now();
-  app.published_at = published_at;
+
+  auto record = std::make_shared<PublishRecord>();
+  record->published_at = sim_->Now();
+  if (app.delta_mode && previous != nullptr) {
+    // One immutable delta per publish, shared by every delta-capable subscriber — the delta
+    // analogue of the zero-copy snapshot.
+    record->delta = std::make_shared<const ShardMapDelta>(DiffShardMaps(*previous, *map));
+  }
+  record->map = std::move(map);
+  app.last_publish = record;
+  const std::shared_ptr<const PublishRecord>& shared = app.last_publish;
   ++publishes_;
   SM_COUNTER_INC("sm.discovery.publishes");
   SM_TRACE_INSTANT("discovery", "publish",
-                   obs::Arg("app", static_cast<int64_t>(shared->app.value)) + "," +
-                       obs::Arg("version", shared->version));
-  // Only this app's subscribers are scanned; each delivery shares the one immutable map.
+                   obs::Arg("app", static_cast<int64_t>(shared->map->app.value)) + "," +
+                       obs::Arg("version", shared->map->version));
+  // Only this app's subscribers are scanned; each delivery shares the one immutable record.
   for (int64_t subscription : app.subscriptions) {
-    sim_->Schedule(DeliveryDelay(subscription, shared->version),
-                   [this, subscription, shared, published_at]() {
-                     Deliver(subscription, shared, published_at);
-                   });
+    sim_->Schedule(DeliveryDelay(subscription, shared->map->version),
+                   [this, subscription, shared]() { Deliver(subscription, shared); });
   }
 }
 
-void ServiceDiscovery::Deliver(int64_t subscription, const std::shared_ptr<const ShardMap>& map,
-                               TimeMicros published_at) {
+void ServiceDiscovery::Deliver(int64_t subscription,
+                               const std::shared_ptr<const PublishRecord>& record) {
   auto it = subscribers_.find(subscription);
   if (it == subscribers_.end()) {
     return;
   }
-  if (map->version <= it->second.delivered_version) {
+  Subscriber& sub = it->second;
+  const ShardMap& map = *record->map;
+  if (delivery_filter_ != nullptr && !delivery_filter_(subscription, map.version)) {
+    ++dropped_deliveries_;
+    SM_COUNTER_INC("sm.discovery.dropped_deliveries");
+    return;  // Lost in the dissemination tree; a later version (or fallback) must heal this.
+  }
+  if (map.version <= sub.delivered_version) {
     return;  // Out-of-order delivery of an older version; suppress.
   }
-  it->second.delivered_version = map->version;
   SM_COUNTER_INC("sm.discovery.deliveries");
-  SM_HISTOGRAM_OBSERVE("sm.discovery.staleness_ms", ToMillis(sim_->Now() - published_at));
-  it->second.cb(map);
+  SM_HISTOGRAM_OBSERVE("sm.discovery.staleness_ms", ToMillis(sim_->Now() - record->published_at));
+  if (sub.delta_cb != nullptr && record->delta != nullptr &&
+      record->delta->from_version == sub.delivered_version) {
+    // The delta chains onto exactly what this subscriber holds: ship changed rows only.
+    sub.delivered_version = map.version;
+    ++delta_deliveries_;
+    delta_entries_shipped_ += static_cast<int64_t>(record->delta->changed.size());
+    SM_COUNTER_INC("sm.discovery.delta_deliveries");
+    SM_COUNTER_ADD("sm.discovery.delta_entries",
+                   static_cast<int64_t>(record->delta->changed.size()));
+    sub.delta_cb(record->delta);
+    return;
+  }
+  // Full snapshot: the only path for snapshot-only subscribers, and the gap-recovery path for
+  // delta subscribers (late subscribe, dropped delivery, or a suppression left delivered_version
+  // behind the delta's base). The initial read of the app's first-ever version is not a gap.
+  auto app_it = apps_.find(sub.app.value);
+  const bool gap_fallback =
+      sub.delta_cb != nullptr && app_it != apps_.end() && app_it->second.delta_mode &&
+      !(sub.delivered_version < 0 && map.version == app_it->second.first_published_version);
+  sub.delivered_version = map.version;
+  snapshot_entries_shipped_ += static_cast<int64_t>(map.entries.size());
+  if (gap_fallback) {
+    ++snapshot_fallbacks_;
+    SM_COUNTER_INC("sm.discovery.snapshot_fallbacks");
+    SM_TRACE_INSTANT("discovery", "snapshot_fallback",
+                     obs::Arg("subscription", subscription) + "," +
+                         obs::Arg("version", map.version));
+  }
+  sub.cb(record->map);
 }
 
 int64_t ServiceDiscovery::Subscribe(AppId app, MapCallback cb) {
+  return SubscribeDelta(app, std::move(cb), nullptr);
+}
+
+int64_t ServiceDiscovery::SubscribeDelta(AppId app, MapCallback snapshot_cb,
+                                         DeltaCallback delta_cb) {
+  SM_CHECK(snapshot_cb != nullptr);
   int64_t id = next_subscription_++;
-  subscribers_[id] = Subscriber{app, std::move(cb), -1};
+  subscribers_[id] = Subscriber{app, std::move(snapshot_cb), std::move(delta_cb), -1};
   AppState& state = apps_[app.value];
   state.subscriptions.push_back(id);
-  if (state.current != nullptr) {
-    std::shared_ptr<const ShardMap> shared = state.current;
-    TimeMicros published_at = state.published_at;
-    sim_->Schedule(DeliveryDelay(id, shared->version),
-                   [this, id, shared, published_at]() { Deliver(id, shared, published_at); });
+  if (state.last_publish != nullptr) {
+    std::shared_ptr<const PublishRecord> record = state.last_publish;
+    sim_->Schedule(DeliveryDelay(id, record->map->version),
+                   [this, id, record]() { Deliver(id, record); });
   }
   return id;
 }
@@ -105,12 +181,15 @@ void ServiceDiscovery::Unsubscribe(int64_t subscription) {
 
 const ShardMap* ServiceDiscovery::Current(AppId app) const {
   auto it = apps_.find(app.value);
-  return it != apps_.end() ? it->second.current.get() : nullptr;
+  return it != apps_.end() && it->second.last_publish != nullptr
+             ? it->second.last_publish->map.get()
+             : nullptr;
 }
 
 std::shared_ptr<const ShardMap> ServiceDiscovery::CurrentShared(AppId app) const {
   auto it = apps_.find(app.value);
-  return it != apps_.end() ? it->second.current : nullptr;
+  return it != apps_.end() && it->second.last_publish != nullptr ? it->second.last_publish->map
+                                                                 : nullptr;
 }
 
 }  // namespace shardman

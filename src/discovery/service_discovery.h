@@ -12,6 +12,13 @@
 // by hashing (seed, subscription, version) rather than drawn from a shared RNG stream, so the
 // delay a subscriber experiences is independent of fan-out iteration order — publish order can
 // never perturb the seeded timing of other subscribers.
+//
+// Delta dissemination (DESIGN.md §10): with SetDeltaDissemination(app, true), every publish
+// also materializes one immutable ShardMapDelta against the previous version. A delta-capable
+// subscriber (SubscribeDelta) receives that delta when it chains onto the version the
+// subscriber last received; otherwise — late subscribe, a dropped delivery, or a suppressed
+// stale delivery left a version gap — it falls back to the full snapshot, mirroring the
+// paper's watch-then-read-snapshot recovery. Legacy Subscribe callers always get snapshots.
 
 #ifndef SRC_DISCOVERY_SERVICE_DISCOVERY_H_
 #define SRC_DISCOVERY_SERVICE_DISCOVERY_H_
@@ -30,6 +37,12 @@ class ServiceDiscovery {
  public:
   // Subscribers receive the shared immutable map — store the shared_ptr, never copy the map.
   using MapCallback = std::function<void(const std::shared_ptr<const ShardMap>&)>;
+  // Delta subscribers additionally receive shared immutable deltas (the same object for every
+  // subscriber of a version, like the map itself).
+  using DeltaCallback = std::function<void(const std::shared_ptr<const ShardMapDelta>&)>;
+  // Test/chaos hook modelling dissemination-tree loss: return false to drop this delivery
+  // (the subscriber simply never hears about that version). Dropped deliveries are counted.
+  using DeliveryFilter = std::function<bool(int64_t subscription, int64_t version)>;
 
   // Propagation delay per subscriber is derived deterministically from (seed, subscription,
   // version), uniform in [min_delay, max_delay].
@@ -45,7 +58,22 @@ class ServiceDiscovery {
   // Subscribes to an app's map. If a map already exists it is delivered after a propagation
   // delay. Returns a subscription id for Unsubscribe.
   int64_t Subscribe(AppId app, MapCallback cb);
+  // Delta-capable subscription: `delta_cb` fires when the published delta chains onto the
+  // subscriber's last received version, `snapshot_cb` otherwise (initial delivery and gap
+  // recovery). With delta dissemination off this behaves exactly like Subscribe.
+  int64_t SubscribeDelta(AppId app, MapCallback snapshot_cb, DeltaCallback delta_cb);
   void Unsubscribe(int64_t subscription);
+
+  // Turns delta publication on/off for one app (the OrchestratorConfig::delta_dissemination
+  // toggle lands here). Snapshot-only subscribers are unaffected either way.
+  void SetDeltaDissemination(AppId app, bool enabled);
+  bool delta_dissemination(AppId app) const;
+
+  // Installs (or clears, with nullptr) the delivery-loss hook. SetDeliveryLoss is the common
+  // case: drop each delivery independently with `probability`, seeded deterministically;
+  // probability 0 clears the hook.
+  void SetDeliveryFilter(DeliveryFilter filter);
+  void SetDeliveryLoss(double probability, uint64_t seed);
 
   // The authoritative (most recently published) map, or nullptr. Control-plane components use
   // this; clients must go through Subscribe to experience propagation delay.
@@ -54,23 +82,41 @@ class ServiceDiscovery {
   std::shared_ptr<const ShardMap> CurrentShared(AppId app) const;
 
   int64_t publishes() const { return publishes_; }
+  // Dissemination accounting (mirrored into sm.discovery.* counters): entries shipped via
+  // deltas vs full snapshots, delta deliveries, gap-driven snapshot fallbacks, and deliveries
+  // dropped by the loss hook. Benchmarks and exact-count tests read these directly.
+  int64_t delta_entries_shipped() const { return delta_entries_shipped_; }
+  int64_t snapshot_entries_shipped() const { return snapshot_entries_shipped_; }
+  int64_t delta_deliveries() const { return delta_deliveries_; }
+  int64_t snapshot_fallbacks() const { return snapshot_fallbacks_; }
+  int64_t dropped_deliveries() const { return dropped_deliveries_; }
 
  private:
+  // One publish, shared by every scheduled delivery of that version (a single allocation per
+  // publish keeps the per-subscriber closure inside SmallFunction's inline storage).
+  struct PublishRecord {
+    std::shared_ptr<const ShardMap> map;
+    // Delta from the previous published version, or nullptr (first publish / delta mode off).
+    std::shared_ptr<const ShardMapDelta> delta;
+    TimeMicros published_at = 0;  // feeds the delivery staleness histogram
+  };
   struct Subscriber {
     AppId app;
     MapCallback cb;
+    DeltaCallback delta_cb;  // null for snapshot-only subscribers
     int64_t delivered_version = -1;
   };
   struct AppState {
-    std::shared_ptr<const ShardMap> current;
-    TimeMicros published_at = 0;  // feeds the delivery staleness histogram
+    std::shared_ptr<const PublishRecord> last_publish;
+    bool delta_mode = false;
+    // First version this discovery instance published for the app: a snapshot of it delivered
+    // to a fresh subscriber is the normal initial read, not a gap fallback.
+    int64_t first_published_version = -1;
     std::vector<int64_t> subscriptions;  // insertion order (stable for same-instant delivery)
   };
 
   TimeMicros DeliveryDelay(int64_t subscription, int64_t version) const;
-  // `published_at` is when the map version was published (sim time), for the staleness metric.
-  void Deliver(int64_t subscription, const std::shared_ptr<const ShardMap>& map,
-               TimeMicros published_at);
+  void Deliver(int64_t subscription, const std::shared_ptr<const PublishRecord>& record);
 
   Simulator* sim_;
   TimeMicros min_delay_;
@@ -78,8 +124,14 @@ class ServiceDiscovery {
   uint64_t seed_;
   std::unordered_map<int32_t, AppState> apps_;
   std::unordered_map<int64_t, Subscriber> subscribers_;
+  DeliveryFilter delivery_filter_;
   int64_t next_subscription_ = 1;
   int64_t publishes_ = 0;
+  int64_t delta_entries_shipped_ = 0;
+  int64_t snapshot_entries_shipped_ = 0;
+  int64_t delta_deliveries_ = 0;
+  int64_t snapshot_fallbacks_ = 0;
+  int64_t dropped_deliveries_ = 0;
 };
 
 }  // namespace shardman

@@ -1,9 +1,17 @@
 // ShardMap: the versioned shard -> (server, role) mapping disseminated to application clients.
+//
+// Delta dissemination (DESIGN.md §10): consecutive map versions usually differ in a handful of
+// entries (one rebalance or failover touches O(changed) shards out of potentially millions), so
+// the publish path can ship a ShardMapDelta — the changed rows only — instead of a full
+// snapshot. DiffShardMaps/ApplyShardMapDelta are the canonical pair: applying the diff of
+// (from, to) onto `from` must reproduce `to` exactly, a property tests/delta_property_test.cc
+// holds byte-for-byte via SerializeShardMap.
 
 #ifndef SRC_DISCOVERY_SHARD_MAP_H_
 #define SRC_DISCOVERY_SHARD_MAP_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/allocator/types.h"
@@ -15,11 +23,23 @@ struct ShardMapReplica {
   ServerId server;
   ReplicaRole role = ReplicaRole::kSecondary;
   RegionId region;  // denormalized for locality-aware routing
+
+  friend bool operator==(const ShardMapReplica& a, const ShardMapReplica& b) {
+    return a.server == b.server && a.role == b.role && a.region == b.region;
+  }
+  friend bool operator!=(const ShardMapReplica& a, const ShardMapReplica& b) {
+    return !(a == b);
+  }
 };
 
 struct ShardMapEntry {
   ShardId shard;
   std::vector<ShardMapReplica> replicas;
+
+  friend bool operator==(const ShardMapEntry& a, const ShardMapEntry& b) {
+    return a.shard == b.shard && a.replicas == b.replicas;
+  }
+  friend bool operator!=(const ShardMapEntry& a, const ShardMapEntry& b) { return !(a == b); }
 };
 
 struct ShardMap {
@@ -49,6 +69,31 @@ struct ShardMap {
     return ServerId();
   }
 };
+
+// The wire format of one delta publication: every entry whose replica set changed between
+// `from_version` and `to_version`, carried as the complete new row (not a per-replica edit
+// script — rows are small and a full row keeps apply idempotent per shard). `total_shards` is
+// the entry count of the destination map so apply handles grow/shrink without a snapshot.
+struct ShardMapDelta {
+  AppId app;
+  int64_t from_version = 0;
+  int64_t to_version = 0;
+  int64_t total_shards = 0;
+  std::vector<ShardMapEntry> changed;
+};
+
+// Computes the delta from `from` to `to`. Both maps must belong to the same app.
+// O(total shards) compares on the publisher, so subscribers can apply in O(changed).
+ShardMapDelta DiffShardMaps(const ShardMap& from, const ShardMap& to);
+
+// Applies `delta` to `map` in place. Returns false (leaving the map untouched) when the delta
+// does not chain onto the map's version — the caller must recover via a full snapshot.
+bool ApplyShardMapDelta(const ShardMapDelta& delta, ShardMap* map);
+
+// Canonical byte serialization of a map (version, then every entry in index order). Two maps
+// serialize identically iff they are semantically identical; the delta property suite compares
+// delta-applied and snapshot-delivered maps through this.
+std::string SerializeShardMap(const ShardMap& map);
 
 }  // namespace shardman
 

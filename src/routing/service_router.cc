@@ -24,8 +24,9 @@ ServiceRouter::ServiceRouter(Simulator* sim, Network* network, ServiceDiscovery*
   SM_CHECK(discovery != nullptr);
   SM_CHECK(registry != nullptr);
   SM_CHECK(spec != nullptr);
-  subscription_ = discovery_->Subscribe(
-      spec_->id, [this](const std::shared_ptr<const ShardMap>& map) { ApplyMap(map); });
+  subscription_ = discovery_->SubscribeDelta(
+      spec_->id, [this](const std::shared_ptr<const ShardMap>& map) { ApplyMap(map); },
+      [this](const std::shared_ptr<const ShardMapDelta>& delta) { ApplyDelta(delta); });
 }
 
 void ServiceRouter::ApplyMap(const std::shared_ptr<const ShardMap>& map) {
@@ -34,7 +35,49 @@ void ServiceRouter::ApplyMap(const std::shared_ptr<const ShardMap>& map) {
   SM_COUNTER_INC("sm.router.maps_applied");
   SM_TRACE_INSTANT("router", "map_applied", obs::Arg("version", map->version));
   map_ = map;
+  owned_map_.reset();  // back on the shared zero-copy snapshot
   RebuildCache();
+}
+
+void ServiceRouter::ApplyDelta(const std::shared_ptr<const ShardMapDelta>& delta) {
+  // Discovery only ships a delta that chains onto what this subscriber last received, so a
+  // delta can never arrive before the first snapshot.
+  SM_CHECK(map_ != nullptr);
+  if (owned_map_ == nullptr || map_.get() != owned_map_.get()) {
+    // First delta after a snapshot: materialize the private copy patches apply to. One full
+    // copy per snapshot->delta transition; steady state is O(changed) per publish.
+    owned_map_ = std::make_shared<ShardMap>(*map_);
+    map_ = owned_map_;
+  }
+  SM_CHECK(ApplyShardMapDelta(*delta, owned_map_.get()));
+  SM_COUNTER_INC("sm.router.maps_applied");
+  SM_TRACE_INSTANT("router", "delta_applied", obs::Arg("version", delta->to_version));
+  PatchCache(*delta);
+}
+
+void ServiceRouter::RankShard(const ShardMapEntry& entry, CachedShard* cached) {
+  cached->primary = ServerId();
+  cached->replica_begin = static_cast<uint32_t>(ranked_.size());
+  for (const ShardMapReplica& replica : entry.replicas) {
+    if (replica.role == ReplicaRole::kPrimary) {
+      cached->primary = replica.server;
+    }
+    ranked_.push_back(RankedReplica{
+        replica.server, network_->ExpectedLatency(client_region_, replica.region)});
+  }
+  cached->replica_count = static_cast<uint16_t>(ranked_.size() - cached->replica_begin);
+  // Rank by expected latency; stable sort keeps map order within a latency tier so the
+  // ranking itself is deterministic (load spreading happens per request, not here). A patched
+  // run ranks exactly like the same shard inside a full rebuild — the equivalence invariant.
+  auto begin = ranked_.begin() + cached->replica_begin;
+  std::stable_sort(begin, ranked_.end(), [](const RankedReplica& a, const RankedReplica& b) {
+    return a.latency < b.latency;
+  });
+  uint16_t tier = 0;
+  while (tier < cached->replica_count && begin[tier].latency == begin->latency) {
+    ++tier;
+  }
+  cached->first_tier = tier;
 }
 
 void ServiceRouter::RebuildCache() {
@@ -45,28 +88,50 @@ void ServiceRouter::RebuildCache() {
   cache_.reserve(map_->entries.size());
   for (const ShardMapEntry& entry : map_->entries) {
     CachedShard cached;
-    cached.replica_begin = static_cast<uint32_t>(ranked_.size());
-    for (const ShardMapReplica& replica : entry.replicas) {
-      if (replica.role == ReplicaRole::kPrimary) {
-        cached.primary = replica.server;
-      }
-      ranked_.push_back(RankedReplica{
-          replica.server, network_->ExpectedLatency(client_region_, replica.region)});
-    }
-    cached.replica_count = static_cast<uint16_t>(ranked_.size() - cached.replica_begin);
-    // Rank by expected latency; stable sort keeps map order within a latency tier so the
-    // ranking itself is deterministic (load spreading happens per request, not here).
-    auto begin = ranked_.begin() + cached.replica_begin;
-    std::stable_sort(begin, ranked_.end(), [](const RankedReplica& a, const RankedReplica& b) {
-      return a.latency < b.latency;
-    });
-    uint16_t tier = 0;
-    while (tier < cached.replica_count && begin[tier].latency == begin->latency) {
-      ++tier;
-    }
-    cached.first_tier = tier;
+    RankShard(entry, &cached);
     cache_.push_back(cached);
   }
+  ranked_live_ = ranked_.size();
+}
+
+void ServiceRouter::PatchCache(const ShardMapDelta& delta) {
+  ++cache_patches_;
+  SM_COUNTER_INC("sm.router.cache_patches");
+  const size_t total = static_cast<size_t>(delta.total_shards);
+  if (total < cache_.size()) {
+    for (size_t i = total; i < cache_.size(); ++i) {
+      ranked_live_ -= cache_[i].replica_count;
+    }
+  }
+  // Grown rows start empty; every index past the old map's end is in `changed` and filled next.
+  cache_.resize(total);
+  for (const ShardMapEntry& entry : delta.changed) {
+    CachedShard& cached = cache_[static_cast<size_t>(entry.shard.value)];
+    ranked_live_ -= cached.replica_count;
+    RankShard(entry, &cached);
+    ranked_live_ += cached.replica_count;
+  }
+  // Patched runs append to ranked_, orphaning the rows they replace. Compact once dead rows
+  // dominate — O(live) occasionally, amortized O(changed) per publish.
+  if (ranked_.size() > 2 * ranked_live_ + 64) {
+    CompactRanked();
+  }
+}
+
+void ServiceRouter::CompactRanked() {
+  ++cache_compactions_;
+  SM_COUNTER_INC("sm.router.cache_compactions");
+  std::vector<RankedReplica> packed;
+  packed.reserve(ranked_live_);
+  for (CachedShard& cached : cache_) {
+    const uint32_t begin = cached.replica_begin;
+    cached.replica_begin = static_cast<uint32_t>(packed.size());
+    for (uint16_t i = 0; i < cached.replica_count; ++i) {
+      packed.push_back(ranked_[begin + i]);
+    }
+  }
+  ranked_ = std::move(packed);
+  ranked_live_ = ranked_.size();
 }
 
 ServerId ServiceRouter::PickTarget(const Request& request, int attempt, ServerId exclude) {

@@ -15,6 +15,15 @@
 // the client's region (ExpectedLatency is deterministic per region pair). PickTarget is then an
 // array lookup plus one seeded rotation draw inside the equidistant first tier; no per-request
 // allocation, latency query or sort. The cache is invalidated only by the next map version.
+//
+// Delta dissemination (DESIGN.md §10): the router subscribes delta-capable. A delivered delta
+// is applied to a privately-owned copy of the map (materialized once, on the first delta after
+// a snapshot) and the routing cache is *patched* — only the changed shards' rows are re-ranked,
+// appended to the flat replica array, and their index entries repointed — so apply cost is
+// O(changed shards) instead of O(total shards). The invariant the equivalence tests pin: a
+// patched cache is indistinguishable from a full rebuild at the same version (identical
+// PickTarget decisions for the same seed and request stream). Stale rows left behind by
+// patches are compacted in place once they outnumber live rows.
 
 #ifndef SRC_ROUTING_SERVICE_ROUTER_H_
 #define SRC_ROUTING_SERVICE_ROUTER_H_
@@ -61,8 +70,12 @@ class ServiceRouter {
   RegionId region() const { return client_region_; }
 
   int64_t requests_sent() const { return requests_sent_; }
-  // Routing-cache rebuilds so far (== map versions applied); tests assert invalidation.
+  // Routing-cache rebuilds so far (== snapshot map applications); tests assert invalidation.
   int64_t cache_rebuilds() const { return cache_rebuilds_; }
+  // Incremental cache patches so far (== delta applications); stays 0 with deltas off.
+  int64_t cache_patches() const { return cache_patches_; }
+  // In-place compactions of the flat replica array (patching leaves dead rows behind).
+  int64_t cache_compactions() const { return cache_compactions_; }
 
   // Exposes the target-selection fast path for benchmarks and allocation tests; behaves exactly
   // like the selection performed inside Route.
@@ -98,7 +111,15 @@ class ServiceRouter {
   };
 
   void ApplyMap(const std::shared_ptr<const ShardMap>& map);
+  void ApplyDelta(const std::shared_ptr<const ShardMapDelta>& delta);
   void RebuildCache();
+  // Re-ranks only the delta's changed shards; must leave the cache identical (as observed by
+  // PickTarget) to a full rebuild at the same version.
+  void PatchCache(const ShardMapDelta& delta);
+  // Rewrites ranked_ in cache order, dropping rows orphaned by patches.
+  void CompactRanked();
+  // Ranks one shard's replicas at the end of ranked_ and points `cached` at the new run.
+  void RankShard(const ShardMapEntry& entry, CachedShard* cached);
   // Picks the target server for this attempt, or an invalid id if the map has no candidate.
   ServerId PickTarget(const Request& request, int attempt, ServerId exclude);
   void Send(Attempt attempt);
@@ -113,14 +134,20 @@ class ServiceRouter {
   RouterConfig config_;
   Rng rng_;
 
-  // Shared reference to the published map (zero-copy; null before the first delivery).
+  // Shared reference to the published map (zero-copy; null before the first delivery). After a
+  // delta apply this aliases owned_map_ — a private copy the router patches in place.
   std::shared_ptr<const ShardMap> map_;
-  // Per-version routing cache, rebuilt on map application only.
+  std::shared_ptr<ShardMap> owned_map_;
+  // Per-version routing cache: rebuilt on snapshot application, patched on delta application.
   std::vector<CachedShard> cache_;
   std::vector<RankedReplica> ranked_;
+  // Rows of ranked_ still referenced by cache_ (patching orphans the replaced runs).
+  size_t ranked_live_ = 0;
   int64_t subscription_ = 0;
   int64_t requests_sent_ = 0;
   int64_t cache_rebuilds_ = 0;
+  int64_t cache_patches_ = 0;
+  int64_t cache_compactions_ = 0;
 };
 
 }  // namespace shardman

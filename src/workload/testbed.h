@@ -63,6 +63,11 @@ struct TestbedConfig {
   TimeMicros discovery_max_delay = Millis(800);
   TimeMicros server_processing_delay = Millis(1);
 
+  // Delta shard-map dissemination (DESIGN.md §10): convenience mirror of
+  // mini_sm.orchestrator.delta_dissemination — setting either turns it on. Routers and
+  // SmLibrary watchers are always delta-capable; this controls whether the publish side diffs.
+  bool delta_dissemination = false;
+
   uint64_t seed = 42;
 };
 
