@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Advisory data-plane bench regression check.
 
-Compares a fresh bench run against its committed baseline. Two bench formats
+Compares a fresh bench run against its committed baseline. Three bench formats
 are recognised by their "bench" field:
 
 * micro_dataplane (BENCH_dataplane.json, "after" block): throughput rates must
@@ -13,6 +13,12 @@ are recognised by their "bench" field:
   apply_reduction_x is compared only when baseline and fresh ran at the same
   SM_BENCH_SCALE: the one-time owned-map materialisation amortises over the
   publish count, so the factor is not comparable across scales.
+* smr_failover (BENCH_smr_failover.json): deterministic must be true (a
+  same-seed replay divergence is a correctness bug, not noise), no point may
+  record invariant violations, success_rate must not drop more than the
+  threshold against the matching kill-interval baseline point, and the
+  leaderless windows must not grow more than the threshold. Absolute request
+  counts are compared only at equal SM_BENCH_SCALE (the churn window scales).
 
 Exits 0 always — CI treats this as advisory because shared-runner throughput
 is noisy — but prints a loud warning (and a GitHub ::warning:: annotation)
@@ -94,6 +100,57 @@ def check_delta(reference, fresh, threshold):
     return warnings
 
 
+def check_smr_failover(reference, fresh, threshold):
+    warnings = []
+    deterministic = fresh.get("deterministic")
+    print(f"{'ok' if deterministic else 'WARN':4} deterministic: {deterministic}")
+    if not deterministic:
+        warnings.append("same-seed replay diverged in the failover path — a "
+                        "correctness bug, not noise")
+
+    base_points = {p.get("kill_interval_s"): p for p in reference.get("points", [])}
+    same_scale = reference.get("scale") == fresh.get("scale")
+    if not same_scale:
+        print(f"note: scales differ (baseline {reference.get('scale')}, fresh "
+              f"{fresh.get('scale')}); comparing rates and windows only")
+    for point in fresh.get("points", []):
+        level = point.get("kill_interval_s")
+        label = "none" if not level else f"{level:g}s"
+        violations = point.get("violations", 0)
+        if violations:
+            print(f"WARN kill_interval={label}: {violations} invariant violation(s)")
+            warnings.append(f"kill_interval={label} recorded {violations} "
+                            "invariant violation(s) under failover chaos")
+        base = base_points.get(level)
+        if base is None:
+            continue
+        base_rate = base.get("success_rate")
+        rate = point.get("success_rate")
+        if base_rate and rate is not None:
+            drop = (base_rate - rate) / base_rate
+            status = "WARN" if drop > threshold else "ok"
+            print(f"{status:4} kill_interval={label} success_rate: baseline "
+                  f"{base_rate:.4f} fresh {rate:.4f} ({-drop:+.2%})")
+            if drop > threshold:
+                warnings.append(f"kill_interval={label} success_rate dropped "
+                                f"{drop:.1%} (baseline {base_rate:.4f}, "
+                                f"fresh {rate:.4f})")
+        for key in ("mean_leaderless_ms", "max_leaderless_ms"):
+            base_win = base.get(key)
+            win = point.get(key)
+            if base_win is None or win is None:
+                continue
+            floor = 10.0  # ignore sub-notify-window jitter
+            grew = win > max(base_win * (1.0 + threshold), base_win + floor)
+            status = "WARN" if grew else "ok"
+            print(f"{status:4} kill_interval={label} {key}: baseline "
+                  f"{base_win:.1f} fresh {win:.1f}")
+            if grew:
+                warnings.append(f"kill_interval={label} {key} grew from "
+                                f"{base_win:.1f}ms to {win:.1f}ms")
+    return warnings
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed baseline JSON")
@@ -112,6 +169,8 @@ def main() -> int:
 
     if fresh.get("bench") == "delta_dissemination":
         warnings = check_delta(reference, fresh, args.threshold)
+    elif fresh.get("bench") == "smr_failover":
+        warnings = check_smr_failover(reference, fresh, args.threshold)
     else:
         warnings = check_dataplane(reference, fresh, args.threshold)
 

@@ -28,6 +28,12 @@ const char* FaultKindName(FaultKind kind) {
       return "control-plane-failover";
     case FaultKind::kMapDeliveryLoss:
       return "map-delivery-loss";
+    case FaultKind::kLeaderLoss:
+      return "leader-loss";
+    case FaultKind::kLeaderPartition:
+      return "leader-partition";
+    case FaultKind::kSmrReconfigure:
+      return "smr-reconfigure";
   }
   return "unknown";
 }
@@ -139,6 +145,15 @@ void FaultInjector::InjectOne() {
       break;
     case FaultKind::kMapDeliveryLoss:
       injected = InjectMapDeliveryLoss(duration);
+      break;
+    case FaultKind::kLeaderLoss:
+      injected = InjectLeaderLoss();
+      break;
+    case FaultKind::kLeaderPartition:
+      injected = InjectLeaderPartition(duration);
+      break;
+    case FaultKind::kSmrReconfigure:
+      injected = InjectSmrReconfigure();
       break;
   }
   if (!injected) {
@@ -390,6 +405,11 @@ bool FaultInjector::InjectSessionExpiryStorm() {
 }
 
 bool FaultInjector::InjectControlPlaneFailover() {
+  // The simulate shim only exists in single-instance mode; with the replicated control plane
+  // the equivalent (and stronger) fault is kLeaderLoss, which needs no quiescence.
+  if (bed_->replica_set() != nullptr) {
+    return false;
+  }
   // Failover requires a quiescent orchestrator: in-flight operations hold callbacks into the
   // instance about to be destroyed. Skipping here is fine — the arrival clock fires again.
   if (bed_->orchestrator().pending_ops() != 0) {
@@ -399,6 +419,110 @@ bool FaultInjector::InjectControlPlaneFailover() {
   bed_->mini_sm().SimulateControlPlaneFailover();
   journal_.push_back(ChaosEvent{bed_->sim().Now(), id, FaultKind::kControlPlaneFailover, true,
                                 "recovered from coordination store"});
+  return true;
+}
+
+bool FaultInjector::InjectLeaderLoss() {
+  ControlPlaneReplicaSet* set = bed_->replica_set();
+  if (set == nullptr || !set->has_leader()) {
+    return false;
+  }
+  std::ostringstream os;
+  os << "leader=" << set->leader_index() << " epoch=" << set->leadership_epoch()
+     << " pending_ops=" << set->orchestrator().pending_ops();
+  int64_t id = RecordInject(FaultKind::kLeaderLoss, os.str());
+  set->KillLeader();
+  // Self-healing: the surviving replicas re-elect on their own; no heal action is needed, so
+  // the fault does not occupy a concurrency slot.
+  journal_.push_back(
+      ChaosEvent{bed_->sim().Now(), id, FaultKind::kLeaderLoss, true, "re-election under way"});
+  return true;
+}
+
+bool FaultInjector::InjectLeaderPartition(TimeMicros duration) {
+  ControlPlaneReplicaSet* set = bed_->replica_set();
+  if (set == nullptr || !set->has_leader() || bed_->num_regions() < 2) {
+    return false;
+  }
+  const int leader = set->leader_index();
+  const int32_t from = set->replica_region(leader).value;
+  // Cut every outbound link from the leader's region that isn't already down — the gray-leader
+  // scenario: the leader keeps running but can reach neither the store nor the servers.
+  std::vector<int32_t> cut;
+  for (int to = 0; to < bed_->num_regions(); ++to) {
+    if (to != from && blocked_links_.count({from, to}) == 0) {
+      cut.push_back(to);
+    }
+  }
+  if (cut.empty()) {
+    return false;
+  }
+  std::ostringstream os;
+  os << "leader=" << leader << " region=" << from << " epoch=" << set->leadership_epoch()
+     << " links_cut=" << cut.size() << " duration=" << duration << "us";
+  int64_t id = RecordInject(FaultKind::kLeaderPartition, os.str());
+  for (int32_t to : cut) {
+    bed_->network().BlockLink(RegionId(from), RegionId(to));
+    blocked_links_.insert({from, to});
+  }
+  // The coordination store times out the unreachable session shortly after the links die; the
+  // isolated leader is fenced while the survivors elect a successor.
+  bed_->sim().Schedule(config_.leader_partition_session_ttl, [this, set, leader]() {
+    LeaderLease* lease = set->lease(leader);
+    if (lease != nullptr && lease->is_leader()) {
+      lease->ExpireSession();
+    }
+  });
+  bed_->sim().Schedule(duration, [this, from, cut]() {
+    for (int32_t to : cut) {
+      bed_->network().UnblockLink(RegionId(from), RegionId(to));
+      blocked_links_.erase({from, to});
+    }
+  });
+  ScheduleHeal(id, FaultKind::kLeaderPartition, duration,
+               "region=" + std::to_string(from) + " outbound links restored");
+  return true;
+}
+
+bool FaultInjector::InjectSmrReconfigure() {
+  ControlPlaneReplicaSet* set = bed_->replica_set();
+  if (set == nullptr) {
+    return false;
+  }
+  // Draws are consumed unconditionally (action, replica slot, region) so the rng stream stays
+  // aligned whether or not the chosen action applies.
+  const int64_t action = rng_.UniformInt(0, 2);
+  const int64_t slot = rng_.UniformInt(0, 15);
+  RegionId region(static_cast<int32_t>(rng_.UniformInt(0, bed_->num_regions() - 1)));
+  std::ostringstream os;
+  switch (action) {
+    case 0: {
+      int index = set->AddReplica(region);
+      os << "add replica=" << index << " region=" << region.value;
+      break;
+    }
+    case 1: {
+      int index = static_cast<int>(slot) % std::max(1, set->num_replicas());
+      Status status = set->RemoveReplica(index);
+      if (!status.ok()) {
+        return false;  // e.g. last replica, or the slot was already retired
+      }
+      os << "remove replica=" << index;
+      break;
+    }
+    default: {
+      int index = static_cast<int>(slot) % std::max(1, set->num_replicas());
+      Status status = set->RelocateReplica(index, region);
+      if (!status.ok()) {
+        return false;
+      }
+      os << "relocate replica=" << index << " region=" << region.value;
+      break;
+    }
+  }
+  int64_t id = RecordInject(FaultKind::kSmrReconfigure, os.str());
+  journal_.push_back(
+      ChaosEvent{bed_->sim().Now(), id, FaultKind::kSmrReconfigure, true, "reconfigured"});
   return true;
 }
 

@@ -44,6 +44,17 @@ enum class FaultKind {
   // duration. Delta-mode subscribers develop version gaps and must recover via snapshot
   // fallback (DESIGN.md §10); snapshot-mode subscribers just run staler until the next publish.
   kMapDeliveryLoss,
+  // Replicated control plane (DESIGN.md §11) faults. These require a Testbed running with
+  // smr_control_plane = true and are deliberately NOT part of the default mix so existing
+  // chaos journals stay byte-identical; SMR soak tests opt in with an explicit mix.
+  //   kLeaderLoss        the current leader's coordination-store session expires mid-term;
+  //   kLeaderPartition   asymmetric partition: every outbound link from the leader's region is
+  //                      cut, then its session times out — the classic gray leader;
+  //   kSmrReconfigure    online reconfiguration under churn: add, remove, or relocate a
+  //                      control-plane replica without stopping placement.
+  kLeaderLoss,
+  kLeaderPartition,
+  kSmrReconfigure,
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -74,6 +85,9 @@ struct ChaosConfig {
   TimeMicros storm_reconnect_after = Seconds(12);
   // Map-delivery loss windows sample a drop probability up to this ceiling.
   double max_map_loss_probability = 0.5;
+  // Leader partition: how long after the outbound links die the leader's lease session is
+  // expired (models the coordination store timing out the unreachable session).
+  TimeMicros leader_partition_session_ttl = Seconds(1);
   // Whether full/partial partitions may touch region 0 (control plane + probe home).
   bool partition_home_region = false;
   // Unplanned-fault bracketing on the invariant checker is released this long after heal,
@@ -119,6 +133,9 @@ class FaultInjector {
   bool InjectSessionExpiryStorm();
   bool InjectControlPlaneFailover();
   bool InjectMapDeliveryLoss(TimeMicros duration);
+  bool InjectLeaderLoss();
+  bool InjectLeaderPartition(TimeMicros duration);
+  bool InjectSmrReconfigure();
 
   int64_t RecordInject(FaultKind kind, const std::string& detail);
   void ScheduleHeal(int64_t fault_id, FaultKind kind, TimeMicros after, std::string detail);

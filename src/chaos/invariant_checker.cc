@@ -68,6 +68,22 @@ void InvariantChecker::CheckNow() {
   if (config_.check_coord_consistency) {
     CheckCoordConsistency();
   }
+  if (config_.check_single_fenced_writer) {
+    CheckSingleFencedWriter();
+  }
+}
+
+void InvariantChecker::CheckSingleFencedWriter() {
+  if (bed_->replica_set() == nullptr) {
+    return;  // Single-instance control plane: the fence does not exist.
+  }
+  const int writers = bed_->replica_set()->UnfencedWriters();
+  if (writers > 1) {
+    std::ostringstream os;
+    os << writers << " orchestrator instances pass the write fence at epoch "
+       << bed_->replica_set()->leadership_epoch();
+    Record("I7", os.str());
+  }
 }
 
 void InvariantChecker::CheckSingleWriter() {

@@ -20,6 +20,11 @@
 //       coordination store equals the orchestrator's in-memory binding. The orchestrator
 //       persists synchronously with every bind/role change, so strict equality holds between
 //       simulator events.
+//   I7  at most one fenced writer per app per epoch: with the replicated control plane
+//       (DESIGN.md §11), at most one orchestrator instance — across active and retired
+//       leaders — may hold a leadership epoch whose writes still pass the fence. Two unfenced
+//       writers means a deposed leader could still mutate coordination state. Skipped in
+//       single-instance mode.
 //
 // The first violation captures a context string (typically the fault injector's journal) so a
 // failure can be replayed from its chaos schedule.
@@ -43,13 +48,14 @@ struct InvariantCheckerConfig {
   bool check_assignment_agreement = true;   // I3
   bool check_monotonic_versions = true;     // I5
   bool check_coord_consistency = true;      // I6
+  bool check_single_fenced_writer = true;   // I7
   // Recording stops after this many violations (total_violations() keeps counting).
   int max_recorded_violations = 20;
 };
 
 struct InvariantViolation {
   TimeMicros time = 0;
-  std::string invariant;  // "I1".."I6"
+  std::string invariant;  // "I1".."I7"
   std::string detail;
 };
 
@@ -90,6 +96,7 @@ class InvariantChecker {
   void CheckAssignmentAgreement();
   void CheckMonotonicVersions();
   void CheckCoordConsistency();
+  void CheckSingleFencedWriter();
 
   Testbed* bed_;
   InvariantCheckerConfig config_;

@@ -134,10 +134,16 @@ void Orchestrator::Shutdown() {
   SM_CHECK_EQ(in_flight_ops_, 0);
   SM_CHECK(op_queue_.empty());
   shut_down_ = true;
+  CancelTimersAndDeferred();
+}
+
+void Orchestrator::CancelTimersAndDeferred() {
   sim_->Cancel(load_poll_timer_);
   sim_->Cancel(periodic_alloc_timer_);
   sim_->Cancel(publish_timer_);
   sim_->Cancel(emergency_timer_);
+  publish_scheduled_ = false;
+  emergency_pending_ = false;
   for (auto& [server, timer] : server_timers_) {
     sim_->Cancel(timer);
   }
@@ -146,16 +152,19 @@ void Orchestrator::Shutdown() {
     sim_->Cancel(timer);
   }
   retry_timers_.clear();
-  // Step-5 delayed drops of lingering old primaries would run against a destroyed orchestrator;
-  // execute them now (fire-and-forget, capturing nothing of `this`) — the replacement recovers
-  // from the coordination store, where these copies are already unassigned, so nobody else
-  // would ever clean them up.
+  // Step-5 delayed drops of lingering old primaries would run against a destroyed (or fenced)
+  // orchestrator; execute them now (fire-and-forget, capturing nothing of `this`) — the
+  // replacement recovers from the coordination store, where these copies are already
+  // unassigned, so nobody else would ever clean them up. The drop body is fence-wrapped: if a
+  // successor has already re-bound the shard to this server, the delivery-time fence rejects
+  // the stale drop before it can destroy a live replica. A leaked forwarding-only copy is
+  // harmless either way — the successor's AddShard re-assertion clears it.
   for (auto& [token, pending] : linger_drops_) {
     sim_->Cancel(pending.timer);
     if (!ShardBoundTo(pending.shard, pending.server)) {
       ShardId shard = pending.shard;
       CallControl(*network_, home_region_, *registry_, pending.server,
-                  [shard](ShardServerApi& api) { return api.DropShard(shard); },
+                  FenceWrapped([shard](ShardServerApi& api) { return api.DropShard(shard); }),
                   [](const Status&) {});
     }
   }
@@ -164,6 +173,231 @@ void Orchestrator::Shutdown() {
   if (liveness_watch_ != 0) {
     coord_->Unwatch(liveness_watch_);
     liveness_watch_ = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------------------------
+// Fencing / hand-off / reconciliation (DESIGN.md §11)
+// ---------------------------------------------------------------------------------------------
+
+bool Orchestrator::MayWrite() {
+  if (fenced_) {
+    return false;
+  }
+  if (!config_.write_fence) {
+    return true;  // standalone mode: no replicated control plane
+  }
+  if (config_.write_fence(config_.leadership_epoch)) {
+    return true;
+  }
+  // The leader node no longer carries our epoch: leadership is gone for good (epochs only
+  // grow), so latch the fence permanently rather than re-probing on every write.
+  fenced_ = true;
+  SM_COUNTER_INC("sm.smr.fencing_rejections");
+  SM_TRACE_INSTANT("orchestrator", "fenced",
+                   obs::Arg("epoch", config_.leadership_epoch));
+  return false;
+}
+
+bool Orchestrator::PassesWriteFence() const {
+  if (shut_down_ || fenced_) {
+    return false;
+  }
+  if (!config_.write_fence) {
+    return true;
+  }
+  return config_.write_fence(config_.leadership_epoch);
+}
+
+std::function<Status(ShardServerApi&)> Orchestrator::FenceWrapped(
+    std::function<Status(ShardServerApi&)> fn) const {
+  if (!config_.write_fence) {
+    return fn;
+  }
+  // Captures only the fence predicate and epoch — never `this` — so the wrapped body stays
+  // safe even if it outlives the orchestrator (e.g. linger drops fired during hand-off).
+  return [fence = config_.write_fence, epoch = config_.leadership_epoch,
+          fn = std::move(fn)](ShardServerApi& api) {
+    if (!fence(epoch)) {
+      SM_COUNTER_INC("sm.smr.rpcs_fenced_at_delivery");
+      return AbortedError("stale leadership epoch");
+    }
+    return fn(api);
+  };
+}
+
+void Orchestrator::AbandonOp(const Op& op) {
+  // A fenced instance must not retry, persist, publish, or pump — it only releases the op's
+  // bookkeeping so the hand-off can complete. The successor reconciles the op from the log.
+  SM_TRACE_END(op.trace, "orchestrator", OpKindName(op.kind), obs::Arg("abandoned", int64_t{1}));
+  ++abandoned_ops_;
+  SM_COUNTER_INC("sm.orchestrator.ops_abandoned");
+  busy_shards_.erase(op.shard.value);
+  --in_flight_ops_;
+  if (op.shard.valid() && op.shard.value < static_cast<int32_t>(shards_.size())) {
+    ShardRuntime& rt = shards_[static_cast<size_t>(op.shard.value)];
+    if (op.replica >= 0 && op.replica < static_cast<int>(rt.replicas.size())) {
+      rt.replicas[static_cast<size_t>(op.replica)].op_queued = false;
+    }
+  }
+  MaybeFinishHandoff();
+}
+
+void Orchestrator::MaybeFinishHandoff() {
+  if (handing_off_ && in_flight_ops_ == 0 && handoff_done_) {
+    std::function<void()> done = std::move(handoff_done_);
+    handoff_done_ = nullptr;
+    done();
+  }
+}
+
+void Orchestrator::BeginHandoff(std::function<void()> drained) {
+  if (handing_off_ || shut_down_) {
+    if (drained) {
+      drained();
+    }
+    return;
+  }
+  handing_off_ = true;
+  fenced_ = true;
+  SM_COUNTER_INC("sm.smr.handoffs");
+  handoff_done_ = std::move(drained);
+  CancelTimersAndDeferred();
+  // Queued-but-unstarted ops have no external footprint and no log entry: discard them. The
+  // successor recomputes placement from the recovered state anyway.
+  for (const Op& op : op_queue_) {
+    if (op.shard.valid() && op.shard.value < static_cast<int32_t>(shards_.size())) {
+      ShardRuntime& rt = shards_[static_cast<size_t>(op.shard.value)];
+      if (op.replica >= 0 && op.replica < static_cast<int>(rt.replicas.size())) {
+        rt.replicas[static_cast<size_t>(op.replica)].op_queued = false;
+      }
+    }
+  }
+  op_queue_.clear();
+  // In-flight ops abandon themselves as their callbacks arrive (they observe fenced_).
+  MaybeFinishHandoff();
+}
+
+void Orchestrator::LogOpStart(Op& op) {
+  if (!config_.op_log_append || !MayWrite()) {
+    return;  // a stale leader must not pollute the successor's log
+  }
+  PlacementOpRecord record;
+  record.epoch = config_.leadership_epoch;
+  record.kind = static_cast<int>(op.kind);
+  record.shard = op.shard;
+  record.replica = op.replica;
+  record.from = op.from;
+  record.to = op.to;
+  op.log_seq = config_.op_log_append(record);
+}
+
+void Orchestrator::LogOpComplete(const Op& op) {
+  if (op.log_seq == 0 || !config_.op_log_complete || !MayWrite()) {
+    return;  // leave the entry for the successor's reconciliation pass
+  }
+  config_.op_log_complete(op.log_seq);
+}
+
+void Orchestrator::StartReconciled(const std::vector<PlacementOpRecord>& tail) {
+  SM_CHECK(!started_);
+  started_ = true;
+  InitShards();
+  LoadAssignmentsFromCoord();
+  Result<std::string> version = coord_->Get("/sm/" + spec_.name + "/map_version");
+  if (version.ok()) {
+    map_version_ = std::stoll(version.value());
+  }
+  // Liveness may have changed while no leader was watching; reconcile before acting on the
+  // recovered assignment so promotions/failovers fire for servers that died during the gap.
+  ReconcileLiveness();
+  for (const PlacementOpRecord& record : tail) {
+    ReconcileOp(record);
+  }
+  MarkMapDirty(/*urgent=*/true);
+  TriggerEmergencyAllocation();
+  StartTimersAndWatches();
+}
+
+void Orchestrator::ReconcileLiveness() {
+  const std::string live_prefix = "/sm/" + spec_.name + "/live/";
+  for (ServerId id : registry_->ServersOf(spec_.id)) {
+    bool has_node = coord_->Exists(live_prefix + std::to_string(id.value));
+    bool alive = registry_->IsAlive(id);
+    if (alive && !has_node) {
+      // Session expired during the leadership gap and nobody reacted: treat as unplanned down.
+      OnServerDown(id, /*planned=*/false);
+    } else if (!alive && has_node) {
+      OnServerUp(id);
+    }
+  }
+}
+
+void Orchestrator::ReconcileOp(const PlacementOpRecord& record) {
+  if (!record.shard.valid() || record.shard.value >= static_cast<int32_t>(shards_.size())) {
+    return;
+  }
+  ++reconciled_ops_;
+  SM_COUNTER_INC("sm.smr.reconciled_ops");
+  ShardId shard = record.shard;
+  // A copy the dead leader created (or left lingering) on either endpoint that the recovered
+  // assignment does not account for is a stray: drop it before it can shadow-own the shard.
+  // If the recovered assignment *does* bind the endpoint, the copy is a live replica — leave
+  // it, and let the AddShard re-assertions below restore its serving state.
+  auto drop_stray = [&](ServerId server) {
+    if (!server.valid() || ShardBoundTo(shard, server)) {
+      return;
+    }
+    const ServerHandle* handle = registry_->Get(server);
+    if (handle == nullptr || !handle->alive) {
+      return;
+    }
+    SM_COUNTER_INC("sm.smr.reconcile_drops");
+    CallControl(*network_, home_region_, *registry_, server,
+                FenceWrapped([shard](ShardServerApi& api) { return api.DropShard(shard); }),
+                [](const Status&) {});
+  };
+  drop_stray(record.to);
+  drop_stray(record.from);
+  ShardRuntime& rt = shards_[static_cast<size_t>(shard.value)];
+  OpKind kind = static_cast<OpKind>(record.kind);
+  if (kind == OpKind::kMovePrimary) {
+    // Step 2 may have left the still-bound old primary forwarding into a target that was just
+    // dropped; re-assert ownership (AddShard is an idempotent re-assertion that preserves data
+    // and clears forwarding) so it serves directly again.
+    for (ReplicaRuntime& r : rt.replicas) {
+      if (r.role == ReplicaRole::kPrimary && r.phase == ReplicaPhase::kReady &&
+          r.server.valid() && registry_->IsAlive(r.server)) {
+        CallControl(*network_, home_region_, *registry_, r.server,
+                    FenceWrapped([shard](ShardServerApi& api) {
+                      return api.AddShard(shard, ReplicaRole::kPrimary);
+                    }),
+                    [](const Status&) {});
+      }
+    }
+  } else if (kind == OpKind::kPromote && spec_.strategy == ReplicationStrategy::kPrimarySecondary) {
+    // The promote RPC may have been sent but its completion never recorded. If the recovered
+    // assignment has no primary for this shard, finish the promotion on the logged replica.
+    bool has_primary = false;
+    for (const ReplicaRuntime& r : rt.replicas) {
+      if (r.role == ReplicaRole::kPrimary && r.server.valid()) {
+        has_primary = true;
+        break;
+      }
+    }
+    if (!has_primary && record.replica >= 0 &&
+        record.replica < static_cast<int>(rt.replicas.size())) {
+      ReplicaRuntime& r = rt.replicas[static_cast<size_t>(record.replica)];
+      if (r.phase == ReplicaPhase::kReady && r.server.valid() && registry_->IsAlive(r.server)) {
+        r.role = ReplicaRole::kPrimary;
+        PersistServerAssignment(r.server);
+        CallControl(*network_, home_region_, *registry_, r.server,
+                    FenceWrapped([shard](ShardServerApi& api) {
+                      return api.AddShard(shard, ReplicaRole::kPrimary);
+                    }),
+                    [](const Status&) {});
+      }
+    }
   }
 }
 
@@ -252,7 +486,7 @@ void Orchestrator::Bind(ShardId shard, int replica, ServerId server) {
 void Orchestrator::Unbind(ShardId shard, int replica) { Bind(shard, replica, ServerId()); }
 
 void Orchestrator::PersistServerAssignment(ServerId server) {
-  if (!server.valid()) {
+  if (!server.valid() || !MayWrite()) {
     return;
   }
   std::ostringstream os;
@@ -326,6 +560,10 @@ void Orchestrator::MarkMapDirty(bool urgent) {
 
 void Orchestrator::PublishMap() {
   map_dirty_ = false;
+  if (!MayWrite()) {
+    SM_COUNTER_INC("sm.smr.publishes_fenced");
+    return;  // A stale leader never publishes; the successor rebuilds and re-publishes.
+  }
   ShardMap map = BuildMap();
   ++map_version_;
   SM_COUNTER_INC("sm.orchestrator.map_publishes");
@@ -356,6 +594,9 @@ TimeMicros Orchestrator::RetryBackoff(int attempts) {
 }
 
 void Orchestrator::EnqueueOp(Op op) {
+  if (fenced_) {
+    return;  // the successor owns placement now
+  }
   ReplicaRuntime& r = Replica(op.shard, op.replica);
   if (r.op_queued) {
     return;
@@ -373,6 +614,9 @@ void Orchestrator::EnqueueOp(Op op) {
 }
 
 void Orchestrator::Pump() {
+  if (fenced_) {
+    return;
+  }
   const int cap = std::max(1, spec_.placement.max_concurrent_moves_per_app);
   while (in_flight_ops_ < cap) {
     // First queued op whose shard has no in-flight op AND whose target does not still host a
@@ -450,6 +694,7 @@ void Orchestrator::StartOp(Op op) {
 
 void Orchestrator::FinishOp(const Op& op, bool success) {
   SM_TRACE_END(op.trace, "orchestrator", OpKindName(op.kind), obs::Arg("ok", int64_t{success}));
+  LogOpComplete(op);
   if (success) {
     SM_COUNTER_INC("sm.orchestrator.ops_completed");
   } else {
@@ -472,8 +717,10 @@ void Orchestrator::FinishOp(const Op& op, bool success) {
     ++retry.attempts;
     if (retry.attempts < config_.max_op_attempts) {
       SM_COUNTER_INC("sm.orchestrator.ops_retried");
-      // Re-pick the target on retry; the original may have died.
+      // Re-pick the target on retry; the original may have died. The retry is a fresh attempt
+      // as far as the op log is concerned (this attempt's entry was completed above).
       retry.to = ServerId();
+      retry.log_seq = 0;
       int64_t token = next_deferred_token_++;
       EventId timer = sim_->Schedule(RetryBackoff(retry.attempts), [this, retry, token]() {
         retry_timers_.erase(token);
@@ -512,11 +759,18 @@ void Orchestrator::ExecutePlace(Op op) {
   }
   op.to = target;
   r.phase = ReplicaPhase::kAdding;
+  LogOpStart(op);
   ShardId shard = op.shard;
   ReplicaRole role = r.role;
   CallControl(*network_, home_region_, *registry_, target,
-              [shard, role](ShardServerApi& api) { return api.AddShard(shard, role); },
+              FenceWrapped([shard, role](ShardServerApi& api) {
+                return api.AddShard(shard, role);
+              }),
               [this, op](const Status& status) {
+                if (fenced_) {
+                  AbandonOp(op);
+                  return;
+                }
                 ReplicaRuntime& r = Replica(op.shard, op.replica);
                 if (status.ok()) {
                   Bind(op.shard, op.replica, op.to);
@@ -546,12 +800,17 @@ void Orchestrator::ExecuteMoveSecondary(Op op) {
   }
   r.phase = ReplicaPhase::kMigrating;
   r.move_target = op.to;
+  LogOpStart(op);
   ShardId shard = op.shard;
   CallControl(*network_, home_region_, *registry_, op.to,
-              [shard](ShardServerApi& api) {
+              FenceWrapped([shard](ShardServerApi& api) {
                 return api.AddShard(shard, ReplicaRole::kSecondary);
-              },
+              }),
               [this, op](const Status& status) {
+                if (fenced_) {
+                  AbandonOp(op);
+                  return;
+                }
                 ReplicaRuntime& r = Replica(op.shard, op.replica);
                 r.move_target = ServerId();
                 if (!status.ok()) {
@@ -572,8 +831,16 @@ void Orchestrator::ExecuteMoveSecondary(Op op) {
                   // is acknowledged, so a later move of this shard cannot land on op.from
                   // before the old copy is gone.
                   CallControl(*network_, home_region_, *registry_, op.from,
-                              [shard](ShardServerApi& api) { return api.DropShard(shard); },
-                              [this, op](const Status&) { FinishOp(op, /*success=*/true); });
+                              FenceWrapped([shard](ShardServerApi& api) {
+                                return api.DropShard(shard);
+                              }),
+                              [this, op](const Status&) {
+                                if (fenced_) {
+                                  AbandonOp(op);
+                                  return;
+                                }
+                                FinishOp(op, /*success=*/true);
+                              });
                   return;
                 }
                 // Graceful variant: stale clients keep finding a responsive replica at the old
@@ -583,10 +850,10 @@ void Orchestrator::ExecuteMoveSecondary(Op op) {
                 ServerId old_server = op.from;
                 ServerId new_server = op.to;
                 CallControl(*network_, home_region_, *registry_, old_server,
-                            [shard, new_server](ShardServerApi& api) {
+                            FenceWrapped([shard, new_server](ShardServerApi& api) {
                               return api.PrepareDropShard(shard, new_server,
                                                           ReplicaRole::kSecondary);
-                            },
+                            }),
                             [](const Status&) {});
                 ++lingering_forwarders_[old_server.value];
                 int64_t token = next_deferred_token_++;
@@ -608,7 +875,9 @@ void Orchestrator::ExecuteMoveSecondary(Op op) {
                         return;
                       }
                       CallControl(*network_, home_region_, *registry_, old_server,
-                                  [shard](ShardServerApi& api) { return api.DropShard(shard); },
+                                  FenceWrapped([shard](ShardServerApi& api) {
+                                    return api.DropShard(shard);
+                                  }),
                                   [release](const Status&) { release(); });
                     });
                 linger_drops_[token] = {timer, shard, old_server};
@@ -633,6 +902,7 @@ void Orchestrator::ExecuteMovePrimaryGraceful(Op op) {
   }
   r.phase = ReplicaPhase::kMigrating;
   r.move_target = op.to;
+  LogOpStart(op);
   ShardId shard = op.shard;
   ServerId old_server = op.from;
   ServerId new_server = op.to;
@@ -648,10 +918,14 @@ void Orchestrator::ExecuteMovePrimaryGraceful(Op op) {
   // Step 1: prepare the new primary (accepts only forwarded primary requests until step 3).
   CallControl(
       *network_, home_region_, *registry_, new_server,
-      [shard, old_server](ShardServerApi& api) {
+      FenceWrapped([shard, old_server](ShardServerApi& api) {
         return api.PrepareAddShard(shard, old_server, ReplicaRole::kPrimary);
-      },
+      }),
       [this, op, shard, old_server, new_server, abort](const Status& s1) {
+        if (fenced_) {
+          AbandonOp(op);
+          return;
+        }
         if (!s1.ok()) {
           abort("prepare_add");
           return;
@@ -659,14 +933,20 @@ void Orchestrator::ExecuteMovePrimaryGraceful(Op op) {
         // Step 2: tell the old primary to forward all primary-type requests to the new one.
         CallControl(
             *network_, home_region_, *registry_, old_server,
-            [shard, new_server](ShardServerApi& api) {
+            FenceWrapped([shard, new_server](ShardServerApi& api) {
               return api.PrepareDropShard(shard, new_server, ReplicaRole::kPrimary);
-            },
+            }),
             [this, op, shard, old_server, new_server, abort](const Status& s2) {
+              if (fenced_) {
+                AbandonOp(op);
+                return;
+              }
               if (!s2.ok()) {
                 // Clean up the prepared (but never activated) new replica.
                 CallControl(*network_, home_region_, *registry_, new_server,
-                            [shard](ShardServerApi& api) { return api.DropShard(shard); },
+                            FenceWrapped([shard](ShardServerApi& api) {
+                              return api.DropShard(shard);
+                            }),
                             [](const Status&) {});
                 abort("prepare_drop");
                 return;
@@ -674,22 +954,28 @@ void Orchestrator::ExecuteMovePrimaryGraceful(Op op) {
               // Step 3: the new server officially holds the primary role.
               CallControl(
                   *network_, home_region_, *registry_, new_server,
-                  [shard](ShardServerApi& api) {
+                  FenceWrapped([shard](ShardServerApi& api) {
                     return api.AddShard(shard, ReplicaRole::kPrimary);
-                  },
+                  }),
                   [this, op, shard, old_server, new_server, abort](const Status& s3) {
+                    if (fenced_) {
+                      AbandonOp(op);
+                      return;
+                    }
                     if (!s3.ok()) {
                       // The new primary died — or executed the add but its response was lost
                       // (timeout). Reassert the old owner so it stops forwarding into a black
                       // hole, and drop the possibly-activated new replica so it cannot linger
                       // as a second owner.
                       CallControl(*network_, home_region_, *registry_, old_server,
-                                  [shard](ShardServerApi& api) {
+                                  FenceWrapped([shard](ShardServerApi& api) {
                                     return api.AddShard(shard, ReplicaRole::kPrimary);
-                                  },
+                                  }),
                                   [](const Status&) {});
                       CallControl(*network_, home_region_, *registry_, new_server,
-                                  [shard](ShardServerApi& api) { return api.DropShard(shard); },
+                                  FenceWrapped([shard](ShardServerApi& api) {
+                                    return api.DropShard(shard);
+                                  }),
                                   [](const Status&) {});
                       abort("add_shard");
                       return;
@@ -726,9 +1012,9 @@ void Orchestrator::ExecuteMovePrimaryGraceful(Op op) {
                         return;
                       }
                       CallControl(*network_, home_region_, *registry_, old_server,
-                                  [shard](ShardServerApi& api) {
+                                  FenceWrapped([shard](ShardServerApi& api) {
                                     return api.DropShard(shard);
-                                  },
+                                  }),
                                   [release](const Status&) { release(); });
                     });
                     linger_drops_[token] = {timer, shard, old_server};
@@ -756,18 +1042,27 @@ void Orchestrator::ExecuteMovePrimaryAbrupt(Op op) {
   r.phase = ReplicaPhase::kMigrating;
   r.abrupt_move = true;
   r.move_target = op.to;
+  LogOpStart(op);
   ShardId shard = op.shard;
   ServerId new_server = op.to;
   CallControl(
       *network_, home_region_, *registry_, op.from,
-      [shard](ShardServerApi& api) { return api.DropShard(shard); },
+      FenceWrapped([shard](ShardServerApi& api) { return api.DropShard(shard); }),
       [this, op, shard, new_server](const Status&) {
+        if (fenced_) {
+          AbandonOp(op);
+          return;
+        }
         CallControl(
             *network_, home_region_, *registry_, new_server,
-            [shard](ShardServerApi& api) {
+            FenceWrapped([shard](ShardServerApi& api) {
               return api.AddShard(shard, ReplicaRole::kPrimary);
-            },
+            }),
             [this, op](const Status& status) {
+              if (fenced_) {
+                AbandonOp(op);
+                return;
+              }
               ReplicaRuntime& r = Replica(op.shard, op.replica);
               r.abrupt_move = false;
               r.move_target = ServerId();
@@ -793,10 +1088,15 @@ void Orchestrator::ExecuteMovePrimaryAbrupt(Op op) {
 void Orchestrator::ExecuteDrop(Op op) {
   ReplicaRuntime& r = Replica(op.shard, op.replica);
   r.phase = ReplicaPhase::kDropping;
+  LogOpStart(op);
   ShardId shard = op.shard;
   CallControl(*network_, home_region_, *registry_, op.from,
-              [shard](ShardServerApi& api) { return api.DropShard(shard); },
+              FenceWrapped([shard](ShardServerApi& api) { return api.DropShard(shard); }),
               [this, op](const Status&) {
+                if (fenced_) {
+                  AbandonOp(op);
+                  return;
+                }
                 Unbind(op.shard, op.replica);
                 PersistServerAssignment(op.from);
                 ShardRuntime& rt = shards_[static_cast<size_t>(op.shard.value)];
@@ -814,12 +1114,17 @@ void Orchestrator::ExecutePromote(Op op) {
     FinishOp(op, /*success=*/false);
     return;
   }
+  LogOpStart(op);
   ShardId shard = op.shard;
   CallControl(*network_, home_region_, *registry_, op.from,
-              [shard](ShardServerApi& api) {
+              FenceWrapped([shard](ShardServerApi& api) {
                 return api.ChangeRole(shard, ReplicaRole::kSecondary, ReplicaRole::kPrimary);
-              },
+              }),
               [this, op](const Status& status) {
+                if (fenced_) {
+                  AbandonOp(op);
+                  return;
+                }
                 if (status.ok()) {
                   ReplicaRuntime& r = Replica(op.shard, op.replica);
                   r.role = ReplicaRole::kPrimary;
@@ -1048,10 +1353,10 @@ void Orchestrator::DemotePrimariesOn(ServerId server) {
     r.role = ReplicaRole::kSecondary;
     ShardId shard_copy = shard;
     CallControl(*network_, home_region_, *registry_, server,
-                [shard_copy](ShardServerApi& api) {
+                FenceWrapped([shard_copy](ShardServerApi& api) {
                   return api.ChangeRole(shard_copy, ReplicaRole::kPrimary,
                                         ReplicaRole::kSecondary);
-                },
+                }),
                 [](const Status&) {});
     PromoteSurvivor(shard, replica);
   }

@@ -35,6 +35,20 @@
 
 namespace shardman {
 
+// One entry of the replicated placement-op log (DESIGN.md §11): enough to describe an
+// operation the leader had in flight, so a successor can reconcile it mid-operation. `kind` is
+// an Orchestrator::OpKind as int (the struct predates nothing — it lives here so the SMR layer
+// and the orchestrator share it without a dependency cycle).
+struct PlacementOpRecord {
+  int64_t seq = 0;
+  int64_t epoch = 0;
+  int kind = 0;
+  ShardId shard;
+  int replica = 0;
+  ServerId from;
+  ServerId to;
+};
+
 struct OrchestratorConfig {
   TimeMicros load_poll_interval = Seconds(10);
   TimeMicros periodic_alloc_interval = Seconds(30);
@@ -73,6 +87,18 @@ struct OrchestratorConfig {
   TimeMicros retry_backoff_max = Seconds(16);
   double retry_jitter = 0.2;
   uint64_t retry_seed = 0x5eedbacc0ff;
+  // -- Replicated control plane (DESIGN.md §11) -------------------------------------------------
+  // Leadership epoch this orchestrator instance writes under. Meaningful only with write_fence.
+  int64_t leadership_epoch = 0;
+  // Store-side fence: returns true while `leadership_epoch` is still the current leader epoch.
+  // Evaluated before every coordination-store write and shard-map publish, and again at
+  // delivery time inside every mutating control RPC; the first failure permanently fences this
+  // instance. Null (the default) means standalone mode: no fencing, current behavior.
+  std::function<bool(int64_t)> write_fence;
+  // Replicated op-log hooks: append when an operation starts executing (returns its sequence
+  // number), complete when it finishes. Null means the op log is disabled.
+  std::function<int64_t(const PlacementOpRecord&)> op_log_append;
+  std::function<void(int64_t)> op_log_complete;
 };
 
 enum class ReplicaPhase {
@@ -107,6 +133,27 @@ class Orchestrator {
   // (the failover path of §6.2). Precondition: quiescent — no queued or in-flight operations,
   // and at least drop_grace since the last completed migration.
   void Shutdown();
+
+  // -- Replicated control plane (DESIGN.md §11) -------------------------------------------------
+  // Leader-to-follower hand-off without the quiescence precondition: permanently fences this
+  // instance, cancels timers/watches/retries, executes pending linger drops (fence-guarded),
+  // discards queued-but-unstarted operations, and abandons in-flight operations as their
+  // callbacks arrive. `drained` fires once nothing is in flight. Idempotent.
+  void BeginHandoff(std::function<void()> drained);
+
+  // A freshly elected leader's start path: rebuild from persisted assignments like
+  // StartRecovered, then reconcile the previous leader's in-flight operations from the op-log
+  // `tail` — dropping stray replica copies the dead leader may have created, re-asserting
+  // primaries mid-migration, and finishing interrupted promotions — before resuming placement.
+  void StartReconciled(const std::vector<PlacementOpRecord>& tail);
+
+  bool fenced() const { return fenced_; }
+  int64_t leadership_epoch() const { return config_.leadership_epoch; }
+  int64_t abandoned_ops() const { return abandoned_ops_; }
+  int64_t reconciled_ops() const { return reconciled_ops_; }
+  // True while this instance's writes would pass the fence (standalone instances always pass
+  // until shutdown). Const: probes the fence without tripping the permanent fenced_ latch.
+  bool PassesWriteFence() const;
 
   const AppSpec& spec() const { return spec_; }
 
@@ -184,6 +231,7 @@ class Orchestrator {
     ServerId from;
     ServerId to;
     int attempts = 0;
+    int64_t log_seq = 0;  // op-log sequence once logged (0 = not logged)
     obs::TraceId trace;   // spans of this op's execution; assigned at enqueue
     obs::TraceId parent;  // the allocation run that produced the op, when any
   };
@@ -209,6 +257,28 @@ class Orchestrator {
   void ExecuteMovePrimaryAbrupt(Op op);
   void ExecuteDrop(Op op);
   void ExecutePromote(Op op);
+
+  // -- Fencing / hand-off (DESIGN.md §11) -------------------------------------------------------
+  // Gate for every externally visible write. Standalone instances always pass; fenced ones
+  // never do. A fence-predicate failure latches fenced_ permanently.
+  bool MayWrite();
+  // Wraps a mutating control-RPC body with a delivery-time fence check, so a stale leader's
+  // in-flight RPC is rejected at the receiving server even if it was sent while still leader.
+  std::function<Status(ShardServerApi&)> FenceWrapped(
+      std::function<Status(ShardServerApi&)> fn) const;
+  // Drops an in-flight op on the floor after fencing: releases its bookkeeping without
+  // retrying, persisting, or publishing. Called at the top of completion callbacks.
+  void AbandonOp(const Op& op);
+  void MaybeFinishHandoff();
+  // Shared teardown between Shutdown and BeginHandoff: timers, watches, retries, linger drops.
+  void CancelTimersAndDeferred();
+  // Appends `op` to the replicated op log (no-op without hooks / once fenced). Called by the
+  // Execute* paths once the op's target server is resolved, so the record names real endpoints.
+  void LogOpStart(Op& op);
+  void LogOpComplete(const Op& op);
+  // Reconciliation pieces of StartReconciled.
+  void ReconcileLiveness();
+  void ReconcileOp(const PlacementOpRecord& record);
 
   // -- Assignment bookkeeping --------------------------------------------------------------------
   void Bind(ShardId shard, int replica, ServerId server);
@@ -284,6 +354,11 @@ class Orchestrator {
   EventId emergency_timer_;
   int64_t liveness_watch_ = 0;
   bool shut_down_ = false;
+  bool fenced_ = false;       // permanently latched once the write fence rejects us
+  bool handing_off_ = false;  // BeginHandoff in progress or finished
+  std::function<void()> handoff_done_;
+  int64_t abandoned_ops_ = 0;
+  int64_t reconciled_ops_ = 0;
 
   int64_t map_version_ = 0;
   bool map_dirty_ = false;

@@ -1,0 +1,103 @@
+// LeaderLease: leased leader election over CoordStore sessions and ephemeral nodes
+// (DESIGN.md §11).
+//
+// Each control-plane replica holds a coordination-store session and races to create the
+// ephemeral node /sm/<app>/smr/leader. The winner first bumps the persistent epoch counter
+// /sm/<app>/smr/epoch and stamps the new epoch into the leader node, so leadership epochs are
+// monotonically increasing across every election. Losing the session (crash, gray failure,
+// partition from the store) deletes the node; every replica watches it and the first to react
+// acquires the next epoch.
+//
+// Fencing follows the epoch/seq discipline ReplicatedStoreApp proves for the data plane: a
+// writer never trusts its own belief about leadership. MakeWriteFence returns a predicate,
+// evaluated at the *write site* (coordination-store mutations, shard-map publishes, and control
+// RPCs at delivery time on the receiving server), that accepts an epoch only while the leader
+// node still carries it. The instant a successor stamps a higher epoch — or the node is gone —
+// every write of the old epoch is rejected, regardless of how stale the old leader's view is.
+//
+// A replica that observed the loss of its own lease waits `rejoin_delay` before racing again
+// (the lease TTL back-off), so a gray-failed leader does not instantly reclaim the lease it
+// just lost.
+
+#ifndef SRC_SMR_LEASE_H_
+#define SRC_SMR_LEASE_H_
+
+#include <functional>
+#include <string>
+
+#include "src/coord/coord_store.h"
+#include "src/sim/simulator.h"
+
+namespace shardman {
+
+struct LeaderLeaseConfig {
+  // After losing the lease, wait this long before opening a new session and racing again.
+  TimeMicros rejoin_delay = Seconds(1);
+};
+
+class LeaderLease {
+ public:
+  // `holder_name` identifies this replica in the leader node's payload ("<name>:<epoch>").
+  LeaderLease(Simulator* sim, CoordStore* coord, std::string app_name, std::string holder_name,
+              LeaderLeaseConfig config = {});
+  ~LeaderLease();
+
+  LeaderLease(const LeaderLease&) = delete;
+  LeaderLease& operator=(const LeaderLease&) = delete;
+
+  // Opens a session, watches the leader node, and races to acquire. `on_acquired` fires every
+  // time this replica wins the lease (epoch() is current inside the callback); `on_lost` fires
+  // when a held lease is observed lost.
+  void Start(std::function<void()> on_acquired, std::function<void()> on_lost);
+
+  // Releases the lease (if held) and stops participating in elections.
+  void Stop();
+
+  // Chaos hook: expire this holder's session, as a crash or store partition would. Loss is
+  // then observed through the node-deletion watch like any other expiry.
+  void ExpireSession();
+
+  bool is_leader() const { return is_leader_; }
+  // Epoch of the currently (or most recently) held lease; 0 before the first acquisition.
+  int64_t epoch() const { return epoch_; }
+  int64_t elections_won() const { return elections_won_; }
+  SessionId session() const { return session_; }
+  const std::string& holder_name() const { return holder_name_; }
+
+  // The store-side write fence for `app_name`: accepts an epoch only while the leader node
+  // still carries it. Captures only the store pointer and the node path, so it stays valid
+  // beyond any lease or orchestrator lifetime.
+  static std::function<bool(int64_t)> MakeWriteFence(CoordStore* coord,
+                                                     const std::string& app_name);
+
+  // Epoch currently stamped in the leader node (0 when no leader holds the lease).
+  static int64_t CurrentEpoch(CoordStore* coord, const std::string& app_name);
+  // Holder name currently stamped in the leader node (empty when none).
+  static std::string CurrentHolder(CoordStore* coord, const std::string& app_name);
+
+ private:
+  void TryAcquire();
+  void HandleLoss();
+
+  Simulator* sim_;
+  CoordStore* coord_;
+  std::string leader_path_;
+  std::string epoch_path_;
+  std::string holder_name_;
+  LeaderLeaseConfig config_;
+  SessionId session_;
+  int64_t watch_id_ = 0;
+  EventId rejoin_timer_;
+  bool started_ = false;
+  bool stopped_ = false;
+  bool is_leader_ = false;
+  bool rejoin_pending_ = false;
+  int64_t epoch_ = 0;
+  int64_t elections_won_ = 0;
+  std::function<void()> on_acquired_;
+  std::function<void()> on_lost_;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_SMR_LEASE_H_

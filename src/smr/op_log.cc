@@ -1,0 +1,93 @@
+#include "src/smr/op_log.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace shardman {
+
+PlacementOpLog::PlacementOpLog(CoordStore* coord, std::string app_name)
+    : coord_(coord),
+      prefix_("/sm/" + app_name + "/smr/oplog/"),
+      next_path_("/sm/" + app_name + "/smr/oplog_next") {
+  SM_CHECK(coord != nullptr);
+}
+
+std::string PlacementOpLog::EntryPath(int64_t seq) const {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%012lld", static_cast<long long>(seq));
+  return prefix_ + buf;
+}
+
+std::string PlacementOpLog::Serialize(const PlacementOpRecord& record) {
+  std::ostringstream os;
+  os << record.epoch << ":" << record.kind << ":" << record.shard.value << ":"
+     << record.replica << ":" << record.from.value << ":" << record.to.value;
+  return os.str();
+}
+
+bool PlacementOpLog::Parse(const std::string& data, PlacementOpRecord* record) {
+  long long epoch = 0;
+  int kind = 0;
+  int shard = 0;
+  int replica = 0;
+  int from = 0;
+  int to = 0;
+  if (std::sscanf(data.c_str(), "%lld:%d:%d:%d:%d:%d", &epoch, &kind, &shard, &replica, &from,
+                  &to) != 6) {
+    return false;
+  }
+  record->epoch = epoch;
+  record->kind = kind;
+  record->shard = ShardId(shard);
+  record->replica = replica;
+  record->from = ServerId(from);
+  record->to = ServerId(to);
+  return true;
+}
+
+int64_t PlacementOpLog::Append(const PlacementOpRecord& record) {
+  int64_t seq = 1;
+  Result<std::string> next = coord_->Get(next_path_);
+  if (next.ok()) {
+    seq = std::stoll(next.value());
+  }
+  PlacementOpRecord entry = record;
+  entry.seq = seq;
+  SM_CHECK_OK(coord_->Set(EntryPath(seq), Serialize(entry)));
+  SM_CHECK_OK(coord_->Set(next_path_, std::to_string(seq + 1)));
+  ++appended_;
+  return seq;
+}
+
+void PlacementOpLog::Complete(int64_t seq) {
+  if (coord_->Delete(EntryPath(seq)).ok()) {
+    ++completed_;
+  }
+}
+
+std::vector<PlacementOpRecord> PlacementOpLog::IncompleteTail() const {
+  std::vector<PlacementOpRecord> tail;
+  for (const std::string& path : coord_->List(prefix_)) {
+    Result<std::string> data = coord_->Get(path);
+    if (!data.ok()) {
+      continue;
+    }
+    PlacementOpRecord record;
+    if (!Parse(data.value(), &record)) {
+      continue;
+    }
+    record.seq = std::stoll(path.substr(prefix_.size()));
+    tail.push_back(record);
+  }
+  return tail;
+}
+
+void PlacementOpLog::Clear() {
+  for (const std::string& path : coord_->List(prefix_)) {
+    (void)coord_->Delete(path);
+  }
+}
+
+}  // namespace shardman

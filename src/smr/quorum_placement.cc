@@ -1,0 +1,91 @@
+#include "src/smr/quorum_placement.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace shardman {
+
+TimeMicros QuorumRtt(const LatencyModel& latency, const std::vector<RegionId>& members,
+                     RegionId leader) {
+  SM_CHECK(!members.empty());
+  SM_CHECK(std::find(members.begin(), members.end(), leader) != members.end());
+  std::vector<TimeMicros> rtts;
+  rtts.reserve(members.size());
+  for (RegionId member : members) {
+    // One-way latency each direction; the latency model is symmetric but this stays correct if
+    // that ever changes.
+    rtts.push_back(latency.Latency(leader, member) + latency.Latency(member, leader));
+  }
+  std::sort(rtts.begin(), rtts.end());
+  const size_t quorum = members.size() / 2 + 1;  // majority, leader included
+  return rtts[quorum - 1];
+}
+
+QuorumPlacement ScorePlacement(const LatencyModel& latency, std::vector<RegionId> members) {
+  SM_CHECK(!members.empty());
+  std::sort(members.begin(), members.end(),
+            [](RegionId a, RegionId b) { return a.value < b.value; });
+  QuorumPlacement best;
+  best.members = members;
+  for (RegionId candidate : members) {
+    if (best.leader.valid() && candidate == best.leader) {
+      continue;  // duplicate member region: same score
+    }
+    TimeMicros rtt = QuorumRtt(latency, members, candidate);
+    if (!best.leader.valid() || rtt < best.quorum_rtt ||
+        (rtt == best.quorum_rtt && candidate.value < best.leader.value)) {
+      best.leader = candidate;
+      best.quorum_rtt = rtt;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+void EnumerateCombinations(int num_regions, int num_replicas, int start,
+                           std::vector<RegionId>* current, const LatencyModel& latency,
+                           std::vector<QuorumPlacement>* out) {
+  if (static_cast<int>(current->size()) == num_replicas) {
+    out->push_back(ScorePlacement(latency, *current));
+    return;
+  }
+  for (int r = start; r < num_regions; ++r) {
+    current->push_back(RegionId(r));
+    EnumerateCombinations(num_regions, num_replicas, r + 1, current, latency, out);
+    current->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<QuorumPlacement> RankQuorumPlacements(const LatencyModel& latency,
+                                                  int num_replicas) {
+  SM_CHECK_GE(num_replicas, 1);
+  SM_CHECK_LE(num_replicas, latency.num_regions());
+  std::vector<QuorumPlacement> placements;
+  std::vector<RegionId> current;
+  EnumerateCombinations(latency.num_regions(), num_replicas, 0, &current, latency, &placements);
+  std::stable_sort(placements.begin(), placements.end(),
+                   [](const QuorumPlacement& a, const QuorumPlacement& b) {
+                     if (a.quorum_rtt != b.quorum_rtt) {
+                       return a.quorum_rtt < b.quorum_rtt;
+                     }
+                     for (size_t i = 0; i < a.members.size() && i < b.members.size(); ++i) {
+                       if (a.members[i].value != b.members[i].value) {
+                         return a.members[i].value < b.members[i].value;
+                       }
+                     }
+                     return a.members.size() < b.members.size();
+                   });
+  return placements;
+}
+
+QuorumPlacement BestQuorumPlacement(const LatencyModel& latency, int num_replicas) {
+  std::vector<QuorumPlacement> ranked = RankQuorumPlacements(latency, num_replicas);
+  SM_CHECK(!ranked.empty());
+  return ranked.front();
+}
+
+}  // namespace shardman

@@ -1,0 +1,52 @@
+// Quorum-latency-ranked placement for control-plane replica sites.
+//
+// When the orchestrator runs as a small replicated state machine (DESIGN.md §11), the sites of
+// its replicas determine how fast the leader can commit: a leader needs acknowledgements from a
+// majority quorum, so the figure of merit for a candidate deployment is the latency to the
+// *quorum-th closest* member, not to the farthest one. This is the ranking objective of
+// "Evaluation and Ranking of Replica Deployments in Geographic SMR" (PAPERS.md): enumerate the
+// candidate member sets, score each by its best achievable quorum latency over all leader
+// choices, and rank.
+//
+// The region count of a deployment is small (single digits), so exhaustive enumeration of the
+// C(R, n) member combinations is exact and cheap. Ranking is fully deterministic: ties break on
+// lexicographic member order, leader ties on the lowest region id.
+
+#ifndef SRC_SMR_QUORUM_PLACEMENT_H_
+#define SRC_SMR_QUORUM_PLACEMENT_H_
+
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/sim_time.h"
+#include "src/sim/network.h"
+
+namespace shardman {
+
+struct QuorumPlacement {
+  std::vector<RegionId> members;  // sorted by region id
+  RegionId leader;                // member minimizing the quorum latency
+  // Round-trip time from `leader` to its ceil((n+1)/2)-th closest member (itself included at
+  // RTT ~0): the time for the leader to commit one replicated decision.
+  TimeMicros quorum_rtt = 0;
+};
+
+// RTT from `leader` to the majority quorum of `members` (leader must be a member). Members may
+// repeat a region (two replicas in one region count twice toward the quorum).
+TimeMicros QuorumRtt(const LatencyModel& latency, const std::vector<RegionId>& members,
+                     RegionId leader);
+
+// Every n-member combination of the model's regions, best leader per combination, ranked by
+// ascending quorum RTT (then lexicographic members). `num_replicas` must be in [1, regions].
+std::vector<QuorumPlacement> RankQuorumPlacements(const LatencyModel& latency, int num_replicas);
+
+// The top-ranked placement (convenience for callers that just want the sites).
+QuorumPlacement BestQuorumPlacement(const LatencyModel& latency, int num_replicas);
+
+// Re-scores an explicit member set: the best leader and quorum RTT for `members`. Used by
+// online reconfiguration to pick which member to relocate and where to.
+QuorumPlacement ScorePlacement(const LatencyModel& latency, std::vector<RegionId> members);
+
+}  // namespace shardman
+
+#endif  // SRC_SMR_QUORUM_PLACEMENT_H_

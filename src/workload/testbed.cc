@@ -175,10 +175,29 @@ void Testbed::Start() {
   for (auto& cm : cluster_managers_) {
     cms.push_back(cm.get());
   }
-  mini_sm_ = std::make_unique<MiniSm>(&sim_, network_.get(), coord_.get(), discovery_.get(),
-                                      &registry_, std::move(cms), config_.app, RegionId(0),
-                                      config_.mini_sm);
-  mini_sm_->Start();
+  if (config_.smr_control_plane) {
+    replica_set_ = std::make_unique<ControlPlaneReplicaSet>(
+        &sim_, network_.get(), coord_.get(), discovery_.get(), &registry_, std::move(cms),
+        config_.app, config_.mini_sm, config_.smr);
+    replica_set_->Start();
+  } else {
+    mini_sm_ = std::make_unique<MiniSm>(&sim_, network_.get(), coord_.get(), discovery_.get(),
+                                        &registry_, std::move(cms), config_.app, RegionId(0),
+                                        config_.mini_sm);
+    mini_sm_->Start();
+  }
+}
+
+MiniSm& Testbed::mini_sm() {
+  SM_CHECK(mini_sm_ != nullptr);
+  return *mini_sm_;
+}
+
+Orchestrator& Testbed::orchestrator() {
+  if (replica_set_ != nullptr) {
+    return replica_set_->orchestrator();
+  }
+  return mini_sm().orchestrator();
 }
 
 bool Testbed::RunUntilAllReady(TimeMicros timeout) {

@@ -29,6 +29,7 @@
 #include "src/routing/service_router.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
+#include "src/smr/replica_set.h"
 #include "src/topology/topology.h"
 
 namespace shardman {
@@ -56,6 +57,12 @@ struct TestbedConfig {
   std::vector<double> shard_load_scalars;  // empty => uniform 0 load
 
   MiniSmConfig mini_sm;
+
+  // Replicated control plane (DESIGN.md §11): run the orchestrator as a ControlPlaneReplicaSet
+  // (leased leader election + fenced writes + op-log reconciliation) instead of a single
+  // MiniSm. `smr` configures replica count/sites and lease behavior.
+  bool smr_control_plane = false;
+  SmrConfig smr;
 
   TimeMicros local_latency = Millis(1);
   TimeMicros wide_latency = Millis(40);
@@ -94,8 +101,12 @@ class Testbed {
   ServiceDiscovery& discovery() { return *discovery_; }
   ServerRegistry& registry() { return registry_; }
   ClusterManager& cluster_manager(RegionId region);
-  MiniSm& mini_sm() { return *mini_sm_; }
-  Orchestrator& orchestrator() { return mini_sm_->orchestrator(); }
+  // Only valid in single-instance mode (smr_control_plane == false).
+  MiniSm& mini_sm();
+  // Null unless the testbed runs the replicated control plane.
+  ControlPlaneReplicaSet* replica_set() { return replica_set_.get(); }
+  // The control plane's (current) orchestrator, whichever mode is active.
+  Orchestrator& orchestrator();
   const AppSpec& spec() const { return config_.app; }
   const TestbedConfig& config() const { return config_; }
   int num_regions() const { return static_cast<int>(config_.regions.size()); }
@@ -155,6 +166,7 @@ class Testbed {
   ServerRegistry registry_;
   std::vector<std::unique_ptr<ClusterManager>> cluster_managers_;
   std::unique_ptr<MiniSm> mini_sm_;
+  std::unique_ptr<ControlPlaneReplicaSet> replica_set_;
   std::unordered_map<int32_t, ServerSlot> server_slots_;
   ReplicaPeerDirectory peer_directory_;
   DataBus data_bus_;

@@ -1,0 +1,253 @@
+// Unit tests for the replicated control plane's building blocks (DESIGN.md §11):
+// quorum-latency placement ranking, the replicated placement-op log, and leased leader
+// election with epoch fencing. These drive the SMR components directly against a Simulator
+// and CoordStore, without a testbed.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/coord/coord_store.h"
+#include "src/sim/simulator.h"
+#include "src/smr/lease.h"
+#include "src/smr/op_log.h"
+#include "src/smr/quorum_placement.h"
+
+namespace shardman {
+namespace {
+
+// -- Quorum placement -------------------------------------------------------------------------
+
+TEST(QuorumPlacement, QuorumRttIsMedianNotWorstCase) {
+  // 4 regions; r0-r1 close, r0-r2 mid, r0-r3 far.
+  LatencyModel latency(4, Millis(1), Millis(40));
+  latency.SetLatency(RegionId(0), RegionId(1), Millis(5));
+  latency.SetLatency(RegionId(0), RegionId(2), Millis(20));
+  latency.SetLatency(RegionId(0), RegionId(3), Millis(80));
+
+  std::vector<RegionId> members = {RegionId(0), RegionId(1), RegionId(3)};
+  // Leader r0 needs 2 of 3 acks; itself (~local RTT) plus r1 (5ms each way). The 80ms member
+  // does not matter — that is the whole point of quorum ranking.
+  TimeMicros rtt = QuorumRtt(latency, members, RegionId(0));
+  EXPECT_EQ(rtt, 2 * Millis(5));
+}
+
+TEST(QuorumPlacement, BestPlacementPrefersCloseMajorities) {
+  LatencyModel latency(5, Millis(1), Millis(60));
+  // Cluster {0,1,2} is tight; {3,4} is far from everyone.
+  latency.SetLatency(RegionId(0), RegionId(1), Millis(3));
+  latency.SetLatency(RegionId(0), RegionId(2), Millis(4));
+  latency.SetLatency(RegionId(1), RegionId(2), Millis(5));
+
+  QuorumPlacement best = BestQuorumPlacement(latency, 3);
+  EXPECT_EQ(best.members.size(), 3u);
+  EXPECT_EQ(best.members[0].value, 0);
+  EXPECT_EQ(best.members[1].value, 1);
+  EXPECT_EQ(best.members[2].value, 2);
+  // Leader r0: majority = itself + r1 at 3ms each way.
+  EXPECT_EQ(best.leader.value, 0);
+  EXPECT_EQ(best.quorum_rtt, 2 * Millis(3));
+}
+
+TEST(QuorumPlacement, RankingIsDeterministicAndExhaustive) {
+  LatencyModel latency(6, Millis(1), Millis(40));
+  std::vector<QuorumPlacement> a = RankQuorumPlacements(latency, 3);
+  std::vector<QuorumPlacement> b = RankQuorumPlacements(latency, 3);
+  EXPECT_EQ(a.size(), 20u);  // C(6,3)
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].members, b[i].members) << i;
+    EXPECT_EQ(a[i].leader, b[i].leader) << i;
+    EXPECT_EQ(a[i].quorum_rtt, b[i].quorum_rtt) << i;
+    if (i + 1 < a.size()) {
+      EXPECT_LE(a[i].quorum_rtt, a[i + 1].quorum_rtt) << i;
+    }
+  }
+}
+
+TEST(QuorumPlacement, ScorePlacementPicksBestLeaderWithDeterministicTies) {
+  LatencyModel latency(3, Millis(1), Millis(40));  // fully symmetric: every leader ties
+  QuorumPlacement scored =
+      ScorePlacement(latency, {RegionId(2), RegionId(0), RegionId(1)});
+  EXPECT_EQ(scored.members[0].value, 0);  // members come back sorted
+  EXPECT_EQ(scored.leader.value, 0);      // tie breaks on lowest region id
+}
+
+// -- Placement op log -------------------------------------------------------------------------
+
+PlacementOpRecord MakeRecord(int64_t epoch, int kind, int shard, int from, int to) {
+  PlacementOpRecord record;
+  record.epoch = epoch;
+  record.kind = kind;
+  record.shard = ShardId(shard);
+  record.replica = 1;
+  record.from = ServerId(from);
+  record.to = ServerId(to);
+  return record;
+}
+
+TEST(PlacementOpLog, SerializeParseRoundTrip) {
+  PlacementOpRecord record = MakeRecord(7, 2, 13, 4, 9);
+  record.seq = 42;
+  PlacementOpRecord parsed;
+  ASSERT_TRUE(PlacementOpLog::Parse(PlacementOpLog::Serialize(record), &parsed));
+  EXPECT_EQ(parsed.epoch, 7);
+  EXPECT_EQ(parsed.kind, 2);
+  EXPECT_EQ(parsed.shard.value, 13);
+  EXPECT_EQ(parsed.replica, 1);
+  EXPECT_EQ(parsed.from.value, 4);
+  EXPECT_EQ(parsed.to.value, 9);
+
+  PlacementOpRecord junk;
+  EXPECT_FALSE(PlacementOpLog::Parse("not-an-entry", &junk));
+  EXPECT_FALSE(PlacementOpLog::Parse("", &junk));
+}
+
+TEST(PlacementOpLog, HoldsExactlyTheIncompleteTail) {
+  CoordStore store;
+  PlacementOpLog log(&store, "app");
+  int64_t s1 = log.Append(MakeRecord(1, 0, 1, -1, 10));
+  int64_t s2 = log.Append(MakeRecord(1, 1, 2, 10, 11));
+  int64_t s3 = log.Append(MakeRecord(1, 2, 3, 11, 12));
+  EXPECT_LT(s1, s2);
+  EXPECT_LT(s2, s3);
+
+  log.Complete(s2);  // finished op is pruned immediately
+  std::vector<PlacementOpRecord> tail = log.IncompleteTail();
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].seq, s1);
+  EXPECT_EQ(tail[0].shard.value, 1);
+  EXPECT_EQ(tail[1].seq, s3);
+  EXPECT_EQ(tail[1].shard.value, 3);
+
+  log.Complete(s2);     // double-complete is ignored
+  log.Complete(99999);  // unknown seq is ignored
+  EXPECT_EQ(log.IncompleteTail().size(), 2u);
+
+  log.Clear();
+  EXPECT_TRUE(log.IncompleteTail().empty());
+}
+
+TEST(PlacementOpLog, SequenceNumbersSurviveAcrossInstances) {
+  CoordStore store;
+  int64_t last = 0;
+  {
+    PlacementOpLog log(&store, "app");
+    last = log.Append(MakeRecord(1, 0, 1, -1, 10));
+  }
+  // A successor leader's log continues the sequence — no reuse even after Clear().
+  PlacementOpLog successor(&store, "app");
+  successor.Clear();
+  int64_t next = successor.Append(MakeRecord(2, 0, 2, -1, 11));
+  EXPECT_GT(next, last);
+}
+
+// -- Leader lease -----------------------------------------------------------------------------
+
+struct LeaseEvents {
+  int acquired = 0;
+  int lost = 0;
+};
+
+TEST(LeaderLease, SingleWinnerAndMonotonicEpochs) {
+  Simulator sim;
+  CoordStore store(&sim, Millis(10));
+  LeaderLease a(&sim, &store, "app", "a");
+  LeaderLease b(&sim, &store, "app", "b");
+  LeaseEvents ea, eb;
+  a.Start([&] { ++ea.acquired; }, [&] { ++ea.lost; });
+  b.Start([&] { ++eb.acquired; }, [&] { ++eb.lost; });
+  sim.RunFor(Seconds(1));
+
+  // Exactly one winner (a started first and acquisition is synchronous).
+  EXPECT_TRUE(a.is_leader());
+  EXPECT_FALSE(b.is_leader());
+  EXPECT_EQ(a.epoch(), 1);
+  EXPECT_EQ(LeaderLease::CurrentEpoch(&store, "app"), 1);
+  EXPECT_EQ(LeaderLease::CurrentHolder(&store, "app"), "a");
+
+  // Leader loses its session: b takes over with a strictly higher epoch.
+  a.ExpireSession();
+  sim.RunFor(Seconds(5));
+  EXPECT_FALSE(a.is_leader());
+  EXPECT_EQ(ea.lost, 1);
+  EXPECT_TRUE(b.is_leader());
+  EXPECT_EQ(b.epoch(), 2);
+  EXPECT_EQ(LeaderLease::CurrentHolder(&store, "app"), "b");
+
+  // The deposed holder re-enters elections after its back-off: kill b and a wins epoch 3.
+  b.ExpireSession();
+  sim.RunFor(Seconds(5));
+  EXPECT_TRUE(a.is_leader());
+  EXPECT_EQ(a.epoch(), 3);
+}
+
+TEST(LeaderLease, RejoinBackoffKeepsDeposedLeaderOut) {
+  Simulator sim;
+  CoordStore store(&sim, Millis(10));
+  LeaderLeaseConfig config;
+  config.rejoin_delay = Seconds(10);
+  LeaderLease a(&sim, &store, "app", "a", config);
+  a.Start(nullptr, nullptr);
+  sim.RunFor(Millis(100));
+  ASSERT_TRUE(a.is_leader());
+
+  a.ExpireSession();
+  sim.RunFor(Seconds(5));  // within the back-off window
+  EXPECT_FALSE(a.is_leader());
+  EXPECT_EQ(LeaderLease::CurrentEpoch(&store, "app"), 0);  // nobody holds the lease
+
+  sim.RunFor(Seconds(10));  // back-off elapses; with no competition a reclaims
+  EXPECT_TRUE(a.is_leader());
+  EXPECT_EQ(a.epoch(), 2);
+}
+
+TEST(LeaderLease, WriteFenceTracksTheLeaderNode) {
+  Simulator sim;
+  CoordStore store(&sim, Millis(10));
+  auto fence = LeaderLease::MakeWriteFence(&store, "app");
+  EXPECT_FALSE(fence(1));  // no leader yet: nothing passes
+
+  LeaderLease a(&sim, &store, "app", "a");
+  LeaderLease b(&sim, &store, "app", "b");
+  a.Start(nullptr, nullptr);
+  b.Start(nullptr, nullptr);
+  sim.RunFor(Seconds(1));
+  ASSERT_TRUE(a.is_leader());
+  EXPECT_TRUE(fence(a.epoch()));
+  EXPECT_FALSE(fence(a.epoch() + 1));
+
+  // Succession: the old epoch is rejected the instant the new holder stamps the node, even
+  // though the old leader never observed its own loss.
+  a.ExpireSession();
+  sim.RunFor(Seconds(5));
+  ASSERT_TRUE(b.is_leader());
+  EXPECT_FALSE(fence(1));
+  EXPECT_TRUE(fence(b.epoch()));
+}
+
+TEST(LeaderLease, StopReleasesTheLeaseToSuccessors) {
+  Simulator sim;
+  CoordStore store(&sim, Millis(10));
+  LeaderLease a(&sim, &store, "app", "a");
+  LeaderLease b(&sim, &store, "app", "b");
+  a.Start(nullptr, nullptr);
+  b.Start(nullptr, nullptr);
+  sim.RunFor(Seconds(1));
+  ASSERT_TRUE(a.is_leader());
+
+  a.Stop();  // clean release, not an expiry
+  sim.RunFor(Seconds(2));
+  EXPECT_FALSE(a.is_leader());
+  EXPECT_TRUE(b.is_leader());
+  EXPECT_EQ(b.epoch(), 2);
+
+  // A stopped lease never rejoins.
+  b.ExpireSession();
+  sim.RunFor(Seconds(30));
+  EXPECT_FALSE(a.is_leader());
+}
+
+}  // namespace
+}  // namespace shardman
