@@ -19,10 +19,19 @@ are recognised by their "bench" field:
   threshold against the matching kill-interval baseline point, and the
   leaderless windows must not grow more than the threshold. Absolute request
   counts are compared only at equal SM_BENCH_SCALE (the churn window scales).
+* obs_overhead (BENCH_obs_overhead.json): pick_overhead_pct must stay within
+  the 5% acceptance ceiling, allocs_per_pick must be 0, every gray intensity
+  must be detected, detection latency must not grow more than the threshold
+  against the matching intensity baseline point, and demotion must keep
+  improving p99 (improvement_x >= 1). The sim-clock numbers (detect_ms,
+  improvement_x) are deterministic per seed; only the wall-clock pick rates
+  carry runner noise.
 
 Exits 0 always — CI treats this as advisory because shared-runner throughput
 is noisy — but prints a loud warning (and a GitHub ::warning:: annotation)
-when something regresses.
+when something regresses. A missing baseline file is also advisory (warn,
+exit 0): the first PR that adds a bench has nothing committed to compare
+against, and that must not fail the lane.
 
 Usage: check_bench_regression.py <baseline.json> <fresh.json> [--threshold 0.20]
 """
@@ -151,6 +160,59 @@ def check_smr_failover(reference, fresh, threshold):
     return warnings
 
 
+OBS_OVERHEAD_CEILING_PCT = 5.0  # acceptance ceiling for pick_overhead_pct
+
+
+def check_obs_overhead(reference, fresh, threshold):
+    warnings = []
+    overhead = fresh.get("pick_overhead_pct")
+    if overhead is not None:
+        over = overhead > OBS_OVERHEAD_CEILING_PCT
+        print(f"{'WARN' if over else 'ok':4} pick_overhead_pct: {overhead:.2f}% "
+              f"(ceiling {OBS_OVERHEAD_CEILING_PCT:.0f}%)")
+        if over:
+            warnings.append(f"pick_overhead_pct is {overhead:.2f}%, acceptance "
+                            f"ceiling is {OBS_OVERHEAD_CEILING_PCT:.0f}%")
+
+    allocs = fresh.get("allocs_per_pick")
+    if allocs is not None:
+        print(f"{'WARN' if allocs > 0 else 'ok':4} allocs_per_pick: {allocs}")
+        if allocs > 0:
+            warnings.append(f"allocs_per_pick is {allocs}, expected 0 "
+                            "(accounting must stay allocation-free)")
+
+    detected = fresh.get("detected_all")
+    print(f"{'ok' if detected else 'WARN':4} detected_all: {detected}")
+    if not detected:
+        warnings.append("gray-failure detection missed an intensity — the "
+                        "scorer never flagged a degraded replica")
+
+    base_points = {(p.get("latency_multiplier"), p.get("loss")): p
+                   for p in reference.get("points", reference.get("gray_points", []))}
+    for point in fresh.get("gray_points", []):
+        key = (point.get("latency_multiplier"), point.get("loss"))
+        label = f"x{key[0]:g}/loss{key[1]:g}"
+        improvement = point.get("improvement_x")
+        if improvement is not None and improvement < 1.0:
+            print(f"WARN {label}: improvement_x {improvement:.2f} < 1")
+            warnings.append(f"{label}: demotion made p99 worse "
+                            f"(improvement_x {improvement:.2f})")
+        base = base_points.get(key)
+        if base is None:
+            continue
+        base_detect = base.get("detect_ms")
+        detect = point.get("detect_ms")
+        if base_detect and detect is not None:
+            grew = detect > base_detect * (1.0 + threshold)
+            status = "WARN" if grew else "ok"
+            print(f"{status:4} {label} detect_ms: baseline {base_detect:,} "
+                  f"fresh {detect:,}")
+            if grew:
+                warnings.append(f"{label}: detection latency grew from "
+                                f"{base_detect}ms to {detect}ms")
+    return warnings
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed baseline JSON")
@@ -159,8 +221,15 @@ def main() -> int:
                         help="allowed fractional drop before warning (default 0.20)")
     args = parser.parse_args()
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
+    # Fail soft on a missing/unreadable baseline: the first PR that introduces a
+    # bench has no committed file yet, and the lane is advisory either way.
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"::warning title=Data-plane bench regression::baseline "
+              f"{args.baseline} unavailable ({err}); skipping comparison")
+        baseline = {}
     with open(args.fresh) as f:
         fresh = json.load(f)
 
@@ -171,6 +240,8 @@ def main() -> int:
         warnings = check_delta(reference, fresh, args.threshold)
     elif fresh.get("bench") == "smr_failover":
         warnings = check_smr_failover(reference, fresh, args.threshold)
+    elif fresh.get("bench") == "obs_overhead":
+        warnings = check_obs_overhead(reference, fresh, args.threshold)
     else:
         warnings = check_dataplane(reference, fresh, args.threshold)
 

@@ -168,7 +168,13 @@ int64_t FaultInjector::RecordInject(FaultKind kind, const std::string& detail) {
   SM_COUNTER_INC("sm.chaos.faults_injected");
   SM_TRACE_INSTANT("chaos", FaultKindName(kind),
                    obs::Arg("fault_id", id) + "," + obs::Arg("detail", detail));
+  SM_FLIGHT("chaos", FaultKindName(kind), detail);
   journal_.push_back(ChaosEvent{bed_->sim().Now(), id, kind, false, detail});
+#if SHARDMAN_OBS_ENABLED
+  if (config_.dump_flight_on_fault) {
+    obs::DefaultFlightRecorder().DumpOnTrigger(FaultKindName(kind), /*stderr_fallback=*/false);
+  }
+#endif
   return id;
 }
 
@@ -180,6 +186,7 @@ void FaultInjector::ScheduleHeal(int64_t fault_id, FaultKind kind, TimeMicros af
     SM_TRACE_INSTANT("chaos", "heal",
                      obs::Arg("fault_id", fault_id) + "," +
                          obs::Arg("kind", std::string(FaultKindName(kind))));
+    SM_FLIGHT("chaos", "heal", detail);
     journal_.push_back(ChaosEvent{bed_->sim().Now(), fault_id, kind, true, detail});
     --active_faults_;
   });

@@ -93,6 +93,11 @@ struct ChaosConfig {
   // Unplanned-fault bracketing on the invariant checker is released this long after heal,
   // giving failover a moment to drain before the unavailability cap is enforced again.
   TimeMicros settle_after_heal = Seconds(2);
+  // Dump the flight recorder (to $SM_FLIGHT_OUT) on every injected fault. Off by default:
+  // faults are routine in chaos runs, so this is a debugging aid for bisecting a specific
+  // fault's blast radius, not something sweeps want. Injections always record flight events
+  // regardless.
+  bool dump_flight_on_fault = false;
   uint64_t seed = 1;
 };
 

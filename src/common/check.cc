@@ -1,0 +1,22 @@
+#include "src/common/check.h"
+
+namespace shardman {
+namespace check_internal {
+namespace {
+CheckFailureHook g_hook = nullptr;
+}  // namespace
+
+CheckFailureHook ExchangeCheckFailureHook(CheckFailureHook hook) {
+  CheckFailureHook prev = g_hook;
+  g_hook = hook;
+  return prev;
+}
+
+void InvokeCheckFailureHook(const char* file, int line, const char* expr, const char* detail) {
+  if (g_hook != nullptr) {
+    g_hook(file, line, expr, detail);
+  }
+}
+
+}  // namespace check_internal
+}  // namespace shardman

@@ -14,10 +14,24 @@
 namespace shardman {
 namespace check_internal {
 
+// Optional last-gasp hook invoked (once, recursion-guarded by the installer) before the abort —
+// the flight recorder installs one so a failing SM_CHECK dumps the recent-event rings
+// (DESIGN.md §12). The hook must not throw and must tolerate being called mid-crash.
+using CheckFailureHook = void (*)(const char* file, int line, const char* expr,
+                                  const char* detail);
+
+// Installs `hook` and returns the previously installed one (nullptr when none). Defined in
+// check.cc so every translation unit shares the same slot.
+CheckFailureHook ExchangeCheckFailureHook(CheckFailureHook hook);
+
+// Calls the installed hook, if any. Never throws.
+void InvokeCheckFailureHook(const char* file, int line, const char* expr, const char* detail);
+
 [[noreturn]] inline void CheckFail(const char* file, int line, const char* expr,
                                    const std::string& detail) {
   std::fprintf(stderr, "FATAL %s:%d: SM_CHECK(%s) failed%s%s\n", file, line, expr,
                detail.empty() ? "" : " ", detail.c_str());
+  InvokeCheckFailureHook(file, line, expr, detail.c_str());
   std::abort();
 }
 

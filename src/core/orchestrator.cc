@@ -567,6 +567,8 @@ void Orchestrator::PublishMap() {
   ShardMap map = BuildMap();
   ++map_version_;
   SM_COUNTER_INC("sm.orchestrator.map_publishes");
+  SM_FLIGHT("orchestrator", "map_publish",
+            "app=" + spec_.name + " version=" + std::to_string(map_version_));
   discovery_->Publish(std::move(map));  // moved into the shared map; subscribers never copy it
   // Persisted so a replacement orchestrator continues the version sequence (§6.2).
   SM_CHECK_OK(coord_->Set("/sm/" + spec_.name + "/map_version", std::to_string(map_version_)));

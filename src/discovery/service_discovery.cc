@@ -91,6 +91,10 @@ void ServiceDiscovery::Publish(std::shared_ptr<const ShardMap> map) {
   SM_TRACE_INSTANT("discovery", "publish",
                    obs::Arg("app", static_cast<int64_t>(shared->map->app.value)) + "," +
                        obs::Arg("version", shared->map->version));
+  SM_FLIGHT("discovery", "publish",
+            "app=" + std::to_string(shared->map->app.value) +
+                " version=" + std::to_string(shared->map->version) +
+                (shared->delta != nullptr ? " delta" : " snapshot"));
   // Only this app's subscribers are scanned; each delivery shares the one immutable record.
   for (int64_t subscription : app.subscriptions) {
     sim_->Schedule(DeliveryDelay(subscription, shared->map->version),
@@ -143,6 +147,9 @@ void ServiceDiscovery::Deliver(int64_t subscription,
     SM_TRACE_INSTANT("discovery", "snapshot_fallback",
                      obs::Arg("subscription", subscription) + "," +
                          obs::Arg("version", map.version));
+    SM_FLIGHT("discovery", "snapshot_fallback",
+              "subscription=" + std::to_string(subscription) +
+                  " version=" + std::to_string(map.version));
   }
   sub.cb(record->map);
 }

@@ -1,0 +1,206 @@
+#include "src/obs/flight_recorder.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/common/clock.h"
+
+#if defined(_WIN32)
+#include <process.h>
+#define SM_GETPID _getpid
+#else
+#include <unistd.h>
+#define SM_GETPID getpid
+#endif
+
+namespace shardman {
+namespace obs {
+namespace {
+
+void AppendJsonEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// Inserts ".<pid>" before the final extension: flight-dump.jsonl -> flight-dump.12345.jsonl.
+// Paths without an extension just get the pid appended.
+std::string PidSuffixedPath(const std::string& path) {
+  std::ostringstream pid;
+  pid << "." << SM_GETPID();
+  size_t slash = path.find_last_of("/\\");
+  size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + pid.str();
+  }
+  return path.substr(0, dot) + pid.str() + path.substr(dot);
+}
+
+void FlightCheckFailureHook(const char* file, int line, const char* expr, const char* detail) {
+  // Re-entrancy guard: a check failing inside the dump itself must not recurse into another
+  // dump attempt (DumpOnTrigger also guards, but the hook can fire before the recorder exists
+  // mid-crash, so guard here too).
+  static bool in_hook = false;
+  if (in_hook) return;
+  in_hook = true;
+  std::ostringstream reason;
+  reason << "check_failure " << file << ":" << line << " " << expr;
+  if (detail != nullptr && detail[0] != '\0') reason << " " << detail;
+  DefaultFlightRecorder().DumpOnTrigger(reason.str().c_str(), /*stderr_fallback=*/true);
+  in_hook = false;
+}
+
+}  // namespace
+
+void FlightRecorder::set_component_capacity(size_t capacity) {
+  capacity_ = capacity == 0 ? 1 : capacity;
+}
+
+void FlightRecorder::Record(const char* component, const char* name, std::string detail) {
+  if (!enabled_) return;
+  auto it = rings_.find(component);
+  if (it == rings_.end()) {
+    it = rings_.emplace(component, Ring{}).first;
+    it->second.capacity = capacity_;
+    it->second.entries.reserve(capacity_);
+  }
+  Ring& ring = it->second;
+  FlightEvent event;
+  event.seq = next_seq_++;
+  event.ts = SimTimeNow();
+  event.name = name;
+  event.detail = std::move(detail);
+  if (ring.entries.size() < ring.capacity) {
+    ring.entries.push_back(std::move(event));
+  } else {
+    ring.entries[ring.next] = std::move(event);
+    ring.next = (ring.next + 1) % ring.capacity;
+  }
+  ++ring.recorded;
+  ++total_recorded_;
+}
+
+void FlightRecorder::Clear() {
+  rings_.clear();
+  next_seq_ = 1;
+  total_recorded_ = 0;
+}
+
+std::vector<FlightEvent> FlightRecorder::Events(const std::string& component) const {
+  std::vector<FlightEvent> out;
+  auto it = rings_.find(component);
+  if (it == rings_.end()) return out;
+  const Ring& ring = it->second;
+  out.reserve(ring.entries.size());
+  // Oldest-first: once the ring has wrapped, `next` points at the oldest retained entry.
+  size_t n = ring.entries.size();
+  size_t start = n < ring.capacity ? 0 : ring.next;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(ring.entries[(start + i) % n]);
+  }
+  return out;
+}
+
+void FlightRecorder::WriteJsonl(std::ostream& os, const std::string& reason) const {
+  std::string line;
+  line.reserve(256);
+  line = "{\"flight_dump\":{\"reason\":\"";
+  AppendJsonEscaped(line, reason);
+  line += "\",\"t_us\":";
+  line += std::to_string(SimTimeNow());
+  line += ",\"components\":";
+  line += std::to_string(rings_.size());
+  line += ",\"events_recorded\":";
+  line += std::to_string(total_recorded_);
+  line += "}}\n";
+  os << line;
+  for (const auto& [component, ring] : rings_) {
+    (void)ring;
+    for (const FlightEvent& event : Events(component)) {
+      line = "{\"seq\":";
+      line += std::to_string(event.seq);
+      line += ",\"t_us\":";
+      line += std::to_string(event.ts);
+      line += ",\"component\":\"";
+      AppendJsonEscaped(line, component);
+      line += "\",\"event\":\"";
+      AppendJsonEscaped(line, event.name);
+      line += "\"";
+      if (!event.detail.empty()) {
+        line += ",\"detail\":\"";
+        AppendJsonEscaped(line, event.detail);
+        line += "\"";
+      }
+      line += "}\n";
+      os << line;
+    }
+  }
+}
+
+std::string FlightRecorder::DumpJsonl(const std::string& reason) const {
+  std::ostringstream os;
+  WriteJsonl(os, reason);
+  return os.str();
+}
+
+void FlightRecorder::DumpOnTrigger(const char* reason, bool stderr_fallback) {
+  if (dumping_) return;
+  dumping_ = true;
+  const char* out_path = std::getenv("SM_FLIGHT_OUT");
+  if (out_path != nullptr && out_path[0] != '\0') {
+    std::string path = PidSuffixedPath(out_path);
+    std::ofstream out(path, std::ios::app);
+    if (out) {
+      WriteJsonl(out, reason);
+      std::fprintf(stderr, "flight recorder: dumped %zu component(s) to %s (%s)\n",
+                   rings_.size(), path.c_str(), reason);
+    } else if (stderr_fallback) {
+      WriteJsonl(std::cerr, reason);
+    }
+  } else if (stderr_fallback) {
+    WriteJsonl(std::cerr, reason);
+  }
+  dumping_ = false;
+}
+
+FlightRecorder& DefaultFlightRecorder() {
+  // Leaked singleton: the SM_CHECK hook may fire during static destruction of other objects,
+  // so the recorder must outlive everything.
+  static FlightRecorder* recorder = [] {
+    auto* r = new FlightRecorder();
+    check_internal::ExchangeCheckFailureHook(&FlightCheckFailureHook);
+    return r;
+  }();
+  return *recorder;
+}
+
+}  // namespace obs
+}  // namespace shardman

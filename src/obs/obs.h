@@ -1,11 +1,14 @@
-// Umbrella header for control-plane telemetry: the metrics registry and the lifecycle tracer.
-// Instrumented code includes this and uses the SM_COUNTER_* / SM_GAUGE_* / SM_HISTOGRAM_* /
-// SM_TRACE_* macros; all of them compile to no-ops under -DSHARDMAN_OBS=OFF.
+// Umbrella header for telemetry: the metrics registry, the lifecycle tracer, the per-request
+// RED accountant and the crash-dump flight recorder. Instrumented code includes this and uses
+// the SM_COUNTER_* / SM_GAUGE_* / SM_HISTOGRAM_* / SM_TRACE_* / SM_RED_* / SM_FLIGHT macros;
+// all of them compile to no-ops under -DSHARDMAN_OBS=OFF.
 
 #ifndef SRC_OBS_OBS_H_
 #define SRC_OBS_OBS_H_
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/request_accounting.h"
 #include "src/obs/trace.h"
 
 #endif  // SRC_OBS_OBS_H_

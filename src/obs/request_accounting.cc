@@ -1,0 +1,197 @@
+#include "src/obs/request_accounting.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace shardman {
+namespace obs {
+namespace {
+
+int RoundUpPow2(int v) {
+  if (v < 1) return 1;
+  return static_cast<int>(std::bit_ceil(static_cast<unsigned>(v)));
+}
+
+}  // namespace
+
+void RedTotals::Accumulate(const RedCell& cell) {
+  completed += cell.completed;
+  errors += cell.errors;
+  timeouts += cell.timeouts;
+  latency_sum_us += cell.latency_sum_us;
+  for (int b = 0; b < RedCell::kLatencyBuckets; ++b) latency[b] += cell.latency[b];
+}
+
+RedTotals RedTotals::Delta(const RedTotals& prev) const {
+  RedTotals out;
+  out.requests = requests - prev.requests;
+  out.completed = completed - prev.completed;
+  out.errors = errors - prev.errors;
+  out.timeouts = timeouts - prev.timeouts;
+  out.latency_sum_us = latency_sum_us - prev.latency_sum_us;
+  for (int b = 0; b < RedCell::kLatencyBuckets; ++b) {
+    out.latency[b] = latency[b] - prev.latency[b];
+  }
+  return out;
+}
+
+double RedTotals::PercentileMs(double p) const {
+  if (completed == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the target sample (1-based), then walk buckets until the cumulative count covers
+  // it and interpolate linearly within the bucket's value range.
+  double rank = p * static_cast<double>(completed);
+  if (rank < 1.0) rank = 1.0;
+  uint64_t cumulative = 0;
+  for (int b = 0; b < RedCell::kLatencyBuckets; ++b) {
+    uint64_t count = latency[b];
+    if (count == 0) continue;
+    if (static_cast<double>(cumulative + count) >= rank) {
+      double lo = b == 0 ? 0.0 : static_cast<double>(int64_t{1} << b);
+      double hi = static_cast<double>(RedCell::BucketUpperUs(b)) + 1.0;
+      double frac = (rank - static_cast<double>(cumulative)) / static_cast<double>(count);
+      return (lo + frac * (hi - lo)) / 1000.0;
+    }
+    cumulative += count;
+  }
+  // Histogram counts and `completed` disagree only if a caller mixed snapshots; degrade to
+  // the top bucket bound rather than faulting.
+  return static_cast<double>(RedCell::BucketUpperUs(RedCell::kLatencyBuckets - 1)) / 1000.0;
+}
+
+void RequestAccountant::Configure(const RequestAccountingOptions& options) {
+  options_ = options;
+  options_.stripes = std::max(1, options_.stripes);
+  options_.max_apps = std::max(1, options_.max_apps);
+  options_.regions = std::max(1, options_.regions);
+  options_.max_servers = std::max(1, options_.max_servers);
+  options_.shard_buckets = RoundUpPow2(options_.shard_buckets);
+
+  size_t app_cells = static_cast<size_t>(options_.stripes) * options_.max_apps *
+                     options_.regions * options_.shard_buckets;
+  size_t server_cells = static_cast<size_t>(options_.stripes) * options_.max_servers;
+  size_t link_cells =
+      static_cast<size_t>(options_.stripes) * options_.regions * options_.regions;
+  pick_counts_.assign(
+      static_cast<size_t>(options_.stripes) * options_.max_apps * options_.regions, 0);
+  app_cells_.assign(app_cells, RedCell{});
+  server_cells_.assign(server_cells, RedCell{});
+  link_cells_.assign(link_cells, RedCell{});
+  app_slots_.assign(4096, -1);
+  registered_apps_ = 0;
+  enabled_ = true;
+}
+
+void RequestAccountant::Reset() {
+  std::fill(pick_counts_.begin(), pick_counts_.end(), 0);
+  std::fill(app_cells_.begin(), app_cells_.end(), RedCell{});
+  std::fill(server_cells_.begin(), server_cells_.end(), RedCell{});
+  std::fill(link_cells_.begin(), link_cells_.end(), RedCell{});
+}
+
+int RequestAccountant::RegisterApp(AppId app) {
+  if (!configured() || !app.valid()) return -1;
+  if (static_cast<size_t>(app.value) >= app_slots_.size()) {
+    app_slots_.resize(static_cast<size_t>(app.value) + 1, -1);
+  }
+  int32_t& slot = app_slots_[app.value];
+  if (slot >= 0) return slot;
+  if (registered_apps_ >= options_.max_apps) return -1;
+  slot = registered_apps_++;
+  return slot;
+}
+
+uint64_t* RequestAccountant::PickSlot(int stripe, int app_slot, int region) {
+  if (!enabled_ ||
+      static_cast<unsigned>(stripe) >= static_cast<unsigned>(options_.stripes) ||
+      static_cast<unsigned>(app_slot) >= static_cast<unsigned>(options_.max_apps) ||
+      static_cast<unsigned>(region) >= static_cast<unsigned>(options_.regions)) {
+    return nullptr;
+  }
+  size_t idx =
+      (static_cast<size_t>(stripe) * options_.max_apps + app_slot) * options_.regions + region;
+  return &pick_counts_[idx];
+}
+
+int RequestAccountant::AppSlot(AppId app) const {
+  if (!app.valid() || static_cast<size_t>(app.value) >= app_slots_.size()) return -1;
+  return app_slots_[app.value];
+}
+
+RedTotals RequestAccountant::ServerTotals(int32_t server) const {
+  RedTotals out;
+  if (static_cast<unsigned>(server) >= static_cast<unsigned>(options_.max_servers) ||
+      server_cells_.empty()) {
+    return out;
+  }
+  for (int s = 0; s < options_.stripes; ++s) {
+    out.Accumulate(server_cells_[static_cast<size_t>(s) * options_.max_servers + server]);
+  }
+  return out;
+}
+
+RedTotals RequestAccountant::LinkTotals(int from_region, int to_region) const {
+  RedTotals out;
+  if (static_cast<unsigned>(from_region) >= static_cast<unsigned>(options_.regions) ||
+      static_cast<unsigned>(to_region) >= static_cast<unsigned>(options_.regions) ||
+      link_cells_.empty()) {
+    return out;
+  }
+  for (int s = 0; s < options_.stripes; ++s) {
+    size_t idx =
+        (static_cast<size_t>(s) * options_.regions + from_region) * options_.regions +
+        to_region;
+    out.Accumulate(link_cells_[idx]);
+  }
+  return out;
+}
+
+RedTotals RequestAccountant::AppRegionBucketTotals(int app_slot, int region, int bucket) const {
+  RedTotals out;
+  if (static_cast<unsigned>(app_slot) >= static_cast<unsigned>(options_.max_apps) ||
+      static_cast<unsigned>(region) >= static_cast<unsigned>(options_.regions) ||
+      static_cast<unsigned>(bucket) >= static_cast<unsigned>(options_.shard_buckets) ||
+      app_cells_.empty()) {
+    return out;
+  }
+  for (int s = 0; s < options_.stripes; ++s) {
+    size_t idx = ((static_cast<size_t>(s) * options_.max_apps + app_slot) * options_.regions +
+                  region) *
+                     options_.shard_buckets +
+                 bucket;
+    out.Accumulate(app_cells_[idx]);
+  }
+  return out;
+}
+
+RedTotals RequestAccountant::AppRegionTotals(int app_slot, int region) const {
+  RedTotals out;
+  if (static_cast<unsigned>(app_slot) < static_cast<unsigned>(options_.max_apps) &&
+      static_cast<unsigned>(region) < static_cast<unsigned>(options_.regions) &&
+      !pick_counts_.empty()) {
+    for (int s = 0; s < options_.stripes; ++s) {
+      out.requests +=
+          pick_counts_[(static_cast<size_t>(s) * options_.max_apps + app_slot) *
+                           options_.regions +
+                       region];
+    }
+  }
+  for (int b = 0; b < options_.shard_buckets; ++b) {
+    RedTotals bucket = AppRegionBucketTotals(app_slot, region, b);
+    out.requests += bucket.requests;
+    out.completed += bucket.completed;
+    out.errors += bucket.errors;
+    out.timeouts += bucket.timeouts;
+    out.latency_sum_us += bucket.latency_sum_us;
+    for (int i = 0; i < RedCell::kLatencyBuckets; ++i) out.latency[i] += bucket.latency[i];
+  }
+  return out;
+}
+
+size_t RequestAccountant::FootprintBytes() const {
+  return (app_cells_.size() + server_cells_.size() + link_cells_.size()) * sizeof(RedCell) +
+         pick_counts_.size() * sizeof(uint64_t);
+}
+
+}  // namespace obs
+}  // namespace shardman

@@ -1,0 +1,172 @@
+// GrayHealthScorer: median-of-peers gray-failure detection over the RED accounting windows.
+//
+// Gray failures — replicas that degrade (packet loss, inflated latency) without dying — are
+// invisible to the liveness-based control plane: heartbeats still pass, so no failover fires.
+// The data plane sees them first, as a per-replica skew in timeout ratio and tail latency.
+// This scorer closes that loop (ISSUE 7 / ROADMAP item 4):
+//
+//   every `window` of sim time it diffs each server's (and each directed region link's)
+//   cumulative RED totals against the previous tick, giving per-window outcome rates;
+//   replicas with enough window traffic are judged against the *median of their peers* —
+//   a replica is an outlier when its timeout ratio or p99 latency exceeds
+//   max(absolute floor, factor x peer median). Peer-relative thresholds self-calibrate: a
+//   globally slow deployment flags nobody, a single skewed replica stands out immediately.
+//
+// Flag/clear hysteresis is streak-based: `flag_after_windows` consecutive outlier windows to
+// flag, `clear_after_windows` consecutive healthy judged windows to clear. A flagged replica
+// that stops receiving traffic (because demotion steered requests away) cannot earn a judged
+// clear; after `silent_clear_windows` silent windows the flag drops and the replica is
+// re-probed — so nothing is exiled forever, but a still-gray replica spends most of its time
+// demoted rather than flapping in and out.
+//
+// Flagged replicas are exposed through `gray_flags()` — a fixed-size byte array the router
+// borrows via ServiceRouter::SetDemotionView (pull model: no callback plumbing, no lifetime
+// coupling beyond the scorer outliving the router's use). As an availability guard, demotion
+// is withheld entirely when more than `max_demoted_fraction` of active replicas are gray —
+// mass gray-ness means the baseline (median) itself is sick, and steering everything at the
+// few "healthy" survivors would melt them.
+//
+// Everything is deterministic: ticks ride the sim clock, servers are scanned in ascending id
+// order, medians come from fully sorted copies. Same seed, same events.
+
+#ifndef SRC_ROUTING_GRAY_HEALTH_H_
+#define SRC_ROUTING_GRAY_HEALTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/sim_time.h"
+#include "src/obs/request_accounting.h"
+#include "src/sim/simulator.h"
+
+namespace shardman {
+
+struct GrayHealthConfig {
+  TimeMicros window = Seconds(2);     // tick period; one judgement per window
+  uint64_t min_attempts = 16;         // window attempts below this => not judged
+  int min_peers = 3;                  // judged peers needed before medians mean anything
+  double timeout_ratio_factor = 4.0;  // outlier if ratio > factor * median ratio ...
+  double timeout_ratio_floor = 0.10;  // ... and above this absolute floor
+  double p99_inflation_factor = 3.0;  // outlier if p99 > factor * median p99 ...
+  double p99_floor_ms = 2.0;          // ... and above this absolute floor
+  int flag_after_windows = 2;         // consecutive outlier windows before flagging
+  int clear_after_windows = 3;        // consecutive healthy *judged* windows before clearing
+  // A flagged replica that demotion starved of traffic is never judged again, so it cannot
+  // earn a judged clear. After this many consecutive silent windows the flag is dropped and
+  // the replica re-probed; if still gray, the next flag streak demotes it again. Kept well
+  // above clear_after_windows so a genuinely gray replica spends most of its time demoted.
+  int silent_clear_windows = 30;
+  bool demote = true;                 // publish flags into gray_flags() for the router
+  double max_demoted_fraction = 0.5;  // availability guard (see file comment)
+};
+
+enum class HealthEventKind : uint8_t {
+  kReplicaGray = 0,
+  kReplicaRecovered = 1,
+  kLinkGray = 2,
+  kLinkRecovered = 3,
+};
+
+enum class HealthSignal : uint8_t {
+  kTimeoutRatio = 0,
+  kP99Inflation = 1,
+  kNone = 2,  // recovery events carry no triggering signal
+};
+
+struct HealthEvent {
+  TimeMicros time = 0;
+  HealthEventKind kind = HealthEventKind::kReplicaGray;
+  HealthSignal signal = HealthSignal::kNone;
+  ServerId server;            // replica events
+  int link_from = -1;         // link events (region indices)
+  int link_to = -1;
+  double value = 0.0;   // the offending measurement (ratio, or ms for p99)
+  double median = 0.0;  // the peer median it was compared against
+};
+
+const char* ToString(HealthEventKind kind);
+const char* ToString(HealthSignal signal);
+
+class GrayHealthScorer {
+ public:
+  // `accountant` must be configured and must outlive the scorer; the scorer sizes its state
+  // off the accountant's options.
+  GrayHealthScorer(Simulator* sim, const obs::RequestAccountant* accountant,
+                   GrayHealthConfig config);
+  ~GrayHealthScorer();
+  GrayHealthScorer(const GrayHealthScorer&) = delete;
+  GrayHealthScorer& operator=(const GrayHealthScorer&) = delete;
+
+  // Begins periodic ticks on the sim clock (first tick one window from now). Idempotent.
+  void Start();
+  // Cancels the periodic tick. Safe to call repeatedly; the destructor calls it.
+  void Stop();
+
+  // One scoring pass over the accountant's current totals. Exposed so tests can drive windows
+  // without running the simulator.
+  void Tick();
+
+  const GrayHealthConfig& config() const { return config_; }
+
+  // Demotion view for ServiceRouter::SetDemotionView: byte per server id, fixed size
+  // (accountant max_servers) for the scorer's lifetime, 1 = demoted.
+  const uint8_t* gray_flags() const { return gray_flags_.data(); }
+  int32_t gray_flags_size() const { return static_cast<int32_t>(gray_flags_.size()); }
+
+  bool IsFlagged(ServerId server) const;
+  int flagged_count() const { return flagged_count_; }
+  // Flagged AND published for demotion (0 when the availability guard tripped or demote=off).
+  int demoted_count() const { return demoted_count_; }
+  int64_t ticks() const { return ticks_; }
+
+  // Health transitions since the last ClearEvents(), in emission order (capped; see
+  // dropped_events()).
+  const std::vector<HealthEvent>& events() const { return events_; }
+  int64_t dropped_events() const { return dropped_events_; }
+  void ClearEvents();
+
+ private:
+  struct PeerState {
+    obs::RedTotals prev;
+    int outlier_streak = 0;
+    int healthy_streak = 0;
+    int silent_streak = 0;  // consecutive windows flagged but below min_attempts
+    bool flagged = false;
+  };
+
+  void JudgeServers();
+  void JudgeLinks();
+  void PublishFlags();
+  void ExportSloGauges();
+  void Emit(HealthEvent event);
+  // Shared streak/flag state machine; returns true when the flag state changed.
+  bool UpdateStreaks(PeerState* state, bool judged, bool outlier);
+
+  Simulator* sim_;
+  const obs::RequestAccountant* accountant_;
+  GrayHealthConfig config_;
+
+  std::vector<PeerState> servers_;           // by server id
+  std::vector<PeerState> links_;             // by from * regions + to
+  std::vector<obs::RedTotals> app_region_;   // by app_slot * regions + region (SLO export)
+  std::vector<uint8_t> gray_flags_;          // fixed size; never reallocated while attached
+  int flagged_count_ = 0;
+  int demoted_count_ = 0;
+  int64_t ticks_ = 0;
+
+  std::vector<HealthEvent> events_;
+  int64_t dropped_events_ = 0;
+
+  EventId tick_event_;
+
+  // Scratch reused across ticks (no per-tick allocation in steady state).
+  std::vector<int32_t> judged_ids_;
+  std::vector<double> judged_ratios_;
+  std::vector<double> judged_p99_;
+  std::vector<double> median_scratch_;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_ROUTING_GRAY_HEALTH_H_

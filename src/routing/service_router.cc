@@ -134,7 +134,31 @@ void ServiceRouter::CompactRanked() {
   ranked_live_ = ranked_.size();
 }
 
+void ServiceRouter::SetAccounting(obs::RequestAccountant* accountant, int stripe) {
+  accountant_ = accountant;
+  stripe_ = stripe;
+  app_slot_ = accountant != nullptr ? accountant->RegisterApp(spec_->id) : -1;
+  region_index_ = client_region_.valid() ? client_region_.value : 0;
+  // Resolve the pick-rate slot once; PickTarget then pays a single increment per pick.
+  pick_slot_ = accountant != nullptr ? accountant->PickSlot(stripe_, app_slot_, region_index_)
+                                     : nullptr;
+}
+
+void ServiceRouter::SetDemotionView(const uint8_t* flags, int32_t count) {
+  demoted_ = flags;
+  demoted_count_ = flags != nullptr ? count : 0;
+}
+
 ServerId ServiceRouter::PickTarget(const Request& request, int attempt, ServerId exclude) {
+  // Counts pick *attempts* (before selection), so the increment never waits on the selection
+  // result — the whole accounting cost disappears into the out-of-order window.
+#if SHARDMAN_OBS_ENABLED
+  if (pick_slot_ != nullptr) ++*pick_slot_;
+#endif
+  return SelectTarget(request, attempt, exclude);
+}
+
+ServerId ServiceRouter::SelectTarget(const Request& request, int attempt, ServerId exclude) {
   if (map_ == nullptr || !request.shard.valid() ||
       static_cast<size_t>(request.shard.value) >= cache_.size()) {
     return ServerId();
@@ -168,8 +192,35 @@ ServerId ServiceRouter::PickTarget(const Request& request, int attempt, ServerId
   if (avail == 0) {
     return exclude;  // everything filtered: retry the excluded server rather than nothing
   }
+  // Exactly one rotation draw per pick, demotion or not — the determinism contract: with no
+  // demoted replica the pick stream is bit-identical to a router with no demotion view.
   const int rotation =
       cached.first_tier > 1 ? rng_.UniformInt(0, cached.first_tier - 1) : 0;
+  if (demoted_ != nullptr) {
+    // Gray-replica demotion (DESIGN.md §12): count the healthy (non-excluded, non-demoted)
+    // candidates. When some but not all candidates are demoted, walk the same rotated
+    // preference order skipping them; when all are demoted, fall through to the normal walk —
+    // a fully gray shard still gets served.
+    int healthy = 0;
+    for (int i = 0; i < count; ++i) {
+      const ServerId server = ranked[i].server;
+      if (count > 1 && server == exclude) continue;
+      if (!IsDemoted(server)) ++healthy;
+    }
+    if (healthy > 0 && healthy < avail) {
+      int remaining = std::min(attempt - 1, healthy - 1);
+      for (int i = 0; i < count; ++i) {
+        const int pos = i < cached.first_tier ? (i + rotation) % cached.first_tier : i;
+        const ServerId candidate = ranked[pos].server;
+        if (count > 1 && candidate == exclude) continue;
+        if (IsDemoted(candidate)) continue;
+        if (remaining == 0) {
+          return candidate;
+        }
+        --remaining;
+      }
+    }
+  }
   int remaining = std::min(attempt - 1, avail - 1);
   for (int i = 0; i < count; ++i) {
     const int pos = i < cached.first_tier ? (i + rotation) % cached.first_tier : i;
@@ -214,6 +265,7 @@ void ServiceRouter::Send(Attempt attempt) {
     return;
   }
   attempt.target = target;
+  attempt.sent_at = sim_->Now();
   ++requests_sent_;
   Request request = attempt.request;
   auto self = this;
@@ -225,6 +277,26 @@ void ServiceRouter::Send(Attempt attempt) {
 }
 
 void ServiceRouter::Finish(const Attempt& attempt, const Reply& reply) {
+#if SHARDMAN_OBS_ENABLED
+  // Per-attempt RED accounting: the replica/link signal the gray-failure scorer consumes.
+  // Timeouts carry no failure detail from the server, so classify by elapsed time — an
+  // attempt that consumed the full timeout budget is a timeout whatever the status text says.
+  if (accountant_ != nullptr && attempt.target.valid()) {
+    const TimeMicros attempt_latency = sim_->Now() - attempt.sent_at;
+    obs::AttemptOutcome attempt_outcome = obs::AttemptOutcome::kOk;
+    if (!reply.status.ok()) {
+      attempt_outcome = attempt_latency >= config_.request_timeout
+                            ? obs::AttemptOutcome::kTimeout
+                            : obs::AttemptOutcome::kError;
+    }
+    int to_region = region_index_;
+    if (const ServerHandle* handle = registry_->Get(attempt.target)) {
+      to_region = handle->region.value;
+    }
+    SM_RED_ATTEMPT(accountant_, stripe_, attempt.target.value, region_index_, to_region,
+                   attempt_latency, attempt_outcome);
+  }
+#endif
   if (!reply.status.ok() && attempt.attempt < config_.max_attempts) {
     Attempt retry = attempt;
     ++retry.attempt;
@@ -249,6 +321,11 @@ void ServiceRouter::Finish(const Attempt& attempt, const Reply& reply) {
     SM_COUNTER_INC("sm.router.requests_failed");
   }
   SM_HISTOGRAM_OBSERVE("sm.router.request_latency_ms", ToMillis(outcome.latency));
+  if (attempt.request.shard.valid()) {
+    SM_RED_REQUEST_DONE(accountant_, stripe_, app_slot_, region_index_,
+                        static_cast<int64_t>(attempt.request.shard.value), outcome.latency,
+                        outcome.success);
+  }
   attempt.done(outcome);
 }
 

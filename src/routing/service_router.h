@@ -36,6 +36,7 @@
 #include "src/core/app_spec.h"
 #include "src/core/server_registry.h"
 #include "src/discovery/service_discovery.h"
+#include "src/obs/request_accounting.h"
 #include "src/sim/network.h"
 
 namespace shardman {
@@ -69,6 +70,20 @@ class ServiceRouter {
   const ShardMap* map() const { return map_.get(); }
   RegionId region() const { return client_region_; }
 
+  // Attaches per-request RED accounting (DESIGN.md §12). `stripe` selects the accountant
+  // stripe this router writes — give concurrent writers distinct stripes. Registers the
+  // router's app for an app slot; pass nullptr to detach. No routing decision changes.
+  void SetAccounting(obs::RequestAccountant* accountant, int stripe);
+  obs::RequestAccountant* accounting() const { return accountant_; }
+
+  // Attaches a gray-replica demotion view: `flags[server.value] != 0` marks a server demoted
+  // and PickTarget prefers healthy replicas over it (falling back to demoted ones when no
+  // healthy candidate remains, so availability never regresses). The flags array must stay
+  // valid and fixed-size while attached (GrayHealthScorer::gray_flags() satisfies this); pass
+  // nullptr to detach. With no demoted server the pick sequence is bit-identical to the
+  // detached router — same rotation draws, same candidates.
+  void SetDemotionView(const uint8_t* flags, int32_t count);
+
   int64_t requests_sent() const { return requests_sent_; }
   // Routing-cache rebuilds so far (== snapshot map applications); tests assert invalidation.
   int64_t cache_rebuilds() const { return cache_rebuilds_; }
@@ -88,6 +103,9 @@ class ServiceRouter {
     Request request;
     int attempt = 1;
     TimeMicros started_at = 0;
+    // When this attempt (not the whole request) hit the wire; attempt latency for RED
+    // accounting and timeout classification.
+    TimeMicros sent_at = 0;
     // The server this attempt was sent to (so a timed-out attempt with no reply still knows
     // whom to exclude next).
     ServerId target;
@@ -120,8 +138,15 @@ class ServiceRouter {
   void CompactRanked();
   // Ranks one shard's replicas at the end of ranked_ and points `cached` at the new run.
   void RankShard(const ShardMapEntry& entry, CachedShard* cached);
-  // Picks the target server for this attempt, or an invalid id if the map has no candidate.
+  // Picks the target server for this attempt, or an invalid id if the map has no candidate;
+  // records the pick into the attached accountant. SelectTarget is the decision itself.
   ServerId PickTarget(const Request& request, int attempt, ServerId exclude);
+  ServerId SelectTarget(const Request& request, int attempt, ServerId exclude);
+  bool IsDemoted(ServerId server) const {
+    return demoted_ != nullptr && static_cast<uint32_t>(server.value) <
+                                      static_cast<uint32_t>(demoted_count_) &&
+           demoted_[server.value] != 0;
+  }
   void Send(Attempt attempt);
   void Finish(const Attempt& attempt, const Reply& reply);
 
@@ -143,6 +168,18 @@ class ServiceRouter {
   std::vector<RankedReplica> ranked_;
   // Rows of ranked_ still referenced by cache_ (patching orphans the replaced runs).
   size_t ranked_live_ = 0;
+  // RED accounting sink (optional; null detaches). app_slot_/region_index_ are resolved once
+  // in SetAccounting so the hot path carries only integer arguments; pick_slot_ caches the
+  // accountant's pick-rate counter so a pick costs one pointer increment.
+  obs::RequestAccountant* accountant_ = nullptr;
+  int stripe_ = 0;
+  int app_slot_ = -1;
+  int region_index_ = 0;
+  uint64_t* pick_slot_ = nullptr;
+  // Gray-replica demotion view (optional, borrowed; see SetDemotionView).
+  const uint8_t* demoted_ = nullptr;
+  int32_t demoted_count_ = 0;
+
   int64_t subscription_ = 0;
   int64_t requests_sent_ = 0;
   int64_t cache_rebuilds_ = 0;

@@ -1,7 +1,9 @@
 #include "src/sim/network.h"
 
+#include <cstdio>
 #include <utility>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 
 namespace shardman {
@@ -123,11 +125,13 @@ void Network::Send(RegionId from, RegionId to, std::function<void()> deliver) {
 void Network::PartitionRegion(RegionId region) {
   SM_CHECK(region.valid() && region.value < model_.num_regions());
   partitioned_[static_cast<size_t>(region.value)] = true;
+  SM_FLIGHT("net", "partition_region", "r" + std::to_string(region.value));
 }
 
 void Network::HealRegion(RegionId region) {
   SM_CHECK(region.valid() && region.value < model_.num_regions());
   partitioned_[static_cast<size_t>(region.value)] = false;
+  SM_FLIGHT("net", "heal_region", "r" + std::to_string(region.value));
 }
 
 bool Network::IsPartitioned(RegionId region) const {
@@ -137,9 +141,17 @@ bool Network::IsPartitioned(RegionId region) const {
   return partitioned_[static_cast<size_t>(region.value)];
 }
 
-void Network::BlockLink(RegionId from, RegionId to) { blocked_[LinkIndex(from, to)] = true; }
+void Network::BlockLink(RegionId from, RegionId to) {
+  blocked_[LinkIndex(from, to)] = true;
+  SM_FLIGHT("net", "block_link",
+            "r" + std::to_string(from.value) + "->r" + std::to_string(to.value));
+}
 
-void Network::UnblockLink(RegionId from, RegionId to) { blocked_[LinkIndex(from, to)] = false; }
+void Network::UnblockLink(RegionId from, RegionId to) {
+  blocked_[LinkIndex(from, to)] = false;
+  SM_FLIGHT("net", "unblock_link",
+            "r" + std::to_string(from.value) + "->r" + std::to_string(to.value));
+}
 
 bool Network::LinkBlocked(RegionId from, RegionId to) const {
   return blocked_[LinkIndex(from, to)];
@@ -152,10 +164,21 @@ void Network::SetLinkQuality(RegionId from, RegionId to, const LinkQuality& qual
   SM_CHECK_LE(quality.duplicate_probability, 1.0);
   SM_CHECK_GT(quality.latency_multiplier, 0.0);
   links_[LinkIndex(from, to)] = quality;
+#if SHARDMAN_OBS_ENABLED
+  if (obs::DefaultFlightRecorder().enabled()) {
+    char detail[96];
+    std::snprintf(detail, sizeof(detail), "r%d->r%d loss=%.3f dup=%.3f lat_x=%.2f", from.value,
+                  to.value, quality.loss_probability, quality.duplicate_probability,
+                  quality.latency_multiplier);
+    SM_FLIGHT("net", "set_link_quality", detail);
+  }
+#endif
 }
 
 void Network::ResetLink(RegionId from, RegionId to) {
   links_[LinkIndex(from, to)] = LinkQuality{};
+  SM_FLIGHT("net", "reset_link",
+            "r" + std::to_string(from.value) + "->r" + std::to_string(to.value));
 }
 
 const LinkQuality& Network::link_quality(RegionId from, RegionId to) const {

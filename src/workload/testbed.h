@@ -26,6 +26,8 @@
 #include "src/coord/coord_store.h"
 #include "src/core/mini_sm.h"
 #include "src/core/sm_library.h"
+#include "src/obs/request_accounting.h"
+#include "src/routing/gray_health.h"
 #include "src/routing/service_router.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
@@ -74,6 +76,16 @@ struct TestbedConfig {
   // mini_sm.orchestrator.delta_dissemination — setting either turns it on. Routers and
   // SmLibrary watchers are always delta-capable; this controls whether the publish side diffs.
   bool delta_dissemination = false;
+
+  // Per-request RED accounting (DESIGN.md §12): routers from CreateRouter attach to the
+  // testbed's RequestAccountant (each on its own stripe, round-robin). On by default — it
+  // changes no routing decision and its memory is fixed at Configure time.
+  bool request_accounting = true;
+  // Gray-failure health scoring + router demotion. Opt-in: once a replica is flagged the
+  // router's pick stream changes, so determinism baselines that predate the scorer stay
+  // byte-identical unless a test asks for it. Implies request_accounting.
+  bool health_scoring = false;
+  GrayHealthConfig health;
 
   uint64_t seed = 42;
 };
@@ -147,6 +159,11 @@ class Testbed {
   ReplicaPeerDirectory& peer_directory() { return peer_directory_; }
   DataBus& data_bus() { return data_bus_; }
 
+  // The testbed-wide RED accountant (unconfigured when request_accounting is off).
+  obs::RequestAccountant& accounting() { return accountant_; }
+  // Null unless health_scoring is on.
+  GrayHealthScorer* health_scorer() { return health_scorer_.get(); }
+
  private:
   struct ServerSlot {
     std::unique_ptr<ShardHostBase> app;
@@ -170,6 +187,11 @@ class Testbed {
   std::unordered_map<int32_t, ServerSlot> server_slots_;
   ReplicaPeerDirectory peer_directory_;
   DataBus data_bus_;
+  // Declared after sim_ so the scorer (whose destructor cancels its tick on sim_) and the
+  // accountant (whose cells routers reference) are destroyed first.
+  obs::RequestAccountant accountant_;
+  std::unique_ptr<GrayHealthScorer> health_scorer_;
+  int next_stripe_ = 0;
   Rng rng_;
   bool started_ = false;
   // The global sim-time source installed for this testbed (SM_LOG prefixes, trace timestamps);

@@ -1,6 +1,7 @@
 // Off-mode telemetry check, compiled with SHARDMAN_OBS_ENABLED=0 (see tests/CMakeLists.txt):
-// every SM_COUNTER_* / SM_GAUGE_* / SM_HISTOGRAM_* / SM_TRACE_* macro must expand to a no-op
-// that registers nothing and records nothing, while the registry/tracer API itself stays fully
+// every SM_COUNTER_* / SM_GAUGE_* / SM_HISTOGRAM_* / SM_TRACE_* / SM_FLIGHT / SM_RED_* macro
+// must expand to a no-op that registers nothing, records nothing, and does not even evaluate
+// its arguments, while the registry/tracer/accountant/recorder APIs themselves stay fully
 // functional so exporters and benches link and run regardless of the build flavour.
 
 #include <gtest/gtest.h>
@@ -36,6 +37,64 @@ TEST(ObsOff, TraceMacrosRecordNothingEvenWhenEnabled) {
   SM_TRACE_END(id, "orchestrator", "op");
   EXPECT_TRUE(tracer.events().empty());
   tracer.Disable();
+}
+
+TEST(ObsOff, FlightMacroRecordsNothingAndSkipsArgEvaluation) {
+  obs::FlightRecorder& recorder = obs::DefaultFlightRecorder();
+  recorder.Clear();
+  recorder.set_enabled(true);
+  int evaluations = 0;
+  auto expensive_detail = [&]() {
+    ++evaluations;
+    return std::string("detail");
+  };
+  SM_FLIGHT("net", "drop", expensive_detail());
+  SM_FLIGHT("chaos", expensive_detail().c_str());
+  EXPECT_EQ(evaluations, 0);  // OFF expansion must not evaluate arguments
+  EXPECT_EQ(recorder.total_recorded(), 0u);
+  EXPECT_TRUE(recorder.Events("net").empty());
+  recorder.set_enabled(false);
+}
+
+TEST(ObsOff, RedMacrosRecordNothingAndSkipArgEvaluation) {
+  obs::RequestAccountant accountant;
+  accountant.Configure(obs::RequestAccountingOptions{});
+  int evaluations = 0;
+  auto expensive_arg = [&]() {
+    ++evaluations;
+    return 0;
+  };
+  SM_RED_PICK(&accountant, expensive_arg(), 0, 0);
+  SM_RED_ATTEMPT(&accountant, 0, expensive_arg(), 0, 0, 100, obs::AttemptOutcome::kOk);
+  SM_RED_REQUEST_DONE(&accountant, 0, expensive_arg(), 0, 0, 100, true);
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_EQ(accountant.AppRegionTotals(0, 0).requests, 0u);
+  EXPECT_EQ(accountant.ServerTotals(0).completed, 0u);
+}
+
+TEST(ObsOff, AccountantAndRecorderDirectApiStillWork) {
+  // Like the registry/tracer: only the macros vanish in the OFF build; the classes behave
+  // identically so the health scorer and flight dumps stay usable from explicit call sites.
+  obs::RequestAccountant accountant;
+  obs::RequestAccountingOptions options;
+  options.stripes = 2;
+  accountant.Configure(options);
+  int slot = accountant.RegisterApp(AppId(1));
+  ASSERT_GE(slot, 0);
+  accountant.RecordPick(0, slot, 0);
+  accountant.RecordAttempt(0, 3, 0, 1, 2500, obs::AttemptOutcome::kTimeout);
+  EXPECT_EQ(accountant.AppRegionTotals(slot, 0).requests, 1u);
+  EXPECT_EQ(accountant.ServerTotals(3).timeouts, 1u);
+  EXPECT_EQ(accountant.LinkTotals(0, 1).completed, 1u);
+
+  obs::FlightRecorder recorder;
+  recorder.set_enabled(true);
+  recorder.Record("net", "drop", "r0->r1");
+  ASSERT_EQ(recorder.Events("net").size(), 1u);
+  std::ostringstream os;
+  recorder.WriteJsonl(os, "test");
+  EXPECT_NE(os.str().find("\"flight_dump\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"component\":\"net\""), std::string::npos);
 }
 
 TEST(ObsOff, DirectApiStillWorks) {
