@@ -4,9 +4,13 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/table.h"
@@ -93,6 +97,42 @@ inline double BenchScale() {
   }
   double scale = std::atof(env);
   return scale > 0.0 ? scale : 1.0;
+}
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) {
+    return fallback;
+  }
+  int value = std::atoi(env);
+  return value > 0 ? value : fallback;
+}
+
+// Sharded-simulator knobs (DESIGN.md §13) for Testbed-driven benches: SM_SIM_SHARDS /
+// SM_SIM_THREADS partition the event loop per region group and size its thread pool. The
+// defaults keep every bench on the classic single-shard path, byte-identical to before.
+inline int SimShardsFromEnv(int fallback = 1) { return EnvInt("SM_SIM_SHARDS", fallback); }
+inline int SimThreadsFromEnv(int fallback = 1) { return EnvInt("SM_SIM_THREADS", fallback); }
+
+// Longest-processing-time packing of `weights` into `bins`; returns the makespan (heaviest
+// bin). Used both to project parallel-sim speedup from per-shard busy time (the critical path
+// of one conservative window) and to report the speedup ceiling a fleet partition admits.
+inline double LptMakespan(std::vector<double> weights, int bins) {
+  double total = 0.0;
+  double heaviest = 0.0;
+  for (double w : weights) {
+    total += w;
+    heaviest = std::max(heaviest, w);
+  }
+  if (bins <= 1) {
+    return total;
+  }
+  std::sort(weights.begin(), weights.end(), std::greater<double>());
+  std::vector<double> load(static_cast<size_t>(bins), 0.0);
+  for (double w : weights) {
+    *std::min_element(load.begin(), load.end()) += w;
+  }
+  return *std::max_element(load.begin(), load.end());
 }
 
 }  // namespace bench

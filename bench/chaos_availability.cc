@@ -38,6 +38,10 @@ CurvePoint RunLevel(double mean_fault_interval_s, TimeMicros churn) {
   obs::DefaultMetrics().ResetValues();
   obs::DefaultTracer().Clear();
   TestbedConfig config;
+  // Sharded-sim knobs (DESIGN.md §13): default single-shard keeps output byte-identical to
+  // the historical runs; SM_SIM_SHARDS/SM_SIM_THREADS opt into the partitioned event loop.
+  config.sim_shards = SimShardsFromEnv();
+  config.sim_threads = SimThreadsFromEnv();
   config.regions = {"r0", "r1", "r2"};
   config.servers_per_region = 6;
   config.app = MakeUniformAppSpec(AppId(1), "chaosbench", 30,

@@ -36,6 +36,8 @@ RunOutput RunConfig(bool graceful_migration, bool task_controller, int shards) {
   // Each configuration reports from its own metrics window (registrations persist; values zero).
   obs::DefaultMetrics().ResetValues();
   TestbedConfig config;
+  config.sim_shards = SimShardsFromEnv();  // DESIGN.md §13; default stays single-shard
+  config.sim_threads = SimThreadsFromEnv();
   config.regions = {"r0"};
   config.servers_per_region = 60;
   config.app = MakeUniformAppSpec(AppId(1), "fig17", shards, ReplicationStrategy::kPrimaryOnly, 1);

@@ -34,6 +34,8 @@ int main() {
   const int ec_shards = shards * 2 / 5;  // 400 of 1000
 
   TestbedConfig config;
+  config.sim_shards = SimShardsFromEnv();  // DESIGN.md §13; default stays single-shard
+  config.sim_threads = SimThreadsFromEnv();
   config.regions = {"FRC", "PRN", "ODN"};
   config.servers_per_region = 30;
   config.app =

@@ -55,7 +55,8 @@ int main() {
         continue;
       }
       RegionId app_region = bed.region_of(server);
-      total += ToMillis(bed.network().ExpectedLatency(app_region, db_region[static_cast<size_t>(s)]));
+      total +=
+          ToMillis(bed.network().ExpectedLatency(app_region, db_region[static_cast<size_t>(s)]));
       ++counted;
     }
     return counted > 0 ? total / counted : 0.0;

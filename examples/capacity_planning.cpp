@@ -40,7 +40,8 @@ int main() {
   for (int r = 0; r < 3; ++r) {
     std::printf("  region %d: replica=%d servers=%d serves_demand_of_region=%d\n", r,
                 plan.replica_regions[static_cast<size_t>(r)] ? 1 : 0,
-                plan.servers_per_region[static_cast<size_t>(r)], plan.serving_region[static_cast<size_t>(r)]);
+                plan.servers_per_region[static_cast<size_t>(r)],
+                plan.serving_region[static_cast<size_t>(r)]);
   }
   if (!plan.slo_met) {
     std::printf("planner could not meet the SLO\n");

@@ -19,6 +19,12 @@ are recognised by their "bench" field:
   threshold against the matching kill-interval baseline point, and the
   leaderless windows must not grow more than the threshold. Absolute request
   counts are compared only at equal SM_BENCH_SCALE (the churn window scales).
+* sim_parallel (BENCH_sim_parallel.json): deterministic must be true (digest
+  divergence across thread counts is a correctness bug, not noise),
+  speedup_8t_x and fleet_size_x must stay above the 5x acceptance floor and
+  must not drop more than the threshold against the baseline (both are
+  critical-path projections from per-window profiles, hardware-independent),
+  and serial_events_per_sec is compared as an ordinary noisy rate.
 * obs_overhead (BENCH_obs_overhead.json): pick_overhead_pct must stay within
   the 5% acceptance ceiling, allocs_per_pick must be 0, every gray intensity
   must be detected, detection latency must not grow more than the threshold
@@ -160,6 +166,51 @@ def check_smr_failover(reference, fresh, threshold):
     return warnings
 
 
+SIM_SPEEDUP_FLOOR = 5.0  # acceptance floor for fleet_size_x at 8 threads
+
+
+def check_sim_parallel(reference, fresh, threshold):
+    warnings = []
+    deterministic = fresh.get("deterministic")
+    print(f"{'ok' if deterministic else 'WARN':4} deterministic: {deterministic}")
+    if not deterministic:
+        warnings.append("sharded-sim digests diverged across thread counts — "
+                        "a correctness bug, not noise")
+
+    for key in ("speedup_8t_x", "fleet_size_x"):
+        now = fresh.get(key)
+        if now is None:
+            continue
+        # The projection is hardware-independent, so the floor applies everywhere.
+        if key == "fleet_size_x" and now < SIM_SPEEDUP_FLOOR:
+            print(f"WARN {key} {now:.2f}x below the {SIM_SPEEDUP_FLOOR:.0f}x "
+                  "acceptance floor")
+            warnings.append(f"{key} is {now:.2f}x, acceptance floor is "
+                            f"{SIM_SPEEDUP_FLOOR:.0f}x")
+        base = reference.get(key)
+        if not base:
+            continue
+        drop = (base - now) / base
+        status = "WARN" if drop > threshold else "ok"
+        print(f"{status:4} {key}: baseline {base:,.2f}x fresh {now:,.2f}x "
+              f"({-drop:+.1%})")
+        if drop > threshold:
+            warnings.append(f"{key} dropped {drop:.1%} "
+                            f"(baseline {base:.2f}x, fresh {now:.2f}x)")
+
+    base_rate = reference.get("serial_events_per_sec")
+    rate = fresh.get("serial_events_per_sec")
+    if base_rate and rate is not None:
+        drop = (base_rate - rate) / base_rate
+        status = "WARN" if drop > threshold else "ok"
+        print(f"{status:4} serial_events_per_sec: baseline {base_rate:,.0f} "
+              f"fresh {rate:,.0f} ({-drop:+.1%})")
+        if drop > threshold:
+            warnings.append(f"serial_events_per_sec dropped {drop:.1%} "
+                            f"(baseline {base_rate:,.0f}, fresh {rate:,.0f})")
+    return warnings
+
+
 OBS_OVERHEAD_CEILING_PCT = 5.0  # acceptance ceiling for pick_overhead_pct
 
 
@@ -240,6 +291,8 @@ def main() -> int:
         warnings = check_delta(reference, fresh, args.threshold)
     elif fresh.get("bench") == "smr_failover":
         warnings = check_smr_failover(reference, fresh, args.threshold)
+    elif fresh.get("bench") == "sim_parallel":
+        warnings = check_sim_parallel(reference, fresh, args.threshold)
     elif fresh.get("bench") == "obs_overhead":
         warnings = check_obs_overhead(reference, fresh, args.threshold)
     else:

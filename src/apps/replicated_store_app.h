@@ -4,9 +4,9 @@
 // replicates entries to the shard's secondaries; secondaries apply entries in order and serve
 // eventually-consistent reads. Epoch numbers — bumped each time a server (re)acquires the
 // primary role — fence replication from stale primaries, giving the at-most-one-writer property
-// the paper's ZippyDB gets from Paxos leadership. Replication is asynchronous (primary-ack), the common
-// production configuration; §2.4's option-5 full consensus is deliberately out of scope — the
-// paper itself observes that almost no application adopts it.
+// the paper's ZippyDB gets from Paxos leadership. Replication is asynchronous (primary-ack),
+// the common production configuration; §2.4's option-5 full consensus is deliberately out of
+// scope — the paper itself observes that almost no application adopts it.
 //
 // Peers are discovered the same way clients discover servers: from the shard map.
 

@@ -79,11 +79,34 @@ void FaultInjector::Stop() {
   // system permanently broken. The injector must outlive the remaining simulation.
 }
 
+void FaultInjector::ScheduleChaos(TimeMicros delay, SmallFunction cb) {
+  ShardedSimulator& ssim = bed_->sharded_sim();
+  if (ssim.num_shards() > 1) {
+    // Faults mutate state shared across shards (network topology, coordination sessions), which
+    // is only safe in the exclusive phase between windows, with every shard quiesced at a
+    // common virtual time (DESIGN.md §13).
+    ssim.ScheduleBarrierIn(delay, std::move(cb));
+    return;
+  }
+  bed_->sim().Schedule(delay, std::move(cb));
+}
+
 void FaultInjector::ScheduleNext() {
   TimeMicros gap = static_cast<TimeMicros>(
       rng_.Exponential(static_cast<double>(config_.mean_fault_interval)));
   if (gap < 1) {
     gap = 1;
+  }
+  if (bed_->sharded_sim().num_shards() > 1) {
+    // Barrier tasks cannot be cancelled; the running_ guard is what Stop() relies on here.
+    ScheduleChaos(gap, [this]() {
+      if (!running_) {
+        return;
+      }
+      InjectOne();
+      ScheduleNext();
+    });
+    return;
   }
   next_timer_ = bed_->sim().Schedule(gap, [this]() {
     InjectOne();
@@ -181,7 +204,7 @@ int64_t FaultInjector::RecordInject(FaultKind kind, const std::string& detail) {
 void FaultInjector::ScheduleHeal(int64_t fault_id, FaultKind kind, TimeMicros after,
                                  std::string detail) {
   ++active_faults_;
-  bed_->sim().Schedule(after, [this, fault_id, kind, detail = std::move(detail)]() {
+  ScheduleChaos(after, [this, fault_id, kind, detail = std::move(detail)]() {
     SM_COUNTER_INC("sm.chaos.faults_healed");
     SM_TRACE_INSTANT("chaos", "heal",
                      obs::Arg("fault_id", fault_id) + "," +
@@ -197,8 +220,8 @@ void FaultInjector::BracketUnplanned(TimeMicros heal_after) {
     return;
   }
   checker_->PushUnplannedFault();
-  bed_->sim().Schedule(heal_after + config_.settle_after_heal,
-                       [this]() { checker_->PopUnplannedFault(); });
+  ScheduleChaos(heal_after + config_.settle_after_heal,
+                [this]() { checker_->PopUnplannedFault(); });
 }
 
 std::vector<RegionId> FaultInjector::EligiblePartitionRegions() const {
@@ -274,7 +297,7 @@ bool FaultInjector::InjectRegionPartition(TimeMicros duration) {
   int64_t id = RecordInject(FaultKind::kRegionPartition, os.str());
   bed_->network().PartitionRegion(region);
   partitioned_regions_.insert(region.value);
-  bed_->sim().Schedule(duration, [this, region]() {
+  ScheduleChaos(duration, [this, region]() {
     bed_->network().HealRegion(region);
     partitioned_regions_.erase(region.value);
   });
@@ -302,7 +325,7 @@ bool FaultInjector::InjectAsymmetricPartition(TimeMicros duration) {
   int64_t id = RecordInject(FaultKind::kAsymmetricPartition, os.str());
   bed_->network().BlockLink(RegionId(from), RegionId(to));
   blocked_links_.insert({from, to});
-  bed_->sim().Schedule(duration, [this, from = from, to = to]() {
+  ScheduleChaos(duration, [this, from = from, to = to]() {
     bed_->network().UnblockLink(RegionId(from), RegionId(to));
     blocked_links_.erase({from, to});
   });
@@ -335,7 +358,7 @@ bool FaultInjector::InjectLinkDegradation(TimeMicros duration) {
   int64_t id = RecordInject(FaultKind::kLinkDegradation, os.str());
   bed_->network().SetLinkQuality(RegionId(from), RegionId(to), quality);
   degraded_links_.insert({from, to});
-  bed_->sim().Schedule(duration, [this, from = from, to = to]() {
+  ScheduleChaos(duration, [this, from = from, to = to]() {
     bed_->network().ResetLink(RegionId(from), RegionId(to));
     degraded_links_.erase({from, to});
   });
@@ -355,7 +378,7 @@ bool FaultInjector::InjectWatchDelaySpike(TimeMicros duration) {
   int64_t id = RecordInject(FaultKind::kWatchDelaySpike, os.str());
   watch_spike_active_ = true;
   bed_->coord().set_notify_delay(config_.watch_delay_spike);
-  bed_->sim().Schedule(duration, [this, saved]() {
+  ScheduleChaos(duration, [this, saved]() {
     bed_->coord().set_notify_delay(saved);
     watch_spike_active_ = false;
   });
@@ -374,7 +397,7 @@ bool FaultInjector::InjectMapDeliveryLoss(TimeMicros duration) {
   int64_t id = RecordInject(FaultKind::kMapDeliveryLoss, os.str());
   map_loss_active_ = true;
   bed_->discovery().SetDeliveryLoss(probability, loss_seed);
-  bed_->sim().Schedule(duration, [this]() {
+  ScheduleChaos(duration, [this]() {
     bed_->discovery().SetDeliveryLoss(0.0, 0);
     map_loss_active_ = false;
   });
@@ -474,13 +497,13 @@ bool FaultInjector::InjectLeaderPartition(TimeMicros duration) {
   }
   // The coordination store times out the unreachable session shortly after the links die; the
   // isolated leader is fenced while the survivors elect a successor.
-  bed_->sim().Schedule(config_.leader_partition_session_ttl, [this, set, leader]() {
+  ScheduleChaos(config_.leader_partition_session_ttl, [this, set, leader]() {
     LeaderLease* lease = set->lease(leader);
     if (lease != nullptr && lease->is_leader()) {
       lease->ExpireSession();
     }
   });
-  bed_->sim().Schedule(duration, [this, from, cut]() {
+  ScheduleChaos(duration, [this, from, cut]() {
     for (int32_t to : cut) {
       bed_->network().UnblockLink(RegionId(from), RegionId(to));
       blocked_links_.erase({from, to});

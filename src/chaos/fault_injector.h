@@ -143,6 +143,10 @@ class FaultInjector {
   bool InjectSmrReconfigure();
 
   int64_t RecordInject(FaultKind kind, const std::string& detail);
+  // Chaos timer hook: on a multi-shard testbed, fault arrivals and heals run as exclusive-phase
+  // barrier tasks (faults mutate cross-shard shared state); on the classic single-shard testbed
+  // this is a plain sim() schedule, so existing chaos journals stay byte-identical.
+  void ScheduleChaos(TimeMicros delay, SmallFunction cb);
   void ScheduleHeal(int64_t fault_id, FaultKind kind, TimeMicros after, std::string detail);
   void BracketUnplanned(TimeMicros heal_after);
   std::vector<RegionId> EligiblePartitionRegions() const;

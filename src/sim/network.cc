@@ -1,6 +1,8 @@
 #include "src/sim/network.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <utility>
 
 #include "src/obs/flight_recorder.h"
@@ -55,18 +57,148 @@ size_t Network::LinkIndex(RegionId from, RegionId to) const {
          static_cast<size_t>(to.value);
 }
 
-RegionNetStats* Network::StatsFor(RegionId region) {
+RegionNetStats* Network::StatsFor(RegionId region, std::vector<RegionNetStats>& stats) const {
   if (!region.valid() || region.value >= model_.num_regions()) {
     return nullptr;
   }
-  return &region_stats_[static_cast<size_t>(region.value)];
+  return &stats[static_cast<size_t>(region.value)];
+}
+
+void Network::CheckExclusivePhase() const {
+  if (sharded_ != nullptr) {
+    SM_CHECK_LT(sharded_->current_shard(), 0);
+  }
+}
+
+Network::Lane& Network::CurrentLane() {
+  const int shard = sharded_->current_shard();
+  return lanes_[static_cast<size_t>(shard < 0 ? sharded_->num_shards() : shard)];
+}
+
+void Network::set_jitter_fraction(double j) {
+  CheckExclusivePhase();
+  jitter_fraction_ = j;
+}
+
+TimeMicros Network::ShardedLookaheadBound(const LatencyModel& model,
+                                          const std::vector<int>& region_to_shard,
+                                          double jitter_fraction) {
+  SM_CHECK_EQ(static_cast<int>(region_to_shard.size()), model.num_regions());
+  TimeMicros bound = std::numeric_limits<TimeMicros>::max();
+  for (int a = 0; a < model.num_regions(); ++a) {
+    for (int b = 0; b < model.num_regions(); ++b) {
+      if (region_to_shard[static_cast<size_t>(a)] == region_to_shard[static_cast<size_t>(b)]) {
+        continue;
+      }
+      const TimeMicros base = model.Latency(RegionId{a}, RegionId{b});
+      // Same truncation as the send path, so `delay >= bound` holds for any jitter factor in
+      // [1 - j, 1 + j] by monotonicity of double multiplication and truncation.
+      const TimeMicros worst =
+          static_cast<TimeMicros>(static_cast<double>(base) * (1.0 - jitter_fraction));
+      bound = std::min(bound, worst < 1 ? 1 : worst);
+    }
+  }
+  return bound;  // max() when no pair crosses shards (single-shard placements)
+}
+
+void Network::EnableShardedMode(ShardedSimulator* sharded, std::vector<int> region_to_shard) {
+  SM_CHECK(sharded != nullptr);
+  SM_CHECK(sharded_ == nullptr);
+  SM_CHECK_EQ(messages_sent_, 0u);  // must precede all traffic
+  SM_CHECK_EQ(static_cast<int>(region_to_shard.size()), model_.num_regions());
+  for (int shard : region_to_shard) {
+    SM_CHECK(shard >= 0 && shard < sharded->num_shards());
+  }
+  if (sharded->num_shards() > 1) {
+    const TimeMicros bound = ShardedLookaheadBound(model_, region_to_shard, jitter_fraction_);
+    SM_CHECK_LE(sharded->lookahead(), bound);
+  }
+  sharded_ = sharded;
+  region_to_shard_ = std::move(region_to_shard);
+  lanes_.reserve(static_cast<size_t>(sharded->num_shards()) + 1);
+  for (int i = 0; i <= sharded->num_shards(); ++i) {
+    // Forked from the network seed in lane order: deterministic per seed, independent of which
+    // thread later runs each shard.
+    lanes_.emplace_back(rng_.Next(), static_cast<size_t>(model_.num_regions()));
+  }
+}
+
+void Network::ShardedSend(RegionId from, RegionId to, std::function<void()> deliver) {
+  Lane& lane = CurrentLane();
+  const int src_shard = sharded_->current_shard();
+  const bool link_known = from.valid() && from.value < model_.num_regions() && to.valid() &&
+                          to.value < model_.num_regions();
+  if (src_shard >= 0) {
+    // The sending region's shard is the only place where this send is deterministic.
+    SM_CHECK(link_known);
+    SM_CHECK_EQ(region_to_shard_[static_cast<size_t>(from.value)], src_shard);
+  }
+  ++lane.sent;
+  RegionNetStats* from_stats = StatsFor(from, lane.region_stats);
+  RegionNetStats* to_stats = StatsFor(to, lane.region_stats);
+  if (from_stats != nullptr) {
+    ++from_stats->sent;
+  }
+
+  const LinkQuality* quality = link_known ? &links_[LinkIndex(from, to)] : nullptr;
+  bool drop = IsPartitioned(from) || IsPartitioned(to) ||
+              (link_known && blocked_[LinkIndex(from, to)]);
+  if (!drop && quality != nullptr && quality->loss_probability > 0.0) {
+    drop = lane.rng.Bernoulli(quality->loss_probability);
+  }
+  if (drop) {
+    ++lane.dropped;
+    if (from_stats != nullptr) {
+      ++from_stats->dropped_out;
+    }
+    if (to_stats != nullptr) {
+      ++to_stats->dropped_in;
+    }
+    return;
+  }
+
+  TimeMicros base = model_.Latency(from, to);
+  if (quality != nullptr && quality->latency_multiplier != 1.0) {
+    base = static_cast<TimeMicros>(static_cast<double>(base) * quality->latency_multiplier);
+  }
+  auto jittered = [this, &lane, base]() {
+    double factor = lane.rng.Uniform(1.0 - jitter_fraction_, 1.0 + jitter_fraction_);
+    TimeMicros delay = static_cast<TimeMicros>(static_cast<double>(base) * factor);
+    return delay < 1 ? 1 : delay;
+  };
+  const int dest_shard = link_known ? region_to_shard_[static_cast<size_t>(to.value)]
+                                    : (src_shard < 0 ? 0 : src_shard);
+
+  bool duplicate = quality != nullptr && quality->duplicate_probability > 0.0 &&
+                   lane.rng.Bernoulli(quality->duplicate_probability);
+  if (duplicate) {
+    std::function<void()> copy = deliver;
+    sharded_->Send(dest_shard, jittered(), std::move(copy));
+    ++lane.duplicated;
+    if (from_stats != nullptr) {
+      ++from_stats->duplicated;
+    }
+    if (to_stats != nullptr) {
+      ++to_stats->delivered_in;
+    }
+  }
+  sharded_->Send(dest_shard, jittered(), std::move(deliver));
+  if (to_stats != nullptr) {
+    ++to_stats->delivered_in;
+  }
 }
 
 void Network::Send(RegionId from, RegionId to, std::function<void()> deliver) {
+  if (sharded_ != nullptr) {
+    // Parallel-safe path: per-lane state only, and no global SM_COUNTER/SM_FLIGHT (the
+    // metrics registry and flight recorder are not thread-safe).
+    ShardedSend(from, to, std::move(deliver));
+    return;
+  }
   ++messages_sent_;
   SM_COUNTER_INC("sm.net.sent");
-  RegionNetStats* from_stats = StatsFor(from);
-  RegionNetStats* to_stats = StatsFor(to);
+  RegionNetStats* from_stats = StatsFor(from, region_stats_);
+  RegionNetStats* to_stats = StatsFor(to, region_stats_);
   if (from_stats != nullptr) {
     ++from_stats->sent;
   }
@@ -123,12 +255,14 @@ void Network::Send(RegionId from, RegionId to, std::function<void()> deliver) {
 }
 
 void Network::PartitionRegion(RegionId region) {
+  CheckExclusivePhase();
   SM_CHECK(region.valid() && region.value < model_.num_regions());
   partitioned_[static_cast<size_t>(region.value)] = true;
   SM_FLIGHT("net", "partition_region", "r" + std::to_string(region.value));
 }
 
 void Network::HealRegion(RegionId region) {
+  CheckExclusivePhase();
   SM_CHECK(region.valid() && region.value < model_.num_regions());
   partitioned_[static_cast<size_t>(region.value)] = false;
   SM_FLIGHT("net", "heal_region", "r" + std::to_string(region.value));
@@ -142,12 +276,14 @@ bool Network::IsPartitioned(RegionId region) const {
 }
 
 void Network::BlockLink(RegionId from, RegionId to) {
+  CheckExclusivePhase();
   blocked_[LinkIndex(from, to)] = true;
   SM_FLIGHT("net", "block_link",
             "r" + std::to_string(from.value) + "->r" + std::to_string(to.value));
 }
 
 void Network::UnblockLink(RegionId from, RegionId to) {
+  CheckExclusivePhase();
   blocked_[LinkIndex(from, to)] = false;
   SM_FLIGHT("net", "unblock_link",
             "r" + std::to_string(from.value) + "->r" + std::to_string(to.value));
@@ -158,6 +294,14 @@ bool Network::LinkBlocked(RegionId from, RegionId to) const {
 }
 
 void Network::SetLinkQuality(RegionId from, RegionId to, const LinkQuality& quality) {
+  CheckExclusivePhase();
+  if (sharded_ != nullptr &&
+      region_to_shard_[static_cast<size_t>(from.value)] !=
+          region_to_shard_[static_cast<size_t>(to.value)]) {
+    // Speeding up a cross-shard link would let deliveries undercut the conservative lookahead
+    // bound; gray degradation may only slow links down across shards.
+    SM_CHECK_GE(quality.latency_multiplier, 1.0);
+  }
   SM_CHECK_GE(quality.loss_probability, 0.0);
   SM_CHECK_LE(quality.loss_probability, 1.0);
   SM_CHECK_GE(quality.duplicate_probability, 0.0);
@@ -176,6 +320,7 @@ void Network::SetLinkQuality(RegionId from, RegionId to, const LinkQuality& qual
 }
 
 void Network::ResetLink(RegionId from, RegionId to) {
+  CheckExclusivePhase();
   links_[LinkIndex(from, to)] = LinkQuality{};
   SM_FLIGHT("net", "reset_link",
             "r" + std::to_string(from.value) + "->r" + std::to_string(to.value));
@@ -185,9 +330,58 @@ const LinkQuality& Network::link_quality(RegionId from, RegionId to) const {
   return links_[LinkIndex(from, to)];
 }
 
+uint64_t Network::messages_sent() const {
+  if (sharded_ == nullptr) {
+    return messages_sent_;
+  }
+  CheckExclusivePhase();
+  uint64_t total = 0;
+  for (const Lane& lane : lanes_) {
+    total += lane.sent;
+  }
+  return total;
+}
+
+uint64_t Network::messages_dropped() const {
+  if (sharded_ == nullptr) {
+    return messages_dropped_;
+  }
+  CheckExclusivePhase();
+  uint64_t total = 0;
+  for (const Lane& lane : lanes_) {
+    total += lane.dropped;
+  }
+  return total;
+}
+
+uint64_t Network::messages_duplicated() const {
+  if (sharded_ == nullptr) {
+    return messages_duplicated_;
+  }
+  CheckExclusivePhase();
+  uint64_t total = 0;
+  for (const Lane& lane : lanes_) {
+    total += lane.duplicated;
+  }
+  return total;
+}
+
 const RegionNetStats& Network::region_stats(RegionId region) const {
   SM_CHECK(region.valid() && region.value < model_.num_regions());
-  return region_stats_[static_cast<size_t>(region.value)];
+  if (sharded_ == nullptr) {
+    return region_stats_[static_cast<size_t>(region.value)];
+  }
+  CheckExclusivePhase();
+  aggregated_stats_ = RegionNetStats{};
+  for (const Lane& lane : lanes_) {
+    const RegionNetStats& s = lane.region_stats[static_cast<size_t>(region.value)];
+    aggregated_stats_.sent += s.sent;
+    aggregated_stats_.delivered_in += s.delivered_in;
+    aggregated_stats_.dropped_out += s.dropped_out;
+    aggregated_stats_.dropped_in += s.dropped_in;
+    aggregated_stats_.duplicated += s.duplicated;
+  }
+  return aggregated_stats_;
 }
 
 }  // namespace shardman

@@ -21,6 +21,7 @@
 #include "src/common/ids.h"
 #include "src/common/rng.h"
 #include "src/common/sim_time.h"
+#include "src/sim/sharded_simulator.h"
 #include "src/sim/simulator.h"
 
 namespace shardman {
@@ -73,6 +74,31 @@ class Network {
   Simulator* sim() const { return sim_; }
   const LatencyModel& latency_model() const { return model_; }
 
+  // -- Sharded delivery mode (DESIGN.md §13) --------------------------------------------------
+  //
+  // Switches the network onto a ShardedSimulator: each region is owned by
+  // `region_to_shard[region]`, sends execute on the sending region's shard against per-shard
+  // lanes (own Rng fork, own counters, own RegionNetStats), and cross-shard deliveries travel
+  // through the destination shard's mailbox. Determinism contract in sharded mode:
+  //   * Send(from, ...) may only run on from's shard or in the exclusive phase;
+  //   * topology mutators (partitions, blocks, link quality, jitter) and the stats accessors
+  //     are exclusive-phase only (schedule faults via ShardedSimulator barrier tasks);
+  //   * cross-shard LinkQuality latency multipliers must be >= 1 so no delivery undercuts the
+  //     conservative lookahead bound;
+  //   * global SM_COUNTER/SM_FLIGHT accounting is skipped on the send path (the registry is not
+  //     thread-safe); per-lane counters are aggregated on read instead.
+  // Must be called before any traffic. `sharded->lookahead()` must not exceed
+  // ShardedLookaheadBound for this model/placement/jitter (SM_CHECK enforced).
+  void EnableShardedMode(ShardedSimulator* sharded, std::vector<int> region_to_shard);
+  bool sharded() const { return sharded_ != nullptr; }
+
+  // The largest safe lookahead for a placement: the minimum cross-shard one-way latency after
+  // the worst-case downward jitter, with the same double->int truncation as the send path. Any
+  // window width <= this bound guarantees cross-shard deliveries land beyond the window.
+  static TimeMicros ShardedLookaheadBound(const LatencyModel& model,
+                                          const std::vector<int>& region_to_shard,
+                                          double jitter_fraction);
+
   // Schedules `deliver` after the (jittered) one-way latency from `from` to `to`.
   // Partitioned, blocked or lossy links drop the message (like a real network: silently for
   // the sender, but accounted in the drop statistics).
@@ -99,18 +125,36 @@ class Network {
   const LinkQuality& link_quality(RegionId from, RegionId to) const;
 
   // Fractional jitter applied uniformly in [1 - j, 1 + j] around base latency (default 0.1).
-  void set_jitter_fraction(double j) { jitter_fraction_ = j; }
+  // Exclusive-phase only in sharded mode (and before traffic, or the lookahead bound may break).
+  void set_jitter_fraction(double j);
+  double jitter_fraction() const { return jitter_fraction_; }
 
   // Every Send() attempt counts as sent, whether or not it is later dropped — so
   // messages_sent() >= messages_dropped() holds under any mix of partitions and loss.
-  uint64_t messages_sent() const { return messages_sent_; }
-  uint64_t messages_dropped() const { return messages_dropped_; }
-  uint64_t messages_duplicated() const { return messages_duplicated_; }
+  // In sharded mode these aggregate the per-shard lanes: exclusive-phase only.
+  uint64_t messages_sent() const;
+  uint64_t messages_dropped() const;
+  uint64_t messages_duplicated() const;
   const RegionNetStats& region_stats(RegionId region) const;
 
  private:
+  // One per shard plus one for the exclusive phase: everything the send path mutates, so
+  // concurrent windows never share a cache line of mutable state.
+  struct Lane {
+    explicit Lane(uint64_t seed, size_t num_regions) : rng(seed), region_stats(num_regions) {}
+    Rng rng;
+    uint64_t sent = 0;
+    uint64_t dropped = 0;
+    uint64_t duplicated = 0;
+    std::vector<RegionNetStats> region_stats;
+  };
+
   size_t LinkIndex(RegionId from, RegionId to) const;
-  RegionNetStats* StatsFor(RegionId region);
+  RegionNetStats* StatsFor(RegionId region, std::vector<RegionNetStats>& stats) const;
+  void ShardedSend(RegionId from, RegionId to, std::function<void()> deliver);
+  Lane& CurrentLane();
+  // SM_CHECKs that no shard window is executing (mutators/stat reads in sharded mode).
+  void CheckExclusivePhase() const;
 
   Simulator* sim_;
   LatencyModel model_;
@@ -123,6 +167,11 @@ class Network {
   uint64_t messages_sent_ = 0;
   uint64_t messages_dropped_ = 0;
   uint64_t messages_duplicated_ = 0;
+
+  ShardedSimulator* sharded_ = nullptr;
+  std::vector<int> region_to_shard_;
+  std::vector<Lane> lanes_;
+  mutable RegionNetStats aggregated_stats_;  // scratch for region_stats() in sharded mode
 };
 
 }  // namespace shardman

@@ -1,0 +1,325 @@
+#include "src/sim/sharded_simulator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <utility>
+
+namespace shardman {
+
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// Identifies the shard whose events the calling thread is executing. Written only by the shard
+// window tasks (each pool thread runs one shard's window at a time) and read by the scheduling
+// primitives to route work to the caller's own engine.
+struct CurrentShardTag {
+  const ShardedSimulator* owner = nullptr;
+  int shard = -1;
+};
+static thread_local CurrentShardTag g_current_shard;
+
+ShardedSimulator::ShardedSimulator(int num_shards, int threads, TimeMicros lookahead)
+    : num_shards_(num_shards), lookahead_(lookahead), pool_(threads) {
+  SM_CHECK_GE(num_shards_, 1);
+  if (num_shards_ > 1) {
+    // A zero lookahead would make every window zero-width: conservative synchronization needs a
+    // positive latency floor between shards (DESIGN.md §13).
+    SM_CHECK_GT(lookahead_, 0);
+  }
+  shards_.reserve(static_cast<size_t>(num_shards_));
+  for (int i = 0; i < num_shards_; ++i) {
+    shards_.push_back(std::make_unique<Simulator>());
+  }
+  // Slot num_shards_ belongs to code running outside the parallel phase (setup, barrier tasks).
+  outboxes_.resize(static_cast<size_t>(num_shards_) + 1);
+  next_ticket_.assign(static_cast<size_t>(num_shards_) + 1, 0);
+  pending_.resize(static_cast<size_t>(num_shards_));
+  early_cancels_.resize(static_cast<size_t>(num_shards_));
+  barrier_outboxes_.resize(static_cast<size_t>(num_shards_));
+}
+
+ShardedSimulator::~ShardedSimulator() = default;
+
+int ShardedSimulator::current_shard() const {
+  return g_current_shard.owner == this ? g_current_shard.shard : -1;
+}
+
+uint64_t ShardedSimulator::NextTicket(int slot) {
+  // High bits carry the issuing slot so tickets are unique across shards without any shared
+  // counter; the per-slot counter is touched only by that slot's executing thread.
+  return (static_cast<uint64_t>(slot) + 1) << 48 | ++next_ticket_[static_cast<size_t>(slot)];
+}
+
+EventId ShardedSimulator::Schedule(TimeMicros delay, SmallFunction cb) {
+  const int src = current_shard();
+  Simulator& engine = *shards_[static_cast<size_t>(src < 0 ? 0 : src)];
+  return engine.ScheduleAt((src < 0 ? Now() : engine.Now()) + delay, std::move(cb));
+}
+
+void ShardedSimulator::Send(int to, TimeMicros delay, SmallFunction cb) {
+  SM_CHECK(to >= 0 && to < num_shards_);
+  SM_CHECK_GE(delay, 0);
+  const int src = current_shard();
+  if (src < 0 || src == to) {
+    // Exclusive phase (every shard quiesced at a common time) or a same-shard send: schedule
+    // straight into the destination engine.
+    shards_[static_cast<size_t>(to)]->ScheduleAt(
+        (src < 0 ? Now() : shards_[static_cast<size_t>(src)]->Now()) + delay, std::move(cb));
+    return;
+  }
+  // The conservative bound: a cross-shard send landing inside the current window would let the
+  // destination observe this shard mid-window and break window independence.
+  SM_CHECK_GE(delay, lookahead_);
+  outboxes_[static_cast<size_t>(src)].push_back(
+      MailboxRecord{shards_[static_cast<size_t>(src)]->Now() + delay, /*ticket=*/0,
+                    static_cast<int32_t>(to), /*cancel=*/false, std::move(cb)});
+}
+
+CrossShardEventId ShardedSimulator::SendTracked(int to, TimeMicros delay, SmallFunction cb) {
+  SM_CHECK(to >= 0 && to < num_shards_);
+  SM_CHECK_GE(delay, 0);
+  const int src = current_shard();
+  const int slot = src < 0 ? num_shards_ : src;
+  const uint64_t ticket = NextTicket(slot);
+  const TimeMicros when =
+      (src < 0 ? Now() : shards_[static_cast<size_t>(src)]->Now()) + delay;
+  if (src < 0 || src == to) {
+    // The destination table is safe to touch here: its own thread (same-shard send) or the
+    // exclusive phase.
+    EventId ev = shards_[static_cast<size_t>(to)]->ScheduleAt(
+        when, [this, to, ticket]() { FireTracked(to, ticket); });
+    pending_[static_cast<size_t>(to)].emplace(ticket, PendingRemote{ev, std::move(cb)});
+    return CrossShardEventId{ticket, static_cast<int32_t>(to)};
+  }
+  SM_CHECK_GE(delay, lookahead_);
+  outboxes_[static_cast<size_t>(src)].push_back(MailboxRecord{
+      when, ticket, static_cast<int32_t>(to), /*cancel=*/false, std::move(cb)});
+  return CrossShardEventId{ticket, static_cast<int32_t>(to)};
+}
+
+void ShardedSimulator::Cancel(CrossShardEventId id) {
+  if (!id.valid()) {
+    return;
+  }
+  SM_CHECK(id.dest >= 0 && id.dest < num_shards_);
+  const int src = current_shard();
+  if (src < 0 || src == id.dest) {
+    ApplyCancel(id.dest, id.ticket, /*draining=*/false);
+    return;
+  }
+  // Travels as a control record in the canceller's outbox; applied at the next barrier, where
+  // it races nothing — whether it beats the event is a pure function of virtual time.
+  outboxes_[static_cast<size_t>(src)].push_back(
+      MailboxRecord{0, id.ticket, id.dest, /*cancel=*/true, SmallFunction()});
+}
+
+void ShardedSimulator::FireTracked(int dest, uint64_t ticket) {
+  auto& pending = pending_[static_cast<size_t>(dest)];
+  auto it = pending.find(ticket);
+  if (it == pending.end()) {
+    return;  // cancelled; the engine-level Cancel normally also reaps the trampoline
+  }
+  SmallFunction cb = std::move(it->second.cb);
+  pending.erase(it);
+  cb();
+}
+
+void ShardedSimulator::ApplyCancel(int dest, uint64_t ticket, bool draining) {
+  auto& pending = pending_[static_cast<size_t>(dest)];
+  auto it = pending.find(ticket);
+  if (it != pending.end()) {
+    shards_[static_cast<size_t>(dest)]->Cancel(it->second.event);
+    pending.erase(it);
+    return;
+  }
+  if (draining) {
+    // The data record may still be sitting in a later outbox of this same drain; retry once
+    // every mailbox has been folded in. Unmatched after that = stale, a deterministic no-op.
+    early_cancels_[static_cast<size_t>(dest)].push_back(ticket);
+  }
+}
+
+void ShardedSimulator::ScheduleBarrierAt(TimeMicros when, SmallFunction cb) {
+  SM_CHECK(static_cast<bool>(cb));
+  if (num_shards_ == 1) {
+    shards_[0]->ScheduleAt(std::max(when, shards_[0]->Now()), std::move(cb));
+    return;
+  }
+  const int src = current_shard();
+  const auto after = [](const BarrierTask& a, const BarrierTask& b) {
+    if (a.when != b.when) {
+      return a.when > b.when;
+    }
+    return a.seq > b.seq;
+  };
+  if (src < 0) {
+    barrier_heap_.push_back(BarrierTask{when, next_barrier_seq_++, std::move(cb)});
+    std::push_heap(barrier_heap_.begin(), barrier_heap_.end(), after);
+    return;
+  }
+  // From inside a window: park in the shard's outbox (sequence assigned at the merge, in slot
+  // order, so the heap order never depends on thread interleaving).
+  barrier_outboxes_[static_cast<size_t>(src)].push_back(BarrierTask{when, 0, std::move(cb)});
+}
+
+void ShardedSimulator::ScheduleBarrierIn(TimeMicros delay, SmallFunction cb) {
+  const int src = current_shard();
+  const TimeMicros base = src < 0 ? Now() : shards_[static_cast<size_t>(src)]->Now();
+  ScheduleBarrierAt(base + delay, std::move(cb));
+}
+
+void ShardedSimulator::RunDueBarrierTasks() {
+  const auto after = [](const BarrierTask& a, const BarrierTask& b) {
+    if (a.when != b.when) {
+      return a.when > b.when;
+    }
+    return a.seq > b.seq;
+  };
+  while (!barrier_heap_.empty() && barrier_heap_.front().when <= now_) {
+    std::pop_heap(barrier_heap_.begin(), barrier_heap_.end(), after);
+    BarrierTask task = std::move(barrier_heap_.back());
+    barrier_heap_.pop_back();
+    task.cb();  // may schedule more barrier tasks or events; both land deterministically
+  }
+}
+
+TimeMicros ShardedSimulator::NextBarrierTaskTime() const {
+  return barrier_heap_.empty() ? Simulator::kNoPendingEvent : barrier_heap_.front().when;
+}
+
+TimeMicros ShardedSimulator::NextActionTime() {
+  TimeMicros next = NextBarrierTaskTime();
+  for (auto& shard : shards_) {
+    next = std::min(next, shard->NextEventTime());
+  }
+  return next;
+}
+
+void ShardedSimulator::RunWindow(TimeMicros wend) {
+  WindowProfile* prof = nullptr;
+  if (profiling_) {
+    profiles_.push_back(
+        WindowProfile{wend, std::vector<int64_t>(static_cast<size_t>(num_shards_), 0), 0});
+    prof = &profiles_.back();
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<size_t>(num_shards_));
+  for (int i = 0; i < num_shards_; ++i) {
+    tasks.emplace_back([this, i, wend, prof]() {
+      g_current_shard = CurrentShardTag{this, i};
+      if (prof != nullptr) {
+        const int64_t t0 = NowNanos();
+        shards_[static_cast<size_t>(i)]->RunUntil(wend);
+        prof->shard_busy_ns[static_cast<size_t>(i)] = NowNanos() - t0;
+      } else {
+        shards_[static_cast<size_t>(i)]->RunUntil(wend);
+      }
+      g_current_shard = CurrentShardTag{};
+    });
+  }
+  pool_.Run(std::move(tasks));
+}
+
+void ShardedSimulator::DrainMailboxes() {
+  // Fixed fold order — slot 0..K in append order — is what pins destination sequence numbers
+  // (and so same-instant tie-breaks) regardless of which threads ran the window.
+  for (auto& outbox : outboxes_) {
+    for (MailboxRecord& rec : outbox) {
+      const size_t dest = static_cast<size_t>(rec.dest);
+      if (rec.cancel) {
+        ++cross_shard_cancels_;
+        ApplyCancel(rec.dest, rec.ticket, /*draining=*/true);
+        continue;
+      }
+      ++cross_shard_messages_;
+      SM_CHECK_GE(rec.when, now_);  // conservative bound: arrival is on or after the barrier
+      if (rec.ticket != 0) {
+        const int d = rec.dest;
+        const uint64_t ticket = rec.ticket;
+        EventId ev = shards_[dest]->ScheduleAt(
+            rec.when, [this, d, ticket]() { FireTracked(d, ticket); });
+        pending_[dest].emplace(ticket, PendingRemote{ev, std::move(rec.cb)});
+      } else {
+        shards_[dest]->ScheduleAt(rec.when, std::move(rec.cb));
+      }
+    }
+    outbox.clear();
+  }
+  for (int d = 0; d < num_shards_; ++d) {
+    auto& early = early_cancels_[static_cast<size_t>(d)];
+    for (uint64_t ticket : early) {
+      ApplyCancel(d, ticket, /*draining=*/false);  // unmatched now means stale: no-op
+    }
+    early.clear();
+  }
+  for (auto& outbox : barrier_outboxes_) {
+    for (BarrierTask& task : outbox) {
+      ScheduleBarrierAt(task.when, std::move(task.cb));  // current_shard() is -1 here
+    }
+    outbox.clear();
+  }
+}
+
+void ShardedSimulator::RunUntil(TimeMicros t) {
+  SM_CHECK(current_shard() < 0);  // never from inside a shard's window
+  if (num_shards_ == 1) {
+    shards_[0]->RunUntil(t);
+    return;
+  }
+  SM_CHECK(!running_);  // barrier tasks must not re-enter the driver
+  SM_CHECK_GE(t, now_);
+  running_ = true;
+  while (true) {
+    RunDueBarrierTasks();
+    const TimeMicros next = NextActionTime();
+    if (next > t) {
+      break;
+    }
+    // Skip-ahead: nothing happens in (now_, next), so the window starts at the next action.
+    const TimeMicros wstart = std::max(now_, next);
+    TimeMicros wend = std::min(wstart + lookahead_, t);
+    // A pending barrier task caps the window so shared-state mutation happens at (or before,
+    // never after by more than a window) its scheduled time. NextBarrierTaskTime() >= wstart
+    // here: due tasks already ran and next <= any pending task's time.
+    wend = std::min(wend, NextBarrierTaskTime());
+    RunWindow(wend);
+    now_ = wend;
+    ++windows_run_;
+    if (profiling_ && !profiles_.empty()) {
+      const int64_t t0 = NowNanos();
+      DrainMailboxes();
+      profiles_.back().barrier_ns = NowNanos() - t0;
+    } else {
+      DrainMailboxes();
+    }
+  }
+  // Nothing pending at or before t: commit the clocks (executes no events).
+  for (auto& shard : shards_) {
+    shard->RunUntil(t);
+  }
+  now_ = t;
+  running_ = false;
+}
+
+uint64_t ShardedSimulator::ExecutedEvents() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->ExecutedEvents();
+  }
+  return total;
+}
+
+uint64_t ShardedSimulator::ExecutedEventsOnShard(int i) const {
+  SM_CHECK(i >= 0 && i < num_shards_);
+  return shards_[static_cast<size_t>(i)]->ExecutedEvents();
+}
+
+}  // namespace shardman

@@ -1,0 +1,196 @@
+// ShardedSimulator: a deterministic, parallel discrete-event core (DESIGN.md §13).
+//
+// The single-threaded Simulator caps every scale experiment at whatever one core can execute;
+// this driver partitions the event loop into K shards — one per region or machine group — each
+// wrapping its own Simulator (own event slab, own heap, own SmallFunction callbacks), and runs
+// them under a conservative time-window protocol:
+//
+//   * Windows. Virtual time advances in windows [W, W + L] where L (the *lookahead*) is a
+//     lower bound on every cross-shard delivery latency — in practice the inter-region latency
+//     floor from the LatencyModel, shrunk by the jitter band (Network::ShardedLookaheadBound).
+//     Within a window each shard executes its own events independently: any cross-shard send
+//     issued at t >= W arrives at t + L >= W + L, past the window's end, so no shard can
+//     observe another shard's activity mid-window.
+//   * Mailboxes. Cross-shard sends append to a single-writer per-source outbox during the
+//     window and are drained at the barrier in fixed source-shard order, so destination
+//     sequence numbers — and therefore same-instant tie-breaks — are identical whether the
+//     window ran on 1 thread or 8. This is what keeps runs byte-identical per seed across
+//     thread counts {1, 2, 8}.
+//   * Barrier tasks. Mutations of state shared across shards (network partitions, chaos
+//     faults, metric export) run in the exclusive phase between windows, in deterministic
+//     (time, sequence) order.
+//   * Skip-ahead. When every shard is idle until some future time E, the next window starts at
+//     E rather than grinding through empty windows, so sparse phases cost nothing.
+//
+// Execution uses the work-stealing ThreadPool (DESIGN.md §8): one task per shard per window.
+// The pool only decides *where* a shard's window runs, never *what* it computes, so results
+// are independent of thread count by construction. threads == 1 degenerates to inline serial
+// execution, and num_shards == 1 bypasses the window machinery entirely — RunUntil delegates
+// straight to the wrapped Simulator, which is the fast path every existing single-shard test
+// and component runs on, unchanged.
+
+#ifndef SRC_SIM_SHARDED_SIMULATOR_H_
+#define SRC_SIM_SHARDED_SIMULATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/sim_time.h"
+#include "src/common/small_function.h"
+#include "src/common/thread_pool.h"
+#include "src/sim/simulator.h"
+
+namespace shardman {
+
+// Handle for cancelling a tracked (possibly in-flight, possibly cross-shard) event. Stale
+// cancels — after the event fired or was already cancelled — are deterministic no-ops.
+struct CrossShardEventId {
+  uint64_t ticket = 0;
+  int32_t dest = -1;
+  bool valid() const { return ticket != 0; }
+};
+
+// Per-window profile, recorded when profiling is enabled (bench-only): how long each shard's
+// window took on the wall clock, and how much exclusive barrier work followed. Wall times feed
+// the critical-path speedup model in bench/sim_parallel; they never influence simulation state.
+struct WindowProfile {
+  TimeMicros window_end = 0;
+  std::vector<int64_t> shard_busy_ns;  // one entry per shard
+  int64_t barrier_ns = 0;
+};
+
+class ShardedSimulator {
+ public:
+  // `lookahead` must be > 0 when num_shards > 1; it is the conservative window width and the
+  // minimum cross-shard send delay. `threads` sizes the ThreadPool (1 = inline serial).
+  ShardedSimulator(int num_shards, int threads, TimeMicros lookahead);
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+  ~ShardedSimulator();
+
+  int num_shards() const { return num_shards_; }
+  int threads() const { return pool_.threads(); }
+  TimeMicros lookahead() const { return lookahead_; }
+
+  // The per-shard event engine. Scheduling directly on a shard is allowed from that shard's
+  // own events (and from the exclusive phase); other shards must go through Send.
+  Simulator& shard(int i) {
+    SM_CHECK(i >= 0 && i < num_shards_);
+    return *shards_[static_cast<size_t>(i)];
+  }
+
+  // Committed virtual time: the last barrier in multi-shard mode, the wrapped Simulator's
+  // clock in single-shard mode.
+  TimeMicros Now() const { return num_shards_ == 1 ? shards_[0]->Now() : now_; }
+
+  // Index of the shard whose events the calling thread is currently executing, or -1 outside
+  // the parallel phase (setup, barriers, single-shard mode).
+  int current_shard() const;
+
+  // Schedules `cb` on the calling context's shard after `delay` (shard 0 outside the parallel
+  // phase). The local-work primitive for shard-resident actors.
+  EventId Schedule(TimeMicros delay, SmallFunction cb);
+
+  // Schedules `cb` on shard `to` after `delay`, measured from the caller's current virtual
+  // time. From inside the parallel phase a cross-shard send requires delay >= lookahead (the
+  // conservative bound — SM_CHECK enforced) and is delivered through the destination mailbox
+  // at the next barrier; same-shard and exclusive-phase sends schedule directly.
+  void Send(int to, TimeMicros delay, SmallFunction cb);
+
+  // Like Send, but returns a handle that can later cancel the event from any shard: from the
+  // destination shard (or exclusive phase) the cancel applies immediately; from another shard
+  // it travels as a mailbox control record and applies at the next barrier. Cancelling an
+  // event that already fired is a no-op; whether the cancel wins is a pure function of
+  // deterministic virtual time, never of thread scheduling.
+  CrossShardEventId SendTracked(int to, TimeMicros delay, SmallFunction cb);
+  void Cancel(CrossShardEventId id);
+
+  // Runs `cb` once in the exclusive phase at the first barrier at-or-after `when` (absolute
+  // virtual time). Barrier tasks observe every shard quiesced at a common time: the only safe
+  // place to mutate cross-shard shared state (network partitions, chaos faults). Tasks run in
+  // deterministic (time, sequence) order. In single-shard mode this is a plain ScheduleAt.
+  void ScheduleBarrierAt(TimeMicros when, SmallFunction cb);
+  // Relative variant, measured from the caller's clock (its shard's time inside the parallel
+  // phase, committed time outside it).
+  void ScheduleBarrierIn(TimeMicros delay, SmallFunction cb);
+
+  // Advances every shard to exactly `t`, window by window. Must be called from outside the
+  // parallel phase (the main driver).
+  void RunUntil(TimeMicros t);
+  void RunFor(TimeMicros duration) { RunUntil(Now() + duration); }
+
+  // -- Diagnostics ----------------------------------------------------------------------------
+  uint64_t ExecutedEvents() const;             // summed over shards
+  uint64_t ExecutedEventsOnShard(int i) const; // deterministic per (shards, seed)
+  uint64_t cross_shard_messages() const { return cross_shard_messages_; }
+  uint64_t cross_shard_cancels() const { return cross_shard_cancels_; }
+  uint64_t windows_run() const { return windows_run_; }
+
+  // Wall-clock window profiling for the parallel bench. Off by default.
+  void set_profiling(bool on) { profiling_ = on; }
+  const std::vector<WindowProfile>& window_profiles() const { return profiles_; }
+
+ private:
+  struct MailboxRecord {
+    TimeMicros when = 0;       // absolute arrival time (data records)
+    uint64_t ticket = 0;       // data: this record's ticket; cancel: the target ticket
+    int32_t dest = -1;
+    bool cancel = false;
+    SmallFunction cb;
+  };
+  struct PendingRemote {
+    EventId event;
+    SmallFunction cb;
+  };
+
+  uint64_t NextTicket(int slot);
+  void FireTracked(int dest, uint64_t ticket);
+  // Applies a cancel against the pending-remote table; `draining` routes unmatched tickets to
+  // the barrier-scoped early-cancel set (a cancel can precede its data record within one
+  // drain when issued by a lower-indexed shard).
+  void ApplyCancel(int dest, uint64_t ticket, bool draining);
+  void RunDueBarrierTasks();
+  TimeMicros NextBarrierTaskTime() const;
+  TimeMicros NextActionTime();
+  void RunWindow(TimeMicros wend);
+  void DrainMailboxes();
+
+  const int num_shards_;
+  const TimeMicros lookahead_;
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  ThreadPool pool_;
+  TimeMicros now_ = 0;
+
+  // Single-writer outboxes: slot i is appended only by the thread executing shard i during a
+  // window (slot num_shards_ belongs to the exclusive phase) and drained only at barriers.
+  std::vector<std::vector<MailboxRecord>> outboxes_;
+  std::vector<uint64_t> next_ticket_;  // per-slot, so ticket issue order is per-shard
+  // Tracked events scheduled into a destination shard, keyed by ticket. Touched only by that
+  // shard's executing thread (fire) and the exclusive phase (drain/cancel) — never both.
+  std::vector<std::unordered_map<uint64_t, PendingRemote>> pending_;
+  // Cancels seen before their data record within the current drain. Cleared every barrier.
+  std::vector<std::vector<uint64_t>> early_cancels_;
+
+  struct BarrierTask {
+    TimeMicros when = 0;
+    uint64_t seq = 0;
+    SmallFunction cb;
+  };
+  std::vector<BarrierTask> barrier_heap_;  // min-heap on (when, seq)
+  std::vector<std::vector<BarrierTask>> barrier_outboxes_;  // per-slot, merged at barriers
+  uint64_t next_barrier_seq_ = 1;
+
+  uint64_t cross_shard_messages_ = 0;
+  uint64_t cross_shard_cancels_ = 0;
+  uint64_t windows_run_ = 0;
+  bool running_ = false;  // RunUntil re-entrancy guard (barrier tasks must not call RunUntil)
+  bool profiling_ = false;
+  std::vector<WindowProfile> profiles_;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_SIM_SHARDED_SIMULATOR_H_

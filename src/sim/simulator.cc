@@ -113,6 +113,11 @@ void Simulator::DropCancelledHead() {
   }
 }
 
+TimeMicros Simulator::NextEventTime() {
+  DropCancelledHead();
+  return heap_.empty() ? kNoPendingEvent : heap_.front().when;
+}
+
 bool Simulator::Step() {
   DropCancelledHead();
   if (heap_.empty()) {

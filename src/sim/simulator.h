@@ -16,6 +16,7 @@
 #define SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
+#include <limits>
 #include <unordered_map>
 #include <vector>
 
@@ -44,7 +45,9 @@ class Simulator {
 
   // Schedules `cb` to run `delay` microseconds from now (delay >= 0). Events scheduled for the
   // same instant run in scheduling order.
-  EventId Schedule(TimeMicros delay, Callback cb) { return ScheduleAt(now_ + delay, std::move(cb)); }
+  EventId Schedule(TimeMicros delay, Callback cb) {
+    return ScheduleAt(now_ + delay, std::move(cb));
+  }
 
   // Schedules `cb` at absolute virtual time `when` (>= Now()).
   EventId ScheduleAt(TimeMicros when, Callback cb);
@@ -70,6 +73,14 @@ class Simulator {
 
   // Runs until the event queue is empty (use with care: periodic tasks never drain).
   void RunAll();
+
+  // Sentinel returned by NextEventTime() when nothing is pending.
+  static constexpr TimeMicros kNoPendingEvent = std::numeric_limits<TimeMicros>::max();
+
+  // Timestamp of the earliest pending (uncancelled) event, or kNoPendingEvent. Reaps cancelled
+  // events sitting at the queue head, so it is non-const; used by the sharded driver to size
+  // conservative windows and skip over idle gaps (DESIGN.md §13).
+  TimeMicros NextEventTime();
 
   // Number of pending (uncancelled) events.
   size_t PendingEvents() const { return heap_.size() - cancelled_pending_; }
@@ -114,7 +125,9 @@ class Simulator {
   static uint64_t MakeEventId(uint32_t generation, uint32_t slot) {
     return (static_cast<uint64_t>(generation) << 32) | (static_cast<uint64_t>(slot) + 1);
   }
-  static uint32_t SlotOf(uint64_t value) { return static_cast<uint32_t>(value & 0xFFFFFFFFULL) - 1; }
+  static uint32_t SlotOf(uint64_t value) {
+    return static_cast<uint32_t>(value & 0xFFFFFFFFULL) - 1;
+  }
   static uint32_t GenerationOf(uint64_t value) {
     return static_cast<uint32_t>((value >> 32) & 0x7FFFFFFFULL);
   }

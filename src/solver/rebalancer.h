@@ -64,7 +64,8 @@ struct AffinitySpec {
 };
 
 // Soft goal: entities sharing a group (replicas of one shard) should land in distinct domains of
-// `scope` — the spread-of-replicas goal of §5.1 (soft goal 2). Violations count co-located pairs.
+// `scope` — the spread-of-replicas goal of §5.1 (soft goal 2). Violations count co-located
+// pairs.
 struct ExclusionSpec {
   DomainScope scope = DomainScope::kRegion;
 };

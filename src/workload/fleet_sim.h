@@ -1,0 +1,171 @@
+// FleetSim: a geo-distributed request/response fleet built directly on the sharded simulator
+// (DESIGN.md §13) — the workload behind bench/sim_parallel and the CI determinism lane.
+//
+// The model is the data plane of a Shard Manager deployment at fleet scale: R regions, each
+// with its own client population and server pool, Zipf key popularity, a configurable fraction
+// of cross-region traffic, hedged remote requests, client-side timeouts, and deterministic
+// partition chaos. Every region's state (servers, outstanding-request slab, RNG, latency
+// histogram) is owned by that region's shard — region r lives on shard r % K — so shards share
+// no mutable state during a window:
+//
+//   * requests and responses travel through the sharded Network (per-shard lanes);
+//   * hedges use ShardedSimulator::SendTracked, and a response that beats its hedge cancels the
+//     in-flight cross-shard event through the mailbox — the cross-shard Cancel path under load;
+//   * client timeouts are plain same-shard events, cancelled locally on response;
+//   * partition windows run as exclusive-phase barrier tasks, precomputed from the seed.
+//
+// StateDigest() folds the entire observable end state (per-region counters, per-server work,
+// latency histograms, network lane totals, per-shard event counts) into one FNV-1a value that
+// is a pure function of (config, seed) — in particular independent of sim_threads. The CI
+// sim-determinism lane and the sim_parallel bench gate on digest equality across {1, 2, 8}
+// threads; DigestReport() is the line-diffable expansion used to localize a divergence.
+
+#ifndef SRC_WORKLOAD_FLEET_SIM_H_
+#define SRC_WORKLOAD_FLEET_SIM_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/sim/network.h"
+#include "src/sim/sharded_simulator.h"
+
+namespace shardman {
+
+struct FleetSimConfig {
+  int num_regions = 8;
+  int servers_per_region = 50;
+  int clients_per_region = 20;
+
+  // Simulation substrate: regions map onto shards round-robin (region r -> shard r % shards).
+  int sim_shards = 8;
+  int sim_threads = 1;
+
+  TimeMicros local_latency = Millis(1);
+  TimeMicros wide_latency = Millis(40);
+  double jitter_fraction = 0.1;
+
+  double requests_per_second_per_client = 200.0;
+  // Fraction of requests aimed at a (uniformly chosen) other region.
+  double remote_fraction = 0.2;
+  // Fraction of remote requests that also place a hedge on a second region after hedge_delay;
+  // whichever response arrives first wins, and the winner cancels the loser's in-flight work.
+  double hedge_fraction = 0.5;
+  TimeMicros hedge_delay = Millis(30);
+  TimeMicros request_timeout = Millis(500);
+
+  // Server model: FIFO queue per server, uniform service time in [min, max] microseconds.
+  TimeMicros min_service_time = 200;
+  TimeMicros max_service_time = 2000;
+
+  int keys_per_region = 10000;
+  double zipf_s = 1.1;
+
+  // Deterministic chaos: this many region-partition windows, precomputed from the seed at
+  // construction and applied as exclusive-phase barrier tasks.
+  int chaos_partitions = 0;
+  TimeMicros chaos_start = Seconds(5);
+  TimeMicros chaos_interval = Seconds(10);
+  TimeMicros chaos_duration = Seconds(3);
+
+  uint64_t seed = 42;
+};
+
+// Aggregated end-state counters (summed over regions; exclusive-phase only).
+struct FleetTotals {
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  uint64_t timed_out = 0;
+  uint64_t remote_sent = 0;
+  uint64_t hedged = 0;
+  uint64_t hedge_cancelled = 0;
+  uint64_t net_sent = 0;
+  uint64_t net_dropped = 0;
+  double mean_latency_ms = 0.0;
+};
+
+class FleetSim {
+ public:
+  explicit FleetSim(FleetSimConfig config);
+  ~FleetSim();
+  FleetSim(const FleetSim&) = delete;
+  FleetSim& operator=(const FleetSim&) = delete;
+
+  // Starts client traffic (idempotent) and advances the fleet by `duration` of virtual time.
+  void Run(TimeMicros duration);
+
+  ShardedSimulator& sim() { return sim_; }
+  Network& network() { return *network_; }
+  const FleetSimConfig& config() const { return config_; }
+  int shard_of(int region) const { return region % config_.sim_shards; }
+  TimeMicros lookahead() const { return sim_.lookahead(); }
+
+  FleetTotals Totals() const;
+  // FNV-1a over the full observable end state; a pure function of (config, seed) — identical
+  // across sim_threads by construction, and the value the determinism gates compare.
+  uint64_t StateDigest() const;
+  // One line per digest component, for diffing across runs when digests diverge.
+  std::string DigestReport() const;
+  // Publishes totals + digest halves as sm.fleet.* gauges in the default metrics registry, so
+  // SM_METRICS_OUT dumps can be diffed byte-for-byte across thread counts.
+  void ExportMetrics() const;
+
+ private:
+  static constexpr size_t kLatencyBuckets = 24;  // log2 buckets, micros
+
+  struct Outstanding {
+    uint32_t generation = 0;
+    bool active = false;
+    TimeMicros start = 0;
+    EventId timeout;
+    CrossShardEventId hedge;
+  };
+  struct ServerState {
+    uint64_t processed = 0;
+    TimeMicros busy_until = 0;
+  };
+  struct RegionState {
+    explicit RegionState(uint64_t seed) : rng(seed) {}
+    Rng rng;
+    std::vector<ServerState> servers;
+    std::vector<Outstanding> requests;  // free-listed slab, generation-tagged like the sim pool
+    std::vector<uint32_t> free_slots;
+    uint64_t issued = 0;
+    uint64_t completed = 0;
+    uint64_t timed_out = 0;
+    uint64_t remote_sent = 0;
+    uint64_t hedged = 0;
+    uint64_t hedge_cancelled = 0;
+    uint64_t latency_sum = 0;
+    std::array<uint64_t, kLatencyBuckets> latency_log2{};
+  };
+
+  Simulator& engine(int region) { return sim_.shard(shard_of(region)); }
+  uint32_t AcquireRequest(RegionState& st);
+  void ReleaseRequest(RegionState& st, uint32_t slot);
+  // True when (slot, generation) still names a live request of this region.
+  bool ValidRequest(const RegionState& st, uint32_t slot, uint32_t generation) const;
+
+  void StartClients();
+  void SendRequest(int region);
+  void OnServerRequest(int region, int server, int client_region, uint32_t slot,
+                       uint32_t generation);
+  void OnResponse(int region, uint32_t slot, uint32_t generation);
+  void OnTimeout(int region, uint32_t slot, uint32_t generation);
+
+  FleetSimConfig config_;
+  ShardedSimulator sim_;
+  std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<RegionState>> regions_;
+  bool started_ = false;
+  TimeSource prev_time_source_;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_WORKLOAD_FLEET_SIM_H_

@@ -8,7 +8,29 @@
 
 namespace shardman {
 
-Testbed::Testbed(TestbedConfig config) : config_(std::move(config)), rng_(config_.seed) {
+namespace {
+
+// Window width for sim_shards > 1: explicit knob, else 90% of the wide-area latency — the
+// worst-case downward jitter at the default 0.1 jitter fraction keeps cross-region deliveries
+// beyond the window (DESIGN.md §13).
+TimeMicros TestbedLookahead(const TestbedConfig& config) {
+  if (config.sim_shards <= 1) {
+    return 0;
+  }
+  TimeMicros lookahead =
+      config.sim_lookahead > 0
+          ? config.sim_lookahead
+          : static_cast<TimeMicros>(static_cast<double>(config.wide_latency) * 0.9);
+  return lookahead < 1 ? 1 : lookahead;
+}
+
+}  // namespace
+
+Testbed::Testbed(TestbedConfig config)
+    : config_(std::move(config)),
+      sharded_sim_(config_.sim_shards, config_.sim_threads, TestbedLookahead(config_)),
+      sim_(sharded_sim_.shard(0)),
+      rng_(config_.seed) {
   // Route the global clock hook to this testbed's simulator: SM_LOG lines get "t=..s" prefixes
   // and trace events get deterministic sim timestamps. Restored in the destructor.
   prev_time_source_ = ExchangeSimTimeSource([this]() { return sim_.Now(); });
@@ -221,12 +243,14 @@ Orchestrator& Testbed::orchestrator() {
 }
 
 bool Testbed::RunUntilAllReady(TimeMicros timeout) {
-  TimeMicros deadline = sim_.Now() + timeout;
-  while (sim_.Now() < deadline) {
+  // Drive the sharded simulator (not shard 0 directly) so spare shards stay synchronized when
+  // sim_shards > 1; with one shard this is exactly the historical sim_.RunFor loop.
+  TimeMicros deadline = sharded_sim_.Now() + timeout;
+  while (sharded_sim_.Now() < deadline) {
     if (orchestrator().AllReady()) {
       return true;
     }
-    sim_.RunFor(Millis(100));
+    sharded_sim_.RunFor(Millis(100));
   }
   return orchestrator().AllReady();
 }

@@ -30,6 +30,7 @@
 #include "src/routing/gray_health.h"
 #include "src/routing/service_router.h"
 #include "src/sim/network.h"
+#include "src/sim/sharded_simulator.h"
 #include "src/sim/simulator.h"
 #include "src/smr/replica_set.h"
 #include "src/topology/topology.h"
@@ -87,6 +88,17 @@ struct TestbedConfig {
   bool health_scoring = false;
   GrayHealthConfig health;
 
+  // Sharded-simulation substrate (DESIGN.md §13). The testbed runs on a ShardedSimulator;
+  // every existing component schedules on shard 0 (the control shard), so with the default
+  // sim_shards == 1 behavior is bit-identical to the historical single Simulator. Raising
+  // sim_shards gives workload drivers (FleetSim, chaos soaks) spare shards synchronized by
+  // conservative windows; sim_threads sizes the worker pool that executes them.
+  int sim_shards = 1;
+  int sim_threads = 1;
+  // Conservative window width. 0 = auto: 90% of wide_latency (the worst-case downward jitter
+  // at the default 0.1 jitter fraction). Only consulted when sim_shards > 1.
+  TimeMicros sim_lookahead = 0;
+
   uint64_t seed = 42;
 };
 
@@ -106,7 +118,11 @@ class Testbed {
   bool RunUntilAllReady(TimeMicros timeout);
 
   // -- Component access ---------------------------------------------------------------------
+  // The control shard's engine — what every classic component schedules against.
   Simulator& sim() { return sim_; }
+  // The windowed driver above it (shard 0 == sim()). Prefer RunFor/RunUntil on this when the
+  // testbed was configured with sim_shards > 1, so spare shards advance too.
+  ShardedSimulator& sharded_sim() { return sharded_sim_; }
   Network& network() { return *network_; }
   const Topology& topology() const { return topology_; }
   CoordStore& coord() { return *coord_; }
@@ -175,7 +191,8 @@ class Testbed {
   void CreateServer(ClusterManager& cm, ContainerId container);
 
   TestbedConfig config_;
-  Simulator sim_;
+  ShardedSimulator sharded_sim_;
+  Simulator& sim_;  // shard 0, the control shard — keeps the historical member name alive
   Topology topology_;
   std::unique_ptr<Network> network_;
   std::unique_ptr<CoordStore> coord_;

@@ -219,14 +219,14 @@ PropertyRun RunDeltaPropertyScenario(uint64_t seed, int solver_threads) {
   for (int op = 0; op < 6; ++op) {
     switch (rng.UniformInt(0, 3)) {
       case 0: {  // rebalance: drain a server so its shards move elsewhere
-        ServerId victim =
-            servers[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(servers.size()) - 1))];
+        ServerId victim = servers[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(servers.size()) - 1))];
         bed.orchestrator().DrainServer(victim, true, true, []() {});
         break;
       }
       case 1: {  // failover: a server's coordination session expires, primaries are fenced
-        ServerId victim =
-            servers[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(servers.size()) - 1))];
+        ServerId victim = servers[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(servers.size()) - 1))];
         bed.ExpireServerSession(victim, Seconds(10));
         break;
       }

@@ -28,7 +28,9 @@ TEST(ServiceDiscoveryTest, SubscriberReceivesAfterDelay) {
   Simulator sim;
   ServiceDiscovery discovery(&sim, Millis(100), Millis(100), 1);
   int64_t seen_version = -1;
-  discovery.Subscribe(AppId(1), [&](const std::shared_ptr<const ShardMap>& map) { seen_version = map->version; });
+  discovery.Subscribe(AppId(1), [&](const std::shared_ptr<const ShardMap>& map) {
+    seen_version = map->version;
+  });
   discovery.Publish(MakeMap(AppId(1), 1, 2));
   EXPECT_EQ(seen_version, -1);
   sim.RunFor(Millis(150));
@@ -41,7 +43,9 @@ TEST(ServiceDiscoveryTest, LateSubscriberGetsCurrentMap) {
   discovery.Publish(MakeMap(AppId(1), 5, 1));
   sim.RunFor(Millis(50));
   int64_t seen_version = -1;
-  discovery.Subscribe(AppId(1), [&](const std::shared_ptr<const ShardMap>& map) { seen_version = map->version; });
+  discovery.Subscribe(AppId(1), [&](const std::shared_ptr<const ShardMap>& map) {
+    seen_version = map->version;
+  });
   sim.RunFor(Millis(50));
   EXPECT_EQ(seen_version, 5);
 }
@@ -51,7 +55,9 @@ TEST(ServiceDiscoveryTest, StaleVersionsSuppressed) {
   // Wide delay range: version 2's delivery can overtake version 1's.
   ServiceDiscovery discovery(&sim, Millis(10), Seconds(2), 7);
   std::vector<int64_t> versions;
-  discovery.Subscribe(AppId(1), [&](const std::shared_ptr<const ShardMap>& map) { versions.push_back(map->version); });
+  discovery.Subscribe(AppId(1), [&](const std::shared_ptr<const ShardMap>& map) {
+    versions.push_back(map->version);
+  });
   for (int64_t v = 1; v <= 10; ++v) {
     discovery.Publish(MakeMap(AppId(1), v, 1));
     sim.RunFor(Millis(50));
@@ -78,7 +84,8 @@ TEST(ServiceDiscoveryTest, UnsubscribeStopsDelivery) {
   Simulator sim;
   ServiceDiscovery discovery(&sim, Millis(10), Millis(10), 1);
   int deliveries = 0;
-  int64_t sub = discovery.Subscribe(AppId(1), [&](const std::shared_ptr<const ShardMap>&) { ++deliveries; });
+  int64_t sub =
+      discovery.Subscribe(AppId(1), [&](const std::shared_ptr<const ShardMap>&) { ++deliveries; });
   discovery.Publish(MakeMap(AppId(1), 1, 1));
   sim.RunFor(Millis(50));
   EXPECT_EQ(deliveries, 1);

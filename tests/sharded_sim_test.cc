@@ -1,0 +1,340 @@
+// ShardedSimulator unit + determinism tests (DESIGN.md §13): conservative windows, mailbox
+// delivery, barrier tasks, cross-shard cancel, and byte-identity across thread counts.
+
+#include "src/sim/sharded_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace shardman {
+namespace {
+
+TEST(SimulatorPeek, NextEventTimeReportsEarliestPending) {
+  Simulator sim;
+  EXPECT_EQ(sim.NextEventTime(), Simulator::kNoPendingEvent);
+  EventId early = sim.Schedule(100, []() {});
+  sim.Schedule(500, []() {});
+  EXPECT_EQ(sim.NextEventTime(), 100);
+  // Cancelling the head reaps it: the peek must skip cancelled events.
+  sim.Cancel(early);
+  EXPECT_EQ(sim.NextEventTime(), 500);
+  sim.RunUntil(1000);
+  EXPECT_EQ(sim.NextEventTime(), Simulator::kNoPendingEvent);
+}
+
+TEST(ShardedSim, SingleShardDelegatesToPlainSimulator) {
+  Simulator plain;
+  ShardedSimulator sharded(1, 1, 0);
+  std::vector<TimeMicros> plain_times;
+  std::vector<TimeMicros> sharded_times;
+  for (TimeMicros d : {40, 10, 10, 250}) {
+    plain.Schedule(d, [&plain, &plain_times]() { plain_times.push_back(plain.Now()); });
+    sharded.Schedule(d, [&sharded, &sharded_times]() { sharded_times.push_back(sharded.Now()); });
+  }
+  plain.RunUntil(300);
+  sharded.RunUntil(300);
+  EXPECT_EQ(plain_times, sharded_times);
+  EXPECT_EQ(plain.Now(), sharded.Now());
+  EXPECT_EQ(plain.ExecutedEvents(), sharded.ExecutedEvents());
+  EXPECT_EQ(sharded.windows_run(), 0u);  // the fast path never opens a window
+}
+
+TEST(ShardedSim, CrossShardSendDeliversAtExactVirtualTime) {
+  constexpr TimeMicros kLookahead = 1000;
+  ShardedSimulator sim(2, 1, kLookahead);
+  TimeMicros delivered_at = -1;
+  int delivered_on_shard = -1;
+  sim.shard(0).ScheduleAt(100, [&]() {
+    sim.Send(1, 1500, [&]() {
+      delivered_at = sim.shard(1).Now();
+      delivered_on_shard = sim.current_shard();
+    });
+  });
+  sim.RunUntil(5000);
+  EXPECT_EQ(delivered_at, 1600);
+  EXPECT_EQ(delivered_on_shard, 1);
+  EXPECT_EQ(sim.cross_shard_messages(), 1u);
+  EXPECT_EQ(sim.Now(), 5000);
+  EXPECT_EQ(sim.shard(0).Now(), 5000);
+  EXPECT_EQ(sim.shard(1).Now(), 5000);
+}
+
+TEST(ShardedSim, ZeroDelaySameShardSendIsImmediate) {
+  // Zero-latency intra-shard traffic (same-region links) needs no lookahead: it schedules
+  // directly on the local engine and runs at the same instant, in scheduling order.
+  ShardedSimulator sim(2, 1, 500);
+  std::vector<int> order;
+  sim.shard(0).ScheduleAt(100, [&]() {
+    sim.Send(0, 0, [&]() { order.push_back(2); });
+    order.push_back(1);
+  });
+  sim.RunUntil(200);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(ShardedSimDeathTest, CrossShardSendBelowLookaheadDies) {
+  constexpr TimeMicros kLookahead = 1000;
+  ShardedSimulator sim(2, 1, kLookahead);
+  sim.shard(0).ScheduleAt(10, [&]() { sim.Send(1, kLookahead - 1, []() {}); });
+  EXPECT_DEATH(sim.RunUntil(100), "SM_CHECK");
+}
+
+TEST(ShardedSim, ArrivalExactlyOnWindowBarrier) {
+  // A send with delay exactly == lookahead issued at a window start arrives exactly at the
+  // barrier; it must execute at its precise virtual time in the next window, not slip.
+  constexpr TimeMicros kLookahead = 1000;
+  ShardedSimulator sim(2, 1, kLookahead);
+  TimeMicros delivered_at = -1;
+  // First window starts at 0 (skip-ahead lands on the first event's time).
+  sim.shard(0).ScheduleAt(0, [&]() {
+    sim.Send(1, kLookahead, [&]() { delivered_at = sim.shard(1).Now(); });
+  });
+  sim.RunUntil(3 * kLookahead);
+  EXPECT_EQ(delivered_at, kLookahead);
+}
+
+TEST(ShardedSim, CrossShardCancelStopsInFlightMailboxEvent) {
+  constexpr TimeMicros kLookahead = 1000;
+  ShardedSimulator sim(2, 1, kLookahead);
+  int fired = 0;
+  CrossShardEventId id;
+  sim.shard(0).ScheduleAt(10, [&]() {
+    id = sim.SendTracked(1, 2 * kLookahead, [&]() { ++fired; });
+  });
+  // Cancelled from the issuing shard in the following window, while the event is queued on the
+  // destination: the cancel travels as a mailbox control record and wins.
+  sim.shard(0).ScheduleAt(kLookahead + 5, [&]() { sim.Cancel(id); });
+  sim.RunUntil(10 * kLookahead);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.cross_shard_cancels(), 1u);
+  EXPECT_EQ(sim.cross_shard_messages(), 1u);
+}
+
+TEST(ShardedSim, StaleCrossShardCancelIsNoOp) {
+  constexpr TimeMicros kLookahead = 1000;
+  ShardedSimulator sim(2, 1, kLookahead);
+  int fired = 0;
+  CrossShardEventId id;
+  sim.shard(0).ScheduleAt(10, [&]() {
+    id = sim.SendTracked(1, 2 * kLookahead, [&]() { ++fired; });
+  });
+  // Cancel issued after the event already fired: deterministic no-op.
+  sim.shard(0).ScheduleAt(3 * kLookahead, [&]() { sim.Cancel(id); });
+  sim.RunUntil(10 * kLookahead);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ShardedSim, SameShardTrackedCancelBeforeFire) {
+  constexpr TimeMicros kLookahead = 1000;
+  ShardedSimulator sim(2, 1, kLookahead);
+  int fired = 0;
+  CrossShardEventId id;
+  sim.shard(0).ScheduleAt(10, [&]() {
+    id = sim.SendTracked(0, 500, [&]() { ++fired; });  // same-shard tracked send
+    sim.Cancel(id);                                    // cancelled immediately, same event
+  });
+  sim.RunUntil(5 * kLookahead);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(ShardedSim, BarrierTasksRunExclusivelyAtRequestedTime) {
+  constexpr TimeMicros kLookahead = 1000;
+  ShardedSimulator sim(3, 1, kLookahead);
+  std::vector<std::string> events;
+  // Keep shards busy so windows actually open around the barrier time.
+  for (int s = 0; s < 3; ++s) {
+    sim.shard(s).SchedulePeriodic(100, 300, []() {});
+  }
+  sim.ScheduleBarrierAt(2500, [&]() {
+    EXPECT_EQ(sim.current_shard(), -1);
+    EXPECT_GE(sim.Now(), 2500);
+    events.push_back("barrier@" + std::to_string(sim.Now()));
+    // Barrier tasks may schedule work onto any shard directly: the exclusive phase owns all.
+    sim.shard(2).Schedule(50, [&]() { events.push_back("follow-up"); });
+  });
+  sim.RunUntil(5000);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], "barrier@2500");
+  EXPECT_EQ(events[1], "follow-up");
+}
+
+TEST(ShardedSim, BarrierTaskScheduledFromShardEvent) {
+  constexpr TimeMicros kLookahead = 1000;
+  ShardedSimulator sim(2, 1, kLookahead);
+  TimeMicros barrier_now = -1;
+  TimeMicros requested_from = -1;
+  sim.shard(1).ScheduleAt(150, [&]() {
+    requested_from = sim.shard(1).Now();
+    sim.ScheduleBarrierIn(2000, [&]() {
+      EXPECT_EQ(sim.current_shard(), -1);
+      barrier_now = sim.Now();
+    });
+  });
+  sim.RunUntil(10 * kLookahead);
+  EXPECT_EQ(requested_from, 150);
+  // Runs at the first barrier at-or-after 2150; windows are lookahead-wide so it lands within
+  // one window width of the requested time.
+  ASSERT_GE(barrier_now, 2150);
+  EXPECT_LE(barrier_now, 2150 + kLookahead);
+}
+
+TEST(ShardedSim, SkipAheadOverIdleGaps) {
+  constexpr TimeMicros kLookahead = 1000;
+  ShardedSimulator sim(2, 1, kLookahead);
+  int ran = 0;
+  sim.shard(0).ScheduleAt(10, [&]() { ++ran; });
+  sim.shard(1).ScheduleAt(1'000'000, [&]() { ++ran; });
+  sim.RunUntil(2'000'000);
+  EXPECT_EQ(ran, 2);
+  // Without skip-ahead this run would grind through ~2000 windows.
+  EXPECT_LE(sim.windows_run(), 4u);
+}
+
+// -- Determinism across thread counts ---------------------------------------------------------
+
+struct PingPongContext {
+  ShardedSimulator* sim = nullptr;
+  std::vector<std::vector<std::string>>* logs = nullptr;
+  int shards = 0;
+  TimeMicros lookahead = 0;
+
+  void Tick(int s, int n) {
+    (*logs)[static_cast<size_t>(s)].push_back(std::to_string(s) + "@" +
+                                              std::to_string(sim->shard(s).Now()) + "#" +
+                                              std::to_string(n));
+    if (n >= 60) {
+      return;
+    }
+    if (n % 3 == 2) {
+      const int to = (s + 1) % shards;
+      sim->Send(to, lookahead + (n * 7) % 50, [this, to, n]() { Tick(to, n + 1); });
+    } else {
+      sim->Schedule(100 + (n % 5) * 10, [this, s, n]() { Tick(s, n + 1); });
+    }
+  }
+};
+
+struct PingPongResult {
+  std::string trace;
+  uint64_t executed = 0;
+  uint64_t windows = 0;
+  uint64_t cross_messages = 0;
+};
+
+PingPongResult RunPingPong(int threads) {
+  constexpr int kShards = 4;
+  constexpr TimeMicros kLookahead = 1000;
+  ShardedSimulator sim(kShards, threads, kLookahead);
+  // Per-shard logs: each written only by its own shard's events, merged after the run in fixed
+  // shard order — the same single-writer discipline real workloads use.
+  std::vector<std::vector<std::string>> logs(kShards);
+  PingPongContext ctx{&sim, &logs, kShards, kLookahead};
+  for (int s = 0; s < kShards; ++s) {
+    sim.shard(s).ScheduleAt(50 + s * 13, [&ctx, s]() { ctx.Tick(s, 0); });
+  }
+  sim.RunUntil(Seconds(2));
+  PingPongResult result;
+  for (const auto& shard_log : logs) {
+    for (const std::string& line : shard_log) {
+      result.trace += line;
+      result.trace += '\n';
+    }
+  }
+  result.executed = sim.ExecutedEvents();
+  result.windows = sim.windows_run();
+  result.cross_messages = sim.cross_shard_messages();
+  return result;
+}
+
+TEST(ShardedSimDeterminism, ByteIdenticalTraceAcrossThreads) {
+  const PingPongResult t1 = RunPingPong(1);
+  const PingPongResult t2 = RunPingPong(2);
+  const PingPongResult t8 = RunPingPong(8);
+  EXPECT_GT(t1.cross_messages, 0u);
+  EXPECT_FALSE(t1.trace.empty());
+  EXPECT_EQ(t1.trace, t2.trace);
+  EXPECT_EQ(t1.trace, t8.trace);
+  EXPECT_EQ(t1.executed, t2.executed);
+  EXPECT_EQ(t1.executed, t8.executed);
+  EXPECT_EQ(t1.windows, t2.windows);
+  EXPECT_EQ(t1.windows, t8.windows);
+}
+
+// A periodic chain whose every firing hops to the next shard and back: the chain lives on one
+// engine, its payload crosses shards each period.
+struct HopResult {
+  uint64_t hops = 0;
+  std::string arrival_times;
+};
+
+HopResult RunPeriodicHop(int threads) {
+  constexpr TimeMicros kLookahead = 1000;
+  ShardedSimulator sim(2, threads, kLookahead);
+  // Written only from shard 1 events; read after the run.
+  HopResult result;
+  sim.shard(0).SchedulePeriodic(500, 700, [&sim, &result]() {
+    sim.Send(1, 1200, [&sim, &result]() {
+      ++result.hops;
+      result.arrival_times += std::to_string(sim.shard(1).Now()) + ",";
+    });
+  });
+  sim.RunUntil(Seconds(1));
+  return result;
+}
+
+TEST(ShardedSimDeterminism, PeriodicChainsHoppingShardsAreThreadInvariant) {
+  const HopResult t1 = RunPeriodicHop(1);
+  const HopResult t2 = RunPeriodicHop(2);
+  const HopResult t8 = RunPeriodicHop(8);
+  EXPECT_GT(t1.hops, 0u);
+  EXPECT_EQ(t1.hops, t2.hops);
+  EXPECT_EQ(t1.hops, t8.hops);
+  EXPECT_EQ(t1.arrival_times, t2.arrival_times);
+  EXPECT_EQ(t1.arrival_times, t8.arrival_times);
+}
+
+TEST(ShardedSimDeterminism, ExecutedEventsPerShardAreThreadInvariant) {
+  auto run = [](int threads) {
+    constexpr TimeMicros kLookahead = 500;
+    ShardedSimulator sim(4, threads, kLookahead);
+    for (int s = 0; s < 4; ++s) {
+      sim.shard(s).SchedulePeriodic(50 + s, 97 + s, [&sim, s]() {
+        if (sim.shard(s).ExecutedEvents() % 5 == 0) {
+          sim.Send((s + 3) % 4, 600, []() {});
+        }
+      });
+    }
+    sim.RunUntil(Seconds(1));
+    std::vector<uint64_t> per_shard;
+    for (int s = 0; s < 4; ++s) {
+      per_shard.push_back(sim.ExecutedEventsOnShard(s));
+    }
+    return per_shard;
+  };
+  const auto t1 = run(1);
+  EXPECT_EQ(t1, run(2));
+  EXPECT_EQ(t1, run(8));
+}
+
+TEST(ShardedSim, LookaheadBoundMatchesLatencyFloor) {
+  LatencyModel model(4, Millis(1), Millis(40));
+  model.SetLatency(RegionId(1), RegionId(2), Millis(10));
+  // Two shards: regions {0, 2} and {1, 3}. The 1<->2 pair crosses shards, so the floor is
+  // 10ms shrunk by the jitter band.
+  std::vector<int> placement = {0, 1, 0, 1};
+  const TimeMicros bound = Network::ShardedLookaheadBound(model, placement, 0.1);
+  EXPECT_EQ(bound, static_cast<TimeMicros>(static_cast<double>(Millis(10)) * 0.9));
+  // All regions on one shard: no pair crosses, the bound is unconstrained.
+  std::vector<int> single = {0, 0, 0, 0};
+  EXPECT_EQ(Network::ShardedLookaheadBound(model, single, 0.1),
+            std::numeric_limits<TimeMicros>::max());
+}
+
+}  // namespace
+}  // namespace shardman
