@@ -63,6 +63,83 @@ inline SolverProblem MakeZippyProblem(const ZippyProblemSpec& spec) {
   return p;
 }
 
+// Replaces the random initial assignment with a greedy balanced one (per-region round-robin
+// cursor, capacity-aware): the "previous round's solution" a warm-started incremental repair
+// begins from. Deterministic for a fixed problem.
+inline void AssignGreedyBalanced(SolverProblem& p) {
+  const int bins = p.num_bins();
+  if (bins == 0) {
+    return;
+  }
+  // Round-robin cursor per region keeps regional populations even; skipping bins whose cpu
+  // utilization already exceeds the running mean keeps the packing near-balanced.
+  std::vector<double> used(static_cast<size_t>(bins), 0.0);
+  double placed_load = 0.0;
+  int cursor = 0;
+  for (int e = 0; e < p.num_entities(); ++e) {
+    double load = p.entity_load[static_cast<size_t>(e) * static_cast<size_t>(p.num_metrics)];
+    double mean = placed_load / static_cast<double>(bins);
+    int chosen = -1;
+    for (int probe = 0; probe < bins; ++probe) {
+      int b = (cursor + probe) % bins;
+      double cap = p.bin_capacity[static_cast<size_t>(b) * static_cast<size_t>(p.num_metrics)];
+      if (used[static_cast<size_t>(b)] + load <= cap &&
+          (used[static_cast<size_t>(b)] <= mean || probe == bins - 1)) {
+        chosen = b;
+        cursor = (b + 1) % bins;
+        break;
+      }
+    }
+    if (chosen < 0) {
+      chosen = cursor;
+      cursor = (cursor + 1) % bins;
+    }
+    p.assignment[static_cast<size_t>(e)] = chosen;
+    used[static_cast<size_t>(chosen)] += load;
+    placed_load += load;
+  }
+}
+
+// Perturbs a solved/balanced problem the way a production round perturbs the previous one:
+// kills `kill_fraction` of the servers, drains `drain_fraction`, and shifts the load of
+// `shift_fraction` of the shards (up to 3x). Entities on killed bins become unassigned.
+struct PerturbSpec {
+  double kill_fraction = 0.01;
+  double drain_fraction = 0.005;
+  double shift_fraction = 0.02;
+  uint64_t seed = 99;
+};
+
+inline void PerturbProblem(SolverProblem& p, const PerturbSpec& spec) {
+  Rng rng(spec.seed);
+  const int bins = p.num_bins();
+  int kills = static_cast<int>(bins * spec.kill_fraction);
+  int drains = static_cast<int>(bins * spec.drain_fraction);
+  for (int i = 0; i < kills; ++i) {
+    p.bin_alive[static_cast<size_t>(rng.UniformInt(0, bins - 1))] = 0;
+  }
+  for (int i = 0; i < drains; ++i) {
+    int b = static_cast<int>(rng.UniformInt(0, bins - 1));
+    if (p.bin_alive[static_cast<size_t>(b)] != 0) {
+      p.bin_draining[static_cast<size_t>(b)] = 1;
+    }
+  }
+  const int entities = p.num_entities();
+  int shifts = static_cast<int>(entities * spec.shift_fraction);
+  for (int i = 0; i < shifts; ++i) {
+    int e = static_cast<int>(rng.UniformInt(0, entities - 1));
+    double factor = rng.Uniform(0.5, 3.0);
+    p.entity_load[static_cast<size_t>(e) * static_cast<size_t>(p.num_metrics)] *= factor;
+    p.entity_load[static_cast<size_t>(e) * static_cast<size_t>(p.num_metrics) + 1] *= factor;
+  }
+  for (int e = 0; e < entities; ++e) {
+    int32_t b = p.assignment[static_cast<size_t>(e)];
+    if (b >= 0 && p.bin_alive[static_cast<size_t>(b)] == 0) {
+      p.assignment[static_cast<size_t>(e)] = -1;  // host died: replica needs re-placement
+    }
+  }
+}
+
 // The LB goals of §8.4: hard capacity, 90% utilization threshold, utilization within 10% of
 // the average — per metric. With groups: region spread + region preferences for 25% of shards.
 inline Rebalancer MakeZippySpecs(const ZippyProblemSpec& spec) {

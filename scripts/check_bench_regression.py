@@ -32,12 +32,24 @@ are recognised by their "bench" field:
   improving p99 (improvement_x >= 1). The sim-clock numbers (detect_ms,
   improvement_x) are deterministic per seed; only the wall-clock pick rates
   carry runner noise.
+* solver_scale (BENCH_solver_scale.json): deterministic must be true — the
+  byte-identity of assignments across thread counts is a correctness contract,
+  so a false value FAILS the check (exit 1), the one non-advisory case. The
+  cold/warm+LNS evals-to-convergence ratio must stay above the 5x acceptance
+  floor and must not drop more than the threshold against a same-scale
+  baseline (advisory).
+* solver_parallel (BENCH_solver_parallel.json): deterministic must be true
+  (FAILS the check, as above). At equal scale the objective/violations per
+  thread count are compared exactly — a drift means the solver's deterministic
+  trajectory changed and the baseline needs regeneration (advisory).
 
-Exits 0 always — CI treats this as advisory because shared-runner throughput
-is noisy — but prints a loud warning (and a GitHub ::warning:: annotation)
-when something regresses. A missing baseline file is also advisory (warn,
-exit 0): the first PR that adds a bench has nothing committed to compare
-against, and that must not fail the lane.
+Exits 0 in every advisory case — CI treats throughput deltas as advisory
+because shared-runner throughput is noisy — but prints a loud warning (and a
+GitHub ::warning:: annotation) when something regresses. The one exception is
+a solver determinism violation, which exits 1: cross-thread divergence is a
+correctness bug that no runner noise can explain. A missing baseline file is
+advisory (warn, exit 0): the first PR that adds a bench has nothing committed
+to compare against, and that must not fail the lane.
 
 Usage: check_bench_regression.py <baseline.json> <fresh.json> [--threshold 0.20]
 """
@@ -264,6 +276,102 @@ def check_obs_overhead(reference, fresh, threshold):
     return warnings
 
 
+SOLVER_RATIO_FLOOR = 5.0  # acceptance floor for cold/warm+LNS evals-to-convergence
+
+
+def check_solver_scale(reference, fresh, threshold):
+    warnings = []
+    fatals = []
+    deterministic = fresh.get("deterministic")
+    print(f"{'ok' if deterministic else 'FAIL':4} deterministic: {deterministic}")
+    if not deterministic:
+        fatals.append("solver assignments diverged across thread counts — a "
+                      "correctness bug, not noise")
+
+    ratio = fresh.get("ratio_cold_over_warm_lns")
+    bound = " (cold lower bound)" if fresh.get("ratio_is_lower_bound") else ""
+    if ratio is not None:
+        below = ratio < SOLVER_RATIO_FLOOR
+        print(f"{'WARN' if below else 'ok':4} ratio_cold_over_warm_lns: "
+              f"{ratio:.1f}x{bound} (floor {SOLVER_RATIO_FLOOR:.0f}x)")
+        if below:
+            warnings.append(f"cold/warm+LNS evals-to-convergence ratio is "
+                            f"{ratio:.1f}x, acceptance floor is "
+                            f"{SOLVER_RATIO_FLOOR:.0f}x")
+
+    same_scale = reference.get("scale") == fresh.get("scale")
+    if not same_scale:
+        print(f"note: scales differ (baseline {reference.get('scale')}, fresh "
+              f"{fresh.get('scale')}); skipping ratio/evals comparisons")
+        return warnings, fatals
+    for key in ("ratio_cold_over_warm", "ratio_cold_over_warm_lns"):
+        base = reference.get(key)
+        now = fresh.get(key)
+        if not base or now is None:
+            continue
+        drop = (base - now) / base
+        status = "WARN" if drop > threshold else "ok"
+        print(f"{status:4} {key}: baseline {base:,.1f}x fresh {now:,.1f}x "
+              f"({-drop:+.1%})")
+        if drop > threshold:
+            warnings.append(f"{key} dropped {drop:.1%} "
+                            f"(baseline {base:.1f}x, fresh {now:.1f}x)")
+    base_modes = {m.get("mode"): m for m in reference.get("modes", [])}
+    for mode in fresh.get("modes", []):
+        base = base_modes.get(mode.get("mode"))
+        if base is None:
+            continue
+        base_evals = base.get("evals_to_convergence")
+        evals = mode.get("evals_to_convergence")
+        if not base_evals or base_evals < 0 or evals is None:
+            continue
+        if evals < 0:
+            print(f"WARN {mode.get('mode')}: no longer converges on the ladder")
+            warnings.append(f"mode {mode.get('mode')} converged in the baseline "
+                            "but not in the fresh run")
+            continue
+        grew = (evals - base_evals) / base_evals
+        status = "WARN" if grew > threshold else "ok"
+        print(f"{status:4} {mode.get('mode')} evals_to_convergence: baseline "
+              f"{base_evals:,} fresh {evals:,} ({grew:+.1%})")
+        if grew > threshold:
+            warnings.append(f"mode {mode.get('mode')} evals-to-convergence grew "
+                            f"{grew:.1%} (baseline {base_evals:,}, "
+                            f"fresh {evals:,})")
+    return warnings, fatals
+
+
+def check_solver_parallel(reference, fresh, threshold):
+    warnings = []
+    fatals = []
+    deterministic = fresh.get("deterministic")
+    print(f"{'ok' if deterministic else 'FAIL':4} deterministic: {deterministic}")
+    if not deterministic:
+        fatals.append("portfolio results diverged across thread counts — a "
+                      "correctness bug, not noise")
+
+    same_scale = reference.get("scale") == fresh.get("scale")
+    if not same_scale:
+        print(f"note: scales differ (baseline {reference.get('scale')}, fresh "
+              f"{fresh.get('scale')}); skipping per-thread comparisons")
+        return warnings, fatals
+    base_points = {p.get("threads"): p for p in reference.get("points", [])}
+    for point in fresh.get("points", []):
+        base = base_points.get(point.get("threads"))
+        if base is None:
+            continue
+        # Same scale + same seed means the trajectory is fully deterministic:
+        # any drift is an intentional solver change awaiting baseline regen.
+        for key in ("objective", "violations"):
+            if base.get(key) != point.get(key):
+                print(f"WARN threads={point.get('threads')} {key}: baseline "
+                      f"{base.get(key)} fresh {point.get(key)}")
+                warnings.append(f"threads={point.get('threads')} {key} changed "
+                                f"({base.get(key)} -> {point.get(key)}); "
+                                "regenerate the committed baseline if intended")
+    return warnings, fatals
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed baseline JSON")
@@ -287,6 +395,7 @@ def main() -> int:
     # The committed dataplane file stores before/after; a raw bench run is flat.
     reference = baseline.get("after", baseline)
 
+    fatals = []
     if fresh.get("bench") == "delta_dissemination":
         warnings = check_delta(reference, fresh, args.threshold)
     elif fresh.get("bench") == "smr_failover":
@@ -295,6 +404,10 @@ def main() -> int:
         warnings = check_sim_parallel(reference, fresh, args.threshold)
     elif fresh.get("bench") == "obs_overhead":
         warnings = check_obs_overhead(reference, fresh, args.threshold)
+    elif fresh.get("bench") == "solver_scale":
+        warnings, fatals = check_solver_scale(reference, fresh, args.threshold)
+    elif fresh.get("bench") == "solver_parallel":
+        warnings, fatals = check_solver_parallel(reference, fresh, args.threshold)
     else:
         warnings = check_dataplane(reference, fresh, args.threshold)
 
@@ -304,8 +417,14 @@ def main() -> int:
         print(f"\n{len(warnings)} advisory regression(s) — see above. "
               "Shared-runner noise is common; re-run before acting on this.",
               file=sys.stderr)
-    else:
+    elif not fatals:
         print("\nNo data-plane regressions beyond threshold.")
+    if fatals:
+        for f_msg in fatals:
+            print(f"::error title=Solver determinism::{f_msg}")
+        print(f"\n{len(fatals)} determinism failure(s) — not advisory.",
+              file=sys.stderr)
+        return 1
     return 0
 
 

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "src/common/check.h"
+#include "src/obs/metrics.h"
 
 namespace shardman {
 
@@ -28,7 +29,7 @@ SmAllocator::BuiltProblem SmAllocator::BuildProblem(const PartitionSnapshot& sna
   SM_CHECK_GT(metrics, 0);
   p.num_metrics = metrics;
 
-  std::unordered_map<int32_t, int32_t> server_to_bin;
+  std::unordered_map<int32_t, int32_t>& server_to_bin = built.server_to_bin;
   for (const ServerState& server : snapshot.servers) {
     std::vector<double> cap(static_cast<size_t>(metrics));
     SM_CHECK_EQ(server.capacity.dims(), metrics);
@@ -135,13 +136,80 @@ SolveOptions SmAllocator::BuildSolveOptions(AllocationMode mode) const {
   solve.enable_swaps = options_.enable_swaps;
   solve.trace_interval = options_.trace_interval;
   solve.emergency = mode == AllocationMode::kEmergency;
+  solve.incremental = options_.incremental_repair;
+  solve.dirty_fallback_fraction = options_.dirty_fallback_fraction;
+  solve.lns_starts = options_.solver_lns_starts;
   return solve;
+}
+
+int64_t SmAllocator::SeedFromWarmCache(const PartitionSnapshot& snapshot,
+                                       BuiltProblem* built) const {
+  std::lock_guard<std::mutex> lock(warm_mutex_);
+  auto part = warm_cache_.find(snapshot.id.value);
+  if (part == warm_cache_.end()) {
+    return 0;
+  }
+  int64_t seeded = 0;
+  SolverProblem& p = built->problem;
+  for (size_t e = 0; e < built->entity_to_replica.size(); ++e) {
+    if (p.assignment[e] >= 0) {
+      continue;  // the snapshot already places this replica; trust it over the cache
+    }
+    auto [shard_idx, replica_idx] = built->entity_to_replica[e];
+    const ShardDescriptor& shard = snapshot.shards[static_cast<size_t>(shard_idx)];
+    int64_t key = (static_cast<int64_t>(shard.id.value) << 16) | replica_idx;
+    auto cached = part->second.find(key);
+    if (cached == part->second.end()) {
+      continue;
+    }
+    auto bin_it = built->server_to_bin.find(cached->second);
+    if (bin_it == built->server_to_bin.end() ||
+        p.bin_alive[static_cast<size_t>(bin_it->second)] == 0) {
+      continue;  // the cached server left the partition or died: leave unassigned
+    }
+    p.assignment[e] = bin_it->second;
+    ++seeded;
+  }
+  return seeded;
+}
+
+void SmAllocator::UpdateWarmCache(const PartitionSnapshot& snapshot,
+                                  const BuiltProblem& built) const {
+  std::unordered_map<int64_t, int32_t> fresh;
+  fresh.reserve(built.entity_to_replica.size());
+  const SolverProblem& p = built.problem;
+  for (size_t e = 0; e < built.entity_to_replica.size(); ++e) {
+    int32_t bin = p.assignment[e];
+    if (bin < 0) {
+      continue;
+    }
+    auto [shard_idx, replica_idx] = built.entity_to_replica[e];
+    const ShardDescriptor& shard = snapshot.shards[static_cast<size_t>(shard_idx)];
+    int64_t key = (static_cast<int64_t>(shard.id.value) << 16) | replica_idx;
+    fresh[key] = snapshot.servers[static_cast<size_t>(bin)].id.value;
+  }
+  std::lock_guard<std::mutex> lock(warm_mutex_);
+  warm_cache_[snapshot.id.value] = std::move(fresh);
 }
 
 AllocationResult SmAllocator::Allocate(PartitionSnapshot& snapshot, AllocationMode mode) const {
   BuiltProblem built = BuildProblem(snapshot);
   Rebalancer rebalancer = BuildSpecs(snapshot);
   SolveOptions solve_options = BuildSolveOptions(mode);
+
+  if (options_.incremental_repair) {
+    int64_t seeded = SeedFromWarmCache(snapshot, &built);
+    int64_t live = 0;
+    for (int32_t bin : built.problem.assignment) {
+      if (bin >= 0 && built.problem.bin_alive[static_cast<size_t>(bin)] != 0) {
+        ++live;
+      }
+    }
+    // Entities entering the solve already placed on a live server: the warm-start capital the
+    // incremental repair preserves (cache-seeded replicas are a subset).
+    SM_COUNTER_ADD("sm.solver.warm_start_reuse", live);
+    SM_COUNTER_ADD("sm.solver.warm_cache_seeded", seeded);
+  }
 
   SolveResult solved = rebalancer.Solve(built.problem, solve_options);
 
@@ -153,25 +221,25 @@ AllocationResult SmAllocator::Allocate(PartitionSnapshot& snapshot, AllocationMo
   result.converged = solved.converged;
   result.trace = std::move(solved.trace);
 
-  // Collapse the move sequence into net changes per entity and write back into the snapshot.
-  std::unordered_map<int32_t, std::pair<int32_t, int32_t>> net;  // entity -> (first_from, last_to)
-  for (const SolverMove& move : solved.moves) {
-    auto [it, inserted] = net.emplace(move.entity, std::make_pair(move.from, move.to));
-    if (!inserted) {
-      it->second.second = move.to;
+  // Write back net changes by comparing each entity's final bin against the snapshot's
+  // placement. This covers both solver moves and warm-cache seeding (which pre-dates the move
+  // log), and collapses move/move-back sequences to no-ops for free.
+  for (size_t e = 0; e < built.entity_to_replica.size(); ++e) {
+    int32_t bin = built.problem.assignment[e];
+    if (bin < 0) {
+      continue;  // still unassigned: nothing executable to report
     }
-  }
-  for (const auto& [entity, from_to] : net) {
-    if (from_to.first == from_to.second) {
-      continue;  // net no-op (e.g. swap reverted)
-    }
-    auto [shard_idx, replica_idx] = built.entity_to_replica[static_cast<size_t>(entity)];
+    auto [shard_idx, replica_idx] = built.entity_to_replica[e];
     ReplicaState& replica =
         snapshot.shards[static_cast<size_t>(shard_idx)].replicas[static_cast<size_t>(replica_idx)];
+    ServerId to = snapshot.servers[static_cast<size_t>(bin)].id;
+    if (replica.server == to) {
+      continue;
+    }
     AssignmentChange change;
     change.replica = replica.id;
     change.from = replica.server;
-    change.to = snapshot.servers[static_cast<size_t>(from_to.second)].id;
+    change.to = to;
     replica.server = change.to;
     result.changes.push_back(change);
   }
@@ -180,6 +248,9 @@ AllocationResult SmAllocator::Allocate(PartitionSnapshot& snapshot, AllocationMo
             [](const AssignmentChange& a, const AssignmentChange& b) {
               return a.replica < b.replica;
             });
+  if (options_.incremental_repair) {
+    UpdateWarmCache(snapshot, built);
+  }
   return result;
 }
 

@@ -12,6 +12,9 @@
 #ifndef SRC_ALLOCATOR_ALLOCATOR_H_
 #define SRC_ALLOCATOR_ALLOCATOR_H_
 
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "src/allocator/types.h"
@@ -50,6 +53,16 @@ struct AllocatorOptions {
   bool equivalence_classes = true;
   bool enable_swaps = true;
   TimeMicros trace_interval = Millis(200);
+
+  // Warm-started incremental repair (DESIGN.md §14). When enabled, periodic solves reuse the
+  // previous round's assignment for this partition (unassigned replicas are re-seeded from the
+  // warm cache when their last server is still alive) and the solver restricts refresh scans to
+  // the dirty neighborhoods. Falls back to a full solve when more than
+  // `dirty_fallback_fraction` of the entities are dirty. `solver_lns_starts` portfolio members
+  // run the large-neighborhood-search backend instead of greedy local search.
+  bool incremental_repair = true;
+  double dirty_fallback_fraction = 0.35;
+  int solver_lns_starts = 0;
 
   // Soft-goal weight tiers realizing the §5.1 priority order (1 = highest priority).
   double weight_region_preference = 1.0e5;  // priority 1
@@ -100,12 +113,25 @@ class SmAllocator {
     std::vector<std::pair<int32_t, int32_t>> entity_to_replica;
     // bin index -> server vector index
     std::vector<int32_t> bin_to_server;
+    // server id value -> bin index (for warm-cache seeding)
+    std::unordered_map<int32_t, int32_t> server_to_bin;
   };
 
   BuiltProblem BuildProblem(const PartitionSnapshot& snapshot) const;
   SolveOptions BuildSolveOptions(AllocationMode mode) const;
 
+  // Seeds unassigned replicas from the warm cache (previous round's placement) when the cached
+  // server is still alive. Returns the number of entities seeded.
+  int64_t SeedFromWarmCache(const PartitionSnapshot& snapshot, BuiltProblem* built) const;
+  void UpdateWarmCache(const PartitionSnapshot& snapshot, const BuiltProblem& built) const;
+
   AllocatorOptions options_;
+
+  // Warm-start cache: partition id -> ((shard id << 16) | replica index) -> server id value of
+  // the replica's placement after the last solve. Mutex-guarded because Allocate() is const and
+  // AllocateParallel() calls it from several threads (distinct partitions, one shared map).
+  mutable std::mutex warm_mutex_;
+  mutable std::unordered_map<int32_t, std::unordered_map<int64_t, int32_t>> warm_cache_;
 };
 
 }  // namespace shardman

@@ -1623,8 +1623,12 @@ void Orchestrator::TriggerEmergencyAllocation() {
     opts.emergency_eval_budget = config_.emergency_solver_evals;
     opts.solver_threads = config_.solver_threads;
     opts.solver_starts = config_.solver_starts;
-    SmAllocator emergency(opts);
-    AllocationResult result = emergency.Allocate(snapshot, AllocationMode::kEmergency);
+    opts.incremental_repair = config_.solver_incremental;
+    opts.solver_lns_starts = config_.solver_lns_starts;
+    // Reuse the shared allocator (not a throwaway copy) so its warm-start cache carries the
+    // previous round's placement into this solve. The sim thread serializes Trigger* calls.
+    allocator_->set_options(opts);
+    AllocationResult result = allocator_->Allocate(snapshot, AllocationMode::kEmergency);
     SM_TRACE_END(alloc_trace, "allocator", "emergency_allocation",
                  obs::Arg("changes", static_cast<int64_t>(result.changes.size())));
     ApplyAllocation(snapshot, result, alloc_trace);
@@ -1644,8 +1648,10 @@ void Orchestrator::TriggerPeriodicAllocation() {
   opts.periodic_eval_budget = config_.periodic_solver_evals;
   opts.solver_threads = config_.solver_threads;
   opts.solver_starts = config_.solver_starts;
-  SmAllocator periodic(opts);
-  AllocationResult result = periodic.Allocate(snapshot, AllocationMode::kPeriodic);
+  opts.incremental_repair = config_.solver_incremental;
+  opts.solver_lns_starts = config_.solver_lns_starts;
+  allocator_->set_options(opts);
+  AllocationResult result = allocator_->Allocate(snapshot, AllocationMode::kPeriodic);
   SM_TRACE_END(alloc_trace, "allocator", "periodic_allocation",
                obs::Arg("changes", static_cast<int64_t>(result.changes.size())));
   ApplyAllocation(snapshot, result, alloc_trace);

@@ -1,0 +1,109 @@
+#include "src/solver/incremental.h"
+
+#include <algorithm>
+
+namespace shardman {
+
+namespace {
+// Matches the hot-bin threshold in local_search.cc: a bin below it would not enter the hot list
+// anyway, so it is not worth dirtying.
+constexpr double kDirtyEps = 1e-7;
+}  // namespace
+
+void BinEntityIndex::Build(const SolverProblem& problem) {
+  const int bins = problem.num_bins();
+  const int entities = problem.num_entities();
+  offsets_.assign(static_cast<size_t>(bins) + 1, 0);
+  for (int e = 0; e < entities; ++e) {
+    int32_t b = problem.assignment[static_cast<size_t>(e)];
+    if (b >= 0) {
+      ++offsets_[static_cast<size_t>(b) + 1];
+    }
+  }
+  for (int b = 0; b < bins; ++b) {
+    offsets_[static_cast<size_t>(b) + 1] += offsets_[static_cast<size_t>(b)];
+  }
+  entities_.resize(static_cast<size_t>(offsets_[static_cast<size_t>(bins)]));
+  std::vector<int32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (int e = 0; e < entities; ++e) {
+    int32_t b = problem.assignment[static_cast<size_t>(e)];
+    if (b >= 0) {
+      entities_[static_cast<size_t>(cursor[static_cast<size_t>(b)]++)] = e;
+    }
+  }
+}
+
+DirtySeed BuildDirtySeed(const SolverProblem& problem, const ViolationTracker& tracker,
+                         ThreadPool* pool) {
+  const int bins = problem.num_bins();
+  const int entities = problem.num_entities();
+  DirtySeed seed;
+
+  // Load/drain-penalized bins. The group families get their own seed below, so the scatter
+  // pass is skipped here.
+  std::vector<double> penalties =
+      tracker.ComputeBinPenalties(kGoalHard | kGoalDrain | kGoalLoad, pool);
+
+  GenStampSet dirty_bins;
+  dirty_bins.Reset(bins);
+  const int racks = std::max(1, problem.num_racks);
+  std::vector<uint8_t> rack_dirty(static_cast<size_t>(racks), 0);
+  bool any_rack_dirty = false;
+  for (int b = 0; b < bins; ++b) {
+    const bool dead = problem.bin_alive[static_cast<size_t>(b)] == 0;
+    const bool draining = problem.bin_draining[static_cast<size_t>(b)] != 0;
+    if (dead || draining) {
+      dirty_bins.Insert(b);
+      int32_t rack = problem.bin_rack[static_cast<size_t>(b)];
+      if (rack >= 0 && rack < racks) {
+        rack_dirty[static_cast<size_t>(rack)] = 1;
+        any_rack_dirty = true;
+      }
+    } else if (penalties[static_cast<size_t>(b)] > kDirtyEps) {
+      dirty_bins.Insert(b);
+    }
+  }
+  // Fault-domain closure: every bin sharing a rack with a dead or draining bin is dirty too —
+  // its load profile is about to change as displaced entities land around the rack.
+  if (any_rack_dirty) {
+    for (int b = 0; b < bins; ++b) {
+      int32_t rack = problem.bin_rack[static_cast<size_t>(b)];
+      if (rack >= 0 && rack < racks && rack_dirty[static_cast<size_t>(rack)] != 0) {
+        dirty_bins.Insert(b);
+      }
+    }
+  }
+
+  // Violating groups (ascending by construction of the scan).
+  tracker.AppendViolatingGroups(&seed.dirty_groups);
+
+  GenStampSet dirty_entities;
+  dirty_entities.Reset(entities);
+  BinEntityIndex index;
+  index.Build(problem);
+  for (int32_t bin : dirty_bins.items()) {
+    BinEntityIndex::Span span = index.entities_of(bin);
+    for (const int32_t* e = span.begin; e != span.end; ++e) {
+      dirty_entities.Insert(*e);
+    }
+  }
+  for (int e = 0; e < entities; ++e) {
+    if (problem.assignment[static_cast<size_t>(e)] < 0) {
+      dirty_entities.Insert(e);
+    }
+  }
+  for (int32_t g : seed.dirty_groups) {
+    for (int32_t member : tracker.GroupMembers(g)) {
+      dirty_entities.Insert(member);
+    }
+  }
+
+  seed.dirty_entities = dirty_entities.size();
+  seed.dirty_bins = dirty_bins.size();
+  seed.dirty_fraction =
+      entities > 0 ? static_cast<double>(seed.dirty_entities) / static_cast<double>(entities)
+                   : 0.0;
+  return seed;
+}
+
+}  // namespace shardman

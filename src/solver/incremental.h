@@ -1,0 +1,113 @@
+// Incremental-repair support for the local-search solver (DESIGN.md §14).
+//
+// Warm-started rounds arrive with a mostly good assignment: the previous round's placement
+// plus a perturbation (failed or draining servers, load shifts, new shards). The structures
+// here identify the *dirty* neighborhoods — the entities, bins and groups that can possibly be
+// involved in a violation — so the search's refresh phase touches O(dirty) state instead of
+// rescanning the whole problem.
+//
+//   * GenStampSet: a dense membership set with O(1) clear via generation stamps — zero rehash
+//     allocations on the hot path (also the replacement for the unordered_set bookkeeping in
+//     LocalSearch).
+//   * BinEntityIndex: contiguous per-bin entity lists in CSR layout, built in two passes over
+//     the assignment — the cache-friendly slice used to enumerate entities of dirty bins.
+//   * BuildDirtySeed: the dirty-set builder. Seeds dirty bins (dead, draining, penalized, plus
+//     the rack closure of dead/draining bins — replacements for a failed rack's entities should
+//     consider the whole fault domain changed), dirty entities (unassigned + on dirty bins +
+//     members of violating groups) and the sorted dirty-group list that makes the restricted
+//     group scan of ViolationTracker::ComputeBinPenalties exact.
+
+#ifndef SRC_SOLVER_INCREMENTAL_H_
+#define SRC_SOLVER_INCREMENTAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/thread_pool.h"
+#include "src/solver/problem.h"
+#include "src/solver/violation_tracker.h"
+
+namespace shardman {
+
+// Dense set over [0, size) with O(1) Clear: membership is "stamp == current generation". Insert
+// and Contains are single array accesses; the only allocations happen in Reset. Insertions are
+// additionally recorded in `items()` (insertion order) so the member list can be iterated
+// without scanning the universe.
+class GenStampSet {
+ public:
+  void Reset(int64_t size) {
+    stamp_.assign(static_cast<size_t>(size), 0);
+    gen_ = 1;
+    items_.clear();
+  }
+
+  void Clear() {
+    ++gen_;
+    items_.clear();
+    if (gen_ == 0) {  // wrapped: stamps from 4 billion generations ago would alias
+      stamp_.assign(stamp_.size(), 0);
+      gen_ = 1;
+    }
+  }
+
+  bool Contains(int32_t id) const { return stamp_[static_cast<size_t>(id)] == gen_; }
+
+  // Returns true if newly inserted.
+  bool Insert(int32_t id) {
+    uint32_t& slot = stamp_[static_cast<size_t>(id)];
+    if (slot == gen_) {
+      return false;
+    }
+    slot = gen_;
+    items_.push_back(id);
+    return true;
+  }
+
+  int64_t size() const { return static_cast<int64_t>(items_.size()); }
+  int64_t universe() const { return static_cast<int64_t>(stamp_.size()); }
+  const std::vector<int32_t>& items() const { return items_; }
+
+ private:
+  std::vector<uint32_t> stamp_;
+  uint32_t gen_ = 1;
+  std::vector<int32_t> items_;
+};
+
+// Contiguous per-bin entity lists: entities_of(bin) is a slice of one flat array (CSR layout).
+// Built from a problem's current assignment; read-only after Build.
+class BinEntityIndex {
+ public:
+  void Build(const SolverProblem& problem);
+
+  struct Span {
+    const int32_t* begin;
+    const int32_t* end;
+  };
+  Span entities_of(int32_t bin) const {
+    const int32_t* base = entities_.data();
+    return {base + offsets_[static_cast<size_t>(bin)],
+            base + offsets_[static_cast<size_t>(bin) + 1]};
+  }
+
+ private:
+  std::vector<int32_t> offsets_;   // bins + 1
+  std::vector<int32_t> entities_;  // assigned entities, grouped by bin
+};
+
+// The initial dirty neighborhoods of a warm-started problem.
+struct DirtySeed {
+  int64_t dirty_entities = 0;
+  int64_t dirty_bins = 0;
+  double dirty_fraction = 0.0;      // dirty_entities / max(1, entities)
+  std::vector<int32_t> dirty_groups;  // sorted ascending; seeds the restricted group scan
+};
+
+// Builds the dirty seed for `problem`'s current assignment. `tracker` must be Init()ed.
+// `pool` (optional) shards the penalty scan exactly as the refresh path does.
+DirtySeed BuildDirtySeed(const SolverProblem& problem, const ViolationTracker& tracker,
+                         ThreadPool* pool = nullptr);
+
+}  // namespace shardman
+
+#endif  // SRC_SOLVER_INCREMENTAL_H_

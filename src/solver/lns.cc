@@ -1,0 +1,307 @@
+#include "src/solver/lns.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace shardman {
+
+namespace {
+constexpr double kImproveEps = 1e-7;
+}  // namespace
+
+LnsSearch::LnsSearch(SolverProblem* problem, const Rebalancer* specs,
+                     const SolveOptions& options, ThreadPool* pool)
+    : problem_(problem), specs_(specs), options_(options), tracker_(problem, specs),
+      rng_(options.seed), pool_(pool) {}
+
+TimeMicros LnsSearch::Elapsed() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_).count();
+}
+
+bool LnsSearch::BudgetExhausted() const {
+  if (options_.move_budget > 0 && static_cast<int64_t>(moves_.size()) >= options_.move_budget) {
+    return true;
+  }
+  if (options_.eval_budget > 0 && evaluations_ >= options_.eval_budget) {
+    return true;
+  }
+  return options_.time_budget > 0 && Elapsed() >= options_.time_budget;
+}
+
+void LnsSearch::RecordTrace(bool force) {
+  if (options_.trace_interval <= 0) {
+    return;
+  }
+  TimeMicros now = Elapsed();
+  if (!force && last_trace_ >= 0 && now - last_trace_ < options_.trace_interval) {
+    return;
+  }
+  last_trace_ = now;
+  TracePoint point;
+  point.wall_elapsed = now;
+  point.moves_applied = static_cast<int64_t>(moves_.size());
+  point.violations = tracker_.Count().total();
+  point.objective = tracker_.objective();
+  point.evaluations = evaluations_;
+  trace_.push_back(point);
+}
+
+void LnsSearch::PlaceUnavailable() {
+  std::vector<int32_t> pending = tracker_.UnavailableEntities();
+  if (pending.empty() || all_live_bins_.empty()) {
+    return;
+  }
+  std::sort(pending.begin(), pending.end(), [this](int32_t a, int32_t b) {
+    return tracker_.EntitySize(a) > tracker_.EntitySize(b);
+  });
+  for (int32_t entity : pending) {
+    if (BudgetExhausted()) {
+      return;
+    }
+    int best = -1;
+    double best_util = 0.0;
+    const int samples = std::max(4, options_.candidates_per_entity);
+    for (int k = 0; k < samples; ++k) {
+      int32_t bin = rng_.Pick(all_live_bins_);
+      ++evaluations_;
+      if (!tracker_.FitsHard(entity, bin) || tracker_.GroupColocated(entity, bin)) {
+        continue;
+      }
+      double util = tracker_.BinMaxUtilization(bin);
+      if (best < 0 || util < best_util) {
+        best = bin;
+        best_util = util;
+      }
+    }
+    if (best < 0) {
+      for (int32_t bin : all_live_bins_) {
+        if (!tracker_.FitsHard(entity, bin)) {
+          continue;
+        }
+        if (!tracker_.GroupColocated(entity, bin)) {
+          best = bin;
+          break;
+        }
+        if (best < 0) {
+          best = bin;
+        }
+      }
+    }
+    if (best >= 0) {
+      int32_t from = problem_->assignment[static_cast<size_t>(entity)];
+      tracker_.ApplyMove(entity, best);
+      moves_.push_back(SolverMove{entity, from, best});
+    }
+    RecordTrace(/*force=*/false);
+  }
+}
+
+bool LnsSearch::SelectNeighborhood(const std::vector<int32_t>& hot_bins) {
+  victims_.clear();
+  victim_origin_.clear();
+  const size_t cap = static_cast<size_t>(std::max(8, options_.lns_neighborhood));
+
+  auto add_bin_entities = [&](int32_t bin) {
+    for (int32_t entity : tracker_.bin_entities(bin)) {
+      if (victims_.size() >= cap) {
+        return;
+      }
+      victims_.push_back(entity);
+    }
+  };
+
+  int kind = static_cast<int>(rng_.UniformInt(0, 2));
+  if (kind == 2) {
+    // Cluster of spread/affinity-violating groups: every member of a run of violating groups,
+    // starting at a seeded-random offset so successive rounds walk different clusters.
+    group_scratch_.clear();
+    tracker_.AppendViolatingGroups(&group_scratch_);
+    if (group_scratch_.empty()) {
+      kind = 1;  // no group violations left: fall through to the percentile band
+    } else {
+      size_t offset = static_cast<size_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(group_scratch_.size()) - 1));
+      for (size_t i = 0; i < group_scratch_.size() && victims_.size() < cap; ++i) {
+        int32_t g = group_scratch_[(offset + i) % group_scratch_.size()];
+        for (int32_t member : tracker_.GroupMembers(g)) {
+          int32_t b = problem_->assignment[static_cast<size_t>(member)];
+          if (b >= 0 && problem_->bin_alive[static_cast<size_t>(b)] != 0 &&
+              victims_.size() < cap) {
+            victims_.push_back(member);
+          }
+        }
+      }
+    }
+  }
+  if (kind == 0) {
+    // The whole rack of one of the hottest bins: overload correlated by fault domain.
+    size_t pick = static_cast<size_t>(
+        rng_.UniformInt(0, std::min<int64_t>(7, static_cast<int64_t>(hot_bins.size()) - 1)));
+    int32_t rack = problem_->bin_rack[static_cast<size_t>(hot_bins[pick])];
+    if (rack >= 0 && static_cast<size_t>(rack) < rack_bins_.size()) {
+      for (int32_t bin : rack_bins_[static_cast<size_t>(rack)]) {
+        add_bin_entities(bin);
+        if (victims_.size() >= cap) {
+          break;
+        }
+      }
+    }
+  } else if (kind == 1) {
+    // The hottest percentile band: walk bins hottest-first until the budget is full.
+    for (int32_t bin : hot_bins) {
+      add_bin_entities(bin);
+      if (victims_.size() >= cap) {
+        break;
+      }
+    }
+  }
+  if (victims_.empty()) {
+    return false;
+  }
+  // Largest-first rebuild order (first-fit-decreasing), entity id as the deterministic
+  // tie-break.
+  std::sort(victims_.begin(), victims_.end(), [this](int32_t a, int32_t b) {
+    double sa = tracker_.EntitySize(a);
+    double sb = tracker_.EntitySize(b);
+    if (sa != sb) {
+      return sa > sb;
+    }
+    return a < b;
+  });
+  victim_origin_.reserve(victims_.size());
+  for (int32_t entity : victims_) {
+    victim_origin_.push_back(problem_->assignment[static_cast<size_t>(entity)]);
+  }
+  return true;
+}
+
+int LnsSearch::RebuildEntity(int entity, int previous_bin) {
+  int best = -1;
+  double best_delta = 0.0;
+  auto consider = [&](int bin) {
+    if (bin < 0 || !tracker_.FitsHard(entity, bin) || tracker_.GroupColocated(entity, bin)) {
+      return;
+    }
+    ++evaluations_;
+    double delta = tracker_.MoveDelta(entity, bin);
+    if (best < 0 || delta < best_delta) {
+      best = bin;
+      best_delta = delta;
+    }
+  };
+  // The previous bin is always a candidate: it held the entity before the destroy, so the
+  // rebuild can never end worse than a plain revert for this entity.
+  consider(previous_bin);
+  for (int k = 0; k < options_.candidates_per_entity; ++k) {
+    consider(rng_.Pick(all_live_bins_));
+  }
+  if (best < 0) {
+    // Capacity freed by the destroy phase may not cover this entity at the sampled bins; scan
+    // for any feasible one, and force the previous bin as the last resort (it may only violate
+    // soft goals, which the accept test will price).
+    for (int32_t bin : all_live_bins_) {
+      if (tracker_.FitsHard(entity, bin) && !tracker_.GroupColocated(entity, bin)) {
+        best = bin;
+        break;
+      }
+    }
+    if (best < 0) {
+      best = previous_bin;
+    }
+  }
+  return best;
+}
+
+SolveResult LnsSearch::Run() {
+  start_ = Clock::now();
+  problem_->Validate();
+  tracker_.Init();
+  tracker_.SetAutoRecompute(options_.objective_recompute_moves, /*scope_averages_too=*/false);
+  tracker_.SetDriftCheck(options_.check_drift, /*tolerance=*/1e-4);
+
+  SolveResult result;
+  result.initial_violations = tracker_.Count();
+
+  all_live_bins_.clear();
+  const int racks = std::max(1, problem_->num_racks);
+  rack_bins_.assign(static_cast<size_t>(racks), {});
+  for (int b = 0; b < problem_->num_bins(); ++b) {
+    if (problem_->bin_alive[static_cast<size_t>(b)] == 0) {
+      continue;
+    }
+    all_live_bins_.push_back(b);
+    int32_t rack = problem_->bin_rack[static_cast<size_t>(b)];
+    if (rack >= 0 && rack < racks) {
+      rack_bins_[static_cast<size_t>(rack)].push_back(b);
+    }
+  }
+
+  RecordTrace(/*force=*/true);
+  PlaceUnavailable();
+
+  while (!BudgetExhausted() && !all_live_bins_.empty()) {
+    std::vector<double> penalties = tracker_.ComputeBinPenalties(kGoalAll, pool_);
+    std::vector<int32_t> hot_bins;
+    for (int b = 0; b < problem_->num_bins(); ++b) {
+      if (penalties[static_cast<size_t>(b)] > kImproveEps) {
+        hot_bins.push_back(b);
+      }
+    }
+    if (hot_bins.empty()) {
+      converged_ = true;
+      break;
+    }
+    std::sort(hot_bins.begin(), hot_bins.end(), [&penalties](int32_t a, int32_t b) {
+      return penalties[static_cast<size_t>(a)] > penalties[static_cast<size_t>(b)];
+    });
+    if (!SelectNeighborhood(hot_bins)) {
+      converged_ = true;
+      break;
+    }
+
+    // Destroy: evict the neighborhood. Rebuild: greedy largest-first re-placement through the
+    // shared incremental objective. Both phases always run to completion (a partial rebuild
+    // would leave the assignment holed), even if the eval budget expires mid-round.
+    const double pre_objective = tracker_.objective();
+    for (int32_t entity : victims_) {
+      tracker_.ApplyUnassign(entity);
+    }
+    for (size_t i = 0; i < victims_.size(); ++i) {
+      int to = RebuildEntity(victims_[i], victim_origin_[i]);
+      tracker_.ApplyMove(victims_[i], to);
+    }
+
+    if (tracker_.objective() < pre_objective - kImproveEps) {
+      ++lns_rebuilds_;
+      for (size_t i = 0; i < victims_.size(); ++i) {
+        int32_t now_at = problem_->assignment[static_cast<size_t>(victims_[i])];
+        if (now_at != victim_origin_[i]) {
+          moves_.push_back(SolverMove{victims_[i], victim_origin_[i], now_at});
+        }
+      }
+    } else {
+      // Revert the whole round.
+      for (size_t i = 0; i < victims_.size(); ++i) {
+        if (problem_->assignment[static_cast<size_t>(victims_[i])] != victim_origin_[i]) {
+          tracker_.ApplyMove(victims_[i], victim_origin_[i]);
+        }
+      }
+    }
+    RecordTrace(/*force=*/false);
+  }
+
+  tracker_.RecomputeAll();
+  RecordTrace(/*force=*/true);
+  result.moves = std::move(moves_);
+  result.final_violations = tracker_.Count();
+  result.final_objective = tracker_.objective();
+  result.wall_time = Elapsed();
+  result.evaluations = evaluations_;
+  result.trace = std::move(trace_);
+  result.converged = converged_;
+  result.lns_rebuilds = lns_rebuilds_;
+  return result;
+}
+
+}  // namespace shardman

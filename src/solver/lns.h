@@ -1,0 +1,88 @@
+// LnsSearch: a large-neighborhood-search backend for the Rebalancer's spec set
+// (DESIGN.md §14).
+//
+// Greedy local search moves one entity at a time and can wedge in local minima where no single
+// move improves: a hot rack whose every escape move overloads a neighbor, or a spread-violating
+// group whose members block each other. LNS escapes by *destroying* a bounded neighborhood —
+// unassigning every entity in it — and rebuilding it greedily from scratch through the same
+// ViolationTracker objective. A rebuilt round is kept only if it beat the pre-destroy
+// objective; otherwise every entity returns to its previous bin.
+//
+// Destroy neighborhoods (seeded-randomly chosen per round, truncated to about
+// SolveOptions::lns_neighborhood entities):
+//   * the rack of a hot bin (fault-domain-correlated overload),
+//   * the hottest percentile band of bins (diffuse overload),
+//   * a cluster of spread/affinity-violating groups (placement conflicts).
+//
+// The backend runs as a portfolio member in ParallelSolver (SolveOptions::lns_starts): same
+// seeds, same deterministic eval budget, same objective/violations/start-index reduction. A run
+// is a pure function of (problem, specs, options.seed); the optional pool only shards the
+// refresh scans, which are bit-identical with and without it.
+
+#ifndef SRC_SOLVER_LNS_H_
+#define SRC_SOLVER_LNS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/solver/problem.h"
+#include "src/solver/rebalancer.h"
+#include "src/solver/violation_tracker.h"
+
+namespace shardman {
+
+class LnsSearch {
+ public:
+  LnsSearch(SolverProblem* problem, const Rebalancer* specs, const SolveOptions& options,
+            ThreadPool* pool = nullptr);
+
+  SolveResult Run();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  TimeMicros Elapsed() const;
+  bool BudgetExhausted() const;
+  void RecordTrace(bool force);
+
+  // Largest-first sampled placement of unassigned/dead-bin entities (same bootstrap as the
+  // local-search hard batch, so the portfolio members start from comparable states).
+  void PlaceUnavailable();
+
+  // Picks this round's victims (entities to unassign) into `victims_`. Returns false if no
+  // destroyable neighborhood exists.
+  bool SelectNeighborhood(const std::vector<int32_t>& hot_bins);
+
+  // Greedy re-placement of one destroyed entity; returns the chosen bin (>= 0 always — the
+  // previous bin is a guaranteed-feasible fallback).
+  int RebuildEntity(int entity, int previous_bin);
+
+  SolverProblem* problem_;
+  const Rebalancer* specs_;
+  SolveOptions options_;
+  ViolationTracker tracker_;
+  Rng rng_;
+  ThreadPool* pool_ = nullptr;
+
+  Clock::time_point start_;
+  TimeMicros last_trace_ = -1;
+
+  std::vector<SolverMove> moves_;
+  int64_t evaluations_ = 0;
+  int64_t lns_rebuilds_ = 0;  // accepted destroy/rebuild rounds
+  bool converged_ = false;
+  std::vector<TracePoint> trace_;
+
+  std::vector<int32_t> all_live_bins_;
+  std::vector<std::vector<int32_t>> rack_bins_;      // live bins per rack
+  std::vector<int32_t> victims_;                     // this round's destroyed entities
+  std::vector<int32_t> victim_origin_;               // previous bin per victim (parallel array)
+  std::vector<int32_t> group_scratch_;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_SOLVER_LNS_H_

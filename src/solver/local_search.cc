@@ -48,7 +48,18 @@ void LocalSearch::RecordTrace(bool force) {
   point.moves_applied = static_cast<int64_t>(moves_.size());
   point.violations = tracker_.Count().total();
   point.objective = tracker_.objective();
+  point.evaluations = evaluations_;
   trace_.push_back(point);
+}
+
+void LocalSearch::MarkGroupDirty(int entity) {
+  if (!incremental_) {
+    return;
+  }
+  int32_t group = problem_->entity_group[static_cast<size_t>(entity)];
+  if (group >= 0) {
+    dirty_groups_.Insert(group);
+  }
 }
 
 void LocalSearch::ApplyAndRecord(int entity, int to) {
@@ -56,20 +67,28 @@ void LocalSearch::ApplyAndRecord(int entity, int to) {
   move.entity = entity;
   move.from = problem_->assignment[static_cast<size_t>(entity)];
   move.to = to;
+  MarkGroupDirty(entity);
   tracker_.ApplyMove(entity, to);
   moves_.push_back(move);
   ++moves_since_refresh_;
-  failed_class_bin_.clear();
+  ClearFailed();
 }
 
 SolveResult LocalSearch::Run() {
   start_ = Clock::now();
   problem_->Validate();
   tracker_.Init();
+  // Bound incremental-objective drift between refreshes: PlaceUnavailable and the incremental
+  // refresh path can apply long move runs without a full recompute. Objective-only (no average
+  // refresh) so the schedule can never alter move decisions — deltas and averages are
+  // untouched; only the reported objective snaps back to exact.
+  tracker_.SetAutoRecompute(options_.objective_recompute_moves, /*scope_averages_too=*/false);
+  tracker_.SetDriftCheck(options_.check_drift, /*tolerance=*/1e-4);
 
   // Dense equivalence classes over (quantized load vector, has-group, has-affinity).
   const int entities = problem_->num_entities();
   entity_class_.assign(static_cast<size_t>(entities), 0);
+  int32_t num_classes = entities;
   if (options_.equivalence_classes) {
     std::unordered_map<uint64_t, int32_t> class_ids;
     for (int e = 0; e < entities; ++e) {
@@ -85,14 +104,35 @@ SolveResult LocalSearch::Run() {
       auto [it, inserted] = class_ids.emplace(h, static_cast<int32_t>(class_ids.size()));
       entity_class_[static_cast<size_t>(e)] = it->second;
     }
+    num_classes = static_cast<int32_t>(class_ids.size());
   } else {
     for (int e = 0; e < entities; ++e) {
       entity_class_[static_cast<size_t>(e)] = e;  // every entity its own class: no skipping
     }
   }
+  class_fail_gen_.assign(static_cast<size_t>(num_classes), 0);
+  class_fail_bin_.assign(static_cast<size_t>(num_classes), -1);
+  fail_gen_ = 1;
 
   SolveResult result;
   result.initial_violations = tracker_.Count();
+
+  // Warm-started incremental repair: size the dirty neighborhoods of the incoming assignment
+  // and run restricted refresh scans when they are small; a mostly-dirty problem (or an
+  // emergency placement run, which never refreshes) falls back to the full solve.
+  if (options_.incremental && !options_.emergency) {
+    DirtySeed seed = BuildDirtySeed(*problem_, tracker_, pool_);
+    result.dirty_entities = seed.dirty_entities;
+    result.dirty_bins = seed.dirty_bins;
+    if (seed.dirty_fraction <= options_.dirty_fallback_fraction) {
+      incremental_ = true;
+      result.incremental_used = true;
+      dirty_groups_.Reset(tracker_.num_groups());
+      for (int32_t g : seed.dirty_groups) {
+        dirty_groups_.Insert(g);
+      }
+    }
+  }
   RecordTrace(/*force=*/true);
 
   const Deadline budget{options_.time_budget, options_.eval_budget};
@@ -134,6 +174,10 @@ SolveResult LocalSearch::Run() {
     RunBatch(kGoalAll, budget);
   }
 
+  // Snap the final objective to exact: incremental mode never recomputed it mid-run, and even
+  // full mode carries delta drift since its last refresh. An exact final value makes the
+  // portfolio reduction compare true objectives and makes incremental == full bit-for-bit.
+  tracker_.RecomputeAll();
   RecordTrace(/*force=*/true);
   result.moves = std::move(moves_);
   result.final_violations = tracker_.Count();
@@ -211,8 +255,21 @@ void LocalSearch::PlaceUnavailable(const Deadline& deadline) {
 }
 
 void LocalSearch::RefreshStructures(uint32_t mask) {
-  tracker_.RecomputeAll();
-  bin_penalty_ = tracker_.ComputeBinPenalties(mask, pool_);
+  if (incremental_) {
+    // Restricted refresh: averages from the O(bins) load sums, group penalties only for the
+    // dirty groups. Exact — every group with nonzero penalty is dirty (seeded from the initial
+    // violations, grown on every applied move), and the ascending scatter order matches the
+    // full scan's — so the hot-bin list comes out bit-identical to a full refresh. The
+    // O(entities + groups) exact-objective pass is skipped entirely; the tracker's scheduled
+    // recompute bounds its drift and Run() snaps it to exact at the end.
+    tracker_.RecomputeScopeAverages();
+    scan_groups_.assign(dirty_groups_.items().begin(), dirty_groups_.items().end());
+    std::sort(scan_groups_.begin(), scan_groups_.end());
+    bin_penalty_ = tracker_.ComputeBinPenalties(mask, pool_, &scan_groups_);
+  } else {
+    tracker_.RecomputeAll();
+    bin_penalty_ = tracker_.ComputeBinPenalties(mask, pool_);
+  }
 
   hot_bins_.clear();
   for (int b = 0; b < problem_->num_bins(); ++b) {
@@ -376,9 +433,8 @@ bool LocalSearch::TryImproveBin(int bin, uint32_t mask, const Deadline& deadline
     if (considered >= options_.entities_per_bin_visit) {
       break;
     }
-    int64_t class_key =
-        (static_cast<int64_t>(entity_class_[static_cast<size_t>(entity)]) << 24) ^ bin;
-    if (options_.equivalence_classes && failed_class_bin_.count(class_key) > 0) {
+    int32_t cls = entity_class_[static_cast<size_t>(entity)];
+    if (options_.equivalence_classes && ClassFailed(cls, bin)) {
       continue;  // An equivalent entity already failed to find an improving move from here.
     }
     ++considered;
@@ -398,7 +454,7 @@ bool LocalSearch::TryImproveBin(int bin, uint32_t mask, const Deadline& deadline
       }
     }
     if (!improved_any && options_.equivalence_classes) {
-      failed_class_bin_.insert(class_key);
+      MarkClassFailed(cls, bin);
     }
   }
   if (best_entity >= 0) {
@@ -451,11 +507,13 @@ bool LocalSearch::TrySwap(int bin) {
       // Accept: record both halves.
       SolverMove move1{big, bin, target};
       moves_.push_back(move1);
+      MarkGroupDirty(big);
+      MarkGroupDirty(small);
       tracker_.ApplyMove(small, bin);
       SolverMove move2{small, target, bin};
       moves_.push_back(move2);
       moves_since_refresh_ += 2;
-      failed_class_bin_.clear();
+      ClearFailed();
       return true;
     }
     // Revert the tentative first half.

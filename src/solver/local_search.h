@@ -4,17 +4,23 @@
 // current goal batch), evaluates candidate moves of its largest entities to sampled target bins,
 // and applies the best improving move. It terminates when no improving move remains or a
 // time/move budget is exhausted.
+//
+// With SolveOptions::incremental (DESIGN.md §14) the refresh phase runs restricted scans: scope
+// averages come from the O(bins) load sums and group penalties are rescanned only for the dirty
+// groups (initially violating plus every group an applied move touched). The dirty-group
+// invariant makes those scans exact, so incremental and full solves of the same problem produce
+// byte-identical moves — the mode changes refresh cost only.
 
 #ifndef SRC_SOLVER_LOCAL_SEARCH_H_
 #define SRC_SOLVER_LOCAL_SEARCH_H_
 
 #include <chrono>
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
+#include "src/solver/incremental.h"
 #include "src/solver/problem.h"
 #include "src/solver/rebalancer.h"
 #include "src/solver/violation_tracker.h"
@@ -69,12 +75,32 @@ class LocalSearch {
   // honoring the entity's group affinity/spread deficits; uniform otherwise).
   int SampleCandidate(int entity);
 
-  // Rebuilds hot-bin penalties, per-region cold-bin lists and scope averages.
+  // Rebuilds hot-bin penalties, per-region cold-bin lists and scope averages. In incremental
+  // mode the group-penalty pass is restricted to the sorted dirty-group list.
   void RefreshStructures(uint32_t mask);
 
   void RecordTrace(bool force);
 
   void ApplyAndRecord(int entity, int to);
+
+  // Marks the moved entity's group dirty so the restricted group scan keeps covering every
+  // group whose penalty may have changed.
+  void MarkGroupDirty(int entity);
+
+  // -- Failed (class, from-bin) bookkeeping: generation-stamped flat slots ---------------------
+  // One slot per equivalence class holding the bin the class last failed to improve from in the
+  // current generation; bumping the generation is the O(1) clear on every applied move. Between
+  // clears each hot bin is visited at most once, so a single slot per class is exactly
+  // equivalent to the set of failed pairs — with zero rehash allocations in the move loop.
+  bool ClassFailed(int32_t cls, int32_t bin) const {
+    return class_fail_gen_[static_cast<size_t>(cls)] == fail_gen_ &&
+           class_fail_bin_[static_cast<size_t>(cls)] == bin;
+  }
+  void MarkClassFailed(int32_t cls, int32_t bin) {
+    class_fail_gen_[static_cast<size_t>(cls)] = fail_gen_;
+    class_fail_bin_[static_cast<size_t>(cls)] = bin;
+  }
+  void ClearFailed() { ++fail_gen_; }
 
   SolverProblem* problem_;
   const Rebalancer* specs_;
@@ -98,10 +124,17 @@ class LocalSearch {
   std::vector<int32_t> all_live_bins_;
   int moves_since_refresh_ = 0;
 
-  // Equivalence classes: dense class id per entity; (class, from-bin) pairs that failed to
-  // improve since the last applied move are skipped.
+  // Incremental repair (active when options_.incremental and the dirty fraction stayed under
+  // the fallback threshold).
+  bool incremental_ = false;
+  GenStampSet dirty_groups_;
+  std::vector<int32_t> scan_groups_;  // sorted scratch handed to the restricted scan
+
+  // Equivalence classes: dense class id per entity.
   std::vector<int32_t> entity_class_;
-  std::unordered_set<int64_t> failed_class_bin_;
+  std::vector<uint32_t> class_fail_gen_;
+  std::vector<int32_t> class_fail_bin_;
+  uint32_t fail_gen_ = 1;
 };
 
 }  // namespace shardman

@@ -37,7 +37,7 @@ void Rebalancer::AddGoal(const DrainSpec& spec, double weight) {
 
 SolveResult Rebalancer::Solve(SolverProblem& problem, const SolveOptions& options) const {
   SolveResult result;
-  if (options.threads <= 1 && options.starts <= 1) {
+  if (options.threads <= 1 && options.starts <= 1 && options.lns_starts <= 0) {
     // Sequential path: byte-for-byte the pre-portfolio solver.
     LocalSearch search(&problem, this, options);
     result = search.Run();
@@ -50,6 +50,11 @@ SolveResult Rebalancer::Solve(SolverProblem& problem, const SolveOptions& option
   SM_COUNTER_INC("sm.solver.solves");
   SM_COUNTER_ADD("sm.solver.moves_proposed", static_cast<int64_t>(result.moves.size()));
   SM_COUNTER_ADD("sm.solver.evaluations", result.evaluations);
+  SM_COUNTER_ADD("sm.solver.dirty_entities", result.dirty_entities);
+  SM_COUNTER_ADD("sm.solver.lns_rebuilds", result.lns_rebuilds);
+  if (result.incremental_used) {
+    SM_COUNTER_INC("sm.solver.incremental_solves");
+  }
   SM_HISTOGRAM_OBSERVE("sm.solver.wall_ms", ToMillis(result.wall_time));
   double wall_s = ToSeconds(result.wall_time);
   if (wall_s > 0.0) {

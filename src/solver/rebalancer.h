@@ -111,6 +111,33 @@ struct SolveOptions {
   bool equivalence_classes = true;
   bool enable_swaps = true;
 
+  // Warm-started incremental repair (DESIGN.md §14). When the problem arrives with a mostly
+  // good assignment (the previous round's placement plus a perturbation), the solver skips the
+  // per-refresh full-problem rescans: scope averages are rebuilt from the O(bins) load sums,
+  // and group penalties are rescanned only for the dirty groups (initially violating ones plus
+  // every group a move touched). The dirty-group invariant makes the restricted scan exact, so
+  // an incremental solve produces byte-identical moves to a full solve of the same problem —
+  // the switch changes refresh cost, never results.
+  bool incremental = false;
+  // Fall back to the full solve when more than this fraction of entities is dirty at the start
+  // (dead/draining/over-capacity bins, unassigned entities, violating groups): a mostly-dirty
+  // problem gains nothing from the restricted scans.
+  double dirty_fallback_fraction = 0.35;
+  // Incremental-objective drift bound: the tracker restores the exact objective every N applied
+  // moves between refreshes (full solves recompute at every refresh anyway). <=0 disables.
+  int64_t objective_recompute_moves = 8192;
+  // Debug flag: SM_CHECK that incremental-objective drift stays below tolerance at every
+  // scheduled recompute.
+  bool check_drift = false;
+
+  // Large-neighborhood-search portfolio members (DESIGN.md §14): the last `lns_starts` of
+  // `starts` run destroy/rebuild LNS instead of greedy local search, under the same seeds,
+  // eval budget and deterministic reduction. 0 keeps the portfolio pure local search.
+  int lns_starts = 0;
+  // Approximate entities destroyed per LNS round (rack / hot-percentile-band / violating-group
+  // neighborhoods are truncated to about this size).
+  int lns_neighborhood = 96;
+
   // Emergency mode (§5.1): place unassigned/dead-bin entities as fast as possible subject to
   // hard constraints only; soft goals may temporarily deteriorate.
   bool emergency = false;
@@ -139,6 +166,9 @@ struct TracePoint {
   int64_t moves_applied = 0;
   int64_t violations = 0;
   double objective = 0.0;
+  // Candidate evaluations consumed when the point was recorded: the deterministic x-axis for
+  // convergence curves (wall_elapsed is host-dependent).
+  int64_t evaluations = 0;
 };
 
 struct SolveResult {
@@ -152,6 +182,13 @@ struct SolveResult {
   bool converged = false;              // no improving move remained (in the winning start)
   int starts = 1;                      // portfolio starts executed
   int winner_start = 0;                // index of the start whose result this is
+
+  // Incremental-repair stats (meaningful when SolveOptions::incremental was set).
+  bool incremental_used = false;       // restricted scans ran (no fallback, not emergency)
+  int64_t dirty_entities = 0;          // entities in the initial dirty set
+  int64_t dirty_bins = 0;              // bins in the initial dirty set (incl. rack closure)
+  // Accepted LNS destroy/rebuild rounds in the winning start (0 for local-search winners).
+  int64_t lns_rebuilds = 0;
 };
 
 // ---- Rebalancer -------------------------------------------------------------------------------

@@ -87,6 +87,8 @@ void ViolationTracker::Init() {
     entity_size_[static_cast<size_t>(e)] = size;
   }
 
+  applied_moves_ = 0;
+  moves_since_recompute_ = 0;
   RecomputeAll();
 }
 
@@ -336,6 +338,92 @@ void ViolationTracker::ApplyMove(int entity, int to) {
   }
   problem_->assignment[static_cast<size_t>(entity)] = to;
   objective_ += delta;
+  ++applied_moves_;
+  ++moves_since_recompute_;
+  MaybeAutoRecompute();
+}
+
+double ViolationTracker::UnassignDelta(int entity) const {
+  int from = problem_->assignment[static_cast<size_t>(entity)];
+  if (from < 0) {
+    return 0.0;
+  }
+  double delta = 0.0;
+  if (BinLive(from)) {
+    for (int m = 0; m < metrics_; ++m) {
+      double l = problem_->load(entity, m);
+      if (l == 0.0) {
+        continue;
+      }
+      double cur = bin_load(from, m);
+      delta += BinMetricPenalty(from, m, cur - l, kGoalAll) -
+               BinMetricPenalty(from, m, cur, kGoalAll);
+    }
+    delta += kUnassignedWeight;
+    delta -= DrainPenaltyOf(from);
+  }
+  // from dead: the entity already pays kUnassignedWeight and its load is on a dead bin, which
+  // contributes nothing — only the group terms can change, and GroupPenalty skips dead bins,
+  // so they do not either. Keep the group delta unconditional for the live case.
+  int32_t group = problem_->entity_group[static_cast<size_t>(entity)];
+  if (group >= 0) {
+    delta += GroupPenalty(group, entity, -1) - GroupPenalty(group, -1, -1);
+  }
+  return delta;
+}
+
+void ViolationTracker::ApplyUnassign(int entity) {
+  int from = problem_->assignment[static_cast<size_t>(entity)];
+  SM_CHECK_GE(from, 0);
+  double delta = UnassignDelta(entity);
+  auto& list = bin_entities_[static_cast<size_t>(from)];
+  auto it = std::find(list.begin(), list.end(), entity);
+  SM_CHECK(it != list.end());
+  *it = list.back();
+  list.pop_back();
+  for (int m = 0; m < metrics_; ++m) {
+    bin_load_[static_cast<size_t>(from) * static_cast<size_t>(metrics_) +
+              static_cast<size_t>(m)] -= problem_->load(entity, m);
+  }
+  problem_->assignment[static_cast<size_t>(entity)] = -1;
+  objective_ += delta;
+  ++applied_moves_;
+  ++moves_since_recompute_;
+  MaybeAutoRecompute();
+}
+
+void ViolationTracker::SetAutoRecompute(int64_t every_moves, bool scope_averages_too) {
+  auto_recompute_moves_ = every_moves;
+  auto_recompute_averages_ = scope_averages_too;
+}
+
+void ViolationTracker::SetDriftCheck(bool enabled, double tolerance) {
+  drift_check_ = enabled;
+  drift_tolerance_ = tolerance;
+}
+
+double ViolationTracker::MeasureDrift() const {
+  double exact = ComputeExactObjective();
+  return std::abs(objective_ - exact) / std::max(1.0, std::abs(exact));
+}
+
+void ViolationTracker::MaybeAutoRecompute() {
+  if (auto_recompute_moves_ <= 0 || moves_since_recompute_ < auto_recompute_moves_) {
+    return;
+  }
+  // Measure drift against the exact objective under the *current* averages — the value the
+  // incremental deltas were approximating — before any average refresh moves the target.
+  double exact = ComputeExactObjective();
+  if (drift_check_) {
+    double drift = std::abs(objective_ - exact) / std::max(1.0, std::abs(exact));
+    SM_CHECK(drift <= drift_tolerance_);
+  }
+  if (auto_recompute_averages_) {
+    RecomputeAll();
+  } else {
+    objective_ = exact;
+    moves_since_recompute_ = 0;
+  }
 }
 
 void ViolationTracker::RecomputeScopeAverages() {
@@ -386,6 +474,7 @@ double ViolationTracker::ComputeExactObjective() const {
 void ViolationTracker::RecomputeAll() {
   RecomputeScopeAverages();
   objective_ = ComputeExactObjective();
+  moves_since_recompute_ = 0;
 }
 
 ViolationCounts ViolationTracker::Count() const {
@@ -462,7 +551,8 @@ ViolationCounts ViolationTracker::Count() const {
   return counts;
 }
 
-std::vector<double> ViolationTracker::ComputeBinPenalties(uint32_t mask, ThreadPool* pool) const {
+std::vector<double> ViolationTracker::ComputeBinPenalties(
+    uint32_t mask, ThreadPool* pool, const std::vector<int32_t>* scan_groups) const {
   const int64_t bins = problem_->num_bins();
   const int64_t groups = static_cast<int64_t>(group_members_.size());
   // Sharding is worth the task overhead only for large scans; below the threshold the pool is
@@ -490,19 +580,49 @@ std::vector<double> ViolationTracker::ComputeBinPenalties(uint32_t mask, ThreadP
     scan_bins(0, bins);
   }
 
-  if ((mask & kGoalGroup) != 0) {
+  if ((mask & kGoalGroup) != 0 && scan_groups != nullptr) {
+    // Restricted scan (incremental repair): only the listed groups are evaluated, into a
+    // compact per-entry scratch — O(dirty) work and memory instead of O(groups). The list is
+    // sorted ascending, so the scatter accumulates onto each bin in the same group order as the
+    // full scan below and the floating-point sums come out bit-identical.
+    const std::vector<int32_t>& list = *scan_groups;
+    const int64_t n = static_cast<int64_t>(list.size());
+    std::vector<double> scoped_pen(static_cast<size_t>(n), 0.0);
+    auto scan_scoped = [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        scoped_pen[static_cast<size_t>(i)] = GroupPenalty(list[static_cast<size_t>(i)], -1, -1);
+      }
+    };
+    if (shard) {
+      pool->ParallelFor(0, n, 2048, scan_scoped);
+    } else {
+      scan_scoped(0, n);
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      double pen = scoped_pen[static_cast<size_t>(i)];
+      if (pen <= kEps) {
+        continue;
+      }
+      for (int32_t member : group_members_[static_cast<size_t>(list[static_cast<size_t>(i)])]) {
+        int32_t b = problem_->assignment[static_cast<size_t>(member)];
+        if (BinLive(b)) {
+          penalties[static_cast<size_t>(b)] += pen;
+        }
+      }
+    }
+  } else if ((mask & kGoalGroup) != 0) {
     // Group penalties are computed into per-group slots (shardable map), then scattered onto
     // member bins sequentially: the scatter writes overlap across groups, so it stays serial.
     std::vector<double> group_pen(static_cast<size_t>(groups), 0.0);
-    auto scan_groups = [&](int64_t begin, int64_t end) {
+    auto scan_all = [&](int64_t begin, int64_t end) {
       for (int64_t g = begin; g < end; ++g) {
         group_pen[static_cast<size_t>(g)] = GroupPenalty(static_cast<int32_t>(g), -1, -1);
       }
     };
     if (shard) {
-      pool->ParallelFor(0, groups, 2048, scan_groups);
+      pool->ParallelFor(0, groups, 2048, scan_all);
     } else {
-      scan_groups(0, groups);
+      scan_all(0, groups);
     }
     for (size_t g = 0; g < group_members_.size(); ++g) {
       double pen = group_pen[g];
@@ -518,6 +638,14 @@ std::vector<double> ViolationTracker::ComputeBinPenalties(uint32_t mask, ThreadP
     }
   }
   return penalties;
+}
+
+void ViolationTracker::AppendViolatingGroups(std::vector<int32_t>* out) const {
+  for (size_t g = 0; g < group_members_.size(); ++g) {
+    if (GroupPenalty(static_cast<int32_t>(g), -1, -1) > kEps) {
+      out->push_back(static_cast<int32_t>(g));
+    }
+  }
 }
 
 std::vector<int32_t> ViolationTracker::UnavailableEntities() const {

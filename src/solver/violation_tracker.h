@@ -47,12 +47,45 @@ class ViolationTracker {
   // Applies the move: updates the problem's assignment and all incremental state.
   void ApplyMove(int entity, int to);
 
+  // Objective change if `entity` were evicted to the unassigned state (bin -1). Mirrors
+  // MoveDelta with a dead destination: load/drain penalties vanish, the unassigned penalty
+  // appears, and the entity stops counting toward its group's affinity/spread terms.
+  double UnassignDelta(int entity) const;
+
+  // Evicts `entity` from its bin (assignment becomes -1). Used by the LNS destroy phase; the
+  // rebuild phase re-places through ApplyMove.
+  void ApplyUnassign(int entity);
+
   // Current (incrementally maintained) objective. Subject to small drift across cross-domain
   // moves between average refreshes; RecomputeAll() restores exactness.
   double objective() const { return objective_; }
 
   // Recomputes scope-average utilizations and the exact objective. Called at refresh points.
   void RecomputeAll();
+
+  // Recomputes only the per-scope average utilizations (O(bins) per balance spec) without the
+  // O(entities + groups) exact-objective pass. The incremental-repair refresh path uses this:
+  // averages must track applied moves for MoveDelta to price balance goals correctly, but the
+  // exact objective is only needed once, at the end of the solve.
+  void RecomputeScopeAverages();
+
+  // Schedules an exact-objective recompute every `every_moves` applied moves (<=0 disables),
+  // bounding incremental FP drift the way annealing's ad-hoc RecomputeAll cadence did. When
+  // `scope_averages_too` is set the scheduled recompute also refreshes balance averages (the
+  // annealing behavior); the local-search incremental path leaves it off so average refreshes
+  // stay pinned to refresh boundaries and cannot alter move decisions.
+  void SetAutoRecompute(int64_t every_moves, bool scope_averages_too);
+
+  // Debug drift assertion: at every scheduled recompute, SM_CHECK that the relative drift
+  // between the incrementally maintained and the exact objective is below `tolerance`.
+  void SetDriftCheck(bool enabled, double tolerance);
+
+  // Relative drift |incremental - exact| / max(1, |exact|) of the current objective. Exposed
+  // for the drift regression test; does not mutate state.
+  double MeasureDrift() const;
+
+  // Applied moves (ApplyMove + ApplyUnassign) since Init; drives the auto-recompute schedule.
+  int64_t applied_moves() const { return applied_moves_; }
 
   // Exact discrete violation counts for the current assignment.
   ViolationCounts Count() const;
@@ -61,7 +94,21 @@ class ViolationTracker {
   // Group penalties are attributed to every bin hosting a member of a violating group.
   // `pool` (optional) shards the scan for large problems; every sharded write is to a disjoint
   // per-bin / per-group slot, so the output is bit-identical with and without a pool.
-  std::vector<double> ComputeBinPenalties(uint32_t mask, ThreadPool* pool = nullptr) const;
+  //
+  // `scan_groups` (optional, sorted ascending) restricts the group-penalty pass to the listed
+  // groups. The restricted scan is exact — not approximate — whenever every group with nonzero
+  // penalty is listed: unlisted groups would contribute nothing to the scatter anyway, and the
+  // ascending iteration order keeps the floating-point accumulation order identical to the full
+  // scan's. Incremental repair maintains exactly that invariant (DESIGN.md §14).
+  std::vector<double> ComputeBinPenalties(uint32_t mask, ThreadPool* pool = nullptr,
+                                          const std::vector<int32_t>* scan_groups = nullptr) const;
+
+  // Appends every group whose current affinity+exclusion penalty is nonzero (above the same
+  // epsilon the penalty scatter uses). Seeds the incremental dirty-group set.
+  void AppendViolatingGroups(std::vector<int32_t>* out) const;
+
+  // Number of group slots (max group id + 1).
+  int32_t num_groups() const { return static_cast<int32_t>(group_members_.size()); }
 
   // Entities currently unassigned or stranded on dead bins.
   std::vector<int32_t> UnavailableEntities() const;
@@ -110,7 +157,7 @@ class ViolationTracker {
   double GroupPenalty(int32_t group, int moved_entity, int to) const;
   double DrainPenaltyOf(int bin) const;
   double ComputeExactObjective() const;
-  void RecomputeScopeAverages();
+  void MaybeAutoRecompute();
 
   SolverProblem* problem_;
   const Rebalancer* specs_;
@@ -125,6 +172,14 @@ class ViolationTracker {
   std::vector<double> capacity_limit_;               // per metric; <0 if no capacity constraint
   std::vector<double> entity_size_;
   double objective_ = 0.0;
+
+  // Drift-bounded auto-recompute (satellite of DESIGN.md §14).
+  int64_t applied_moves_ = 0;
+  int64_t auto_recompute_moves_ = 0;
+  int64_t moves_since_recompute_ = 0;
+  bool auto_recompute_averages_ = false;
+  bool drift_check_ = false;
+  double drift_tolerance_ = 1e-6;
 };
 
 }  // namespace shardman
