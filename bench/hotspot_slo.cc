@@ -1,0 +1,284 @@
+// Hotspot economy bench (DESIGN.md §15): open-loop Zipf traffic with a flash crowd aimed at
+// one shard, swept over hotspot intensity (the flash-crowd rate multiplier), with the
+// adaptive split/merge planner off (static uniform sharding) vs on.
+//
+// Three phases:
+//
+//   1. Intensity sweep: for each flash_peak in the sweep, the identical scenario runs with
+//      adaptive sharding off and on; p99/p99.9 latency, SLO violations and the final shard
+//      economy (splits, merges, active shards) are compared. The flash crowd's popular keys
+//      all land inside one shard, so whole-shard rebalancing cannot help — only splitting can.
+//   2. Determinism gate: the peak-intensity adaptive scenario re-runs at sim_threads in
+//      {1, 2, 8} plus a same-seed repeat; the full-state digests and line-by-line reports
+//      must match byte-for-byte. Any divergence prints both reports and exits nonzero.
+//   3. Headline: p99.9 improvement (static / adaptive) at the highest intensity; the
+//      acceptance floor is 2x.
+//
+// Output: tables on stdout plus a single-line JSON document (SM_HOTSPOT_OUT, default
+// BENCH_hotspot.json). SM_BENCH_SCALE shrinks the flash hold and tail for CI.
+//
+// Gate mode: with SM_SIM_THREADS set, runs the peak-intensity adaptive scenario once at that
+// thread count, prints the digest, and writes SM_METRICS_OUT (flat JSONL metrics including
+// the digest gauges). The CI hotspot-determinism lane runs this at 1/2/8 threads and diffs
+// the dumps byte-for-byte.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/check.h"
+#include "src/common/table.h"
+#include "src/obs/metrics.h"
+#include "src/workload/hotspot_sim.h"
+
+using namespace shardman;
+using namespace shardman::bench;
+
+namespace {
+
+struct ScenarioTimes {
+  TimeMicros flash_start = Seconds(12);
+  TimeMicros flash_rise = Seconds(4);
+  TimeMicros flash_hold = Seconds(48);
+  TimeMicros flash_fall = Seconds(6);
+  TimeMicros tail = Seconds(16);
+  TimeMicros duration() const { return flash_start + flash_rise + flash_hold + flash_fall + tail; }
+};
+
+ScenarioTimes MakeTimes(double scale) {
+  ScenarioTimes times;
+  // The hold must stay well above the planner's reaction budget (a full split cascade to
+  // ~16 leaves, one structural op per tick), so scaling clamps at 28s rather than shrinking
+  // proportionally all the way down.
+  times.flash_hold = std::max<TimeMicros>(Seconds(28), static_cast<TimeMicros>(Seconds(48) * scale));
+  times.tail = std::max<TimeMicros>(Seconds(8), static_cast<TimeMicros>(Seconds(16) * scale));
+  return times;
+}
+
+HotspotSimConfig MakeConfig(double intensity, bool adaptive, int threads,
+                            const ScenarioTimes& times) {
+  HotspotSimConfig config;
+  config.regions = 2;
+  config.servers_per_region = 8;
+  config.initial_shards = 8;
+  config.max_shards = 64;
+  // 2 x 800 rps against 16 servers at 900 rps each: ~11% baseline utilization, and the peak
+  // sweep point (6x) pushes the fleet to ~67% aggregate — comfortably feasible, but only if
+  // the hot range is split across servers: un-split, the whole flash load funnels through the
+  // one server owning the flash shard (10x its capacity at peak). Each simulated request
+  // stands for a batch of identical user requests, so this is the million-user regime at
+  // 1/batch the event cost.
+  config.requests_per_second = 800.0;
+  config.server_service_rate = 900.0;
+  config.zipf_s = 1.2;
+  // Flash class is flatter (s=0.9): a crowd hits a tight key *range*, not one key. With
+  // s=1.2 the single hottest key alone would exceed one server's capacity at peak — an
+  // unsolvable placement no amount of splitting could fix.
+  config.flash_zipf_s = 0.9;
+  config.flash_peak = intensity;
+  config.flash_start = times.flash_start;
+  config.flash_rise = times.flash_rise;
+  config.flash_hold = times.flash_hold;
+  config.flash_fall = times.flash_fall;
+  config.adaptive = adaptive;
+  // 500ms windows: a shard completing above ~500 rps (55% of one server) — or showing
+  // queueing in its p99 — is hot; two hot windows trigger a split, and with one structural op
+  // per tick the full cascade to ~16 leaves lands inside the measure grace. The p99 threshold
+  // must clear the cross-region RTT (2 x 40ms wide hops): a shard whose traffic is merely
+  // remote is not hot, only one whose queue is actually growing.
+  config.planner.window = Millis(500);
+  config.planner.hot_requests_per_window = 250;
+  config.planner.hot_p99_ms = 150.0;
+  config.planner.cold_requests_per_window = 25;
+  config.planner.split_after_windows = 2;
+  config.planner.merge_after_windows = 6;
+  config.planner.cooldown_windows = 1;
+  config.planner.max_shards = config.max_shards;
+  config.slo_ms = 100.0;
+  config.measure_grace = Seconds(12);
+  config.sim_shards = 4;
+  config.sim_threads = threads;
+  config.seed = 17;
+  return config;
+}
+
+struct ScenarioRun {
+  HotspotTotals totals;
+  uint64_t digest = 0;
+  std::string report;
+};
+
+ScenarioRun RunScenario(const HotspotSimConfig& config, TimeMicros duration) {
+  HotspotSim sim(config);
+  sim.Run(duration);
+  ScenarioRun run;
+  run.totals = sim.Totals();
+  run.digest = sim.StateDigest();
+  run.report = sim.DigestReport();
+  return run;
+}
+
+std::string HexDigest(uint64_t digest) {
+  std::ostringstream os;
+  os << "0x" << std::hex << digest;
+  return os.str();
+}
+
+// Gate mode (SM_SIM_THREADS set): the peak-intensity adaptive scenario once at the requested
+// thread count, metrics dumped for cross-run diffing. Everything written is a pure function
+// of (config, seed).
+int RunGateMode(int threads, double peak_intensity, const ScenarioTimes& times) {
+  HotspotSim sim(MakeConfig(peak_intensity, /*adaptive=*/true, threads, times));
+  sim.Run(times.duration());
+  sim.ExportMetrics();
+  std::cout << "hotspot gate: threads=" << threads << " digest=" << HexDigest(sim.StateDigest())
+            << " splits=" << sim.Totals().splits << " merges=" << sim.Totals().merges << "\n";
+  if (const char* metrics_out = std::getenv("SM_METRICS_OUT")) {
+    std::ofstream os(metrics_out);
+    obs::DefaultMetrics().WriteJsonl(os);
+    std::cout << "metrics JSONL written to " << metrics_out << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = BenchScale();
+  const ScenarioTimes times = MakeTimes(scale);
+  const std::vector<double> kIntensities = {1.0, 2.0, 4.0, 6.0};
+  const double peak_intensity = kIntensities.back();
+
+  if (const char* env = std::getenv("SM_SIM_THREADS")) {
+    return RunGateMode(std::max(1, std::atoi(env)), peak_intensity, times);
+  }
+
+  PrintHeader("Hotspot economy: adaptive split/merge vs static sharding",
+              "Shard Manager §5 (load balancing) — flash crowds inside one shard defeat "
+              "whole-shard rebalancing; splitting at the observed median key restores the SLO");
+
+  std::cout << "scenario: 2 regions x 8 servers, 8 -> <=64 shards, 2x800 rps baseline, flash "
+            << "crowd holds " << times.flash_hold / 1000000 << "s, "
+            << times.duration() / 1000000 << "s virtual per run\n\n";
+
+  // Phase 1: intensity sweep, static vs adaptive.
+  struct SweepPoint {
+    double intensity = 0.0;
+    ScenarioRun static_run;
+    ScenarioRun adaptive_run;
+  };
+  std::vector<SweepPoint> sweep;
+  for (double intensity : kIntensities) {
+    SweepPoint point;
+    point.intensity = intensity;
+    point.static_run =
+        RunScenario(MakeConfig(intensity, /*adaptive=*/false, /*threads=*/1, times),
+                    times.duration());
+    point.adaptive_run =
+        RunScenario(MakeConfig(intensity, /*adaptive=*/true, /*threads=*/1, times),
+                    times.duration());
+    sweep.push_back(point);
+  }
+
+  // Hold-window p99.9 is the headline: the steady-state SLO once the planner has had its
+  // reaction budget. Whole-run percentiles are also recorded but are dominated by the
+  // reaction transient at any realistic request rate.
+  TablePrinter table({"intensity", "static_hold_p99.9_ms", "adaptive_hold_p99.9_ms",
+                      "improvement_x", "static_viol", "adaptive_viol", "splits", "merges",
+                      "shards"});
+  for (const SweepPoint& point : sweep) {
+    const double improvement =
+        point.adaptive_run.totals.measure_p999_ms > 0.0
+            ? point.static_run.totals.measure_p999_ms / point.adaptive_run.totals.measure_p999_ms
+            : 0.0;
+    table.AddRowValues(FormatDouble(point.intensity, 0),
+                       FormatDouble(point.static_run.totals.measure_p999_ms, 1),
+                       FormatDouble(point.adaptive_run.totals.measure_p999_ms, 1),
+                       FormatDouble(improvement, 2),
+                       static_cast<int64_t>(point.static_run.totals.measure_violations),
+                       static_cast<int64_t>(point.adaptive_run.totals.measure_violations),
+                       static_cast<int64_t>(point.adaptive_run.totals.splits),
+                       static_cast<int64_t>(point.adaptive_run.totals.merges),
+                       point.adaptive_run.totals.active_shards);
+  }
+  table.Print(std::cout);
+
+  // Phase 2: determinism gate — the peak adaptive scenario across thread counts plus a
+  // same-seed repeat, all compared to the sweep's threads=1 run.
+  const ScenarioRun& reference = sweep.back().adaptive_run;
+  bool deterministic = true;
+  struct GateCase {
+    const char* label;
+    int threads;
+  };
+  for (const GateCase gate : {GateCase{"repeat@1", 1}, GateCase{"threads=2", 2},
+                              GateCase{"threads=8", 8}}) {
+    const ScenarioRun run = RunScenario(
+        MakeConfig(peak_intensity, /*adaptive=*/true, gate.threads, times), times.duration());
+    if (run.digest != reference.digest || run.report != reference.report) {
+      deterministic = false;
+      std::cerr << "FATAL: " << gate.label << " diverged from the reference run\n"
+                << "--- reference (threads=1) ---\n"
+                << reference.report << "--- " << gate.label << " ---\n"
+                << run.report;
+    }
+  }
+  std::cout << "\ndigest " << HexDigest(reference.digest)
+            << (deterministic
+                    ? " — byte-identical across same-seed repeat and sim_threads {1,2,8}\n"
+                    : " — DIVERGED, see stderr\n");
+
+  // Phase 3: headline.
+  const SweepPoint& peak = sweep.back();
+  const double improvement_at_peak =
+      peak.adaptive_run.totals.measure_p999_ms > 0.0
+          ? peak.static_run.totals.measure_p999_ms / peak.adaptive_run.totals.measure_p999_ms
+          : 0.0;
+  std::cout << "hold-window p99.9 improvement at intensity " << FormatDouble(peak_intensity, 0)
+            << ": " << FormatDouble(improvement_at_peak, 2) << "x (acceptance floor 2x)\n";
+
+  std::ostringstream json;
+  json << "{\"bench\":\"hotspot\",\"scale\":" << scale << ",\"regions\":2"
+       << ",\"servers_per_region\":8,\"initial_shards\":8,\"max_shards\":64"
+       << ",\"requests_per_second\":800,\"server_service_rate\":900"
+       << ",\"virtual_seconds\":" << times.duration() / 1000000
+       << ",\"deterministic\":" << (deterministic ? "true" : "false")
+       << ",\"digest\":\"" << HexDigest(reference.digest) << "\",\"sweep\":[";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& point = sweep[i];
+    const double improvement =
+        point.adaptive_run.totals.measure_p999_ms > 0.0
+            ? point.static_run.totals.measure_p999_ms / point.adaptive_run.totals.measure_p999_ms
+            : 0.0;
+    json << (i > 0 ? "," : "") << "{\"intensity\":" << FormatDouble(point.intensity, 0)
+         << ",\"static_hold_p99_ms\":" << FormatDouble(point.static_run.totals.measure_p99_ms, 2)
+         << ",\"static_hold_p999_ms\":"
+         << FormatDouble(point.static_run.totals.measure_p999_ms, 2)
+         << ",\"adaptive_hold_p99_ms\":"
+         << FormatDouble(point.adaptive_run.totals.measure_p99_ms, 2)
+         << ",\"adaptive_hold_p999_ms\":"
+         << FormatDouble(point.adaptive_run.totals.measure_p999_ms, 2)
+         << ",\"improvement_x\":" << FormatDouble(improvement, 2)
+         << ",\"static_full_p999_ms\":" << FormatDouble(point.static_run.totals.p999_ms, 2)
+         << ",\"adaptive_full_p999_ms\":" << FormatDouble(point.adaptive_run.totals.p999_ms, 2)
+         << ",\"static_violations\":" << point.static_run.totals.measure_violations
+         << ",\"adaptive_violations\":" << point.adaptive_run.totals.measure_violations
+         << ",\"requests\":" << point.adaptive_run.totals.sent
+         << ",\"measured_requests\":" << point.adaptive_run.totals.measure_sent
+         << ",\"splits\":" << point.adaptive_run.totals.splits
+         << ",\"merges\":" << point.adaptive_run.totals.merges
+         << ",\"active_shards\":" << point.adaptive_run.totals.active_shards << "}";
+  }
+  json << "],\"peak_intensity\":" << FormatDouble(peak_intensity, 0)
+       << ",\"improvement_at_peak_x\":" << FormatDouble(improvement_at_peak, 2) << "}";
+  std::cout << "\nJSON: " << json.str() << "\n";
+
+  const char* out_path = std::getenv("SM_HOTSPOT_OUT");
+  std::ofstream file(out_path != nullptr ? out_path : "BENCH_hotspot.json");
+  file << json.str() << "\n";
+  return deterministic ? 0 : 1;
+}

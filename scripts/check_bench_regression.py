@@ -42,6 +42,14 @@ are recognised by their "bench" field:
   (FAILS the check, as above). At equal scale the objective/violations per
   thread count are compared exactly — a drift means the solver's deterministic
   trajectory changed and the baseline needs regeneration (advisory).
+* hotspot (BENCH_hotspot.json): deterministic must be true — the flash-crowd
+  scenario's state digest must be byte-identical across sim threads {1,2,8}
+  and a same-seed repeat, so a false value FAILS the check (exit 1).
+  improvement_at_peak_x must stay above the 2x acceptance floor (adaptive
+  split/merge vs a static shard map at the highest hotspot intensity), and the
+  adaptive hold-window p99.9 per intensity must not grow more than the
+  threshold against a same-scale baseline point (advisory — the sim clock is
+  deterministic per seed, but CI runs at a reduced scale with its own curve).
 
 Exits 0 in every advisory case — CI treats throughput deltas as advisory
 because shared-runner throughput is noisy — but prints a loud warning (and a
@@ -372,6 +380,63 @@ def check_solver_parallel(reference, fresh, threshold):
     return warnings, fatals
 
 
+HOTSPOT_IMPROVEMENT_FLOOR = 2.0  # acceptance floor for improvement_at_peak_x
+
+
+def check_hotspot(reference, fresh, threshold):
+    warnings = []
+    fatals = []
+    deterministic = fresh.get("deterministic")
+    print(f"{'ok' if deterministic else 'FAIL':4} deterministic: {deterministic}")
+    if not deterministic:
+        fatals.append("flash-crowd state digest diverged across sim thread "
+                      "counts or a same-seed repeat — a correctness bug, not "
+                      "noise")
+
+    improvement = fresh.get("improvement_at_peak_x")
+    if improvement is not None:
+        below = improvement < HOTSPOT_IMPROVEMENT_FLOOR
+        print(f"{'WARN' if below else 'ok':4} improvement_at_peak_x: "
+              f"{improvement:,.2f}x (floor {HOTSPOT_IMPROVEMENT_FLOOR:.0f}x)")
+        if below:
+            warnings.append(f"adaptive-vs-static p99.9 improvement at peak is "
+                            f"{improvement:.2f}x, acceptance floor is "
+                            f"{HOTSPOT_IMPROVEMENT_FLOOR:.0f}x")
+
+    same_scale = reference.get("scale") == fresh.get("scale")
+    if not same_scale:
+        print(f"note: scales differ (baseline {reference.get('scale')}, fresh "
+              f"{fresh.get('scale')}); skipping per-intensity comparisons")
+        return warnings, fatals
+    base_points = {p.get("intensity"): p for p in reference.get("sweep", [])}
+    for point in fresh.get("sweep", []):
+        intensity = point.get("intensity")
+        base = base_points.get(intensity)
+        if base is None:
+            continue
+        base_p999 = base.get("adaptive_hold_p999_ms")
+        p999 = point.get("adaptive_hold_p999_ms")
+        if not base_p999 or p999 is None:
+            continue
+        grew = (p999 - base_p999) / base_p999
+        status = "WARN" if grew > threshold else "ok"
+        print(f"{status:4} intensity={intensity:g} adaptive_hold_p999_ms: "
+              f"baseline {base_p999:,.2f} fresh {p999:,.2f} ({grew:+.1%})")
+        if grew > threshold:
+            warnings.append(f"intensity={intensity:g} adaptive hold-window "
+                            f"p99.9 grew {grew:.1%} (baseline "
+                            f"{base_p999:,.2f}ms, fresh {p999:,.2f}ms)")
+        base_splits = base.get("splits")
+        splits = point.get("splits")
+        if base_splits and not splits:
+            print(f"WARN intensity={intensity:g}: planner no longer splits "
+                  f"(baseline {base_splits})")
+            warnings.append(f"intensity={intensity:g}: the adaptive planner "
+                            f"stopped splitting (baseline {base_splits} "
+                            "splits, fresh 0)")
+    return warnings, fatals
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed baseline JSON")
@@ -408,6 +473,8 @@ def main() -> int:
         warnings, fatals = check_solver_scale(reference, fresh, args.threshold)
     elif fresh.get("bench") == "solver_parallel":
         warnings, fatals = check_solver_parallel(reference, fresh, args.threshold)
+    elif fresh.get("bench") == "hotspot":
+        warnings, fatals = check_hotspot(reference, fresh, args.threshold)
     else:
         warnings = check_dataplane(reference, fresh, args.threshold)
 
@@ -421,7 +488,7 @@ def main() -> int:
         print("\nNo data-plane regressions beyond threshold.")
     if fatals:
         for f_msg in fatals:
-            print(f"::error title=Solver determinism::{f_msg}")
+            print(f"::error title=Bench determinism::{f_msg}")
         print(f"\n{len(fatals)} determinism failure(s) — not advisory.",
               file=sys.stderr)
         return 1

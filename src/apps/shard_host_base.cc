@@ -193,7 +193,29 @@ void ShardHostBase::HandleRequest(const Request& request, ReplyCallback done) {
 }
 
 void ShardHostBase::Serve(ShardId shard_id, const Request& request, ReplyCallback done) {
-  sim_->Schedule(processing_delay_, [this, shard_id, request, done = std::move(done)]() {
+  TimeMicros delay = processing_delay_;
+  if (service_rate_ > 0.0) {
+    // Finite-capacity FIFO: this request starts when the server frees up and holds it for one
+    // service time. The virtual-clock update is O(1); the waiting itself is just a longer
+    // completion delay, so overload shows up as queueing latency, not dropped events.
+    const TimeMicros service_time =
+        std::max<TimeMicros>(1, static_cast<TimeMicros>(1e6 / service_rate_));
+    const TimeMicros now = sim_->Now();
+    const TimeMicros start = std::max(now, busy_until_);
+    if (queue_limit_ > 0 && start - now > queue_limit_) {
+      // Shed instead of queueing work the caller has already given up on — an unbounded
+      // FIFO would otherwise poison recovery for minutes after the overload ends.
+      ++shed_;
+      Reply reply;
+      reply.status = ResourceExhaustedError("server overloaded");
+      reply.served_by = self_;
+      done(reply);
+      return;
+    }
+    busy_until_ = start + service_time;
+    delay = std::max(processing_delay_, busy_until_ - now);
+  }
+  sim_->Schedule(delay, [this, shard_id, request, done = std::move(done)]() {
     LocalShard* state = FindShard(shard_id);
     if (state == nullptr) {
       // Dropped while queued (e.g. crash): the request is lost.
@@ -229,6 +251,7 @@ void ShardHostBase::Forward(const LocalShard& shard, const Request& request, Rep
 
 void ShardHostBase::OnCrash() {
   shards_.clear();
+  busy_until_ = 0;
   OnCrashExtra();
 }
 

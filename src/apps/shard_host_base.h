@@ -61,6 +61,22 @@ class ShardHostBase : public ShardServerApi {
   // Incremental cost added to metric 0 per request/second observed since the last report.
   void set_request_rate_cost(double cost) { request_rate_cost_ = cost; }
   void set_processing_delay(TimeMicros delay) { processing_delay_ = delay; }
+  // Opt-in finite-capacity service model (DESIGN.md §15): at `requests_per_second` > 0 the
+  // server serves requests FIFO at that rate — each request occupies the server for
+  // 1/rate seconds and waits behind the requests already accepted, so a hotspotted server
+  // shows real queueing delay instead of the fixed processing_delay. 0 (the default) keeps
+  // the infinite-server behavior byte-identical to historical runs.
+  void set_service_rate(double requests_per_second) { service_rate_ = requests_per_second; }
+  // Load shedding for the finite-capacity model: a request that would wait longer than this
+  // behind the FIFO queue is rejected immediately (ResourceExhausted) instead of being
+  // accepted as zombie work the caller already timed out on. 0 (default) = never shed.
+  void set_queue_limit(TimeMicros limit) { queue_limit_ = limit; }
+  int64_t shed() const { return shed_; }
+  // Current queueing backlog under the finite-capacity model (0 when disabled or idle).
+  TimeMicros service_backlog() const {
+    TimeMicros now = sim_->Now();
+    return busy_until_ > now ? busy_until_ - now : 0;
+  }
   // Secondary replicas accept writes (secondary-only applications).
   void set_allow_writes_on_secondary(bool allow) { allow_writes_on_secondary_ = allow; }
 
@@ -117,6 +133,10 @@ class ShardHostBase : public ShardServerApi {
   std::unordered_map<int32_t, ResourceVector> pending_base_loads_;  // set before shard added
   std::function<ResourceVector(ShardId)> base_load_fn_;
   TimeMicros processing_delay_ = Millis(1);
+  double service_rate_ = 0.0;
+  TimeMicros busy_until_ = 0;
+  TimeMicros queue_limit_ = 0;
+  int64_t shed_ = 0;
   double request_rate_cost_ = 0.0;
   bool allow_writes_on_secondary_ = false;
   TimeMicros last_report_ = 0;

@@ -79,6 +79,46 @@ void InvariantChecker::CheckNow() {
   if (config_.check_single_fenced_writer) {
     CheckSingleFencedWriter();
   }
+  if (config_.check_key_closure) {
+    CheckKeyClosure();
+  }
+}
+
+void InvariantChecker::CheckKeyClosure() {
+  const ShardMap* map = bed_->discovery().Current(bed_->spec().id);
+  if (map == nullptr) {
+    return;
+  }
+  // Non-empty ranges only: retired shards and uncommitted split children legitimately own no
+  // keys. An app that publishes no ranges at all predates §15 and is exempt.
+  std::vector<KeyRange> ranges;
+  for (const ShardMapEntry& entry : map->entries) {
+    if (!entry.range.empty()) {
+      ranges.push_back(entry.range);
+    }
+  }
+  if (ranges.empty()) {
+    return;
+  }
+  std::sort(ranges.begin(), ranges.end(),
+            [](const KeyRange& a, const KeyRange& b) { return a.begin < b.begin; });
+  uint64_t expected = 0;
+  for (const KeyRange& range : ranges) {
+    if (range.begin != expected) {
+      std::ostringstream os;
+      os << "map v" << map->version << (range.begin > expected ? " leaves keys [" : " overlaps [")
+         << std::min(expected, range.begin) << ", " << std::max(expected, range.begin)
+         << ") " << (range.begin > expected ? "unowned" : "doubly owned");
+      Record("I8", os.str());
+      return;
+    }
+    expected = range.end;
+  }
+  if (expected != ~uint64_t{0}) {
+    std::ostringstream os;
+    os << "map v" << map->version << " ends at " << expected << ", leaving the tail unowned";
+    Record("I8", os.str());
+  }
 }
 
 void InvariantChecker::CheckSingleFencedWriter() {
@@ -106,7 +146,8 @@ void InvariantChecker::CheckSingleWriter() {
       up.push_back(id);
     }
   }
-  for (int s = 0; s < bed_->spec().num_shards(); ++s) {
+  // The orchestrator's count, not the spec's: split children live beyond spec().num_shards().
+  for (int s = 0; s < bed_->orchestrator().num_shards(); ++s) {
     ShardId shard(s);
     int writers = 0;
     std::ostringstream who;
@@ -130,7 +171,7 @@ void InvariantChecker::CheckUnavailabilityCap() {
     return;  // Unplanned faults legitimately exceed the planned cap.
   }
   const int cap = bed_->spec().caps.max_unavailable_per_shard;
-  for (int s = 0; s < bed_->spec().num_shards(); ++s) {
+  for (int s = 0; s < bed_->orchestrator().num_shards(); ++s) {
     int down = bed_->orchestrator().DownReplicas(ShardId(s));
     if (down > cap) {
       std::ostringstream os;
@@ -141,7 +182,7 @@ void InvariantChecker::CheckUnavailabilityCap() {
 }
 
 void InvariantChecker::CheckAssignmentAgreement() {
-  for (int s = 0; s < bed_->spec().num_shards(); ++s) {
+  for (int s = 0; s < bed_->orchestrator().num_shards(); ++s) {
     ShardId shard(s);
     const int replicas = bed_->orchestrator().ReplicaCount(shard);
     for (int r = 0; r < replicas; ++r) {

@@ -25,6 +25,10 @@
 //       leaders — may hold a leadership epoch whose writes still pass the fence. Two unfenced
 //       writers means a deposed leader could still mutate coordination state. Skipped in
 //       single-instance mode.
+//   I8  key-space closure: in every published shard map that carries ranges (DESIGN.md §15),
+//       the non-empty ranges sorted by begin exactly partition [0, ~0ULL) — no key is ever
+//       unroutable or doubly owned, including the instant a split or merge commit publishes.
+//       Skipped for pre-§15 apps (maps with no ranges at all).
 //
 // The first violation captures a context string (typically the fault injector's journal) so a
 // failure can be replayed from its chaos schedule.
@@ -49,13 +53,14 @@ struct InvariantCheckerConfig {
   bool check_monotonic_versions = true;     // I5
   bool check_coord_consistency = true;      // I6
   bool check_single_fenced_writer = true;   // I7
+  bool check_key_closure = true;            // I8
   // Recording stops after this many violations (total_violations() keeps counting).
   int max_recorded_violations = 20;
 };
 
 struct InvariantViolation {
   TimeMicros time = 0;
-  std::string invariant;  // "I1".."I7"
+  std::string invariant;  // "I1".."I8"
   std::string detail;
 };
 
@@ -97,6 +102,7 @@ class InvariantChecker {
   void CheckMonotonicVersions();
   void CheckCoordConsistency();
   void CheckSingleFencedWriter();
+  void CheckKeyClosure();
 
   Testbed* bed_;
   InvariantCheckerConfig config_;

@@ -56,6 +56,24 @@ using PartitionId = Id<PartitionTag>;
 using MiniSmId = Id<MiniSmTag>;
 using SessionId = Id<SessionTag>;
 
+// Half-open key range [begin, end) over the application's 64-bit key space. A default
+// (begin == end) range is *empty*: a shard carrying one owns no keys — the state of a
+// retired/merged-away shard or a split child before its commit publish. Lives here (not in
+// core/) because the disseminated ShardMap carries ranges and discovery/ must not depend on
+// core/.
+struct KeyRange {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+
+  bool empty() const { return begin == end; }
+  bool Contains(uint64_t key) const { return key >= begin && key < end; }
+
+  friend bool operator==(const KeyRange& a, const KeyRange& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+  friend bool operator!=(const KeyRange& a, const KeyRange& b) { return !(a == b); }
+};
+
 // Identifies one replica of a shard: the shard plus a replica slot index.
 struct ReplicaId {
   ShardId shard;

@@ -1,9 +1,11 @@
 // AppSpec: everything an application declares when onboarding onto Shard Manager.
 //
 // SM uses the app-key + app-sharding abstraction (§3.1): the application divides its own key
-// space into shards of non-overlapping key ranges, and SM never splits or merges them. The spec
-// also carries the replication strategy (§2.2.3), drain policy (§2.2.5), availability caps
-// (§4.1) and placement configuration (§5.1).
+// space into shards of non-overlapping key ranges. The spec's ranges are the *initial*
+// boundaries; the orchestrator's split/merge planner (DESIGN.md §15) may refine them at
+// runtime, publishing the live ranges through the ShardMap. The spec also carries the
+// replication strategy (§2.2.3), drain policy (§2.2.5), availability caps (§4.1) and placement
+// configuration (§5.1).
 
 #ifndef SRC_CORE_APP_SPEC_H_
 #define SRC_CORE_APP_SPEC_H_
@@ -18,11 +20,8 @@
 
 namespace shardman {
 
-// Half-open key range [begin, end).
-struct KeyRange {
-  uint64_t begin = 0;
-  uint64_t end = 0;
-};
+// KeyRange (half-open [begin, end)) lives in src/common/ids.h so the disseminated ShardMap
+// can carry ranges without a discovery -> core dependency.
 
 // Whether to proactively move shards off a container before a planned restart (§2.2.5, Fig. 8).
 struct DrainPolicy {

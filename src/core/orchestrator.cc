@@ -25,6 +25,10 @@ const char* OpKindName(Orchestrator::OpKind kind) {
       return "drop";
     case Orchestrator::OpKind::kPromote:
       return "promote";
+    case Orchestrator::OpKind::kSplit:
+      return "split";
+    case Orchestrator::OpKind::kMerge:
+      return "merge";
   }
   return "unknown";
 }
@@ -73,6 +77,7 @@ void Orchestrator::Start() {
   SM_CHECK_OK(spec_.Validate());
   started_ = true;
   InitShards();
+  PersistRanges();  // recovery reads live ranges even before the first split/merge
   TriggerEmergencyAllocation();
   StartTimersAndWatches();
 }
@@ -81,7 +86,11 @@ void Orchestrator::StartRecovered() {
   SM_CHECK(!started_);
   started_ = true;
   InitShards();
+  // Ranges must load before assignments: committed splits may have grown the shard table past
+  // the spec count, and their children's assignments only load into existing runtimes.
+  LoadRangesFromCoord();
   LoadAssignmentsFromCoord();
+  CleanupInactiveShards();
   // Resume the map version sequence monotonically from the persisted value.
   Result<std::string> version = coord_->Get("/sm/" + spec_.name + "/map_version");
   if (version.ok()) {
@@ -303,7 +312,9 @@ void Orchestrator::StartReconciled(const std::vector<PlacementOpRecord>& tail) {
   SM_CHECK(!started_);
   started_ = true;
   InitShards();
+  LoadRangesFromCoord();
   LoadAssignmentsFromCoord();
+  CleanupInactiveShards();
   Result<std::string> version = coord_->Get("/sm/" + spec_.name + "/map_version");
   if (version.ok()) {
     map_version_ = std::stoll(version.value());
@@ -339,6 +350,15 @@ void Orchestrator::ReconcileOp(const PlacementOpRecord& record) {
   }
   ++reconciled_ops_;
   SM_COUNTER_INC("sm.smr.reconciled_ops");
+  OpKind record_kind = static_cast<OpKind>(record.kind);
+  if (record_kind == OpKind::kSplit || record_kind == OpKind::kMerge) {
+    // Structural transactions reconcile through the persisted range table, not the record:
+    // an *uncommitted* split's child never entered /sm/<app>/ranges, so LoadRangesFromCoord
+    // already forgot it (leaked child copies on servers are unrouted and harmless); a merge
+    // that committed but died mid-drop left its right shard inactive with bound replicas,
+    // which CleanupInactiveShards has already dropped and retired. Nothing left to do here.
+    return;
+  }
   ShardId shard = record.shard;
   // A copy the dead leader created (or left lingering) on either endpoint that the recovered
   // assignment does not account for is a stray: drop it before it can shadow-own the shard.
@@ -439,6 +459,8 @@ void Orchestrator::InitShards() {
   shards_.resize(static_cast<size_t>(spec_.num_shards()));
   for (size_t s = 0; s < shards_.size(); ++s) {
     ShardRuntime& rt = shards_[s];
+    rt.range = spec_.shard_ranges[s];
+    rt.active = true;
     rt.replicas.resize(static_cast<size_t>(spec_.replication_factor));
     for (size_t r = 0; r < rt.replicas.size(); ++r) {
       ReplicaRuntime& replica = rt.replicas[r];
@@ -512,6 +534,10 @@ ShardMap Orchestrator::BuildMap() const {
   for (size_t s = 0; s < shards_.size(); ++s) {
     ShardMapEntry& entry = map.entries[s];
     entry.shard = ShardId(static_cast<int32_t>(s));
+    // Retired shards and uncommitted split children publish an empty range: present in the
+    // dense map, owning no keys. Both rows of a split/merge flip in a single publish, so
+    // every published version partitions the key space exactly (invariant I8).
+    entry.range = shards_[s].range;
     for (const ReplicaRuntime& r : shards_[s].replicas) {
       // Pending/adding/dropping replicas are not routable. Unavailable replicas stay in the map
       // (clients discover the failure by timing out), matching production behaviour where the
@@ -691,6 +717,11 @@ void Orchestrator::StartOp(Op op) {
     case OpKind::kPromote:
       ExecutePromote(std::move(op));
       break;
+    case OpKind::kSplit:
+    case OpKind::kMerge:
+      // Structural kinds exist only as op-log records; they are never enqueued.
+      SM_CHECK(false);
+      break;
   }
 }
 
@@ -712,6 +743,9 @@ void Orchestrator::FinishOp(const Op& op, bool success) {
     if (op.kind != OpKind::kPromote && op.kind != OpKind::kDrop) {
       ++completed_moves_;
       SM_COUNTER_INC("sm.orchestrator.moves_completed");
+    }
+    if (op.kind == OpKind::kPlace && rt.split_parent.valid()) {
+      CommitSplitIfReady(op.shard);
     }
   } else {
     ++failed_ops_;
@@ -1102,9 +1136,14 @@ void Orchestrator::ExecuteDrop(Op op) {
                 Unbind(op.shard, op.replica);
                 PersistServerAssignment(op.from);
                 ShardRuntime& rt = shards_[static_cast<size_t>(op.shard.value)];
-                // Scale-down always retires the highest replica index; see RemoveReplica.
+                // Scale-down always retires the highest replica index; see RemoveReplica (and
+                // MergeShards, which enqueues its drops highest-index-first for the same
+                // reason).
                 SM_CHECK_EQ(op.replica, static_cast<int>(rt.replicas.size()) - 1);
                 rt.replicas.pop_back();
+                if (!rt.active && rt.replicas.empty()) {
+                  RetireShard(op.shard);  // last copy of a merged-away shard is gone
+                }
                 MarkMapDirty(/*urgent=*/false);
                 FinishOp(op, /*success=*/true);
               });
@@ -1479,6 +1518,9 @@ Status Orchestrator::AddReplica(ShardId shard) {
   if (spec_.strategy == ReplicationStrategy::kPrimaryOnly) {
     return FailedPreconditionError("primary-only apps have exactly one replica per shard");
   }
+  if (!shards_[static_cast<size_t>(shard.value)].active) {
+    return FailedPreconditionError("shard retired by merge");
+  }
   ShardRuntime& rt = shards_[static_cast<size_t>(shard.value)];
   ReplicaRuntime replica;
   replica.role = ReplicaRole::kSecondary;
@@ -1495,6 +1537,9 @@ Status Orchestrator::AddReplica(ShardId shard) {
 Status Orchestrator::RemoveReplica(ShardId shard) {
   if (!shard.valid() || shard.value >= static_cast<int32_t>(shards_.size())) {
     return InvalidArgumentError("unknown shard");
+  }
+  if (!shards_[static_cast<size_t>(shard.value)].active) {
+    return FailedPreconditionError("shard retired by merge");
   }
   ShardRuntime& rt = shards_[static_cast<size_t>(shard.value)];
   // Retire the highest-index secondary that is cleanly serving.
@@ -1521,6 +1566,405 @@ void Orchestrator::SetRegionPreference(ShardId shard, RegionId region, double we
   rt.preferred_region = region;
   rt.preference_weight = weight;
   rt.min_replicas_in_preferred = min_replicas;
+}
+
+// ---------------------------------------------------------------------------------------------
+// Adaptive shard split/merge (DESIGN.md §15)
+// ---------------------------------------------------------------------------------------------
+
+KeyRange Orchestrator::shard_range(ShardId shard) const {
+  if (!shard.valid() || shard.value >= static_cast<int32_t>(shards_.size())) {
+    return KeyRange{};
+  }
+  return shards_[static_cast<size_t>(shard.value)].range;
+}
+
+bool Orchestrator::shard_active(ShardId shard) const {
+  if (!shard.valid() || shard.value >= static_cast<int32_t>(shards_.size())) {
+    return false;
+  }
+  return shards_[static_cast<size_t>(shard.value)].active;
+}
+
+int Orchestrator::active_shards() const {
+  int count = 0;
+  for (const ShardRuntime& rt : shards_) {
+    if (rt.active && !rt.range.empty()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+ShardId Orchestrator::ShardForKey(uint64_t key) const {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].range.Contains(key)) {
+      return ShardId(static_cast<int32_t>(s));
+    }
+  }
+  return ShardId();
+}
+
+bool Orchestrator::structural_change_in_flight() const {
+  for (const ShardRuntime& rt : shards_) {
+    if (rt.split_child.valid()) {
+      return true;  // split waiting on child placement
+    }
+    if (!rt.active && !rt.replicas.empty()) {
+      return true;  // merged-away shard's copies still awaiting grace-window drops
+    }
+  }
+  return false;
+}
+
+ShardId Orchestrator::AllocateShardId() {
+  if (!retired_shard_ids_.empty()) {
+    auto it = std::min_element(retired_shard_ids_.begin(), retired_shard_ids_.end());
+    int32_t value = *it;
+    retired_shard_ids_.erase(it);
+    return ShardId(value);
+  }
+  shards_.emplace_back();
+  return ShardId(static_cast<int32_t>(shards_.size()) - 1);
+}
+
+int64_t Orchestrator::LogStructuralOp(OpKind kind, ShardId shard, int replica, uint64_t aux) {
+  if (!config_.op_log_append || !MayWrite()) {
+    return 0;
+  }
+  PlacementOpRecord record;
+  record.epoch = config_.leadership_epoch;
+  record.kind = static_cast<int>(kind);
+  record.shard = shard;
+  record.replica = replica;
+  record.aux = aux;
+  return config_.op_log_append(record);
+}
+
+Status Orchestrator::SplitShard(ShardId shard, uint64_t split_key) {
+  if (!started_ || fenced_ || handing_off_ || shut_down_) {
+    return FailedPreconditionError("orchestrator not serving");
+  }
+  if (!shard.valid() || shard.value >= static_cast<int32_t>(shards_.size())) {
+    return InvalidArgumentError("unknown shard");
+  }
+  {
+    ShardRuntime& rt = shards_[static_cast<size_t>(shard.value)];
+    if (!rt.active || rt.range.empty()) {
+      return FailedPreconditionError("shard owns no keys");
+    }
+    if (rt.split_child.valid() || rt.split_parent.valid()) {
+      return FailedPreconditionError("split already in flight");
+    }
+    if (split_key <= rt.range.begin || split_key >= rt.range.end) {
+      return InvalidArgumentError("split key not strictly inside the shard's range");
+    }
+    for (const ReplicaRuntime& r : rt.replicas) {
+      if (r.phase != ReplicaPhase::kReady || r.op_queued) {
+        return FailedPreconditionError("shard not quiescent");
+      }
+    }
+  }
+  // AllocateShardId may reallocate shards_; re-take the parent reference afterwards.
+  ShardId child = AllocateShardId();
+  ShardRuntime& parent_rt = shards_[static_cast<size_t>(shard.value)];
+  ShardRuntime& child_rt = shards_[static_cast<size_t>(child.value)];
+  const int metrics = spec_.placement.metrics.size();
+  child_rt = ShardRuntime{};
+  child_rt.active = true;             // active but owning no keys until the commit publish
+  child_rt.split_parent = shard;
+  child_rt.preferred_region = parent_rt.preferred_region;
+  child_rt.preference_weight = parent_rt.preference_weight;
+  child_rt.min_replicas_in_preferred = parent_rt.min_replicas_in_preferred;
+  child_rt.replicas.resize(parent_rt.replicas.size());
+  for (size_t r = 0; r < child_rt.replicas.size(); ++r) {
+    child_rt.replicas[r].role = parent_rt.replicas[r].role;
+    // Claim half the parent's observed load for the child up front (the parent's own claim
+    // is halved at commit): drain-target scoring must see each placement as real load, or a
+    // cascade of splits piles every child onto whichever server looked emptiest first.
+    child_rt.replicas[r].load = parent_rt.replicas[r].load.dims() == metrics
+                                    ? parent_rt.replicas[r].load * 0.5
+                                    : ResourceVector(metrics);
+  }
+  parent_rt.split_child = child;
+  parent_rt.split_key = split_key;
+  // Fence the transaction through the op log: a successor leader that finds this record
+  // incomplete knows the split never committed (the child is absent from /sm/<app>/ranges)
+  // and simply forgets it — leaked child copies are unrouted and dropped as strays.
+  parent_rt.split_log_seq = LogStructuralOp(OpKind::kSplit, shard,
+                                            /*replica=*/child.value, split_key);
+  SM_COUNTER_INC("sm.hotspot.splits_started");
+  SM_TRACE_INSTANT("orchestrator", "split_start",
+                   obs::Arg("shard", static_cast<int64_t>(shard.value)) + "," +
+                       obs::Arg("child", static_cast<int64_t>(child.value)));
+  // Child replicas place through ordinary ops; the commit fires from FinishOp once all are
+  // ready. A failed place falls back to the emergency allocator like any other placement.
+  for (size_t r = 0; r < child_rt.replicas.size(); ++r) {
+    Op op;
+    op.kind = OpKind::kPlace;
+    op.shard = child;
+    op.replica = static_cast<int>(r);
+    EnqueueOp(std::move(op));
+  }
+  return Status::Ok();
+}
+
+void Orchestrator::CommitSplitIfReady(ShardId child) {
+  ShardRuntime& child_rt = shards_[static_cast<size_t>(child.value)];
+  ShardId parent = child_rt.split_parent;
+  if (!parent.valid()) {
+    return;
+  }
+  for (const ReplicaRuntime& r : child_rt.replicas) {
+    if (r.phase != ReplicaPhase::kReady) {
+      return;
+    }
+  }
+  CommitSplit(parent);
+}
+
+void Orchestrator::CommitSplit(ShardId parent) {
+  ShardRuntime& parent_rt = shards_[static_cast<size_t>(parent.value)];
+  ShardId child = parent_rt.split_child;
+  SM_CHECK(child.valid());
+  ShardRuntime& child_rt = shards_[static_cast<size_t>(child.value)];
+  // The commit is one urgent publish flipping both rows: the parent shrinks to
+  // [begin, split_key) and the child activates as [split_key, end) in the same map version,
+  // so no published map ever has an unowned or doubly-owned key (invariant I8).
+  child_rt.range = KeyRange{parent_rt.split_key, parent_rt.range.end};
+  parent_rt.range.end = parent_rt.split_key;
+  // The child claimed half the parent's load at split start; the parent sheds that half now
+  // that the keys have actually moved. The next load poll replaces both estimates.
+  for (ReplicaRuntime& r : parent_rt.replicas) {
+    r.load *= 0.5;
+  }
+  child_rt.split_parent = ShardId();
+  parent_rt.split_child = ShardId();
+  parent_rt.split_key = 0;
+  ++splits_;
+  SM_COUNTER_INC("sm.hotspot.splits");
+  SM_TRACE_INSTANT("orchestrator", "split_commit",
+                   obs::Arg("parent", static_cast<int64_t>(parent.value)) + "," +
+                       obs::Arg("child", static_cast<int64_t>(child.value)));
+  PersistRanges();
+  MarkMapDirty(/*urgent=*/true);
+  if (parent_rt.split_log_seq != 0 && config_.op_log_complete && MayWrite()) {
+    config_.op_log_complete(parent_rt.split_log_seq);
+  }
+  parent_rt.split_log_seq = 0;
+}
+
+Status Orchestrator::MergeShards(ShardId left, ShardId right) {
+  if (!started_ || fenced_ || handing_off_ || shut_down_) {
+    return FailedPreconditionError("orchestrator not serving");
+  }
+  if (!left.valid() || left.value >= static_cast<int32_t>(shards_.size()) || !right.valid() ||
+      right.value >= static_cast<int32_t>(shards_.size()) || left == right) {
+    return InvalidArgumentError("bad shard pair");
+  }
+  ShardRuntime& left_rt = shards_[static_cast<size_t>(left.value)];
+  ShardRuntime& right_rt = shards_[static_cast<size_t>(right.value)];
+  if (!left_rt.active || !right_rt.active || left_rt.range.empty() || right_rt.range.empty()) {
+    return FailedPreconditionError("shard owns no keys");
+  }
+  if (left_rt.range.end != right_rt.range.begin) {
+    return InvalidArgumentError("shards not adjacent");
+  }
+  if (left_rt.split_child.valid() || left_rt.split_parent.valid() ||
+      right_rt.split_child.valid() || right_rt.split_parent.valid()) {
+    return FailedPreconditionError("split in flight on an endpoint");
+  }
+  for (const ShardRuntime* rt : {&left_rt, &right_rt}) {
+    for (const ReplicaRuntime& r : rt->replicas) {
+      if (r.phase != ReplicaPhase::kReady || r.op_queued) {
+        return FailedPreconditionError("shard not quiescent");
+      }
+    }
+  }
+  right_rt.merge_log_seq = LogStructuralOp(OpKind::kMerge, left,
+                                           /*replica=*/right.value, /*aux=*/0);
+  // Commit first: one urgent publish extends left over right's keys and empties right's
+  // range. Right's copies keep serving through the dissemination window — clients on the
+  // pre-merge map still resolve right for those keys and find a live replica — and are only
+  // dropped after drop_grace, exactly the §4.3 step-5 linger discipline.
+  left_rt.range.end = right_rt.range.end;
+  right_rt.range = KeyRange{};
+  right_rt.active = false;
+  ++merges_;
+  SM_COUNTER_INC("sm.hotspot.merges");
+  SM_TRACE_INSTANT("orchestrator", "merge_commit",
+                   obs::Arg("left", static_cast<int64_t>(left.value)) + "," +
+                       obs::Arg("right", static_cast<int64_t>(right.value)));
+  PersistRanges();
+  MarkMapDirty(/*urgent=*/true);
+  int64_t token = next_deferred_token_++;
+  EventId timer = sim_->Schedule(config_.drop_grace, [this, right, token]() {
+    retry_timers_.erase(token);
+    ShardRuntime& rt = shards_[static_cast<size_t>(right.value)];
+    if (rt.active) {
+      return;  // the id was already retired and reused; nothing to drop
+    }
+    if (rt.replicas.empty()) {
+      RetireShard(right);
+      return;
+    }
+    // Highest index first: ExecuteDrop retires the tail slot (see RemoveReplica), and the
+    // per-shard busy set serializes the drops in enqueue order.
+    for (int i = static_cast<int>(rt.replicas.size()) - 1; i >= 0; --i) {
+      Op op;
+      op.kind = OpKind::kDrop;
+      op.shard = right;
+      op.replica = i;
+      op.from = rt.replicas[static_cast<size_t>(i)].server;
+      EnqueueOp(std::move(op));
+    }
+  });
+  // Registered with the retry timers so handoff/shutdown cancels it; an interrupted merge's
+  // leftover copies are reconciled by the successor's CleanupInactiveShards pass.
+  retry_timers_[token] = timer;
+  return Status::Ok();
+}
+
+void Orchestrator::RetireShard(ShardId shard) {
+  ShardRuntime& rt = shards_[static_cast<size_t>(shard.value)];
+  SM_CHECK(!rt.active);
+  SM_CHECK(rt.replicas.empty());
+  if (rt.merge_log_seq != 0 && config_.op_log_complete && MayWrite()) {
+    config_.op_log_complete(rt.merge_log_seq);
+  }
+  rt.merge_log_seq = 0;
+  for (int32_t id : retired_shard_ids_) {
+    if (id == shard.value) {
+      return;
+    }
+  }
+  retired_shard_ids_.push_back(shard.value);
+}
+
+void Orchestrator::PersistRanges() {
+  if (!MayWrite()) {
+    return;
+  }
+  // Format: "n=<total slots>;<id>:<begin>:<end>;..." with one triple per *active* shard.
+  // Ids absent from the record are inactive (retired, or a split child whose commit never
+  // happened — the record is rewritten only at commits).
+  std::ostringstream os;
+  os << "n=" << shards_.size() << ";";
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const ShardRuntime& rt = shards_[s];
+    if (!rt.active || rt.range.empty()) {
+      continue;
+    }
+    os << s << ":" << rt.range.begin << ":" << rt.range.end << ";";
+  }
+  SM_CHECK_OK(coord_->Set("/sm/" + spec_.name + "/ranges", os.str()));
+}
+
+void Orchestrator::LoadRangesFromCoord() {
+  Result<std::string> data = coord_->Get("/sm/" + spec_.name + "/ranges");
+  if (!data.ok()) {
+    return;  // no record: InitShards' spec-derived ranges stand
+  }
+  const std::string& text = data.value();
+  size_t pos = text.find("n=");
+  if (pos != 0) {
+    return;
+  }
+  size_t semi = text.find(';');
+  if (semi == std::string::npos) {
+    return;
+  }
+  size_t total = static_cast<size_t>(std::stoll(text.substr(2, semi - 2)));
+  const int metrics = spec_.placement.metrics.size();
+  while (shards_.size() < total) {
+    // Re-create runtimes for shards a committed split added past the spec count, so their
+    // persisted assignments load. Roles follow the spec's replication pattern.
+    ShardRuntime rt;
+    rt.replicas.resize(static_cast<size_t>(spec_.replication_factor));
+    for (size_t r = 0; r < rt.replicas.size(); ++r) {
+      ReplicaRuntime& replica = rt.replicas[r];
+      replica.load = ResourceVector(metrics);
+      switch (spec_.strategy) {
+        case ReplicationStrategy::kPrimaryOnly:
+          replica.role = ReplicaRole::kPrimary;
+          break;
+        case ReplicationStrategy::kSecondaryOnly:
+          replica.role = ReplicaRole::kSecondary;
+          break;
+        case ReplicationStrategy::kPrimarySecondary:
+          replica.role = r == 0 ? ReplicaRole::kPrimary : ReplicaRole::kSecondary;
+          break;
+      }
+    }
+    shards_.push_back(std::move(rt));
+  }
+  // The record is the complete truth about ownership: every slot starts unowned, then the
+  // listed triples re-activate their shards.
+  for (ShardRuntime& rt : shards_) {
+    rt.range = KeyRange{};
+    rt.active = false;
+  }
+  size_t cursor = semi + 1;
+  while (cursor < text.size()) {
+    size_t next = text.find(';', cursor);
+    if (next == std::string::npos) {
+      break;
+    }
+    std::string field = text.substr(cursor, next - cursor);
+    cursor = next + 1;
+    size_t c1 = field.find(':');
+    size_t c2 = field.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      continue;
+    }
+    size_t id = static_cast<size_t>(std::stoll(field.substr(0, c1)));
+    if (id >= shards_.size()) {
+      continue;
+    }
+    ShardRuntime& rt = shards_[id];
+    rt.range.begin = std::stoull(field.substr(c1 + 1, c2 - c1 - 1));
+    rt.range.end = std::stoull(field.substr(c2 + 1));
+    rt.active = true;
+  }
+}
+
+void Orchestrator::CleanupInactiveShards() {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ShardRuntime& rt = shards_[s];
+    if (rt.active) {
+      continue;
+    }
+    ShardId shard(static_cast<int32_t>(s));
+    if (!rt.replicas.empty()) {
+      // A merge committed but its leader died before the grace-window drops finished: drop
+      // the surviving copies fire-and-forget (the drop_stray idiom) and release the slots.
+      std::vector<ServerId> touched;
+      for (ReplicaRuntime& r : rt.replicas) {
+        if (!r.server.valid()) {
+          continue;
+        }
+        touched.push_back(r.server);
+        const ServerHandle* handle = registry_->Get(r.server);
+        if (handle != nullptr && handle->alive) {
+          CallControl(*network_, home_region_, *registry_, r.server,
+                      FenceWrapped([shard](ShardServerApi& api) {
+                        return api.DropShard(shard);
+                      }),
+                      [](const Status&) {});
+        }
+      }
+      for (size_t i = 0; i < rt.replicas.size(); ++i) {
+        if (rt.replicas[i].server.valid()) {
+          Unbind(shard, static_cast<int>(i));
+        }
+      }
+      rt.replicas.clear();
+      for (ServerId server : touched) {
+        PersistServerAssignment(server);
+      }
+    }
+    RetireShard(shard);
+  }
 }
 
 // ---------------------------------------------------------------------------------------------
@@ -1557,6 +2001,9 @@ PartitionSnapshot Orchestrator::BuildSnapshot() const {
     desc.preferred_region = rt.preferred_region;
     desc.preference_weight = rt.preference_weight;
     desc.min_replicas_in_preferred = rt.min_replicas_in_preferred;
+    if (!rt.active) {
+      continue;  // merged away: remaining copies are mid-drop, never placement candidates
+    }
     for (size_t i = 0; i < rt.replicas.size(); ++i) {
       const ReplicaRuntime& r = rt.replicas[i];
       ReplicaState state;
@@ -1581,6 +2028,9 @@ void Orchestrator::ApplyAllocation(const PartitionSnapshot& snapshot,
       continue;
     }
     ShardRuntime& rt = shards_[static_cast<size_t>(shard.value)];
+    if (!rt.active) {
+      continue;
+    }
     if (replica_idx < 0 || replica_idx >= static_cast<int>(rt.replicas.size())) {
       continue;
     }

@@ -47,6 +47,9 @@ struct PlacementOpRecord {
   int replica = 0;
   ServerId from;
   ServerId to;
+  // Kind-specific payload (DESIGN.md §15): the split key for kSplit records. 0 otherwise, and
+  // 0 when parsed from a pre-§15 six-field log entry.
+  uint64_t aux = 0;
 };
 
 struct OrchestratorConfig {
@@ -119,8 +122,11 @@ enum class ReplicaPhase {
 class Orchestrator {
  public:
   // The kinds of replica lifecycle operation the op engine executes (public for telemetry:
-  // trace span names are derived from the kind).
-  enum class OpKind { kPlace, kMoveSecondary, kMovePrimary, kDrop, kPromote };
+  // trace span names are derived from the kind). kSplit/kMerge are *structural* kinds: they
+  // appear only as op-log records fencing a split/merge transaction (DESIGN.md §15) — their
+  // execution decomposes into ordinary kPlace/kDrop ops plus an atomic range-commit publish,
+  // so they never enter the per-replica op queue.
+  enum class OpKind { kPlace, kMoveSecondary, kMovePrimary, kDrop, kPromote, kSplit, kMerge };
 
   Orchestrator(Simulator* sim, Network* network, CoordStore* coord, ServiceDiscovery* discovery,
                ServerRegistry* registry, SmAllocator* allocator, AppSpec spec,
@@ -191,6 +197,37 @@ class Orchestrator {
   Status AddReplica(ShardId shard);
   Status RemoveReplica(ShardId shard);
 
+  // -- Adaptive shard split/merge (DESIGN.md §15) -----------------------------------------------
+  // Splits `shard`'s key range at `split_key` (strictly inside the range). A child shard id is
+  // allocated (reusing the smallest retired id when one exists), its replicas are placed
+  // through ordinary kPlace ops, and once every child replica is ready the split *commits*:
+  // one urgent map publish atomically shrinks the parent's range to [begin, split_key) and
+  // activates the child as [split_key, end) — no published map version ever has a key gap or
+  // overlap. Fails unless the shard is active, quiescent (all replicas ready, no queued ops)
+  // and not already splitting.
+  Status SplitShard(ShardId shard, uint64_t split_key);
+  // Merges adjacent `right` into `left` (left.range.end == right.range.begin). The commit is
+  // immediate — one urgent publish extends left over right's range and retires right to an
+  // empty range — and right's replica copies are dropped only after drop_grace, so clients on
+  // the pre-merge map still find serving copies for right's keys throughout dissemination.
+  Status MergeShards(ShardId left, ShardId right);
+
+  // Live key range of a shard (empty for retired shards and uncommitted split children).
+  KeyRange shard_range(ShardId shard) const;
+  // False once a shard has been merged away (its dense slot remains; its range is empty).
+  bool shard_active(ShardId shard) const;
+  // Shards currently owning a non-empty key range.
+  int active_shards() const;
+  // Resolves a key against the live (committed) ranges; invalid id when unowned.
+  ShardId ShardForKey(uint64_t key) const;
+  // True while a split is waiting on child placement or a merged-away shard still has replica
+  // copies awaiting their grace-window drops. The autoscaler holds scale-ins while this is set
+  // so container shutdown never races a boundary change (the arbitration contract pinned by
+  // tests/autoscaler_split_test.cc).
+  bool structural_change_in_flight() const;
+  int64_t splits() const { return splits_; }
+  int64_t merges() const { return merges_; }
+
   // -- Placement policy updates (Fig. 20) -------------------------------------------------------
   void SetRegionPreference(ShardId shard, RegionId region, double weight, int min_replicas);
 
@@ -229,6 +266,14 @@ class Orchestrator {
     RegionId preferred_region;
     double preference_weight = 1.0;
     int min_replicas_in_preferred = 1;
+    // -- Key-range / split-merge state (DESIGN.md §15) ------------------------------------------
+    KeyRange range;       // live committed range; empty for retired shards + uncommitted children
+    bool active = true;   // false once merged away (slot stays dense; id goes to the free list)
+    ShardId split_child;  // set on a parent while its split awaits child placement
+    ShardId split_parent; // set on a child until its split commits
+    uint64_t split_key = 0;     // parent side: committed boundary once the child is ready
+    int64_t split_log_seq = 0;  // kSplit op-log entry, completed at commit
+    int64_t merge_log_seq = 0;  // right-shard side: kMerge entry, completed once replicas drain
   };
   struct Op {
     OpKind kind = OpKind::kPlace;
@@ -293,6 +338,25 @@ class Orchestrator {
   void MarkMapDirty(bool urgent);
   void PublishMap();
   ShardMap BuildMap() const;
+
+  // -- Split / merge internals (DESIGN.md §15) ---------------------------------------------------
+  // Smallest retired shard id when one exists, else a fresh slot appended to shards_.
+  ShardId AllocateShardId();
+  // Called when a kPlace for a split child's replica completes; commits once all are ready.
+  void CommitSplitIfReady(ShardId child);
+  void CommitSplit(ShardId parent);
+  // Pushes an emptied inactive shard's id onto the free list and completes its kMerge record.
+  void RetireShard(ShardId shard);
+  // Persists the live range table at /sm/<app>/ranges (rewritten on every commit).
+  void PersistRanges();
+  // Recovery: rebuilds ranges/active flags (growing shards_ past the spec count when splits
+  // had committed); must run between InitShards and LoadAssignmentsFromCoord.
+  void LoadRangesFromCoord();
+  // Recovery: drops leftover replica copies of inactive shards (a merge interrupted mid-drop)
+  // and retires their ids. Runs after LoadAssignmentsFromCoord.
+  void CleanupInactiveShards();
+  // Appends a structural (kSplit/kMerge) record to the replicated op log; 0 when disabled.
+  int64_t LogStructuralOp(OpKind kind, ShardId shard, int replica, uint64_t aux);
 
   // -- Failure / recovery ------------------------------------------------------------------------
   void InitShards();
@@ -376,6 +440,9 @@ class Orchestrator {
   int64_t graceful_migrations_ = 0;
   int64_t abrupt_migrations_ = 0;
   int64_t failed_ops_ = 0;
+  int64_t splits_ = 0;  // committed splits
+  int64_t merges_ = 0;  // committed merges
+  std::vector<int32_t> retired_shard_ids_;  // reusable dense slots of merged-away shards
 
   static int64_t ReplicaKey(ShardId shard, int replica) {
     return (static_cast<int64_t>(shard.value) << 16) | static_cast<int64_t>(replica);

@@ -1,0 +1,129 @@
+// SplitMergePlanner: the adaptive sharding loop (DESIGN.md §15).
+//
+// The paper's load balancer (§5) moves whole shards; that is powerless against a hotspot
+// *inside* one shard — a single shard hotter than any server is an unsolvable placement. The
+// fix is to change the shard boundaries themselves: split the hot shard at the observed median
+// of its key traffic (each half then placeable independently) and merge adjacent cold shards
+// back so the shard count doesn't ratchet upward forever.
+//
+// Signal path: every `window` of sim time the planner diffs the RED accounting app cells
+// (DESIGN.md §12) per shard bucket, giving each shard's window request rate and p99. The
+// per-shard signal is exact while the live shard count stays within the accountant's
+// shard_buckets (the planner clamps max_shards to that); split points come from a separate
+// decayed histogram of observed keys (ObserveKey, fed by the load generator or data plane),
+// restricted to the candidate's range — the split lands on the histogram's weighted median
+// boundary, falling back to the range midpoint when the histogram is silent there.
+//
+// Hysteresis mirrors gray_health's flag/clear idiom: a shard must be hot for
+// `split_after_windows` consecutive windows before it splits, an adjacent pair cold for
+// `merge_after_windows` windows before it merges, and every shard touched by a structural op
+// sits out `cooldown_windows` windows — so a flash crowd triggers one decisive split rather
+// than a flapping cascade. At most one structural op is requested per tick, and none while the
+// orchestrator still has a split or merge in flight — the arbitration rule the autoscaler also
+// respects (ContainerAutoscaler holds scale-ins while structural_change_in_flight()).
+//
+// Everything is deterministic: ticks ride the sim clock, shards are scanned in ascending id
+// order, candidates break ties by lowest id. Same seed, same splits.
+
+#ifndef SRC_CORE_SPLIT_MERGE_PLANNER_H_
+#define SRC_CORE_SPLIT_MERGE_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/sim_time.h"
+#include "src/core/orchestrator.h"
+#include "src/obs/request_accounting.h"
+#include "src/sim/simulator.h"
+
+namespace shardman {
+
+struct SplitMergePlannerConfig {
+  TimeMicros window = Seconds(2);  // tick period; one judgement per window
+  // Hot: window completions above this, or window p99 above hot_p99_ms with at least
+  // min_requests completions (a slow-but-quiet shard is a capacity problem, not a hotspot).
+  uint64_t hot_requests_per_window = 2000;
+  double hot_p99_ms = 50.0;
+  uint64_t min_requests = 64;
+  // Cold: window completions below this on BOTH shards of an adjacent pair.
+  uint64_t cold_requests_per_window = 100;
+  int split_after_windows = 2;  // consecutive hot windows before splitting
+  int merge_after_windows = 4;  // consecutive cold windows before merging
+  int cooldown_windows = 4;     // windows a shard sits out after a structural op touched it
+  int max_shards = 64;          // clamped to the accountant's shard_buckets at construction
+  int min_shards = 1;
+  int key_histogram_bits = 12;  // 2^bits observed-key buckets (top bits of the key)
+};
+
+class SplitMergePlanner {
+ public:
+  // `accountant` must be configured and must outlive the planner. `app_slot` is the app's
+  // accounting slot (RequestAccountant::AppSlot).
+  SplitMergePlanner(Simulator* sim, Orchestrator* orchestrator,
+                    const obs::RequestAccountant* accountant, int app_slot,
+                    SplitMergePlannerConfig config);
+  ~SplitMergePlanner();
+  SplitMergePlanner(const SplitMergePlanner&) = delete;
+  SplitMergePlanner& operator=(const SplitMergePlanner&) = delete;
+
+  // Begins periodic ticks on the sim clock (first tick one window from now). Idempotent.
+  void Start();
+  // Cancels the periodic tick. Safe to call repeatedly; the destructor calls it.
+  void Stop();
+
+  // One planning pass. Exposed so tests can drive windows without running the simulator.
+  void Tick();
+
+  // Feeds the split-point histogram with one routed key. Allocation-free; O(1).
+  void ObserveKey(uint64_t key) {
+    ++key_hist_[static_cast<size_t>(key >> key_shift_)];
+  }
+
+  // The key this planner would split `shard` at right now: the weighted median boundary of
+  // the observed-key histogram inside the shard's range, or the midpoint when the histogram
+  // holds no interior signal. Exposed for the property tests.
+  uint64_t SplitPointFor(ShardId shard) const;
+
+  const SplitMergePlannerConfig& config() const { return config_; }
+  int64_t ticks() const { return ticks_; }
+  int64_t splits_requested() const { return splits_requested_; }
+  int64_t merges_requested() const { return merges_requested_; }
+
+ private:
+  struct ShardSignal {
+    int hot_streak = 0;
+    int cold_streak = 0;
+    int cooldown = 0;
+    bool was_active = false;
+    uint64_t window_requests = 0;
+    double window_p99_ms = 0.0;
+  };
+
+  void SnapshotWindows();
+  bool TrySplit();
+  bool TryMerge();
+  void DecayHistogram();
+
+  Simulator* sim_;
+  Orchestrator* orchestrator_;
+  const obs::RequestAccountant* accountant_;
+  int app_slot_;
+  SplitMergePlannerConfig config_;
+
+  std::vector<ShardSignal> signals_;        // by shard id; grows with the orchestrator
+  std::vector<obs::RedTotals> prev_buckets_;  // by shard bucket, summed over regions
+  std::vector<obs::RedTotals> window_buckets_;
+  std::vector<uint64_t> key_hist_;
+  int key_shift_ = 52;
+
+  int64_t ticks_ = 0;
+  int64_t splits_requested_ = 0;
+  int64_t merges_requested_ = 0;
+
+  EventId tick_event_;
+};
+
+}  // namespace shardman
+
+#endif  // SRC_CORE_SPLIT_MERGE_PLANNER_H_

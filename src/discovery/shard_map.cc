@@ -46,7 +46,7 @@ std::string SerializeShardMap(const ShardMap& map) {
   std::ostringstream os;
   os << "app=" << map.app.value << " v=" << map.version << " n=" << map.entries.size() << "\n";
   for (const ShardMapEntry& entry : map.entries) {
-    os << entry.shard.value << ":";
+    os << entry.shard.value << "[" << entry.range.begin << "," << entry.range.end << "):";
     for (const ShardMapReplica& replica : entry.replicas) {
       os << " " << replica.server.value << "/"
          << (replica.role == ReplicaRole::kPrimary ? "p" : "s") << "/" << replica.region.value;

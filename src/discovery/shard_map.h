@@ -34,10 +34,15 @@ struct ShardMapReplica {
 
 struct ShardMapEntry {
   ShardId shard;
+  // Key range this shard owns at this map version (DESIGN.md §15). Empty (begin == end) for
+  // retired shards and split children that have not committed yet — such entries keep their
+  // dense slot but receive no keys. Participates in equality so a range change alone (a
+  // split/merge commit) produces a delta row even when the replica set is unchanged.
+  KeyRange range;
   std::vector<ShardMapReplica> replicas;
 
   friend bool operator==(const ShardMapEntry& a, const ShardMapEntry& b) {
-    return a.shard == b.shard && a.replicas == b.replicas;
+    return a.shard == b.shard && a.range == b.range && a.replicas == b.replicas;
   }
   friend bool operator!=(const ShardMapEntry& a, const ShardMapEntry& b) { return !(a == b); }
 };
@@ -67,6 +72,19 @@ struct ShardMap {
       }
     }
     return ServerId();
+  }
+
+  // Resolves a key against the published ranges by linear scan — the cold-path resolver for
+  // tests and invariant checks (the router keeps a sorted index; see ServiceRouter). Returns
+  // an invalid id when no entry's range contains the key, or when the map carries no ranges
+  // at all (a pre-§15 map: every entry's range empty).
+  ShardId ShardForKey(uint64_t key) const {
+    for (const ShardMapEntry& entry : entries) {
+      if (entry.range.Contains(key)) {
+        return entry.shard;
+      }
+    }
+    return ShardId();
   }
 };
 

@@ -57,6 +57,7 @@ void ServiceRouter::ApplyDelta(const std::shared_ptr<const ShardMapDelta>& delta
 
 void ServiceRouter::RankShard(const ShardMapEntry& entry, CachedShard* cached) {
   cached->primary = ServerId();
+  cached->range = entry.range;
   cached->replica_begin = static_cast<uint32_t>(ranked_.size());
   for (const ShardMapReplica& replica : entry.replicas) {
     if (replica.role == ReplicaRole::kPrimary) {
@@ -92,15 +93,18 @@ void ServiceRouter::RebuildCache() {
     cache_.push_back(cached);
   }
   ranked_live_ = ranked_.size();
+  RebuildRangeIndex();
 }
 
 void ServiceRouter::PatchCache(const ShardMapDelta& delta) {
   ++cache_patches_;
   SM_COUNTER_INC("sm.router.cache_patches");
   const size_t total = static_cast<size_t>(delta.total_shards);
+  bool boundaries_moved = false;
   if (total < cache_.size()) {
     for (size_t i = total; i < cache_.size(); ++i) {
       ranked_live_ -= cache_[i].replica_count;
+      boundaries_moved = boundaries_moved || !cache_[i].range.empty();
     }
   }
   // Grown rows start empty; every index past the old map's end is in `changed` and filled next.
@@ -108,8 +112,14 @@ void ServiceRouter::PatchCache(const ShardMapDelta& delta) {
   for (const ShardMapEntry& entry : delta.changed) {
     CachedShard& cached = cache_[static_cast<size_t>(entry.shard.value)];
     ranked_live_ -= cached.replica_count;
+    boundaries_moved = boundaries_moved || cached.range != entry.range;
     RankShard(entry, &cached);
     ranked_live_ += cached.replica_count;
+  }
+  if (boundaries_moved) {
+    // A split/merge commit moved key ownership; re-derive the sorted index. Load moves and
+    // failovers never take this path, keeping steady-state patches O(changed).
+    RebuildRangeIndex();
   }
   // Patched runs append to ranked_, orphaning the rows they replace. Compact once dead rows
   // dominate — O(live) occasionally, amortized O(changed) per publish.
@@ -132,6 +142,37 @@ void ServiceRouter::CompactRanked() {
   }
   ranked_ = std::move(packed);
   ranked_live_ = ranked_.size();
+}
+
+void ServiceRouter::RebuildRangeIndex() {
+  range_index_.clear();
+  for (size_t s = 0; s < cache_.size(); ++s) {
+    if (cache_[s].range.empty()) {
+      continue;  // retired shards and uncommitted split children own no keys
+    }
+    RangeRow row;
+    row.begin = cache_[s].range.begin;
+    row.end = cache_[s].range.end;
+    row.shard = ShardId(static_cast<int32_t>(s));
+    range_index_.push_back(row);
+  }
+  std::sort(range_index_.begin(), range_index_.end(),
+            [](const RangeRow& a, const RangeRow& b) { return a.begin < b.begin; });
+}
+
+ShardId ServiceRouter::ResolveShard(uint64_t key) const {
+  if (range_index_.empty()) {
+    return spec_->ShardForKey(key);
+  }
+  // Last row with begin <= key, then a containment check (ranges never overlap — the
+  // orchestrator publishes each boundary move as one atomic version).
+  auto it = std::upper_bound(range_index_.begin(), range_index_.end(), key,
+                             [](uint64_t k, const RangeRow& row) { return k < row.begin; });
+  if (it == range_index_.begin()) {
+    return ShardId();
+  }
+  --it;
+  return key < it->end ? it->shard : ShardId();
 }
 
 void ServiceRouter::SetAccounting(obs::RequestAccountant* accountant, int stripe) {
@@ -246,7 +287,7 @@ void ServiceRouter::Route(uint64_t key, RequestType type, uint64_t payload,
   Attempt attempt;
   attempt.request.app = spec_->id;
   attempt.request.key = key;
-  attempt.request.shard = spec_->ShardForKey(key);
+  attempt.request.shard = ResolveShard(key);
   attempt.request.type = type;
   attempt.request.payload = payload;
   attempt.request.client_region = client_region_;

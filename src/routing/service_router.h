@@ -70,6 +70,13 @@ class ServiceRouter {
   const ShardMap* map() const { return map_.get(); }
   RegionId region() const { return client_region_; }
 
+  // Resolves a key to its shard against this client's current view. Published key ranges win
+  // (one binary search over the sorted range index, rebuilt only when a publish actually moved
+  // a boundary — split/merge commits, DESIGN.md §15); before the first map delivery, or when
+  // the map carries no ranges at all, the spec's static ranges stand. Exposed so tests can pin
+  // the stale-map routing contract (I8: every key resolves at every published version).
+  ShardId ResolveShard(uint64_t key) const;
+
   // Attaches per-request RED accounting (DESIGN.md §12). `stripe` selects the accountant
   // stripe this router writes — give concurrent writers distinct stripes. Registers the
   // router's app for an app slot; pass nullptr to detach. No routing decision changes.
@@ -122,6 +129,14 @@ class ServiceRouter {
     uint32_t replica_begin = 0;
     uint16_t replica_count = 0;
     uint16_t first_tier = 0;     // replicas sharing the lowest expected latency
+    KeyRange range;              // owned keys at the cached version; detects boundary moves
+  };
+  // One row of the sorted key-range index: range_index_ holds every non-empty cached range
+  // ordered by begin, so ResolveShard is a single upper_bound.
+  struct RangeRow {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+    ShardId shard;
   };
   struct RankedReplica {
     ServerId server;
@@ -136,6 +151,9 @@ class ServiceRouter {
   void PatchCache(const ShardMapDelta& delta);
   // Rewrites ranked_ in cache order, dropping rows orphaned by patches.
   void CompactRanked();
+  // Rebuilds range_index_ from the cached per-shard ranges. Called on every snapshot rebuild
+  // and on delta patches that changed a boundary; steady-state deltas (load moves) skip it.
+  void RebuildRangeIndex();
   // Ranks one shard's replicas at the end of ranked_ and points `cached` at the new run.
   void RankShard(const ShardMapEntry& entry, CachedShard* cached);
   // Picks the target server for this attempt, or an invalid id if the map has no candidate;
@@ -166,6 +184,8 @@ class ServiceRouter {
   // Per-version routing cache: rebuilt on snapshot application, patched on delta application.
   std::vector<CachedShard> cache_;
   std::vector<RankedReplica> ranked_;
+  // Sorted key-range index over cache_ (empty when the map publishes no ranges).
+  std::vector<RangeRow> range_index_;
   // Rows of ranked_ still referenced by cache_ (patching orphans the replaced runs).
   size_t ranked_live_ = 0;
   // RED accounting sink (optional; null detaches). app_slot_/region_index_ are resolved once

@@ -23,7 +23,8 @@ std::string PlacementOpLog::EntryPath(int64_t seq) const {
 std::string PlacementOpLog::Serialize(const PlacementOpRecord& record) {
   std::ostringstream os;
   os << record.epoch << ":" << record.kind << ":" << record.shard.value << ":"
-     << record.replica << ":" << record.from.value << ":" << record.to.value;
+     << record.replica << ":" << record.from.value << ":" << record.to.value << ":"
+     << record.aux;
   return os.str();
 }
 
@@ -34,8 +35,12 @@ bool PlacementOpLog::Parse(const std::string& data, PlacementOpRecord* record) {
   int replica = 0;
   int from = 0;
   int to = 0;
-  if (std::sscanf(data.c_str(), "%lld:%d:%d:%d:%d:%d", &epoch, &kind, &shard, &replica, &from,
-                  &to) != 6) {
+  unsigned long long aux = 0;
+  // Accept the pre-§15 six-field form (no aux) so logs written by an older leader still
+  // reconcile; aux defaults to 0 for them.
+  int matched = std::sscanf(data.c_str(), "%lld:%d:%d:%d:%d:%d:%llu", &epoch, &kind, &shard,
+                            &replica, &from, &to, &aux);
+  if (matched != 6 && matched != 7) {
     return false;
   }
   record->epoch = epoch;
@@ -44,6 +49,7 @@ bool PlacementOpLog::Parse(const std::string& data, PlacementOpRecord* record) {
   record->replica = replica;
   record->from = ServerId(from);
   record->to = ServerId(to);
+  record->aux = matched == 7 ? static_cast<uint64_t>(aux) : 0;
   return true;
 }
 

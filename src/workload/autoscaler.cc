@@ -43,6 +43,14 @@ int ContainerAutoscaler::RunOnce() {
     return count;
   }
   if (utilization < config_.low_watermark && servers > config_.min_servers) {
+    // Arbitration with the split/merge planner (DESIGN.md §15): a split is placing child
+    // replicas and a merge is lingering copies for stale-map clients — draining a server now
+    // would race both (and the drained capacity may be exactly what the committing split needs).
+    // Structural ops win; scale-in waits for the next interval.
+    if (testbed_->orchestrator().structural_change_in_flight()) {
+      ++holds_;
+      return 0;
+    }
     // Scale in the least-loaded live server via the negotiated stop path.
     ServerId victim;
     double victim_load = 0.0;

@@ -43,12 +43,15 @@ class ContainerAutoscaler {
 
   int64_t scale_outs() const { return scale_outs_; }
   int64_t scale_ins() const { return scale_ins_; }
+  // Scale-ins skipped because a split/merge was mid-flight (see RunOnce).
+  int64_t holds() const { return holds_; }
 
  private:
   Testbed* testbed_;
   AutoscalerConfig config_;
   int64_t scale_outs_ = 0;
   int64_t scale_ins_ = 0;
+  int64_t holds_ = 0;
 };
 
 }  // namespace shardman

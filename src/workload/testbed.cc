@@ -83,6 +83,7 @@ Testbed::Testbed(TestbedConfig config)
     const int initial_servers =
         config_.servers_per_region * static_cast<int>(config_.regions.size());
     acct.max_servers = std::max(1024, initial_servers * 4);
+    acct.shard_buckets = std::max(acct.shard_buckets, config_.accounting_shard_buckets);
     accountant_.Configure(acct);
   }
   if (config_.health_scoring) {
@@ -130,6 +131,15 @@ void Testbed::CreateServer(ClusterManager& cm, ContainerId container) {
       break;
   }
   slot.app->set_processing_delay(config_.server_processing_delay);
+  if (config_.server_service_rate > 0.0) {
+    slot.app->set_service_rate(config_.server_service_rate);
+  }
+  if (config_.request_rate_cost > 0.0) {
+    slot.app->set_request_rate_cost(config_.request_rate_cost);
+  }
+  if (config_.server_queue_limit > 0) {
+    slot.app->set_queue_limit(config_.server_queue_limit);
+  }
   if (config_.app.strategy == ReplicationStrategy::kSecondaryOnly) {
     slot.app->set_allow_writes_on_secondary(true);
   }

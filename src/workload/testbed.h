@@ -72,6 +72,16 @@ struct TestbedConfig {
   TimeMicros discovery_min_delay = Millis(200);
   TimeMicros discovery_max_delay = Millis(800);
   TimeMicros server_processing_delay = Millis(1);
+  // Finite-capacity FIFO service model on every app server (requests/second; 0 = infinite
+  // servers, the historical behavior). See ShardHostBase::set_service_rate.
+  double server_service_rate = 0.0;
+  // Load units added to a shard's reported load per request/second it actually served (0 =
+  // reports carry only the static base load). Closes the feedback loop the split/merge
+  // planner and drain-target scoring need: observed traffic, not spec guesses.
+  double request_rate_cost = 0.0;
+  // Shed requests that would queue longer than this under the finite-capacity model (0 =
+  // unbounded queue). See ShardHostBase::set_queue_limit.
+  TimeMicros server_queue_limit = 0;
 
   // Delta shard-map dissemination (DESIGN.md §10): convenience mirror of
   // mini_sm.orchestrator.delta_dissemination — setting either turns it on. Routers and
@@ -82,6 +92,10 @@ struct TestbedConfig {
   // testbed's RequestAccountant (each on its own stripe, round-robin). On by default — it
   // changes no routing decision and its memory is fixed at Configure time.
   bool request_accounting = true;
+  // App-plane shard buckets (rounded up to a power of two). The split/merge planner's
+  // per-shard signal is exact only while live shards <= buckets, so hotspot experiments
+  // raise this to their max_shards.
+  int accounting_shard_buckets = 32;
   // Gray-failure health scoring + router demotion. Opt-in: once a replica is flagged the
   // router's pick stream changes, so determinism baselines that predate the scorer stay
   // byte-identical unless a test asks for it. Implies request_accounting.

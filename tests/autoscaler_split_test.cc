@@ -1,0 +1,113 @@
+// Autoscaler / split-merge arbitration (DESIGN.md §15): the two control loops that change the
+// fleet's shape must not fight. The contract, pinned here:
+//   - while a split is placing child replicas or a merge is lingering replica copies
+//     (Orchestrator::structural_change_in_flight()), the autoscaler HOLDS scale-ins — draining
+//     a server mid-boundary-change would race the child placement or the stale-map linger;
+//   - scale-outs are never held (fresh capacity only helps a committing split);
+//   - once the structural op completes, the held scale-in proceeds on the next evaluation.
+
+#include <gtest/gtest.h>
+
+#include "src/workload/autoscaler.h"
+#include "src/workload/testbed.h"
+
+namespace shardman {
+namespace {
+
+TestbedConfig ArbitrationBedConfig(uint64_t seed, double shard_load = 0.0) {
+  TestbedConfig config;
+  config.regions = {"r0"};
+  config.servers_per_region = 8;
+  config.app = MakeUniformAppSpec(AppId(1), "arb", 8,
+                                  ReplicationStrategy::kPrimarySecondary, 2);
+  config.app.placement.metrics = MetricSet({"cpu"});
+  if (shard_load > 0.0) {
+    config.shard_load_scalars.assign(8, shard_load);
+  }
+  config.seed = seed;
+  return config;
+}
+
+bool AwaitQuiescent(Testbed& bed, TimeMicros timeout) {
+  const TimeMicros deadline = bed.sim().Now() + timeout;
+  while (bed.sim().Now() < deadline && (bed.orchestrator().structural_change_in_flight() ||
+                                        !bed.orchestrator().AllReady())) {
+    bed.sim().RunFor(Millis(100));
+  }
+  return !bed.orchestrator().structural_change_in_flight() && bed.orchestrator().AllReady();
+}
+
+TEST(AutoscalerSplitArbitration, ScaleInHeldWhileSplitInFlightThenProceeds) {
+  Testbed bed(ArbitrationBedConfig(11));
+  bed.Start();
+  ASSERT_TRUE(bed.RunUntilAllReady(Minutes(5)));
+
+  // Zero reported load on an 8-server fleet: utilization is far below any low watermark, so
+  // every evaluation wants a scale-in.
+  AutoscalerConfig as_config;
+  as_config.low_watermark = 0.4;
+  as_config.high_watermark = 0.9;
+  as_config.min_servers = 2;
+  ContainerAutoscaler autoscaler(&bed, as_config);
+  ASSERT_LT(autoscaler.MeasureUtilization(), as_config.low_watermark);
+
+  // Start a split; while its child placement is in flight the scale-in must hold.
+  const ShardId parent(0);
+  const KeyRange range = bed.orchestrator().shard_range(parent);
+  ASSERT_TRUE(
+      bed.orchestrator().SplitShard(parent, range.begin + (range.end - range.begin) / 2).ok());
+  ASSERT_TRUE(bed.orchestrator().structural_change_in_flight());
+
+  EXPECT_EQ(autoscaler.RunOnce(), 0);
+  EXPECT_EQ(autoscaler.holds(), 1);
+  EXPECT_EQ(autoscaler.scale_ins(), 0);
+
+  // A merge lingers replica copies for the drop-grace window; that too holds scale-ins.
+  ASSERT_TRUE(AwaitQuiescent(bed, Minutes(2)));
+  ASSERT_TRUE(bed.orchestrator().MergeShards(ShardId(1), ShardId(2)).ok());
+  ASSERT_TRUE(bed.orchestrator().structural_change_in_flight());
+  EXPECT_EQ(autoscaler.RunOnce(), 0);
+  EXPECT_EQ(autoscaler.holds(), 2);
+
+  // Once quiescent, the next evaluation's scale-in goes through the negotiated stop path.
+  ASSERT_TRUE(AwaitQuiescent(bed, Minutes(2)));
+  bed.sim().RunFor(Minutes(1));  // outlast the merge drop-grace
+  ASSERT_FALSE(bed.orchestrator().structural_change_in_flight());
+  EXPECT_LT(autoscaler.RunOnce(), 0);
+  EXPECT_EQ(autoscaler.scale_ins(), 1);
+  EXPECT_EQ(autoscaler.holds(), 2);
+
+  // The fleet drains and re-converges: the split/merge survivors all stay ready.
+  ASSERT_TRUE(AwaitQuiescent(bed, Minutes(5)));
+}
+
+TEST(AutoscalerSplitArbitration, ScaleOutNeverHeld) {
+  // Heavily loaded shards on a small fleet: utilization above the high watermark on every
+  // evaluation, so a scale-out is always wanted.
+  Testbed bed(ArbitrationBedConfig(12, /*shard_load=*/40.0));
+  bed.Start();
+  ASSERT_TRUE(bed.RunUntilAllReady(Minutes(5)));
+
+  AutoscalerConfig as_config;
+  as_config.low_watermark = 0.1;
+  as_config.high_watermark = 0.5;
+  as_config.max_servers = 100;
+  ContainerAutoscaler autoscaler(&bed, as_config);
+  ASSERT_GT(autoscaler.MeasureUtilization(), as_config.high_watermark);
+
+  const ShardId parent(3);
+  const KeyRange range = bed.orchestrator().shard_range(parent);
+  ASSERT_TRUE(
+      bed.orchestrator().SplitShard(parent, range.begin + (range.end - range.begin) / 2).ok());
+  ASSERT_TRUE(bed.orchestrator().structural_change_in_flight());
+
+  // Mid-split, capacity may still be added — only removals race the boundary change.
+  EXPECT_GT(autoscaler.RunOnce(), 0);
+  EXPECT_EQ(autoscaler.holds(), 0);
+  EXPECT_EQ(autoscaler.scale_outs(), 1);
+
+  ASSERT_TRUE(AwaitQuiescent(bed, Minutes(5)));
+}
+
+}  // namespace
+}  // namespace shardman

@@ -1,0 +1,91 @@
+// Determinism regression for the hotspot economy (DESIGN.md §13/§15): the flash-crowd
+// scenario — open-loop Zipf traffic, finite-capacity servers, the adaptive split/merge loop —
+// must produce a byte-identical state digest (FNV-1a over the final shard set, SLO counters
+// and router map versions) across sim worker threads {1, 2, 8} and across repeated same-seed
+// runs. This is the test the TSan CI lane runs (`ctest -L sim`); the full-size version is the
+// bench's gate mode (bench/hotspot_slo with SM_SIM_THREADS, diffed via SM_METRICS_OUT dumps).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/workload/hotspot_sim.h"
+
+namespace shardman {
+namespace {
+
+HotspotSimConfig SmallFlashConfig(int threads) {
+  HotspotSimConfig config;
+  config.regions = 2;
+  config.servers_per_region = 4;
+  config.initial_shards = 6;
+  config.max_shards = 32;
+  config.requests_per_second = 250.0;
+  config.server_service_rate = 400.0;
+  config.zipf_s = 1.2;
+  config.flash_zipf_s = 0.9;
+  config.flash_peak = 4.0;
+  config.flash_start = Seconds(6);
+  config.flash_rise = Seconds(2);
+  config.flash_hold = Seconds(10);
+  config.flash_fall = Seconds(3);
+  config.measure_grace = Seconds(4);
+  config.planner.window = Millis(500);
+  config.planner.hot_requests_per_window = 120;
+  config.planner.hot_p99_ms = 150.0;
+  config.planner.cold_requests_per_window = 10;
+  config.planner.cooldown_windows = 1;
+  config.planner.max_shards = config.max_shards;
+  config.sim_shards = 4;
+  config.sim_threads = threads;
+  config.seed = 2024;
+  return config;
+}
+
+struct FlashRun {
+  uint64_t digest = 0;
+  std::string report;
+  HotspotTotals totals;
+};
+
+FlashRun RunFlash(int threads) {
+  HotspotSim sim(SmallFlashConfig(threads));
+  sim.Run(Seconds(26));
+  FlashRun run;
+  run.digest = sim.StateDigest();
+  run.report = sim.DigestReport();
+  run.totals = sim.Totals();
+  return run;
+}
+
+TEST(HotspotDeterminism, DigestIdenticalAcrossThreadCountsAndRepeats) {
+  const FlashRun reference = RunFlash(1);
+  ASSERT_GT(reference.totals.sent, 0u);
+  // The scenario must actually exercise the adaptive loop, or the digest covers nothing.
+  EXPECT_GT(reference.totals.splits, 0);
+
+  const FlashRun repeat = RunFlash(1);
+  EXPECT_EQ(repeat.digest, reference.digest) << "same-seed repeat diverged";
+  EXPECT_EQ(repeat.report, reference.report);
+
+  for (int threads : {2, 8}) {
+    const FlashRun run = RunFlash(threads);
+    EXPECT_EQ(run.digest, reference.digest) << "threads=" << threads << " diverged";
+    EXPECT_EQ(run.report, reference.report)
+        << "threads=" << threads << "\n--- reference ---\n"
+        << reference.report << "--- run ---\n"
+        << run.report;
+  }
+}
+
+TEST(HotspotDeterminism, DifferentSeedsDiverge) {
+  const FlashRun a = RunFlash(1);
+  HotspotSimConfig other = SmallFlashConfig(1);
+  other.seed = 2025;
+  HotspotSim sim(other);
+  sim.Run(Seconds(26));
+  EXPECT_NE(sim.StateDigest(), a.digest);
+}
+
+}  // namespace
+}  // namespace shardman
